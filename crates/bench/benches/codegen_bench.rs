@@ -1,0 +1,48 @@
+//! Criterion benchmark of the code generator (Table 2 pipeline): schedule
+//! decomposition into code segments and C emission for the PFC task, plus
+//! the code-segment-sharing ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qss_bench::pfc_setup;
+use qss_codegen::{generate_task, SegmentGraph, TaskOptions};
+use qss_sim::PfcParams;
+
+fn bench_codegen(c: &mut Criterion) {
+    let setup = pfc_setup(PfcParams::tiny());
+    let schedule = &setup.schedules.schedules[0];
+    let mut group = c.benchmark_group("codegen");
+    group.sample_size(30);
+    group.bench_function("segment_graph", |b| {
+        b.iter(|| SegmentGraph::build(schedule, &setup.system.net).unwrap())
+    });
+    group.bench_function("generate_task_shared", |b| {
+        b.iter(|| {
+            generate_task(
+                &setup.system,
+                schedule,
+                &setup.schedules.channel_bounds,
+                &TaskOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("generate_task_unshared", |b| {
+        let options = TaskOptions {
+            share_code_segments: false,
+            ..Default::default()
+        };
+        b.iter(|| {
+            generate_task(
+                &setup.system,
+                schedule,
+                &setup.schedules.channel_bounds,
+                &options,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codegen);
+criterion_main!(benches);

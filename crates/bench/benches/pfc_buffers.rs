@@ -1,0 +1,48 @@
+//! Criterion benchmark behind Figure 20: wall-clock cost of simulating the
+//! PFC application under the 4-task RTOS model at different buffer sizes
+//! versus the generated single task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qss_bench::pfc_setup;
+use qss_sim::{
+    pfc_events, run_multitask, run_singletask, CycleCostModel, MultiTaskConfig, PfcParams,
+    SingleTaskConfig,
+};
+
+fn bench_buffer_sizes(c: &mut Criterion) {
+    let setup = pfc_setup(PfcParams::tiny());
+    let events = pfc_events(4);
+    let mut group = c.benchmark_group("figure20_pfc_buffers");
+    group.sample_size(10);
+    for buffer in [1u32, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("multitask", buffer),
+            &buffer,
+            |b, &buffer| {
+                b.iter(|| {
+                    run_multitask(
+                        &setup.system,
+                        &events,
+                        &MultiTaskConfig::new(buffer, CycleCostModel::unoptimized()),
+                    )
+                    .expect("multitask run")
+                })
+            },
+        );
+    }
+    group.bench_function("singletask", |b| {
+        b.iter(|| {
+            run_singletask(
+                &setup.system,
+                &setup.schedules.schedules,
+                &events,
+                &SingleTaskConfig::new(CycleCostModel::unoptimized()),
+            )
+            .expect("singletask run")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer_sizes);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmark behind Table 1: cost of processing an increasing
+//! number of frames with the single generated task and the 4-task model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qss_bench::pfc_setup;
+use qss_sim::{
+    pfc_events, run_multitask, run_singletask, CycleCostModel, MultiTaskConfig, PfcParams,
+    SingleTaskConfig,
+};
+
+fn bench_frames(c: &mut Criterion) {
+    let setup = pfc_setup(PfcParams::tiny());
+    let mut group = c.benchmark_group("table1_pfc_frames");
+    group.sample_size(10);
+    for frames in [2usize, 8, 32] {
+        let events = pfc_events(frames);
+        group.throughput(Throughput::Elements(frames as u64));
+        group.bench_with_input(
+            BenchmarkId::new("singletask", frames),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    run_singletask(
+                        &setup.system,
+                        &setup.schedules.schedules,
+                        events,
+                        &SingleTaskConfig::new(CycleCostModel::optimized()),
+                    )
+                    .expect("singletask run")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("multitask_buf100", frames),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    run_multitask(
+                        &setup.system,
+                        events,
+                        &MultiTaskConfig::new(100, CycleCostModel::optimized()),
+                    )
+                    .expect("multitask run")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frames);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Ablation of the Sec. 5.5 search heuristics (T-invariant promising
+//! vectors, source-last ordering, singleton-first ordering, greedy entering
+//! points): search-tree size with and without them.
+//!
+//! Usage: `cargo run --release -p qss-bench --bin ablation`
+
+use qss_bench::{ablation, render_ablation};
+
+fn main() {
+    let rows = ablation();
+    print!("{}", render_ablation(&rows));
+}

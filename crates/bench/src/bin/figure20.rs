@@ -1,0 +1,20 @@
+//! Regenerates Figure 20: execution cycles of the 4-task implementation as
+//! a function of the channel buffer size, against the single generated
+//! task, under the three compiler-optimisation profiles.
+//!
+//! Usage: `cargo run --release -p qss-bench --bin figure20 [frames]`
+//! (default: 10 frames of 10×10 pixels, as in the paper).
+
+use qss_bench::{figure20, pfc_setup, render_figure20};
+use qss_sim::PfcParams;
+
+fn main() {
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let setup = pfc_setup(PfcParams::default());
+    let buffer_sizes = [1u32, 2, 5, 10, 20, 50, 100];
+    let data = figure20(&setup, frames, &buffer_sizes);
+    print!("{}", render_figure20(&data));
+}

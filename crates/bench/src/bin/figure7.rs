@@ -1,0 +1,12 @@
+//! Regenerates the Figure 7 comparison: pruning the schedule search with
+//! a-priori place bounds (which must grow with the divider parameter `k`)
+//! versus the irrelevant-marking criterion (which needs no user input).
+//!
+//! Usage: `cargo run --release -p qss-bench --bin figure7`
+
+use qss_bench::{figure7, render_figure7};
+
+fn main() {
+    let rows = figure7(&[2, 3, 5, 8, 13]);
+    print!("{}", render_figure7(&rows));
+}

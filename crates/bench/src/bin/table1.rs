@@ -1,0 +1,23 @@
+//! Regenerates Table 1: kilocycles for the single generated task and the
+//! 4-process implementation (buffers of size 100) over varying numbers of
+//! frames, for the three compiler profiles.
+//!
+//! Usage: `cargo run --release -p qss-bench --bin table1 [max_frames]`
+//! (default: the paper's 10 / 50 / 100 / 500 / 1000 frame counts).
+
+use qss_bench::{pfc_setup, render_table1, table1};
+use qss_sim::PfcParams;
+
+fn main() {
+    let max_frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let frame_counts: Vec<usize> = [10usize, 50, 100, 500, 1000]
+        .into_iter()
+        .filter(|&f| f <= max_frames)
+        .collect();
+    let setup = pfc_setup(PfcParams::default());
+    let rows = table1(&setup, &frame_counts);
+    print!("{}", render_table1(&rows));
+}

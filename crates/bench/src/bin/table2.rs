@@ -1,0 +1,14 @@
+//! Regenerates Table 2: estimated object-code size of the generated single
+//! task against the four processes compiled as separate RTOS tasks with
+//! inlined communication primitives.
+//!
+//! Usage: `cargo run --release -p qss-bench --bin table2`
+
+use qss_bench::{pfc_setup, render_table2, table2};
+use qss_sim::PfcParams;
+
+fn main() {
+    let setup = pfc_setup(PfcParams::default());
+    let data = table2(&setup);
+    print!("{}", render_table2(&data));
+}

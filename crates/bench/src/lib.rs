@@ -1,0 +1,26 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation section (Sec. 8) plus the ablation studies called out in
+//! `DESIGN.md`.
+//!
+//! Each experiment has a plain function returning structured rows (used by
+//! both the command-line binaries and the Criterion benchmarks) and a
+//! `render_*` helper producing the text table printed by the binaries.
+//!
+//! | Paper artefact | Function | Binary |
+//! |---|---|---|
+//! | Figure 20 (cycles vs. buffer size) | [`figure20`] | `cargo run -p qss-bench --release --bin figure20` |
+//! | Table 1 (cycles vs. frame count) | [`table1`] | `... --bin table1` |
+//! | Table 2 (code size) | [`table2`] | `... --bin table2` |
+//! | Figure 7 (irrelevance vs. place bounds) | [`figure7`] | `... --bin figure7` |
+//! | Heuristic ablations | [`ablation`] | `... --bin ablation` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    ablation, figure20, figure7, pfc_setup, render_ablation, render_figure20, render_figure7,
+    render_table1, render_table2, table1, table2, AblationRow, Figure20Data, Figure20Row,
+    Figure7Row, PfcSetup, Table1Row, Table2Data,
+};

@@ -1,0 +1,53 @@
+//! Error handling for code generation.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CodegenError>;
+
+/// Errors produced while generating code from a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// The schedule references a transition the linked system knows nothing
+    /// about (it was not produced by the same front end run).
+    UnknownTransition(String),
+    /// The selected state places cannot distinguish two different
+    /// continuations at a leaf of a code segment.
+    AmbiguousState(String),
+    /// The schedule is malformed (e.g. empty).
+    InvalidSchedule(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnknownTransition(name) => {
+                write!(f, "schedule uses transition `{name}` unknown to the linked system")
+            }
+            CodegenError::AmbiguousState(msg) => {
+                write!(f, "state variables cannot resolve the next code segment: {msg}")
+            }
+            CodegenError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(CodegenError::UnknownTransition("t".into())
+            .to_string()
+            .contains("`t`"));
+        assert!(CodegenError::AmbiguousState("x".into())
+            .to_string()
+            .contains("state"));
+        assert!(CodegenError::InvalidSchedule("empty".into())
+            .to_string()
+            .contains("empty"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Code generation for quasi-static schedules (Sec. 6 of the paper).
+//!
+//! A schedule is turned into one sequential *task*:
+//!
+//! * the schedule is decomposed into *threads* (reactions between await
+//!   nodes) and shared *code segments* (maximal common sub-trees keyed by
+//!   their ECS), so that code common to several threads is emitted once,
+//! * a minimal set of *state places* is selected: only places that are both
+//!   updated by some segment and needed to decide what to execute next
+//!   become state variables of the task,
+//! * a C function in ISR style is synthesised: one label per code segment,
+//!   `if`/`else` for data-dependent choices, state updates at the leaves
+//!   and `goto`/`switch`/`return` jump sections, exactly as in Figure 16,
+//! * channels that became internal to the task are implemented as local
+//!   buffers sized by the schedule's static bounds (unit-size buffers
+//!   collapse to plain variables).
+//!
+//! The entry point is [`generate_task`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod error;
+pub mod segment;
+pub mod size;
+
+pub use emit::{generate_task, GeneratedTask, TaskOptions, TaskStats};
+pub use error::{CodegenError, Result};
+pub use segment::{CodeSegment, Continuation, SegmentGraph, SegmentNode};
+pub use size::{estimate_code_size, CodeCostModel};

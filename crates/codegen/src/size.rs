@@ -1,0 +1,143 @@
+//! Code-size estimation for generated tasks and process networks.
+//!
+//! The paper's Table 2 compares the object-code size of the single
+//! generated task against the four-process implementation. We cannot run
+//! the authors' compiler/linker, so size is estimated from a per-construct
+//! byte model: every emitted statement, conditional, jump and
+//! communication call contributes a fixed number of bytes. The model is
+//! deliberately simple — Table 2's claim is about the *ratio* between the
+//! two implementations, which is driven by how much per-process
+//! communication and scheduling boilerplate the multi-task version
+//! duplicates.
+
+use crate::emit::TaskStats;
+use serde::{Deserialize, Serialize};
+
+/// Byte costs per emitted construct, loosely modelling a 32-bit RISC
+/// target (R3000-class) at a given compiler optimisation level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeCostModel {
+    /// Name of the profile (e.g. `pfc`, `pfc-O`, `pfc-O2`).
+    pub name: &'static str,
+    /// Bytes per plain statement (assignment, arithmetic, call).
+    pub bytes_per_statement: u64,
+    /// Bytes per conditional construct head (`if`, `while`, `switch`).
+    pub bytes_per_conditional: u64,
+    /// Bytes per unconditional jump (`goto`).
+    pub bytes_per_goto: u64,
+    /// Bytes per `return`.
+    pub bytes_per_return: u64,
+    /// Bytes for an inlined communication primitive (buffer copy).
+    pub bytes_per_inline_comm: u64,
+    /// Bytes for a communication primitive implemented as an RTOS call.
+    pub bytes_per_rtos_comm: u64,
+    /// Fixed per-task overhead (prologue, epilogue, task control block).
+    pub bytes_task_overhead: u64,
+}
+
+impl CodeCostModel {
+    /// Unoptimised compilation (the paper's `pfc` column).
+    pub fn unoptimized() -> Self {
+        CodeCostModel {
+            name: "pfc",
+            bytes_per_statement: 16,
+            bytes_per_conditional: 24,
+            bytes_per_goto: 8,
+            bytes_per_return: 8,
+            bytes_per_inline_comm: 20,
+            bytes_per_rtos_comm: 96,
+            bytes_task_overhead: 160,
+        }
+    }
+
+    /// `-O` compilation (the paper's `pfc-O` column).
+    pub fn optimized() -> Self {
+        CodeCostModel {
+            name: "pfc-O",
+            bytes_per_statement: 8,
+            bytes_per_conditional: 12,
+            bytes_per_goto: 4,
+            bytes_per_return: 4,
+            bytes_per_inline_comm: 12,
+            bytes_per_rtos_comm: 56,
+            bytes_task_overhead: 96,
+        }
+    }
+
+    /// `-O2` compilation (the paper's `pfc-O2` column).
+    pub fn optimized2() -> Self {
+        CodeCostModel {
+            name: "pfc-O2",
+            bytes_per_statement: 8,
+            bytes_per_conditional: 10,
+            bytes_per_goto: 4,
+            bytes_per_return: 4,
+            bytes_per_inline_comm: 10,
+            bytes_per_rtos_comm: 52,
+            bytes_task_overhead: 92,
+        }
+    }
+
+    /// All three profiles used by the paper's tables.
+    pub fn profiles() -> [CodeCostModel; 3] {
+        [Self::unoptimized(), Self::optimized(), Self::optimized2()]
+    }
+}
+
+/// Estimates the object-code size in bytes of a generated task from its
+/// emission statistics.
+pub fn estimate_code_size(stats: &TaskStats, model: &CodeCostModel) -> u64 {
+    let plain = stats
+        .num_statements
+        .saturating_sub(stats.num_gotos + stats.num_returns + stats.num_conditionals)
+        as u64;
+    model.bytes_task_overhead
+        + plain * model.bytes_per_statement
+        + stats.num_conditionals as u64 * model.bytes_per_conditional
+        + stats.num_gotos as u64 * model.bytes_per_goto
+        + stats.num_returns as u64 * model.bytes_per_return
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> TaskStats {
+        TaskStats {
+            num_segments: 3,
+            num_segment_nodes: 5,
+            num_threads: 2,
+            num_state_variables: 1,
+            num_statements: 40,
+            num_gotos: 3,
+            num_conditionals: 5,
+            num_returns: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn optimisation_levels_reduce_size() {
+        let s = stats();
+        let o0 = estimate_code_size(&s, &CodeCostModel::unoptimized());
+        let o1 = estimate_code_size(&s, &CodeCostModel::optimized());
+        let o2 = estimate_code_size(&s, &CodeCostModel::optimized2());
+        assert!(o0 > o1);
+        assert!(o1 >= o2);
+    }
+
+    #[test]
+    fn size_grows_with_statement_count() {
+        let small = stats();
+        let mut big = stats();
+        big.num_statements += 100;
+        let model = CodeCostModel::unoptimized();
+        assert!(estimate_code_size(&big, &model) > estimate_code_size(&small, &model));
+    }
+
+    #[test]
+    fn profiles_have_distinct_names() {
+        let names: Vec<_> = CodeCostModel::profiles().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["pfc", "pfc-O", "pfc-O2"]);
+    }
+}

@@ -1,0 +1,747 @@
+//! The EP / EP_ECS schedule search algorithm (Sec. 5).
+//!
+//! The algorithm grows a rooted tree of markings. For a tree node `v` it
+//! looks for an *entering point*: an ancestor of `v` whose marking can be
+//! reached again no matter how the data-dependent choices (ECSs with more
+//! than one transition) are resolved. If the entering point of the child of
+//! the root is the root itself, the retained part of the tree — closed by
+//! merging each leaf with the equal-marking ancestor it points back to —
+//! is a schedule.
+
+use crate::error::{Result, ScheduleError};
+use crate::heuristics::EcsSorter;
+use crate::independence::{channel_bounds, is_independent_set};
+use crate::schedule::{NodeId, Schedule, ScheduleNode};
+use crate::termination::{Termination, TerminationKind};
+use qss_flowc::LinkedSystem;
+use qss_petri::{EcsId, EcsInfo, Marking, PetriNet, PlaceId, TransitionId, TransitionKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Options controlling the schedule search.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleOptions {
+    /// Pruning criterion (irrelevant markings by default).
+    pub termination: TerminationKind,
+    /// Safety cap on the number of tree nodes created by one search.
+    pub max_nodes: usize,
+    /// Generate only single-source schedules (required for the
+    /// independence guarantee of Proposition 4.3). Enabled by default.
+    pub single_source: bool,
+    /// Sort ECSs using the T-invariant promising vector (Sec. 5.5.2).
+    pub use_invariant_heuristic: bool,
+    /// Explore source-transition ECSs last ("fire a source transition only
+    /// when the system cannot fire anything else").
+    pub source_last: bool,
+    /// Prefer ECSs with a single transition over data-dependent choices.
+    pub prefer_singleton_ecs: bool,
+    /// Stop exploring alternative ECSs at a node as soon as one of them has
+    /// a defined entering point, instead of searching all of them for the
+    /// entering point closest to the root. Combined with the source-last
+    /// ordering this keeps reactions maximal (the schedule only waits for
+    /// the environment when nothing else can run) and keeps channel bounds
+    /// tight. If the greedy pass fails, the search automatically retries
+    /// exhaustively.
+    pub greedy_entering_point: bool,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            termination: TerminationKind::Irrelevance,
+            max_nodes: 200_000,
+            single_source: true,
+            use_invariant_heuristic: true,
+            source_last: true,
+            prefer_singleton_ecs: true,
+            greedy_entering_point: true,
+        }
+    }
+}
+
+impl ScheduleOptions {
+    /// Options using a uniform pre-defined place bound instead of the
+    /// irrelevance criterion (the comparison baseline of Sec. 4.4).
+    pub fn with_place_bounds(default: u32) -> Self {
+        ScheduleOptions {
+            termination: TerminationKind::PlaceBounds { default },
+            ..Default::default()
+        }
+    }
+
+    /// Disables all search-ordering heuristics (used by the ablation
+    /// benchmarks).
+    pub fn without_heuristics(mut self) -> Self {
+        self.use_invariant_heuristic = false;
+        self.source_last = false;
+        self.prefer_singleton_ecs = false;
+        self.greedy_entering_point = false;
+        self
+    }
+}
+
+/// Statistics about one schedule search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of tree nodes created during the search.
+    pub nodes_created: usize,
+    /// Number of nodes in the resulting schedule.
+    pub schedule_nodes: usize,
+    /// Number of edges in the resulting schedule.
+    pub schedule_edges: usize,
+}
+
+/// Finds a single-source schedule for the uncontrollable source transition
+/// `source` of `net`.
+///
+/// # Errors
+/// * [`ScheduleError::NotUncontrollableSource`] if `source` has the wrong
+///   kind,
+/// * [`ScheduleError::NoTInvariants`] if the net has no T-invariants (no
+///   cyclic schedule can exist),
+/// * [`ScheduleError::NoSchedule`] if the bounded search space contains no
+///   schedule,
+/// * [`ScheduleError::SearchBudgetExhausted`] if the safety node budget ran
+///   out first.
+pub fn find_schedule(
+    net: &PetriNet,
+    source: TransitionId,
+    options: &ScheduleOptions,
+) -> Result<Schedule> {
+    find_schedule_with_stats(net, source, options).map(|(s, _)| s)
+}
+
+/// Like [`find_schedule`] but also returns search statistics.
+pub fn find_schedule_with_stats(
+    net: &PetriNet,
+    source: TransitionId,
+    options: &ScheduleOptions,
+) -> Result<(Schedule, SearchStats)> {
+    if net.transition(source).kind != TransitionKind::UncontrollableSource {
+        return Err(ScheduleError::NotUncontrollableSource(source));
+    }
+    let sorter = EcsSorter::new(net);
+    if sorter.has_no_invariants() && net.num_transitions() > 0 {
+        return Err(ScheduleError::NoTInvariants);
+    }
+    let run_once = |opts: &ScheduleOptions| {
+        let mut search = Search {
+            net,
+            ecs: EcsInfo::compute(net),
+            term: Termination::new(net, opts.termination),
+            options: opts,
+            source,
+            sorter: sorter.clone(),
+            nodes: Vec::new(),
+            budget_exhausted: false,
+        };
+        search.run()
+    };
+    match run_once(options) {
+        Ok(result) => Ok(result),
+        Err(first_error) if options.greedy_entering_point => {
+            // The greedy pass is incomplete; fall back to the exhaustive
+            // minimum-entering-point search of the paper before giving up.
+            let exhaustive = ScheduleOptions {
+                greedy_entering_point: false,
+                ..options.clone()
+            };
+            run_once(&exhaustive).map_err(|_| first_error)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The schedules of a whole linked system: one per uncontrollable input.
+#[derive(Debug, Clone)]
+pub struct SystemSchedules {
+    /// One schedule per uncontrollable source transition, in the order the
+    /// environment inputs appear in the linked system.
+    pub schedules: Vec<Schedule>,
+    /// Static bound on every place involved in some schedule — for channel
+    /// places this is the buffer size needed by the implementation.
+    pub channel_bounds: BTreeMap<PlaceId, u32>,
+    /// Per-schedule search statistics.
+    pub stats: Vec<SearchStats>,
+}
+
+impl SystemSchedules {
+    /// The schedule serving the given source transition, if any.
+    pub fn schedule_for(&self, source: TransitionId) -> Option<&Schedule> {
+        self.schedules.iter().find(|s| s.source() == source)
+    }
+
+    /// The buffer bound computed for `place` (0 if the place is involved in
+    /// no schedule).
+    pub fn bound(&self, place: PlaceId) -> u32 {
+        self.channel_bounds.get(&place).copied().unwrap_or(0)
+    }
+}
+
+/// Computes one schedule per uncontrollable input port of a linked system
+/// and verifies that the resulting set is independent (Proposition 4.3
+/// guarantees this for nets generated from FlowC, but the check is cheap
+/// and validates the construction).
+///
+/// # Errors
+/// Propagates [`find_schedule`] errors, and returns
+/// [`ScheduleError::NotIndependent`] if two schedules interfere.
+pub fn schedule_system(
+    system: &LinkedSystem,
+    options: &ScheduleOptions,
+) -> Result<SystemSchedules> {
+    let sources = system.uncontrollable_sources();
+    let mut schedules = Vec::new();
+    let mut stats = Vec::new();
+    for source in sources {
+        let (s, st) = find_schedule_with_stats(&system.net, source, options)?;
+        schedules.push(s);
+        stats.push(st);
+    }
+    if let Err((a, b)) = is_independent_set(&schedules, &system.net) {
+        return Err(ScheduleError::NotIndependent { first: a, second: b });
+    }
+    let channel_bounds = channel_bounds(&schedules, &system.net);
+    Ok(SystemSchedules {
+        schedules,
+        channel_bounds,
+        stats,
+    })
+}
+
+/// One node of the search tree.
+struct TreeNode {
+    marking: Marking,
+    parent: Option<usize>,
+    in_transition: Option<TransitionId>,
+    depth: usize,
+    children: Vec<(TransitionId, usize)>,
+    chosen_ecs: Option<EcsId>,
+}
+
+struct Search<'a> {
+    net: &'a PetriNet,
+    ecs: EcsInfo,
+    term: Termination,
+    options: &'a ScheduleOptions,
+    source: TransitionId,
+    sorter: EcsSorter,
+    nodes: Vec<TreeNode>,
+    budget_exhausted: bool,
+}
+
+impl<'a> Search<'a> {
+    fn run(&mut self) -> Result<(Schedule, SearchStats)> {
+        let m0 = self.net.initial_marking();
+        let root_ecs = self.ecs.ecs_of(self.source);
+        self.nodes.push(TreeNode {
+            marking: m0.clone(),
+            parent: None,
+            in_transition: None,
+            depth: 0,
+            children: Vec::new(),
+            chosen_ecs: Some(root_ecs),
+        });
+        let m1 = self.net.fire_unchecked(self.source, &m0);
+        self.nodes.push(TreeNode {
+            marking: m1,
+            parent: Some(0),
+            in_transition: Some(self.source),
+            depth: 1,
+            children: Vec::new(),
+            chosen_ecs: None,
+        });
+        self.nodes[0].children.push((self.source, 1));
+
+        let result = self.ep(1, 0);
+        if self.budget_exhausted {
+            return Err(ScheduleError::SearchBudgetExhausted {
+                source: self.source,
+                max_nodes: self.options.max_nodes,
+            });
+        }
+        match result {
+            Some(0) => {
+                let schedule = self.build_schedule();
+                let stats = SearchStats {
+                    nodes_created: self.nodes.len(),
+                    schedule_nodes: schedule.num_nodes(),
+                    schedule_edges: schedule.num_edges(),
+                };
+                Ok((schedule, stats))
+            }
+            _ => Err(ScheduleError::NoSchedule {
+                source: self.source,
+                explored_nodes: self.nodes.len(),
+            }),
+        }
+    }
+
+    /// `u` is an ancestor of `v` (possibly `u == v`).
+    fn is_ancestor(&self, u: usize, v: usize) -> bool {
+        let mut cur = v;
+        loop {
+            if cur == u {
+                return true;
+            }
+            if self.nodes[cur].depth <= self.nodes[u].depth {
+                return false;
+            }
+            match self.nodes[cur].parent {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// The minimal (closest to the root) proper ancestor of `v` with the
+    /// same marking, if any.
+    fn equal_marking_ancestor(&self, v: usize) -> Option<usize> {
+        let mut found = None;
+        let mut cur = self.nodes[v].parent;
+        while let Some(u) = cur {
+            if self.nodes[u].marking == self.nodes[v].marking {
+                found = Some(u);
+            }
+            cur = self.nodes[u].parent;
+        }
+        found
+    }
+
+    /// Markings of the proper ancestors of `v` (used by the irrelevance
+    /// criterion).
+    fn ancestor_markings(&self, v: usize) -> Vec<&Marking> {
+        let mut result = Vec::with_capacity(self.nodes[v].depth);
+        let mut cur = self.nodes[v].parent;
+        while let Some(u) = cur {
+            result.push(&self.nodes[u].marking);
+            cur = self.nodes[u].parent;
+        }
+        result
+    }
+
+    /// Firing counts of every transition along the path from the root to
+    /// `v` (inclusive).
+    fn path_firings(&self, v: usize) -> Vec<u64> {
+        let mut fired = vec![0u64; self.net.num_transitions()];
+        let mut cur = Some(v);
+        while let Some(u) = cur {
+            if let Some(t) = self.nodes[u].in_transition {
+                fired[t.index()] += 1;
+            }
+            cur = self.nodes[u].parent;
+        }
+        fired
+    }
+
+    /// Enabled ECSs at `v`, filtered by the single-source constraint and
+    /// ordered by the search heuristics.
+    fn candidate_ecs(&self, v: usize) -> Vec<EcsId> {
+        let marking = &self.nodes[v].marking;
+        let mut candidates: Vec<EcsId> = self
+            .ecs
+            .enabled_ecs(self.net, marking)
+            .into_iter()
+            .filter(|e| {
+                if !self.options.single_source {
+                    return true;
+                }
+                // Exclude other uncontrollable sources (Sec. 5.5.1).
+                self.ecs.members(*e).iter().all(|t| {
+                    self.net.transition(*t).kind != TransitionKind::UncontrollableSource
+                        || *t == self.source
+                })
+            })
+            .collect();
+        let promising = if self.options.use_invariant_heuristic {
+            self.sorter.promising_vector(&self.path_firings(v))
+        } else {
+            None
+        };
+        candidates.sort_by_key(|e| {
+            let members = self.ecs.members(*e);
+            let promising_rank = match &promising {
+                Some(p) => {
+                    if members.iter().any(|t| EcsSorter::is_promising(p, *t)) {
+                        0
+                    } else {
+                        1
+                    }
+                }
+                None => 0,
+            };
+            let source_rank = if self.options.source_last
+                && members
+                    .iter()
+                    .any(|t| self.net.transition(*t).kind.is_source())
+            {
+                1
+            } else {
+                0
+            };
+            let singleton_rank = if self.options.prefer_singleton_ecs && members.len() > 1 {
+                1
+            } else {
+                0
+            };
+            // SELECT arms carry an explicit priority (lower = preferred);
+            // non-SELECT transitions rank as priority 0.
+            let select_priority = members
+                .iter()
+                .map(|t| self.net.transition(*t).priority.unwrap_or(0))
+                .min()
+                .unwrap_or(0);
+            (
+                promising_rank,
+                source_rank,
+                singleton_rank,
+                select_priority,
+                e.index(),
+            )
+        });
+        candidates
+    }
+
+    /// The EP function of Figure 9(a): finds an entering point of `v` that
+    /// is an ancestor of `target` if possible, otherwise the entering point
+    /// closest to the root, otherwise `None`.
+    fn ep(&mut self, v: usize, target: usize) -> Option<usize> {
+        if self.budget_exhausted {
+            return None;
+        }
+        // Termination conditions.
+        let ancestors = self.ancestor_markings(v);
+        if self
+            .term
+            .should_prune(&self.nodes[v].marking.clone(), &ancestors)
+        {
+            return None;
+        }
+        // Equal-marking ancestor: unique entering point.
+        if let Some(u) = self.equal_marking_ancestor(v) {
+            return Some(u);
+        }
+        let mut best: Option<usize> = None;
+        for e in self.candidate_ecs(v) {
+            let result = self.ep_ecs(e, v, target);
+            if self.budget_exhausted {
+                return None;
+            }
+            if let Some(u) = result {
+                if self.is_ancestor(u, target) {
+                    self.nodes[v].chosen_ecs = Some(e);
+                    return Some(u);
+                }
+                if self.options.greedy_entering_point {
+                    // Greedy mode: accept the first defined entering point
+                    // rather than searching all ECSs for the minimum.
+                    self.nodes[v].chosen_ecs = Some(e);
+                    return Some(u);
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => self.nodes[u].depth < self.nodes[b].depth,
+                };
+                if better {
+                    self.nodes[v].chosen_ecs = Some(e);
+                    best = Some(u);
+                }
+            }
+        }
+        best
+    }
+
+    /// The EP_ECS function of Figure 9(b): the entering point of ECS `e`
+    /// enabled at node `v`, i.e. the minimum over the entering points of
+    /// the children created for each transition of the ECS, provided each
+    /// of them is a proper ancestor of `v`.
+    fn ep_ecs(&mut self, e: EcsId, v: usize, target: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let mut current_target = target;
+        let members: Vec<TransitionId> = self.ecs.members(e).to_vec();
+        for t in members {
+            if self.nodes.len() >= self.options.max_nodes {
+                self.budget_exhausted = true;
+                return None;
+            }
+            let marking = self.net.fire_unchecked(t, &self.nodes[v].marking);
+            let w = self.nodes.len();
+            let depth = self.nodes[v].depth + 1;
+            self.nodes.push(TreeNode {
+                marking,
+                parent: Some(v),
+                in_transition: Some(t),
+                depth,
+                children: Vec::new(),
+                chosen_ecs: None,
+            });
+            self.nodes[v].children.push((t, w));
+            let ep = self.ep(w, current_target);
+            match ep {
+                // The child's entering point must be `v` itself or an
+                // ancestor of `v` (Sec. 5.1); anything deeper (or UNDEF)
+                // means this ECS has no entering point.
+                Some(u) if self.is_ancestor(u, v) => {
+                    best = Some(match best {
+                        None => u,
+                        Some(b) => {
+                            if self.nodes[u].depth < self.nodes[b].depth {
+                                u
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                    if self.is_ancestor(best.unwrap(), target) {
+                        current_target = v;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        best
+    }
+
+    /// Post-processing: retain the chosen-ECS part of the tree and close
+    /// the cycles by merging each retained leaf with its equal-marking
+    /// ancestor.
+    fn build_schedule(&self) -> Schedule {
+        let mut map: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut nodes: Vec<ScheduleNode> = Vec::new();
+        self.assign(0, &mut map, &mut nodes);
+        Schedule::from_parts(
+            self.source,
+            nodes
+                .into_iter()
+                .map(|n| ScheduleNode {
+                    marking: n.marking,
+                    edges: n.edges,
+                })
+                .collect(),
+        )
+    }
+
+    fn assign(
+        &self,
+        v: usize,
+        map: &mut BTreeMap<usize, usize>,
+        nodes: &mut Vec<ScheduleNode>,
+    ) -> usize {
+        if let Some(&id) = map.get(&v) {
+            return id;
+        }
+        match self.nodes[v].chosen_ecs {
+            Some(ecs) => {
+                let id = nodes.len();
+                nodes.push(ScheduleNode {
+                    marking: self.nodes[v].marking.clone(),
+                    edges: Vec::new(),
+                });
+                map.insert(v, id);
+                let mut edges = Vec::new();
+                for (t, w) in &self.nodes[v].children {
+                    if self.ecs.ecs_of(*t) == ecs {
+                        let target = self.assign(*w, map, nodes);
+                        edges.push((*t, NodeId(target as u32)));
+                    }
+                }
+                nodes[id].edges = edges;
+                id
+            }
+            None => {
+                // Leaf: merge with the (minimal) equal-marking ancestor.
+                let u = self
+                    .equal_marking_ancestor(v)
+                    .expect("retained leaf must have an equal-marking ancestor");
+                let id = self.assign(u, map, nodes);
+                map.insert(v, id);
+                id
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qss_petri::NetBuilder;
+
+    /// The Figure 8(a) net.
+    fn figure8() -> PetriNet {
+        let mut bl = NetBuilder::new("fig8");
+        let p1 = bl.place("p1", 0);
+        let p2 = bl.place("p2", 0);
+        let p3 = bl.place("p3", 0);
+        let a = bl.transition("a", TransitionKind::UncontrollableSource);
+        let b = bl.transition("b", TransitionKind::Internal);
+        let c = bl.transition("c", TransitionKind::Internal);
+        let d = bl.transition("d", TransitionKind::Internal);
+        let e = bl.transition("e", TransitionKind::Internal);
+        bl.arc_t2p(a, p1, 1);
+        bl.arc_p2t(p1, b, 1);
+        bl.arc_p2t(p1, c, 1);
+        bl.arc_t2p(b, p2, 1);
+        bl.arc_p2t(p2, d, 1);
+        bl.arc_t2p(c, p3, 1);
+        bl.arc_p2t(p3, e, 2);
+        bl.arc_t2p(e, p1, 1);
+        bl.build().unwrap()
+    }
+
+    #[test]
+    fn schedules_figure8_net() {
+        let net = figure8();
+        let a = net.transition_by_name("a").unwrap();
+        let (schedule, stats) =
+            find_schedule_with_stats(&net, a, &ScheduleOptions::default()).unwrap();
+        schedule.validate(&net).unwrap();
+        assert!(schedule.is_single_source(&net));
+        assert!(stats.nodes_created >= schedule.num_nodes());
+        // The schedule of Figure 8(b) has 10 nodes before merging; after
+        // cycle closure it must involve all five transitions.
+        assert_eq!(schedule.involved_transitions().len(), 5);
+    }
+
+    #[test]
+    fn tiny_pipeline_schedule_is_two_nodes() {
+        let mut b = NetBuilder::new("tiny");
+        let p = b.place("p", 0);
+        let src = b.transition("in", TransitionKind::UncontrollableSource);
+        let t = b.transition("consume", TransitionKind::Internal);
+        b.arc_t2p(src, p, 1);
+        b.arc_p2t(p, t, 1);
+        let net = b.build().unwrap();
+        let src = net.transition_by_name("in").unwrap();
+        let schedule = find_schedule(&net, src, &ScheduleOptions::default()).unwrap();
+        schedule.validate(&net).unwrap();
+        assert_eq!(schedule.num_nodes(), 2);
+        assert_eq!(schedule.num_edges(), 2);
+    }
+
+    #[test]
+    fn non_source_transition_is_rejected() {
+        let net = figure8();
+        let b = net.transition_by_name("b").unwrap();
+        assert!(matches!(
+            find_schedule(&net, b, &ScheduleOptions::default()),
+            Err(ScheduleError::NotUncontrollableSource(_))
+        ));
+    }
+
+    #[test]
+    fn accumulator_net_has_no_schedule() {
+        let mut b = NetBuilder::new("acc");
+        let p = b.place("p", 0);
+        let src = b.transition("in", TransitionKind::UncontrollableSource);
+        b.arc_t2p(src, p, 1);
+        let net = b.build().unwrap();
+        let src = net.transition_by_name("in").unwrap();
+        let err = find_schedule(&net, src, &ScheduleOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::NoTInvariants | ScheduleError::NoSchedule { .. }
+        ));
+    }
+
+    /// Figure 4(b): two uncontrollable sources feeding one synchronising
+    /// transition — no single-source schedule exists for either.
+    #[test]
+    fn figure4b_has_no_single_source_schedule() {
+        let mut bl = NetBuilder::new("fig4b");
+        let p1 = bl.place("p1", 0);
+        let p2 = bl.place("p2", 0);
+        let a = bl.transition("a", TransitionKind::UncontrollableSource);
+        let b = bl.transition("b", TransitionKind::UncontrollableSource);
+        let c = bl.transition("c", TransitionKind::Internal);
+        bl.arc_t2p(a, p1, 1);
+        bl.arc_t2p(b, p2, 1);
+        bl.arc_p2t(p1, c, 1);
+        bl.arc_p2t(p2, c, 1);
+        let net = bl.build().unwrap();
+        let a = net.transition_by_name("a").unwrap();
+        let err = find_schedule(&net, a, &ScheduleOptions::default()).unwrap_err();
+        assert!(matches!(err, ScheduleError::NoSchedule { .. }));
+        // With the single-source restriction lifted, a (multi-source)
+        // schedule exists.
+        let mut opts = ScheduleOptions::default();
+        opts.single_source = false;
+        let s = find_schedule(&net, a, &opts).unwrap();
+        s.validate(&net).unwrap();
+        assert!(!s.is_single_source(&net));
+    }
+
+    /// Figure 4(a): weights of 2 around place p1 force two firings of `a`
+    /// per reaction cycle, giving a schedule with an intermediate await
+    /// node, exactly as SSS(a) in the figure.
+    #[test]
+    fn figure4a_schedule_has_intermediate_await_node() {
+        let mut bl = NetBuilder::new("fig4a");
+        let p1 = bl.place("p1", 0);
+        let a = bl.transition("a", TransitionKind::UncontrollableSource);
+        let c = bl.transition("c", TransitionKind::Internal);
+        bl.arc_t2p(a, p1, 1);
+        bl.arc_p2t(p1, c, 2);
+        let net = bl.build().unwrap();
+        let a = net.transition_by_name("a").unwrap();
+        let s = find_schedule(&net, a, &ScheduleOptions::default()).unwrap();
+        s.validate(&net).unwrap();
+        // r plus the intermediate await node.
+        assert_eq!(s.await_nodes(&net).len(), 2);
+    }
+
+    #[test]
+    fn place_bounds_termination_can_fail_where_irrelevance_succeeds() {
+        // Figure 7-style divider: b consumes k tokens of p1 at once, so the
+        // search must accumulate k tokens in p1 before b can fire. With a
+        // pre-defined bound smaller than k the search fails; the
+        // irrelevance criterion finds the schedule.
+        let k = 5;
+        let mut bl = NetBuilder::new("divider");
+        let p1 = bl.place("p1", 0);
+        let p2 = bl.place("p2", 0);
+        let a = bl.transition("a", TransitionKind::UncontrollableSource);
+        let b = bl.transition("b", TransitionKind::Internal);
+        let c = bl.transition("c", TransitionKind::Internal);
+        bl.arc_t2p(a, p1, 1);
+        bl.arc_p2t(p1, b, k);
+        bl.arc_t2p(b, p2, 1);
+        bl.arc_p2t(p2, c, 1);
+        let net = bl.build().unwrap();
+        let a = net.transition_by_name("a").unwrap();
+        let tight = ScheduleOptions::with_place_bounds(k - 2);
+        assert!(matches!(
+            find_schedule(&net, a, &tight),
+            Err(ScheduleError::NoSchedule { .. })
+        ));
+        let s = find_schedule(&net, a, &ScheduleOptions::default()).unwrap();
+        s.validate(&net).unwrap();
+        // The schedule needs k await nodes (one per arrival of `a`).
+        assert_eq!(s.await_nodes(&net).len() as u32, k);
+    }
+
+    #[test]
+    fn heuristics_do_not_change_existence() {
+        let net = figure8();
+        let a = net.transition_by_name("a").unwrap();
+        let with = find_schedule_with_stats(&net, a, &ScheduleOptions::default()).unwrap();
+        let without =
+            find_schedule_with_stats(&net, a, &ScheduleOptions::default().without_heuristics())
+                .unwrap();
+        with.0.validate(&net).unwrap();
+        without.0.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let net = figure8();
+        let a = net.transition_by_name("a").unwrap();
+        let opts = ScheduleOptions {
+            max_nodes: 3,
+            ..Default::default()
+        };
+        assert!(matches!(
+            find_schedule(&net, a, &opts),
+            Err(ScheduleError::SearchBudgetExhausted { .. })
+        ));
+    }
+}

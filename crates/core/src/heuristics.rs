@@ -1,0 +1,268 @@
+//! T-invariant based search heuristics (Sec. 5.5.2).
+//!
+//! The paper sorts the ECSs explored by the EP algorithm using a
+//! *promising vector*: the firing counts still missing to complete a
+//! T-invariant along the current search path. ECSs that contain a
+//! transition appearing in the promising vector are explored first, which
+//! steers the search towards short cycles back to an ancestor marking and
+//! keeps the resulting schedules small.
+//!
+//! The candidate invariant is assembled greedily from the non-negative
+//! basis: starting from the transitions already fired on the path, base
+//! invariants are added until every fired transition is covered (a
+//! simplified, deterministic stand-in for the binate-covering formulation
+//! of the paper — the covering instance the paper solves also only decides
+//! *which* base invariants participate).
+
+use qss_petri::{t_invariant_basis, PetriNet, TInvariant, TransitionId};
+
+/// Maximum number of intermediate rows allowed in the Farkas elimination
+/// before the basis computation bails out conservatively.
+const INVARIANT_ROW_CAP: usize = 50_000;
+
+/// Sorting helper built once per schedule search.
+#[derive(Debug, Clone)]
+pub struct EcsSorter {
+    basis: Vec<TInvariant>,
+    num_transitions: usize,
+}
+
+impl EcsSorter {
+    /// Computes the T-invariant basis of `net`.
+    pub fn new(net: &PetriNet) -> Self {
+        EcsSorter {
+            basis: t_invariant_basis(net, INVARIANT_ROW_CAP),
+            num_transitions: net.num_transitions(),
+        }
+    }
+
+    /// The non-negative basis of T-invariants.
+    pub fn basis(&self) -> &[TInvariant] {
+        &self.basis
+    }
+
+    /// Returns `true` if the net has no non-trivial T-invariant, in which
+    /// case no cyclic schedule can exist.
+    pub fn has_no_invariants(&self) -> bool {
+        self.basis.is_empty()
+    }
+
+    /// Computes the promising vector for a search path on which each
+    /// transition `t` has fired `fired[t]` times: the per-transition counts
+    /// still needed to complete a candidate invariant that covers the path.
+    ///
+    /// Returns `None` when no candidate invariant covers the fired
+    /// transitions (the path cannot be part of any cycle assembled from the
+    /// basis).
+    pub fn promising_vector(&self, fired: &[u64]) -> Option<Vec<u64>> {
+        assert_eq!(fired.len(), self.num_transitions);
+        if self.basis.is_empty() {
+            return None;
+        }
+        let mut combo = vec![0u64; self.num_transitions];
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > 64 {
+                // The greedy cover keeps needing more multiples than is
+                // plausible for a schedule; give up on guidance.
+                return None;
+            }
+            let deficit: Vec<usize> = (0..self.num_transitions)
+                .filter(|&i| fired[i] > combo[i])
+                .collect();
+            if deficit.is_empty() {
+                break;
+            }
+            // Pick the base invariant that covers the most deficient
+            // transitions; require it to cover at least one.
+            let best = self
+                .basis
+                .iter()
+                .max_by_key(|inv| {
+                    deficit
+                        .iter()
+                        .filter(|&&i| inv.as_slice()[i] > 0)
+                        .count()
+                })
+                .filter(|inv| {
+                    deficit
+                        .iter()
+                        .any(|&i| inv.as_slice()[i] > 0)
+                })?;
+            for (c, &b) in combo.iter_mut().zip(best.as_slice()) {
+                *c += b;
+            }
+        }
+        if combo.iter().all(|&c| c == 0) {
+            // Nothing fired yet: propose the smallest base invariant so the
+            // search is steered towards completing *some* cycle.
+            let first = self
+                .basis
+                .iter()
+                .min_by_key(|inv| inv.as_slice().iter().sum::<u64>())?;
+            combo = first.as_slice().to_vec();
+        }
+        Some(
+            combo
+                .iter()
+                .zip(fired)
+                .map(|(c, f)| c.saturating_sub(*f))
+                .collect(),
+        )
+    }
+
+    /// Returns `true` if `t` still appears in the promising vector.
+    pub fn is_promising(promising: &[u64], t: TransitionId) -> bool {
+        promising.get(t.index()).copied().unwrap_or(0) > 0
+    }
+}
+
+/// A greedy feasible-solution finder for binate covering instances, kept
+/// for completeness with the paper's formulation. Each row is a pair of
+/// column sets: columns that *satisfy* the row when selected and columns
+/// that *violate* it when selected. A selection is feasible for a row if it
+/// contains a satisfying column or contains no violating column.
+///
+/// Returns the selected column indices, or `None` when the greedy pass
+/// cannot find a feasible selection.
+pub fn greedy_binate_cover(
+    num_columns: usize,
+    rows: &[(Vec<usize>, Vec<usize>)],
+) -> Option<Vec<usize>> {
+    let mut selected: Vec<bool> = vec![false; num_columns];
+    // Greedily satisfy rows that are currently violated.
+    for _ in 0..num_columns + 1 {
+        let violated: Vec<&(Vec<usize>, Vec<usize>)> = rows
+            .iter()
+            .filter(|(sat, viol)| {
+                let has_sat = sat.iter().any(|&c| selected[c]);
+                let has_viol = viol.iter().any(|&c| selected[c]);
+                has_viol && !has_sat
+            })
+            .collect();
+        if violated.is_empty() {
+            return Some(
+                selected
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &s)| s)
+                    .map(|(i, _)| i)
+                    .collect(),
+            );
+        }
+        // Pick the column that satisfies the most violated rows.
+        let mut best: Option<(usize, usize)> = None;
+        for c in 0..num_columns {
+            if selected[c] {
+                continue;
+            }
+            let gain = violated.iter().filter(|(sat, _)| sat.contains(&c)).count();
+            if gain > 0 && best.map(|(_, g)| gain > g).unwrap_or(true) {
+                best = Some((c, gain));
+            }
+        }
+        match best {
+            Some((c, _)) => selected[c] = true,
+            None => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qss_petri::{NetBuilder, TransitionKind};
+
+    fn pipeline() -> PetriNet {
+        let mut b = NetBuilder::new("pipe");
+        let p = b.place("p", 0);
+        let idle = b.place("idle", 1);
+        let a = b.transition("a", TransitionKind::UncontrollableSource);
+        let c = b.transition("c", TransitionKind::Internal);
+        b.arc_t2p(a, p, 1);
+        b.arc_p2t(p, c, 1);
+        b.arc_p2t(idle, c, 1);
+        b.arc_t2p(c, idle, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn promising_vector_completes_the_cycle() {
+        let net = pipeline();
+        let sorter = EcsSorter::new(&net);
+        assert!(!sorter.has_no_invariants());
+        let a = net.transition_by_name("a").unwrap();
+        let c = net.transition_by_name("c").unwrap();
+        // After firing `a` once, the promising vector asks for `c`.
+        let mut fired = vec![0u64; net.num_transitions()];
+        fired[a.index()] = 1;
+        let promising = sorter.promising_vector(&fired).unwrap();
+        assert!(EcsSorter::is_promising(&promising, c));
+        assert!(!EcsSorter::is_promising(&promising, a));
+    }
+
+    #[test]
+    fn empty_path_still_gets_guidance() {
+        let net = pipeline();
+        let sorter = EcsSorter::new(&net);
+        let fired = vec![0u64; net.num_transitions()];
+        let promising = sorter.promising_vector(&fired).unwrap();
+        assert!(promising.iter().any(|&v| v > 0));
+    }
+
+    #[test]
+    fn accumulator_net_has_no_guidance() {
+        let mut b = NetBuilder::new("acc");
+        let p = b.place("p", 0);
+        let a = b.transition("a", TransitionKind::UncontrollableSource);
+        b.arc_t2p(a, p, 1);
+        let net = b.build().unwrap();
+        let sorter = EcsSorter::new(&net);
+        assert!(sorter.has_no_invariants());
+        assert_eq!(sorter.promising_vector(&[0]), None);
+    }
+
+    #[test]
+    fn weighted_net_promises_remaining_firings() {
+        // a produces 2, b consumes 3 => invariant is 3*a + 2*b.
+        let mut bld = NetBuilder::new("w");
+        let p = bld.place("p", 0);
+        let a = bld.transition("a", TransitionKind::UncontrollableSource);
+        let b = bld.transition("b", TransitionKind::Internal);
+        bld.arc_t2p(a, p, 2);
+        bld.arc_p2t(p, b, 3);
+        let net = bld.build().unwrap();
+        let sorter = EcsSorter::new(&net);
+        let a = net.transition_by_name("a").unwrap();
+        let b = net.transition_by_name("b").unwrap();
+        let mut fired = vec![0u64; 2];
+        fired[a.index()] = 2;
+        let promising = sorter.promising_vector(&fired).unwrap();
+        assert_eq!(promising[a.index()], 1);
+        assert_eq!(promising[b.index()], 2);
+    }
+
+    #[test]
+    fn binate_cover_simple_cases() {
+        // One row: selecting column 1 violates unless column 0 selected.
+        let rows = vec![(vec![0], vec![1])];
+        // Nothing selected: feasible with the empty selection.
+        assert_eq!(greedy_binate_cover(2, &rows), Some(vec![]));
+        // A row that is violated by default (violating column is forced by
+        // another row's satisfying set).
+        let rows = vec![(vec![1], vec![]), (vec![0], vec![1])];
+        // Row 0 is never violated (no violating columns); selection empty.
+        assert_eq!(greedy_binate_cover(2, &rows), Some(vec![]));
+    }
+
+    #[test]
+    fn binate_cover_resolves_conflicts() {
+        // Column 0 is required to satisfy row 0 once column 1 is selected;
+        // we force the conflict by pre-violating through row 1's structure.
+        let rows = vec![(vec![0], vec![1]), (vec![1], vec![2]), (vec![2], vec![])];
+        let result = greedy_binate_cover(3, &rows);
+        assert!(result.is_some());
+    }
+}

@@ -1,0 +1,203 @@
+//! Termination conditions for pruning the schedule search (Sec. 4.4).
+//!
+//! Two conditions from the paper are provided:
+//!
+//! * **place bounds** — a marking is pruned as soon as any place exceeds a
+//!   pre-defined bound (the approach of Strehl et al. that the paper
+//!   compares against), and
+//! * **irrelevant markings** — a marking is pruned if it covers an
+//!   ancestor marking on the current search path and every place where it
+//!   strictly exceeds the ancestor has already reached its *degree*
+//!   (saturation). This criterion adapts to the net structure and needs no
+//!   a-priori bounds.
+//!
+//! Declared channel bounds in the net (user-specified `Place::bound`) are
+//! always respected in addition to the selected criterion.
+
+use qss_petri::{place_degree, Marking, PetriNet, PlaceId};
+use serde::{Deserialize, Serialize};
+
+/// Which pruning criterion to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationKind {
+    /// The irrelevant-marking criterion based on place degrees
+    /// (Definition 4.5).
+    Irrelevance,
+    /// Prune any marking in which some place holds more than `default`
+    /// tokens (unless the place declares its own bound, which then
+    /// applies).
+    PlaceBounds {
+        /// Uniform bound applied to places without a declared bound.
+        default: u32,
+    },
+}
+
+/// A termination condition bound to a specific net.
+#[derive(Debug, Clone)]
+pub struct Termination {
+    kind: TerminationKind,
+    degrees: Vec<u32>,
+    declared_bounds: Vec<Option<u32>>,
+}
+
+impl Termination {
+    /// Builds a termination condition of the given kind for `net`.
+    pub fn new(net: &PetriNet, kind: TerminationKind) -> Self {
+        let degrees = net.place_ids().map(|p| place_degree(net, p)).collect();
+        let declared_bounds = net.place_ids().map(|p| net.place(p).bound).collect();
+        Termination {
+            kind,
+            degrees,
+            declared_bounds,
+        }
+    }
+
+    /// Convenience constructor for the irrelevance criterion.
+    pub fn irrelevance(net: &PetriNet) -> Self {
+        Termination::new(net, TerminationKind::Irrelevance)
+    }
+
+    /// Convenience constructor for uniform place bounds.
+    pub fn place_bounds(net: &PetriNet, default: u32) -> Self {
+        Termination::new(net, TerminationKind::PlaceBounds { default })
+    }
+
+    /// The criterion kind.
+    pub fn kind(&self) -> TerminationKind {
+        self.kind
+    }
+
+    /// The degree of place `p` used by the irrelevance criterion.
+    pub fn degree(&self, p: PlaceId) -> u32 {
+        self.degrees[p.index()]
+    }
+
+    /// Returns `true` if the search should *not* explore beyond a node
+    /// carrying `marking`, given the markings of its proper ancestors on
+    /// the current search path (root first).
+    pub fn should_prune(&self, marking: &Marking, ancestors: &[&Marking]) -> bool {
+        // Declared bounds always apply (blocking-write semantics).
+        for (i, bound) in self.declared_bounds.iter().enumerate() {
+            if let Some(b) = bound {
+                if marking.tokens(PlaceId::new(i)) > *b {
+                    return true;
+                }
+            }
+        }
+        match self.kind {
+            TerminationKind::PlaceBounds { default } => marking
+                .as_slice()
+                .iter()
+                .enumerate()
+                .any(|(i, &tokens)| {
+                    let bound = self.declared_bounds[i].unwrap_or(default);
+                    tokens > bound
+                }),
+            TerminationKind::Irrelevance => self.is_irrelevant(marking, ancestors),
+        }
+    }
+
+    /// Definition 4.5: `marking` is irrelevant with respect to the path if
+    /// some ancestor marking `M` exists such that (a) `marking` is
+    /// reachable from `M` (guaranteed because `M` is an ancestor on the
+    /// search path), (b) no place has fewer tokens in `marking` than in
+    /// `M`, and (c) every place that gained tokens was already *saturated*
+    /// in `M`, i.e. held at least its degree there.
+    ///
+    /// Condition (c) follows the paper's Figure 7 discussion ("the marking
+    /// is not irrelevant because in all the preceding markings … the place
+    /// is not saturated"): accumulating further tokens is only pointless if
+    /// the place had already reached its degree before the growth, which is
+    /// exactly what allows the search to saturate a place up to its degree
+    /// when a successor needs several tokens (Figure 4(a)).
+    pub fn is_irrelevant(&self, marking: &Marking, ancestors: &[&Marking]) -> bool {
+        ancestors.iter().any(|m| {
+            marking.covers(m)
+                && marking != *m
+                && marking
+                    .strictly_greater_places(m)
+                    .iter()
+                    .all(|p| m.tokens(*p) >= self.degrees[p.index()])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qss_petri::{NetBuilder, TransitionKind};
+
+    fn net_with_weights() -> PetriNet {
+        let mut b = NetBuilder::new("w");
+        let p = b.place("p", 0);
+        let q = b.place("q", 0);
+        let a = b.transition("a", TransitionKind::UncontrollableSource);
+        let c = b.transition("c", TransitionKind::Internal);
+        b.arc_t2p(a, p, 2);
+        b.arc_p2t(p, c, 3);
+        b.arc_t2p(c, q, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn place_bound_pruning() {
+        let net = net_with_weights();
+        let term = Termination::place_bounds(&net, 3);
+        let ok = Marking::from_counts([3, 0]);
+        let too_many = Marking::from_counts([4, 0]);
+        assert!(!term.should_prune(&ok, &[]));
+        assert!(term.should_prune(&too_many, &[]));
+        assert_eq!(term.kind(), TerminationKind::PlaceBounds { default: 3 });
+    }
+
+    #[test]
+    fn declared_bounds_override_default_and_apply_to_irrelevance() {
+        let mut b = NetBuilder::new("bounded");
+        let p = b.place("p", 0);
+        b.set_place_bound(p, Some(1));
+        let t = b.transition("t", TransitionKind::UncontrollableSource);
+        b.arc_t2p(t, p, 1);
+        let net = b.build().unwrap();
+        let term = Termination::irrelevance(&net);
+        assert!(term.should_prune(&Marking::from_counts([2]), &[]));
+        assert!(!term.should_prune(&Marking::from_counts([1]), &[]));
+        let term = Termination::place_bounds(&net, 100);
+        assert!(term.should_prune(&Marking::from_counts([2]), &[]));
+    }
+
+    #[test]
+    fn irrelevance_requires_covering_and_saturation() {
+        let net = net_with_weights();
+        // degree(p) = 2 + 3 - 1 = 4, degree(q) = 1 + 0 ... = max(1+1-1,0)=1
+        let term = Termination::irrelevance(&net);
+        assert_eq!(term.degree(PlaceId::new(0)), 4);
+        // Growth from an unsaturated ancestor (p = 2 < degree 4) is useful.
+        let ancestor = Marking::from_counts([2, 0]);
+        let m5 = Marking::from_counts([5, 0]);
+        assert!(!term.is_irrelevant(&m5, &[&ancestor]));
+        // Growth from a saturated ancestor (p = 4 >= degree 4) is pruned.
+        let saturated = Marking::from_counts([4, 0]);
+        assert!(term.is_irrelevant(&m5, &[&saturated]));
+        // Equal markings are not "irrelevant" (that case is handled by the
+        // entering-point check in the search).
+        assert!(!term.is_irrelevant(&saturated, &[&saturated]));
+        // Not covering (q decreased) is never irrelevant.
+        let anc2 = Marking::from_counts([4, 1]);
+        assert!(!term.is_irrelevant(&m5, &[&anc2]));
+    }
+
+    #[test]
+    fn irrelevance_checks_every_ancestor() {
+        let net = net_with_weights();
+        let term = Termination::irrelevance(&net);
+        let a1 = Marking::from_counts([0, 0]);
+        let a2 = Marking::from_counts([5, 1]);
+        let m = Marking::from_counts([6, 1]);
+        // Not irrelevant w.r.t. a1 (p was far below its degree there), but
+        // irrelevant w.r.t. a2 (p was already saturated at 5 >= 4).
+        assert!(!term.is_irrelevant(&m, &[&a1]));
+        assert!(term.is_irrelevant(&m, &[&a1, &a2]));
+        assert!(term.should_prune(&m, &[&a1, &a2]));
+        assert!(!term.should_prune(&m, &[&a1]));
+    }
+}

@@ -1,0 +1,420 @@
+//! Abstract syntax tree for FlowC processes.
+//!
+//! The AST deliberately covers only the C subset needed by the paper's
+//! examples: integer scalars and arrays, arithmetic / relational / logical
+//! expressions, `if`/`while`/`for` control flow, and the port primitives
+//! `READ_DATA`, `WRITE_DATA` and `SELECT`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Direction of a process port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// The process reads from this port.
+    In,
+    /// The process writes to this port.
+    Out,
+}
+
+/// Declaration of a port in a process header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortDecl {
+    /// Port name, unique within the process.
+    pub name: String,
+    /// Direction of the port.
+    pub direction: PortDirection,
+}
+
+/// A FlowC process: a name, a port list and a sequential body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Process {
+    /// Process name, unique within a [`SystemSpec`](crate::SystemSpec).
+    pub name: String,
+    /// Declared ports.
+    pub ports: Vec<PortDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Process {
+    /// Looks up a port declaration by name.
+    pub fn port(&self, name: &str) -> Option<&PortDecl> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `!e`.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Expressions over 64-bit integers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element reference `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary expression.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Returns the literal value if the expression is a constant integer.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            Expr::Unary(UnOp::Neg, e) => e.as_const().map(|v| -v),
+            Expr::Unary(UnOp::Not, e) => e.as_const().map(|v| (v == 0) as i64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(v) => write!(f, "{v}"),
+            Expr::Var(n) => write!(f, "{n}"),
+            Expr::Index(n, i) => write!(f, "{n}[{i}]"),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "-({e})"),
+            Expr::Unary(UnOp::Not, e) => write!(f, "!({e})"),
+            Expr::Binary(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+/// Assignable locations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array element.
+    Index(String, Expr),
+}
+
+impl fmt::Display for LValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LValue::Var(n) => write!(f, "{n}"),
+            LValue::Index(n, i) => write!(f, "{n}[{i}]"),
+        }
+    }
+}
+
+/// A port operation extracted from a statement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortOp {
+    /// `READ_DATA(port, dest, nitems)`.
+    Read {
+        /// Port name.
+        port: String,
+        /// Destination variable or array.
+        dest: LValue,
+        /// Number of items transferred (a compile-time constant).
+        nitems: u32,
+    },
+    /// `WRITE_DATA(port, src, nitems)`.
+    Write {
+        /// Port name.
+        port: String,
+        /// Source expression (scalar) or array variable.
+        src: Expr,
+        /// Number of items transferred (a compile-time constant).
+        nitems: u32,
+    },
+}
+
+impl PortOp {
+    /// The port this operation touches.
+    pub fn port(&self) -> &str {
+        match self {
+            PortOp::Read { port, .. } | PortOp::Write { port, .. } => port,
+        }
+    }
+
+    /// The number of items transferred.
+    pub fn nitems(&self) -> u32 {
+        match self {
+            PortOp::Read { nitems, .. } | PortOp::Write { nitems, .. } => *nitems,
+        }
+    }
+
+    /// Returns `true` for read operations.
+    pub fn is_read(&self) -> bool {
+        matches!(self, PortOp::Read { .. })
+    }
+}
+
+/// One arm of a `switch (SELECT(...))` construct.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectArm {
+    /// The `case` label (index into the SELECT port list).
+    pub index: u32,
+    /// Statements executed when this arm is selected.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements of a FlowC process body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Variable declaration `int a, b, buf[10];` — `None` size means scalar.
+    Decl {
+        /// Declared names with optional array sizes.
+        names: Vec<(String, Option<u32>)>,
+    },
+    /// Assignment `target = value;`.
+    Assign {
+        /// Location written.
+        target: LValue,
+        /// Value expression.
+        value: Expr,
+    },
+    /// Conditional statement.
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// `then` branch.
+        then_branch: Vec<Stmt>,
+        /// `else` branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { body }` loop.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A blocking port operation.
+    Port(PortOp),
+    /// `switch (SELECT(p0, n0, p1, n1, ...)) { case 0: ...; case 1: ...; }`
+    Select {
+        /// The SELECT port list as `(port, nitems)` pairs, in case order.
+        ports: Vec<(String, u32)>,
+        /// The case arms, one per port (in the same order).
+        arms: Vec<SelectArm>,
+    },
+    /// Bare expression statement (evaluated for effect-free value).
+    Expr(Expr),
+    /// Empty statement.
+    Nop,
+}
+
+impl Stmt {
+    /// Returns `true` if the statement or any nested statement performs a
+    /// port operation (`READ_DATA`, `WRITE_DATA` or `SELECT`). This is the
+    /// predicate that drives leader computation and net granularity.
+    pub fn has_port_ops(&self) -> bool {
+        match self {
+            Stmt::Port(_) | Stmt::Select { .. } => true,
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.iter().any(Stmt::has_port_ops)
+                    || else_branch.iter().any(Stmt::has_port_ops)
+            }
+            Stmt::While { body, .. } => body.iter().any(Stmt::has_port_ops),
+            _ => false,
+        }
+    }
+
+    /// Pretty-prints the statement as a single line of C-like code (used
+    /// for Petri-net transition annotations and generated-code comments).
+    pub fn to_code(&self) -> String {
+        match self {
+            Stmt::Decl { names } => {
+                let decls: Vec<String> = names
+                    .iter()
+                    .map(|(n, size)| match size {
+                        Some(s) => format!("{n}[{s}]"),
+                        None => n.clone(),
+                    })
+                    .collect();
+                format!("int {};", decls.join(", "))
+            }
+            Stmt::Assign { target, value } => format!("{target} = {value};"),
+            Stmt::If { cond, .. } => format!("if ({cond}) ..."),
+            Stmt::While { cond, .. } => format!("while ({cond}) ..."),
+            Stmt::Port(PortOp::Read { port, dest, nitems }) => {
+                format!("READ_DATA({port}, {dest}, {nitems});")
+            }
+            Stmt::Port(PortOp::Write { port, src, nitems }) => {
+                format!("WRITE_DATA({port}, {src}, {nitems});")
+            }
+            Stmt::Select { ports, .. } => {
+                let list: Vec<String> = ports
+                    .iter()
+                    .map(|(p, n)| format!("{p}, {n}"))
+                    .collect();
+                format!("switch (SELECT({})) ...", list.join(", "))
+            }
+            Stmt::Expr(e) => format!("{e};"),
+            Stmt::Nop => ";".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_display_and_const_folding() {
+        let e = Expr::binary(BinOp::Add, Expr::Int(1), Expr::Var("x".into()));
+        assert_eq!(e.to_string(), "(1 + x)");
+        assert_eq!(e.as_const(), None);
+        assert_eq!(Expr::Int(5).as_const(), Some(5));
+        assert_eq!(
+            Expr::Unary(UnOp::Neg, Box::new(Expr::Int(3))).as_const(),
+            Some(-3)
+        );
+        assert_eq!(
+            Expr::Unary(UnOp::Not, Box::new(Expr::Int(0))).as_const(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn port_op_accessors() {
+        let r = PortOp::Read {
+            port: "in".into(),
+            dest: LValue::Var("n".into()),
+            nitems: 2,
+        };
+        assert_eq!(r.port(), "in");
+        assert_eq!(r.nitems(), 2);
+        assert!(r.is_read());
+        let w = PortOp::Write {
+            port: "out".into(),
+            src: Expr::Var("n".into()),
+            nitems: 1,
+        };
+        assert!(!w.is_read());
+    }
+
+    #[test]
+    fn has_port_ops_is_recursive() {
+        let read = Stmt::Port(PortOp::Read {
+            port: "p".into(),
+            dest: LValue::Var("x".into()),
+            nitems: 1,
+        });
+        let plain = Stmt::Assign {
+            target: LValue::Var("x".into()),
+            value: Expr::Int(0),
+        };
+        assert!(read.has_port_ops());
+        assert!(!plain.has_port_ops());
+        let wrapped = Stmt::While {
+            cond: Expr::Int(1),
+            body: vec![Stmt::If {
+                cond: Expr::Var("c".into()),
+                then_branch: vec![read],
+                else_branch: vec![],
+            }],
+        };
+        assert!(wrapped.has_port_ops());
+        let no_ports = Stmt::While {
+            cond: Expr::Int(1),
+            body: vec![plain],
+        };
+        assert!(!no_ports.has_port_ops());
+    }
+
+    #[test]
+    fn statement_pretty_printing() {
+        let s = Stmt::Port(PortOp::Write {
+            port: "max".into(),
+            src: Expr::Var("i".into()),
+            nitems: 1,
+        });
+        assert_eq!(s.to_code(), "WRITE_DATA(max, i, 1);");
+        let d = Stmt::Decl {
+            names: vec![("n".into(), None), ("buf".into(), Some(8))],
+        };
+        assert_eq!(d.to_code(), "int n, buf[8];");
+    }
+
+    #[test]
+    fn process_port_lookup() {
+        let p = Process {
+            name: "p".into(),
+            ports: vec![PortDecl {
+                name: "in".into(),
+                direction: PortDirection::In,
+            }],
+            body: vec![],
+        };
+        assert!(p.port("in").is_some());
+        assert!(p.port("out").is_none());
+    }
+}

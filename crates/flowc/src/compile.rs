@@ -1,0 +1,652 @@
+//! Compilation of a FlowC process into a Petri-net fragment.
+//!
+//! Each process is translated at the leader-based granularity of the
+//! paper: straight-line fragments become single transitions annotated with
+//! their code, data-dependent control statements become Equal-Choice
+//! places with one transition per resolution, and port operations attach
+//! weighted arcs to the places representing the ports. The resulting
+//! per-process net has exactly one internal "program counter" place marked
+//! at any reachable marking.
+
+use crate::ast::{Expr, PortOp, Process, Stmt};
+use crate::error::{FlowCError, Result};
+use crate::leaders::{segment_block, Segment};
+use qss_petri::{NetBuilder, PetriNet, PlaceId, PlaceKind, TransitionId, TransitionKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Executable information attached to one transition of the compiled net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitionCode {
+    /// Name of the process the transition belongs to.
+    pub process: String,
+    /// Straight-line statements executed when the transition fires
+    /// (including its port operations, in program order).
+    pub stmts: Vec<Stmt>,
+    /// Guard of the data-dependent choice this transition resolves:
+    /// `(condition, branch)` where `branch` tells whether the transition is
+    /// taken when the condition is true.
+    pub guard: Option<(Expr, bool)>,
+    /// If the transition is an arm of a `switch (SELECT(...))`, the port it
+    /// tests and the number of items required, plus its priority (lower is
+    /// higher priority).
+    pub select: Option<(String, u32, u32)>,
+}
+
+impl TransitionCode {
+    /// Returns `true` if the transition carries no executable statements
+    /// (an epsilon transition in the paper's terminology).
+    pub fn is_silent(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+/// Result of compiling one process in isolation.
+#[derive(Debug, Clone)]
+pub struct CompiledProcess {
+    /// Process name.
+    pub name: String,
+    /// The per-process Petri net, including dangling port places.
+    pub net: PetriNet,
+    /// Place representing each declared port.
+    pub port_places: BTreeMap<String, PlaceId>,
+    /// Executable code for every transition.
+    pub transition_code: BTreeMap<TransitionId, TransitionCode>,
+    /// Port-free initialisation statements executed once before the cyclic
+    /// behaviour starts (not part of the net, per the paper's footnote 1).
+    pub init_code: Vec<Stmt>,
+    /// All variable declarations of the process (`(name, array size)`).
+    pub declarations: Vec<(String, Option<u32>)>,
+}
+
+/// Compiles a single process into its own Petri net.
+///
+/// Port places are created with [`PlaceKind::EnvironmentPort`]; linking
+/// ([`crate::link`]) merges them with channel places.
+///
+/// # Errors
+/// Returns [`FlowCError`] if the process references undeclared ports or the
+/// net cannot be built.
+///
+/// ```
+/// let p = qss_flowc::parse_process(qss_flowc::examples::DIVISORS)?;
+/// let compiled = qss_flowc::compile(&p)?;
+/// assert!(compiled.net.num_transitions() >= 6);
+/// assert_eq!(compiled.port_places.len(), 3);
+/// # Ok::<(), qss_flowc::FlowCError>(())
+/// ```
+pub fn compile(process: &Process) -> Result<CompiledProcess> {
+    let mut builder = NetBuilder::new(&process.name);
+    let mut port_places = BTreeMap::new();
+    for port in &process.ports {
+        let id = builder.place_with_kind(
+            format!("{}.{}", process.name, port.name),
+            0,
+            PlaceKind::EnvironmentPort,
+            None,
+        );
+        port_places.insert(port.name.clone(), id);
+    }
+    let outcome = compile_into(&mut builder, process, &port_places)?;
+    let net = builder.build()?;
+    Ok(CompiledProcess {
+        name: process.name.clone(),
+        net,
+        port_places,
+        transition_code: outcome.transition_code,
+        init_code: outcome.init_code,
+        declarations: outcome.declarations,
+    })
+}
+
+/// Result of compiling a process into a shared builder (used by linking).
+#[derive(Debug, Clone)]
+pub(crate) struct ProcessCompilation {
+    /// Executable code for every transition created by this compilation.
+    pub transition_code: BTreeMap<TransitionId, TransitionCode>,
+    /// Port-free initialisation statements.
+    pub init_code: Vec<Stmt>,
+    /// All variable declarations of the process.
+    pub declarations: Vec<(String, Option<u32>)>,
+    /// The "program counter" place initially marked for this process.
+    pub entry_place: PlaceId,
+}
+
+/// Compiles `process` into `builder`, attaching port operations to the
+/// pre-created `port_places` (one per declared port of the process).
+pub(crate) fn compile_into(
+    builder: &mut NetBuilder,
+    process: &Process,
+    port_places: &BTreeMap<String, PlaceId>,
+) -> Result<ProcessCompilation> {
+    for port in &process.ports {
+        if !port_places.contains_key(&port.name) {
+            return Err(FlowCError::Semantic(format!(
+                "no place was provided for port `{}.{}`",
+                process.name, port.name
+            )));
+        }
+    }
+    let compiler = Compiler {
+        builder,
+        process,
+        port_places,
+        code: BTreeMap::new(),
+        declarations: Vec::new(),
+        place_counter: 0,
+        transition_counter: 0,
+    };
+    compiler.compile_process()
+}
+
+struct Compiler<'a> {
+    builder: &'a mut NetBuilder,
+    process: &'a Process,
+    port_places: &'a BTreeMap<String, PlaceId>,
+    code: BTreeMap<TransitionId, TransitionCode>,
+    declarations: Vec<(String, Option<u32>)>,
+    place_counter: usize,
+    transition_counter: usize,
+}
+
+impl<'a> Compiler<'a> {
+    fn compile_process(mut self) -> Result<ProcessCompilation> {
+        // Split the body into an initialisation prefix (declarations and
+        // port-free statements before the main loop) and the cyclic part.
+        let mut init_code = Vec::new();
+        let mut rest: &[Stmt] = &self.process.body;
+        while let Some((first, tail)) = rest.split_first() {
+            let is_main_loop = matches!(
+                first,
+                Stmt::While { cond, .. } if cond.as_const().map(|v| v != 0).unwrap_or(false)
+            );
+            if is_main_loop || first.has_port_ops() {
+                break;
+            }
+            self.collect_declarations(first);
+            if !matches!(first, Stmt::Decl { .. } | Stmt::Nop) {
+                init_code.push(first.clone());
+            }
+            rest = tail;
+        }
+        // If the cyclic part is a single `while (1) { ... }`, its body is
+        // the cycle; otherwise the remaining statements are implicitly
+        // repeated forever.
+        let cyclic_body: Vec<Stmt> = match rest {
+            [Stmt::While { cond, body }]
+                if cond.as_const().map(|v| v != 0).unwrap_or(false) =>
+            {
+                body.clone()
+            }
+            other => other.to_vec(),
+        };
+        for stmt in &cyclic_body {
+            self.collect_declarations_rec(stmt);
+        }
+
+        let entry = self.new_place_with_tokens("start", 1);
+        if !cyclic_body.is_empty() {
+            self.compile_block(&cyclic_body, entry, Some(entry))?;
+        }
+        Ok(ProcessCompilation {
+            transition_code: self.code,
+            init_code,
+            declarations: self.declarations,
+            entry_place: entry,
+        })
+    }
+
+    fn collect_declarations(&mut self, stmt: &Stmt) {
+        if let Stmt::Decl { names } = stmt {
+            for d in names {
+                if !self.declarations.contains(d) {
+                    self.declarations.push(d.clone());
+                }
+            }
+        }
+    }
+
+    fn collect_declarations_rec(&mut self, stmt: &Stmt) {
+        self.collect_declarations(stmt);
+        match stmt {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch.iter().chain(else_branch) {
+                    self.collect_declarations_rec(s);
+                }
+            }
+            Stmt::While { body, .. } => {
+                for s in body {
+                    self.collect_declarations_rec(s);
+                }
+            }
+            Stmt::Select { arms, .. } => {
+                for arm in arms {
+                    for s in &arm.body {
+                        self.collect_declarations_rec(s);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn new_place(&mut self, hint: &str) -> PlaceId {
+        self.new_place_with_tokens(hint, 0)
+    }
+
+    fn new_place_with_tokens(&mut self, hint: &str, tokens: u32) -> PlaceId {
+        let name = format!("{}.p{}_{}", self.process.name, self.place_counter, hint);
+        self.place_counter += 1;
+        self.builder
+            .place_with_kind(name, tokens, PlaceKind::Internal, None)
+    }
+
+    fn new_transition(
+        &mut self,
+        hint: &str,
+        stmts: Vec<Stmt>,
+        guard: Option<(Expr, bool)>,
+        select: Option<(String, u32, u32)>,
+    ) -> TransitionId {
+        let name = format!(
+            "{}.t{}_{}",
+            self.process.name, self.transition_counter, hint
+        );
+        self.transition_counter += 1;
+        let code_lines: Vec<String> = stmts.iter().map(Stmt::to_code).collect();
+        let guard_str = guard.as_ref().map(|(e, _)| e.to_string());
+        let branch = guard.as_ref().map(|(_, b)| *b);
+        let t = self.builder.transition_full(
+            name,
+            TransitionKind::Internal,
+            code_lines,
+            guard_str,
+            branch,
+            Some(self.process.name.clone()),
+        );
+        self.code.insert(
+            t,
+            TransitionCode {
+                process: self.process.name.clone(),
+                stmts,
+                guard,
+                select,
+            },
+        );
+        t
+    }
+
+    fn port_place(&self, port: &str) -> Result<PlaceId> {
+        self.port_places.get(port).copied().ok_or_else(|| {
+            FlowCError::Semantic(format!(
+                "process `{}` uses undeclared port `{port}`",
+                self.process.name
+            ))
+        })
+    }
+
+    /// Checks the port direction of an operation against the declaration.
+    fn check_port_op(&self, op: &PortOp) -> Result<()> {
+        let decl = self.process.port(op.port()).ok_or_else(|| {
+            FlowCError::Semantic(format!(
+                "process `{}` uses undeclared port `{}`",
+                self.process.name,
+                op.port()
+            ))
+        })?;
+        let ok = match op {
+            PortOp::Read { .. } => decl.direction == crate::ast::PortDirection::In,
+            PortOp::Write { .. } => decl.direction == crate::ast::PortDirection::Out,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(FlowCError::Semantic(format!(
+                "port `{}.{}` is used in the wrong direction",
+                self.process.name,
+                op.port()
+            )))
+        }
+    }
+
+    /// Compiles a statement list between `entry` and (optionally) a given
+    /// `target` exit place. Returns the actual exit place.
+    fn compile_block(
+        &mut self,
+        stmts: &[Stmt],
+        entry: PlaceId,
+        target: Option<PlaceId>,
+    ) -> Result<PlaceId> {
+        let segments = segment_block(stmts);
+        if segments.is_empty() {
+            return match target {
+                Some(t) if t != entry => {
+                    let eps = self.new_transition("eps", Vec::new(), None, None);
+                    self.builder.arc_p2t(entry, eps, 1);
+                    self.builder.arc_t2p(eps, t, 1);
+                    Ok(t)
+                }
+                Some(t) => Ok(t),
+                None => Ok(entry),
+            };
+        }
+        let mut cur = entry;
+        let last = segments.len() - 1;
+        for (i, segment) in segments.iter().enumerate() {
+            let seg_target = if i == last { target } else { None };
+            cur = match segment {
+                Segment::Fragment(f) => self.emit_fragment(f, cur, seg_target)?,
+                Segment::Control(s) => self.compile_control(s, cur, seg_target)?,
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Emits one transition for a straight-line fragment.
+    fn emit_fragment(
+        &mut self,
+        stmts: &[Stmt],
+        entry: PlaceId,
+        target: Option<PlaceId>,
+    ) -> Result<PlaceId> {
+        let hint = fragment_hint(stmts);
+        let exit = target.unwrap_or_else(|| self.new_place("seq"));
+        let kept: Vec<Stmt> = stmts.to_vec();
+        let t = self.new_transition(&hint, kept, None, None);
+        self.builder.arc_p2t(entry, t, 1);
+        self.builder.arc_t2p(t, exit, 1);
+        for stmt in stmts {
+            if let Stmt::Port(op) = stmt {
+                self.check_port_op(op)?;
+                let place = self.port_place(op.port())?;
+                match op {
+                    PortOp::Read { nitems, .. } => self.builder.arc_p2t(place, t, *nitems),
+                    PortOp::Write { nitems, .. } => self.builder.arc_t2p(t, place, *nitems),
+                }
+            }
+        }
+        Ok(exit)
+    }
+
+    /// Compiles a control-flow statement that contains port operations.
+    fn compile_control(
+        &mut self,
+        stmt: &Stmt,
+        entry: PlaceId,
+        target: Option<PlaceId>,
+    ) -> Result<PlaceId> {
+        match stmt {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let exit = target.unwrap_or_else(|| self.new_place("endif"));
+                self.compile_branch(cond, true, then_branch, entry, exit)?;
+                self.compile_branch(cond, false, else_branch, entry, exit)?;
+                Ok(exit)
+            }
+            Stmt::While { cond, body } => {
+                if cond.as_const().map(|v| v != 0).unwrap_or(false) {
+                    // Infinite loop: the body cycles back to `entry`; any
+                    // following code is unreachable.
+                    self.compile_block(body, entry, Some(entry))?;
+                    Ok(target.unwrap_or_else(|| self.new_place("unreachable")))
+                } else {
+                    let exit = target.unwrap_or_else(|| self.new_place("endwhile"));
+                    // True branch: enter the body and loop back to `entry`.
+                    self.compile_branch(cond, true, body, entry, entry)?;
+                    // False branch: leave the loop.
+                    self.compile_branch(cond, false, &[], entry, exit)?;
+                    Ok(exit)
+                }
+            }
+            Stmt::Select { ports, arms } => {
+                let exit = target.unwrap_or_else(|| self.new_place("endselect"));
+                for (priority, (port, nitems)) in ports.iter().enumerate() {
+                    let arm = arms
+                        .iter()
+                        .find(|a| a.index as usize == priority)
+                        .ok_or_else(|| {
+                            FlowCError::Semantic(format!(
+                                "SELECT on `{port}` is missing case {priority}"
+                            ))
+                        })?;
+                    let decl = self.process.port(port).ok_or_else(|| {
+                        FlowCError::Semantic(format!(
+                            "process `{}` uses undeclared port `{port}` in SELECT",
+                            self.process.name
+                        ))
+                    })?;
+                    let t = self.new_transition(
+                        &format!("sel_{port}"),
+                        Vec::new(),
+                        None,
+                        Some((port.clone(), *nitems, priority as u32)),
+                    );
+                    self.builder.set_transition_priority(t, Some(priority as u32));
+                    self.builder.arc_p2t(entry, t, 1);
+                    if decl.direction == crate::ast::PortDirection::In {
+                        // Test arc: the arm requires `nitems` tokens on the
+                        // port but does not consume them; the READ_DATA in
+                        // the arm body does.
+                        let place = self.port_place(port)?;
+                        self.builder.arc_p2t(place, t, *nitems);
+                        self.builder.arc_t2p(t, place, *nitems);
+                    }
+                    let body_entry = self.new_place(&format!("sel_{port}_body"));
+                    self.builder.arc_t2p(t, body_entry, 1);
+                    self.compile_block(&arm.body, body_entry, Some(exit))?;
+                }
+                Ok(exit)
+            }
+            other => self.emit_fragment(std::slice::from_ref(other), entry, target),
+        }
+    }
+
+    /// Emits the guard transition of one branch of an `if`/`while` and
+    /// compiles its body from a fresh place into `exit`.
+    fn compile_branch(
+        &mut self,
+        cond: &Expr,
+        branch: bool,
+        body: &[Stmt],
+        entry: PlaceId,
+        exit: PlaceId,
+    ) -> Result<()> {
+        let hint = if branch { "true" } else { "false" };
+        let t = self.new_transition(hint, Vec::new(), Some((cond.clone(), branch)), None);
+        self.builder.arc_p2t(entry, t, 1);
+        if body.is_empty() {
+            self.builder.arc_t2p(t, exit, 1);
+        } else {
+            let body_entry = self.new_place(&format!("{hint}_body"));
+            self.builder.arc_t2p(t, body_entry, 1);
+            self.compile_block(body, body_entry, Some(exit))?;
+        }
+        Ok(())
+    }
+}
+
+fn fragment_hint(stmts: &[Stmt]) -> String {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Port(PortOp::Read { port, .. }) => return format!("read_{port}"),
+            Stmt::Port(PortOp::Write { port, .. }) => return format!("write_{port}"),
+            _ => {}
+        }
+    }
+    "code".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use crate::parse_process;
+    use qss_petri::{EcsInfo, Marking, ReachabilityLimits};
+
+    #[test]
+    fn divisors_net_matches_figure3_shape() {
+        let p = parse_process(examples::DIVISORS).unwrap();
+        let c = compile(&p).unwrap();
+        // Ports become dangling places.
+        assert_eq!(c.port_places.len(), 3);
+        // The net must be Equal Choice when port places are ignored and
+        // unique choice overall (no port is read twice here, so even the
+        // port places are non-choice).
+        let ecs = EcsInfo::compute(&c.net);
+        assert!(ecs.is_unique_choice(&c.net, &ReachabilityLimits::default()));
+        // Exactly one internal place is marked initially.
+        let m0 = c.net.initial_marking();
+        assert_eq!(m0.total_tokens(), 1);
+        // Two data-dependent choices => at least two guarded transitions of
+        // each polarity.
+        let guards: Vec<_> = c
+            .transition_code
+            .values()
+            .filter(|tc| tc.guard.is_some())
+            .collect();
+        assert!(guards.len() >= 4);
+        // Declarations collected.
+        assert_eq!(
+            c.declarations,
+            vec![("n".to_string(), None), ("i".to_string(), None)]
+        );
+        assert!(c.init_code.is_empty());
+    }
+
+    #[test]
+    fn program_counter_invariant_holds() {
+        // Ignoring port places, exactly one internal place is marked in
+        // every marking reachable by firing internal transitions when the
+        // input port has tokens available.
+        let p = parse_process(examples::DIVISORS).unwrap();
+        let c = compile(&p).unwrap();
+        let input = c.port_places["in"];
+        let mut m = c.net.initial_marking();
+        m.add_tokens(input, 1);
+        // Walk a few hundred firings choosing the first enabled transition.
+        let internal_token_count = |m: &Marking| -> u32 {
+            c.net
+                .place_ids()
+                .filter(|p| !c.port_places.values().any(|q| q == p))
+                .map(|p| m.tokens(p))
+                .sum()
+        };
+        assert_eq!(internal_token_count(&m), 1);
+        for _ in 0..50 {
+            let enabled = c.net.enabled_transitions(&m);
+            let Some(&t) = enabled.first() else { break };
+            m = c.net.fire(t, &m).unwrap();
+            assert_eq!(internal_token_count(&m), 1, "program counter duplicated");
+        }
+    }
+
+    #[test]
+    fn read_and_write_arcs_have_item_weights() {
+        let p = parse_process(
+            "PROCESS burst (In DPORT a, Out DPORT b) {
+                 int buf[8];
+                 while (1) { READ_DATA(a, buf, 4); WRITE_DATA(b, buf, 8); }
+             }",
+        )
+        .unwrap();
+        let c = compile(&p).unwrap();
+        let a = c.port_places["a"];
+        let b = c.port_places["b"];
+        // The READ and the trailing WRITE share one fragment transition.
+        let t = c
+            .net
+            .transition_ids()
+            .find(|t| c.net.transition(*t).name.contains("read_a"))
+            .unwrap();
+        assert_eq!(c.net.weight_p2t(a, t), 4);
+        assert_eq!(c.net.weight_t2p(t, b), 8);
+    }
+
+    #[test]
+    fn init_prefix_is_extracted() {
+        let p = parse_process(
+            "PROCESS init (Out DPORT o) {
+                 int i, s;
+                 i = 0;
+                 s = 10;
+                 while (1) { WRITE_DATA(o, s, 1); }
+             }",
+        )
+        .unwrap();
+        let c = compile(&p).unwrap();
+        assert_eq!(c.init_code.len(), 2);
+        assert_eq!(c.net.num_transitions(), 1);
+    }
+
+    #[test]
+    fn select_creates_test_arcs() {
+        let p = parse_process(examples::FALSE_PATH_A_SELECT).unwrap();
+        let c = compile(&p).unwrap();
+        let c1 = c.port_places["c1"];
+        let sel = c
+            .net
+            .transition_ids()
+            .find(|t| c.net.transition(*t).name.contains("sel_c1"))
+            .unwrap();
+        assert_eq!(c.net.weight_p2t(c1, sel), 1);
+        assert_eq!(c.net.weight_t2p(sel, c1), 1);
+        let info = &c.transition_code[&sel];
+        assert_eq!(info.select, Some(("c1".to_string(), 1, 1)));
+    }
+
+    #[test]
+    fn wrong_direction_port_use_is_rejected() {
+        let p = parse_process(
+            "PROCESS bad (In DPORT a) { int x; while (1) { WRITE_DATA(a, x, 1); } }",
+        )
+        .unwrap();
+        assert!(matches!(compile(&p), Err(FlowCError::Semantic(_))));
+    }
+
+    #[test]
+    fn undeclared_port_is_rejected() {
+        let p = parse_process(
+            "PROCESS bad (In DPORT a) { int x; while (1) { READ_DATA(missing, x, 1); } }",
+        )
+        .unwrap();
+        assert!(matches!(compile(&p), Err(FlowCError::Semantic(_))));
+    }
+
+    #[test]
+    fn port_free_loop_is_one_transition() {
+        // A while loop without port operations must stay inside a single
+        // transition (paper Sec. 3.1).
+        let p = parse_process(
+            "PROCESS spin (Out DPORT o) {
+                 int i, n;
+                 while (1) {
+                     i = n / 2;
+                     while (n % i != 0) i--;
+                     WRITE_DATA(o, i, 1);
+                 }
+             }",
+        )
+        .unwrap();
+        let c = compile(&p).unwrap();
+        // one fragment transition only (the whole body collapses)
+        assert_eq!(c.net.num_transitions(), 1);
+        let t = c.net.transition_ids().next().unwrap();
+        assert_eq!(c.transition_code[&t].stmts.len(), 3);
+    }
+
+    #[test]
+    fn empty_cyclic_body_gives_place_only_net() {
+        let p = parse_process("PROCESS idle () { int x; x = 1; }").unwrap();
+        let c = compile(&p).unwrap();
+        assert_eq!(c.net.num_transitions(), 0);
+        assert_eq!(c.net.num_places(), 1);
+        assert_eq!(c.init_code.len(), 1);
+    }
+}

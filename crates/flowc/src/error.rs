@@ -1,0 +1,71 @@
+//! Error handling for the FlowC front end.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FlowCError>;
+
+/// Errors produced while lexing, parsing, checking or compiling FlowC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowCError {
+    /// A lexical error at the given line.
+    Lex {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A syntax error at the given line.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A semantic error (undeclared port, duplicate channel endpoint, ...).
+    Semantic(String),
+    /// An error raised while building the Petri net.
+    Net(String),
+}
+
+impl fmt::Display for FlowCError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowCError::Lex { line, message } => write!(f, "lexical error at line {line}: {message}"),
+            FlowCError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            FlowCError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            FlowCError::Net(msg) => write!(f, "net construction error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowCError {}
+
+impl From<qss_petri::NetError> for FlowCError {
+    fn from(e: qss_petri::NetError) -> Self {
+        FlowCError::Net(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = FlowCError::Parse {
+            line: 12,
+            message: "expected `)`".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        let e = FlowCError::Semantic("port `x` is not declared".into());
+        assert!(e.to_string().contains("port `x`"));
+    }
+
+    #[test]
+    fn net_error_conversion() {
+        let ne = qss_petri::NetError::DuplicateName("p".into());
+        let fe: FlowCError = ne.into();
+        assert!(matches!(fe, FlowCError::Net(_)));
+    }
+}

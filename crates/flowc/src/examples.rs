@@ -1,0 +1,117 @@
+//! Canonical FlowC sources used by the paper's figures, tests and examples.
+
+/// The `divisors` process of Figure 1: reads a number, writes its greatest
+/// proper divisor to `max` and every divisor to `all`.
+pub const DIVISORS: &str = r#"
+PROCESS divisors (In DPORT in, Out DPORT max, Out DPORT all) {
+    int n, i;
+    while (1) {
+        READ_DATA(in, &n, 1);
+        i = n / 2;
+        while (n % i != 0)
+            i--;
+        WRITE_DATA(max, i, 1);
+        WRITE_DATA(all, i, 1);
+        while (i > 1) {
+            i--;
+            if (n % i == 0)
+                WRITE_DATA(all, i, 1);
+        }
+    }
+}
+"#;
+
+/// A two-process pair exhibiting the *false path* problem of Sec. 7.2:
+/// without SELECT the Petri-net abstraction loses the loop-bound coupling
+/// and the system looks unschedulable.
+pub const FALSE_PATH_A: &str = r#"
+PROCESS A (Out DPORT c0, In DPORT c1) {
+    int i, buf1[10], buf2[2];
+    while (1) {
+        for (i = 0; i < 10; i++)
+            WRITE_DATA(c0, buf1[i], 1);
+        for (i = 0; i < 2; i++)
+            READ_DATA(c1, buf2[i], 1);
+    }
+}
+"#;
+
+/// Companion process of [`FALSE_PATH_A`].
+pub const FALSE_PATH_B: &str = r#"
+PROCESS B (In DPORT c0, Out DPORT c1) {
+    int i, buf3[10], buf4[2];
+    while (1) {
+        for (i = 0; i < 10; i++)
+            READ_DATA(c0, buf3[i], 1);
+        for (i = 0; i < 2; i++)
+            WRITE_DATA(c1, buf4[i], 1);
+    }
+}
+"#;
+
+/// The schedulable rewrite of [`FALSE_PATH_A`] using `SELECT` and `done`
+/// channels (Sec. 7.2).
+///
+/// The paper presents the rewrite as a closed system in which each process
+/// drains its dependent loop with a `while (!done)` wrapper around the
+/// `SELECT`. Task generation needs an uncontrollable trigger, so this
+/// version is written in the reactive style the paper itself uses for the
+/// video application's filter: a single `switch (SELECT(...))` per loop
+/// iteration, with the burst of ten writes started by the `start` event
+/// and the response absorbed arm by arm. The synchronisation structure —
+/// availability-gated reads plus `done` signalling — is exactly that of
+/// Sec. 7.2, and it is what makes the network quasi-statically schedulable
+/// where [`FALSE_PATH_A`]/[`FALSE_PATH_B`] are not.
+pub const FALSE_PATH_A_SELECT: &str = r#"
+PROCESS A (In DPORT start, Out DPORT c0, In DPORT c1, Out DPORT done0, In DPORT done1) {
+    int g, i, d, buf1[10], buf2[2];
+    while (1) {
+        switch (SELECT(start, 1, c1, 1, done1, 1)) {
+            case 0: READ_DATA(start, g, 1);
+                    for (i = 0; i < 10; i++)
+                        WRITE_DATA(c0, buf1[i], 1);
+                    WRITE_DATA(done0, 0, 1);
+                    break;
+            case 1: READ_DATA(c1, buf2[0], 1); break;
+            case 2: READ_DATA(done1, d, 1); break;
+        }
+    }
+}
+"#;
+
+/// The schedulable rewrite of [`FALSE_PATH_B`] using `SELECT` and `done`
+/// channels (Sec. 7.2); see [`FALSE_PATH_A_SELECT`] for the coding style.
+pub const FALSE_PATH_B_SELECT: &str = r#"
+PROCESS B (In DPORT c0, Out DPORT c1, In DPORT done0, Out DPORT done1) {
+    int i, d, x, buf4[2];
+    while (1) {
+        switch (SELECT(c0, 1, done0, 1)) {
+            case 0: READ_DATA(c0, x, 1); break;
+            case 1: READ_DATA(done0, d, 1);
+                    for (i = 0; i < 2; i++)
+                        WRITE_DATA(c1, buf4[i], 1);
+                    WRITE_DATA(done1, 0, 1);
+                    break;
+        }
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_process;
+
+    #[test]
+    fn all_example_sources_parse() {
+        for src in [
+            DIVISORS,
+            FALSE_PATH_A,
+            FALSE_PATH_B,
+            FALSE_PATH_A_SELECT,
+            FALSE_PATH_B_SELECT,
+        ] {
+            parse_process(src).unwrap();
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Leader computation and block segmentation.
+//!
+//! The paper fixes the granularity of the per-process Petri net by
+//! computing *leaders* (Sec. 3.1): the first statement of the process, any
+//! `READ_DATA`, any statement following a `WRITE_DATA`, the first statement
+//! of (and the statement following) any control-flow statement that
+//! contains a leader. Every code fragment runs from a leader up to the next
+//! leader and becomes one transition.
+//!
+//! [`leader_flags`] reproduces the rules for one statement list;
+//! [`segment_block`] is the segmentation actually used by compilation: it
+//! groups consecutive statements into fragments that become single
+//! transitions and singles out control-flow statements that contain port
+//! operations (those are refined structurally into choice places).
+
+use crate::ast::{PortOp, Stmt};
+
+/// A segment of a statement list, produced by [`segment_block`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// A straight-line fragment: at most one leading `READ_DATA`, at most
+    /// one trailing `WRITE_DATA`, and no control flow containing port
+    /// operations. The whole fragment becomes a single transition.
+    Fragment(Vec<Stmt>),
+    /// A control-flow statement (`if`, `while`, `switch(SELECT)`) that
+    /// contains port operations and must be refined structurally.
+    Control(Stmt),
+}
+
+/// Computes which statements of `stmts` are leaders according to the
+/// paper's five rules, treating `stmts` as the top-level statement list of
+/// a process (`is_process_start = true`) or as a nested block.
+pub fn leader_flags(stmts: &[Stmt], is_process_start: bool) -> Vec<bool> {
+    let mut flags = vec![false; stmts.len()];
+    for (i, stmt) in stmts.iter().enumerate() {
+        // Rule 1: the first statement of the process is a leader.
+        // Rule 4: the first statement of a control-flow statement that
+        // contains a leader is a leader — the caller applies this by
+        // passing `is_process_start = true` for such nested blocks too.
+        if i == 0 && is_process_start {
+            flags[i] = true;
+        }
+        // Rule 2: a READ_DATA statement is a leader.
+        if matches!(stmt, Stmt::Port(PortOp::Read { .. })) {
+            flags[i] = true;
+        }
+        if i > 0 {
+            // Rule 3: any statement immediately following a WRITE_DATA.
+            if matches!(stmts[i - 1], Stmt::Port(PortOp::Write { .. })) {
+                flags[i] = true;
+            }
+            // Rule 5: any statement immediately following a control-flow
+            // statement that contains a leader (i.e. contains port ops).
+            if is_control(&stmts[i - 1]) && stmts[i - 1].has_port_ops() {
+                flags[i] = true;
+            }
+        }
+        // Rule 4 (this level): a control-flow statement containing a leader
+        // is itself the start of a new portion of code.
+        if is_control(stmt) && stmt.has_port_ops() {
+            flags[i] = true;
+        }
+    }
+    flags
+}
+
+fn is_control(stmt: &Stmt) -> bool {
+    matches!(
+        stmt,
+        Stmt::If { .. } | Stmt::While { .. } | Stmt::Select { .. }
+    )
+}
+
+/// Splits a statement list into [`Segment`]s for compilation.
+///
+/// Declarations are kept inside fragments (the interpreter treats them as
+/// zero-initialisation); `Nop`s are dropped.
+pub fn segment_block(stmts: &[Stmt]) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut current: Vec<Stmt> = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Nop => {}
+            s if is_control(s) && s.has_port_ops() => {
+                if !current.is_empty() {
+                    segments.push(Segment::Fragment(std::mem::take(&mut current)));
+                }
+                segments.push(Segment::Control(s.clone()));
+            }
+            Stmt::Port(PortOp::Read { .. }) => {
+                // A read starts a new fragment.
+                if !current.is_empty() {
+                    segments.push(Segment::Fragment(std::mem::take(&mut current)));
+                }
+                current.push(stmt.clone());
+            }
+            Stmt::Port(PortOp::Write { .. }) => {
+                // A write ends the current fragment.
+                current.push(stmt.clone());
+                segments.push(Segment::Fragment(std::mem::take(&mut current)));
+            }
+            other => current.push(other.clone()),
+        }
+    }
+    if !current.is_empty() {
+        segments.push(Segment::Fragment(current));
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, LValue};
+    use crate::parse_process;
+
+    fn read(port: &str) -> Stmt {
+        Stmt::Port(PortOp::Read {
+            port: port.into(),
+            dest: LValue::Var("x".into()),
+            nitems: 1,
+        })
+    }
+
+    fn write(port: &str) -> Stmt {
+        Stmt::Port(PortOp::Write {
+            port: port.into(),
+            src: Expr::Var("x".into()),
+            nitems: 1,
+        })
+    }
+
+    fn assign() -> Stmt {
+        Stmt::Assign {
+            target: LValue::Var("x".into()),
+            value: Expr::Int(0),
+        }
+    }
+
+    #[test]
+    fn rule_one_first_statement() {
+        let flags = leader_flags(&[assign(), assign()], true);
+        assert_eq!(flags, vec![true, false]);
+        let flags = leader_flags(&[assign(), assign()], false);
+        assert_eq!(flags, vec![false, false]);
+    }
+
+    #[test]
+    fn rule_two_and_three_reads_and_after_writes() {
+        let stmts = [assign(), read("a"), assign(), write("b"), assign()];
+        let flags = leader_flags(&stmts, true);
+        assert_eq!(flags, vec![true, true, false, false, true]);
+    }
+
+    #[test]
+    fn rule_four_and_five_control_with_ports() {
+        let with_ports = Stmt::While {
+            cond: Expr::Var("c".into()),
+            body: vec![read("a")],
+        };
+        let without_ports = Stmt::While {
+            cond: Expr::Var("c".into()),
+            body: vec![assign()],
+        };
+        let stmts = [assign(), with_ports, assign(), without_ports, assign()];
+        let flags = leader_flags(&stmts, true);
+        // the control statement with ports is a leader and so is the
+        // statement following it; the port-free loop is transparent.
+        assert_eq!(flags, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn divisors_leaders_match_paper() {
+        // In Figure 1 the leaders inside the outer loop are the READ_DATA
+        // (line 4), the statement after WRITE_DATA(max,...) (line 9), and
+        // the inner while (line 10) by rule 4; the paper also lists lines
+        // 11/13 which are leaders *inside* that inner loop.
+        let p = parse_process(crate::examples::DIVISORS).unwrap();
+        let Stmt::While { body, .. } = &p.body[1] else {
+            panic!()
+        };
+        let flags = leader_flags(body, true);
+        // body: READ, assign+while-fragment..., WRITE(max), WRITE(all), while(i>1)
+        assert!(flags[0]); // READ_DATA
+        let n = body.len();
+        // the last statement is the inner while containing a WRITE -> leader
+        assert!(flags[n - 1]);
+    }
+
+    #[test]
+    fn segmentation_groups_fragments() {
+        let stmts = [assign(), read("a"), assign(), write("b"), assign()];
+        let segs = segment_block(&stmts);
+        assert_eq!(segs.len(), 3);
+        match &segs[0] {
+            Segment::Fragment(f) => assert_eq!(f.len(), 1),
+            _ => panic!(),
+        }
+        match &segs[1] {
+            Segment::Fragment(f) => {
+                assert_eq!(f.len(), 3);
+                assert!(matches!(f[0], Stmt::Port(PortOp::Read { .. })));
+                assert!(matches!(f[2], Stmt::Port(PortOp::Write { .. })));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn segmentation_isolates_control_with_ports() {
+        let ctrl = Stmt::If {
+            cond: Expr::Var("c".into()),
+            then_branch: vec![write("o")],
+            else_branch: vec![],
+        };
+        let stmts = [assign(), ctrl.clone(), assign()];
+        let segs = segment_block(&stmts);
+        assert_eq!(segs.len(), 3);
+        assert!(matches!(&segs[1], Segment::Control(s) if *s == ctrl));
+    }
+
+    #[test]
+    fn port_free_control_stays_in_fragment() {
+        let ctrl = Stmt::While {
+            cond: Expr::Var("c".into()),
+            body: vec![assign()],
+        };
+        let stmts = [assign(), ctrl, assign()];
+        let segs = segment_block(&stmts);
+        assert_eq!(segs.len(), 1);
+        match &segs[0] {
+            Segment::Fragment(f) => assert_eq!(f.len(), 3),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nops_are_dropped() {
+        let segs = segment_block(&[Stmt::Nop, Stmt::Nop]);
+        assert!(segs.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Lexer for the FlowC language.
+
+use crate::error::{FlowCError, Result};
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+}
+
+/// A token together with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token itself.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Tokenizes FlowC source text.
+///
+/// # Errors
+/// Returns [`FlowCError::Lex`] on unterminated comments or unexpected
+/// characters.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comments.
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let start_line = line;
+            i += 2;
+            loop {
+                if i + 1 >= chars.len() {
+                    return Err(FlowCError::Lex {
+                        line: start_line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                if chars[i] == '*' && chars[i + 1] == '/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let value = text.parse::<i64>().map_err(|_| FlowCError::Lex {
+                line,
+                message: format!("integer literal `{text}` is out of range"),
+            })?;
+            tokens.push(Spanned {
+                token: Token::Int(value),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            tokens.push(Spanned {
+                token: Token::Ident(text),
+                line,
+            });
+            continue;
+        }
+        let two = if i + 1 < chars.len() {
+            Some((c, chars[i + 1]))
+        } else {
+            None
+        };
+        let (token, len) = match two {
+            Some(('=', '=')) => (Token::Eq, 2),
+            Some(('!', '=')) => (Token::Ne, 2),
+            Some(('<', '=')) => (Token::Le, 2),
+            Some(('>', '=')) => (Token::Ge, 2),
+            Some(('&', '&')) => (Token::AndAnd, 2),
+            Some(('|', '|')) => (Token::OrOr, 2),
+            Some(('+', '+')) => (Token::PlusPlus, 2),
+            Some(('-', '-')) => (Token::MinusMinus, 2),
+            _ => match c {
+                '(' => (Token::LParen, 1),
+                ')' => (Token::RParen, 1),
+                '{' => (Token::LBrace, 1),
+                '}' => (Token::RBrace, 1),
+                '[' => (Token::LBracket, 1),
+                ']' => (Token::RBracket, 1),
+                ';' => (Token::Semi, 1),
+                ',' => (Token::Comma, 1),
+                ':' => (Token::Colon, 1),
+                '=' => (Token::Assign, 1),
+                '<' => (Token::Lt, 1),
+                '>' => (Token::Gt, 1),
+                '+' => (Token::Plus, 1),
+                '-' => (Token::Minus, 1),
+                '*' => (Token::Star, 1),
+                '/' => (Token::Slash, 1),
+                '%' => (Token::Percent, 1),
+                '!' => (Token::Bang, 1),
+                '&' => (Token::Amp, 1),
+                other => {
+                    return Err(FlowCError::Lex {
+                        line,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            },
+        };
+        tokens.push(Spanned { token, line });
+        i += len;
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_identifiers_numbers_and_symbols() {
+        let t = kinds("x = 42 + y1;");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Int(42),
+                Token::Plus,
+                Token::Ident("y1".into()),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_two_character_operators() {
+        let t = kinds("a == b != c <= d >= e && f || g ++ --");
+        assert!(t.contains(&Token::Eq));
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Le));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::AndAnd));
+        assert!(t.contains(&Token::OrOr));
+        assert!(t.contains(&Token::PlusPlus));
+        assert!(t.contains(&Token::MinusMinus));
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_lines() {
+        let src = "a // comment\n/* multi\nline */ b";
+        let toks = tokenize(src).unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(matches!(
+            tokenize("a /* oops"),
+            Err(FlowCError::Lex { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(matches!(tokenize("a $ b"), Err(FlowCError::Lex { .. })));
+    }
+
+    #[test]
+    fn ampersand_for_address_of() {
+        let t = kinds("READ_DATA(in, &n, 1);");
+        assert!(t.contains(&Token::Amp));
+    }
+}

@@ -1,0 +1,75 @@
+//! FlowC front end for quasi-static scheduling.
+//!
+//! FlowC is the specification language of Cortadella et al. (DAC 2000): a
+//! C subset extended with `READ_DATA`, `WRITE_DATA` and `SELECT` port
+//! primitives. A system is a network of sequential FlowC processes
+//! connected by point-to-point, possibly multi-rate channels; unconnected
+//! ports talk to the environment and input ports are classified as
+//! *controllable* or *uncontrollable*.
+//!
+//! This crate provides:
+//!
+//! * a lexer, parser and AST for FlowC processes ([`parse_process`]),
+//! * a [`SystemSpec`] builder describing the network (processes, channels,
+//!   environment ports),
+//! * *compilation* of each process into a Petri-net fragment at the
+//!   leader-based granularity of the paper ([`compile`]),
+//! * *linking* of the per-process nets into a single Unique-Choice Petri
+//!   net with channel places and environment source/sink transitions
+//!   ([`link`], [`LinkedSystem`]).
+//!
+//! # Example
+//!
+//! ```
+//! use qss_flowc::{parse_process, SystemSpec, PortClass};
+//!
+//! let producer = parse_process(r#"
+//!     PROCESS producer (Out DPORT data) {
+//!         int i;
+//!         i = 0;
+//!         while (1) {
+//!             i = i + 1;
+//!             WRITE_DATA(data, i, 1);
+//!         }
+//!     }
+//! "#)?;
+//! let consumer = parse_process(r#"
+//!     PROCESS consumer (In DPORT data, Out DPORT sum) {
+//!         int x, s;
+//!         s = 0;
+//!         while (1) {
+//!             READ_DATA(data, x, 1);
+//!             s = s + x;
+//!             WRITE_DATA(sum, s, 1);
+//!         }
+//!     }
+//! "#)?;
+//! let spec = SystemSpec::new("pipeline")
+//!     .with_process(producer)
+//!     .with_process(consumer)
+//!     .with_channel("producer.data", "consumer.data", None)?
+//!     .with_input_port_class("consumer.sum", PortClass::Uncontrollable);
+//! let system = qss_flowc::link(&spec)?;
+//! assert!(system.net.num_transitions() > 0);
+//! # Ok::<(), qss_flowc::FlowCError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod examples;
+pub mod leaders;
+pub mod lexer;
+pub mod link;
+pub mod parser;
+pub mod spec;
+
+pub use ast::{BinOp, Expr, LValue, PortOp, Process, Stmt, UnOp};
+pub use compile::{compile, CompiledProcess, TransitionCode};
+pub use error::{FlowCError, Result};
+pub use link::{link, ChannelInfo, EnvInputInfo, EnvOutputInfo, LinkedSystem};
+pub use parser::parse_process;
+pub use spec::{ChannelSpec, PortClass, SystemSpec};

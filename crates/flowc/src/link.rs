@@ -1,0 +1,381 @@
+//! Linking: merging per-process nets into a single system net.
+//!
+//! Linking creates one place per channel (merging the two port places of
+//! its endpoints), one place per environment port, and source/sink
+//! transitions for environment ports. The result is a single Petri net for
+//! the whole system plus the metadata needed by the scheduler, the code
+//! generator and the execution substrate.
+
+use crate::ast::Stmt;
+use crate::compile::{compile_into, TransitionCode};
+use crate::error::{FlowCError, Result};
+use crate::spec::{PortClass, SystemSpec};
+use qss_petri::{NetBuilder, PetriNet, PlaceId, PlaceKind, TransitionId, TransitionKind};
+use std::collections::BTreeMap;
+
+/// A channel of the linked system and the place that models it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelInfo {
+    /// Channel name.
+    pub name: String,
+    /// Place representing the channel.
+    pub place: PlaceId,
+    /// Producing endpoint `(process, port)`.
+    pub from: (String, String),
+    /// Consuming endpoint `(process, port)`.
+    pub to: (String, String),
+    /// Optional user-specified bound.
+    pub bound: Option<u32>,
+}
+
+/// An environment input port of the linked system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvInputInfo {
+    /// Owning process.
+    pub process: String,
+    /// Port name.
+    pub port: String,
+    /// Place representing the port.
+    pub place: PlaceId,
+    /// The source transition fired by (or requested from) the environment.
+    pub source: TransitionId,
+    /// Whether the environment or the system controls the arrivals.
+    pub class: PortClass,
+    /// Items delivered per firing of the source transition.
+    pub rate: u32,
+}
+
+/// An environment output port of the linked system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvOutputInfo {
+    /// Owning process.
+    pub process: String,
+    /// Port name.
+    pub port: String,
+    /// Place representing the port.
+    pub place: PlaceId,
+    /// The sink transition draining the port.
+    pub sink: TransitionId,
+    /// Items drained per firing of the sink transition.
+    pub rate: u32,
+}
+
+/// The linked system: one Petri net for the whole network plus metadata.
+#[derive(Debug, Clone)]
+pub struct LinkedSystem {
+    /// The system Petri net.
+    pub net: PetriNet,
+    /// Channels, in specification order.
+    pub channels: Vec<ChannelInfo>,
+    /// Environment input ports.
+    pub env_inputs: Vec<EnvInputInfo>,
+    /// Environment output ports.
+    pub env_outputs: Vec<EnvOutputInfo>,
+    /// Executable code for every process transition.
+    pub transition_code: BTreeMap<TransitionId, TransitionCode>,
+    /// Per-process initialisation statements.
+    pub init_code: BTreeMap<String, Vec<Stmt>>,
+    /// Per-process variable declarations.
+    pub declarations: BTreeMap<String, Vec<(String, Option<u32>)>>,
+    /// The initially marked "program counter" place of each process.
+    pub entry_places: BTreeMap<String, PlaceId>,
+    /// Place of every `(process, port)` pair.
+    pub port_places: BTreeMap<(String, String), PlaceId>,
+    /// Names of the processes, in specification order.
+    pub process_names: Vec<String>,
+}
+
+impl LinkedSystem {
+    /// The uncontrollable source transitions (one task is generated for
+    /// each of them).
+    pub fn uncontrollable_sources(&self) -> Vec<TransitionId> {
+        self.env_inputs
+            .iter()
+            .filter(|e| e.class == PortClass::Uncontrollable)
+            .map(|e| e.source)
+            .collect()
+    }
+
+    /// The channel using `place`, if any.
+    pub fn channel_by_place(&self, place: PlaceId) -> Option<&ChannelInfo> {
+        self.channels.iter().find(|c| c.place == place)
+    }
+
+    /// The place of a `(process, port)` pair.
+    pub fn port_place(&self, process: &str, port: &str) -> Option<PlaceId> {
+        self.port_places
+            .get(&(process.to_string(), port.to_string()))
+            .copied()
+    }
+
+    /// The environment input info for a port, if it is one.
+    pub fn env_input(&self, process: &str, port: &str) -> Option<&EnvInputInfo> {
+        self.env_inputs
+            .iter()
+            .find(|e| e.process == process && e.port == port)
+    }
+
+    /// The environment output info for a port, if it is one.
+    pub fn env_output(&self, process: &str, port: &str) -> Option<&EnvOutputInfo> {
+        self.env_outputs
+            .iter()
+            .find(|e| e.process == process && e.port == port)
+    }
+
+    /// The process that transition `t` belongs to (`None` for environment
+    /// source/sink transitions).
+    pub fn process_of(&self, t: TransitionId) -> Option<&str> {
+        self.transition_code.get(&t).map(|c| c.process.as_str())
+    }
+}
+
+/// Links a validated [`SystemSpec`] into a single Petri net.
+///
+/// # Errors
+/// Returns [`FlowCError`] if the specification is inconsistent or any
+/// process fails to compile.
+pub fn link(spec: &SystemSpec) -> Result<LinkedSystem> {
+    spec.validate()?;
+    let mut builder = NetBuilder::new(spec.name());
+    let mut port_places: BTreeMap<(String, String), PlaceId> = BTreeMap::new();
+    let mut channels = Vec::new();
+
+    // One place per channel, shared by both endpoints.
+    for c in spec.channels() {
+        let place = builder.place_with_kind(c.name.clone(), 0, PlaceKind::Channel, c.bound);
+        port_places.insert(c.from.clone(), place);
+        port_places.insert(c.to.clone(), place);
+        channels.push(ChannelInfo {
+            name: c.name.clone(),
+            place,
+            from: c.from.clone(),
+            to: c.to.clone(),
+            bound: c.bound,
+        });
+    }
+
+    // One place per unconnected (environment) port.
+    for process in spec.processes() {
+        for port in &process.ports {
+            let key = (process.name.clone(), port.name.clone());
+            if !port_places.contains_key(&key) {
+                let place = builder.place_with_kind(
+                    format!("{}.{}", process.name, port.name),
+                    0,
+                    PlaceKind::EnvironmentPort,
+                    None,
+                );
+                port_places.insert(key, place);
+            }
+        }
+    }
+
+    // Compile every process into the shared builder.
+    let mut transition_code = BTreeMap::new();
+    let mut init_code = BTreeMap::new();
+    let mut declarations = BTreeMap::new();
+    let mut entry_places = BTreeMap::new();
+    let mut process_names = Vec::new();
+    for process in spec.processes() {
+        let local_ports: BTreeMap<String, PlaceId> = process
+            .ports
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    port_places[&(process.name.clone(), p.name.clone())],
+                )
+            })
+            .collect();
+        let compiled = compile_into(&mut builder, process, &local_ports)?;
+        transition_code.extend(compiled.transition_code);
+        init_code.insert(process.name.clone(), compiled.init_code);
+        declarations.insert(process.name.clone(), compiled.declarations);
+        entry_places.insert(process.name.clone(), compiled.entry_place);
+        process_names.push(process.name.clone());
+    }
+
+    // Environment source and sink transitions.
+    let mut env_inputs = Vec::new();
+    let mut env_outputs = Vec::new();
+    for process in spec.processes() {
+        for port in &process.ports {
+            if spec.is_connected(&process.name, &port.name) {
+                continue;
+            }
+            let place = port_places[&(process.name.clone(), port.name.clone())];
+            let rate = spec.port_rate(&process.name, &port.name);
+            match port.direction {
+                crate::ast::PortDirection::In => {
+                    let class = spec.input_class(&process.name, &port.name);
+                    let kind = match class {
+                        PortClass::Uncontrollable => TransitionKind::UncontrollableSource,
+                        PortClass::Controllable => TransitionKind::ControllableSource,
+                    };
+                    let t = builder.transition(
+                        format!("env_in_{}_{}", process.name, port.name),
+                        kind,
+                    );
+                    builder.arc_t2p(t, place, rate);
+                    env_inputs.push(EnvInputInfo {
+                        process: process.name.clone(),
+                        port: port.name.clone(),
+                        place,
+                        source: t,
+                        class,
+                        rate,
+                    });
+                }
+                crate::ast::PortDirection::Out => {
+                    let t = builder.transition(
+                        format!("env_out_{}_{}", process.name, port.name),
+                        TransitionKind::Sink,
+                    );
+                    builder.arc_p2t(place, t, rate);
+                    env_outputs.push(EnvOutputInfo {
+                        process: process.name.clone(),
+                        port: port.name.clone(),
+                        place,
+                        sink: t,
+                        rate,
+                    });
+                }
+            }
+        }
+    }
+
+    let net = builder.build().map_err(FlowCError::from)?;
+    Ok(LinkedSystem {
+        net,
+        channels,
+        env_inputs,
+        env_outputs,
+        transition_code,
+        init_code,
+        declarations,
+        entry_places,
+        port_places,
+        process_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_process;
+    use qss_petri::{EcsInfo, ReachabilityLimits};
+
+    fn pipeline_spec() -> SystemSpec {
+        let producer = parse_process(
+            "PROCESS producer (In DPORT trigger, Out DPORT data) {
+                 int t, i;
+                 while (1) {
+                     READ_DATA(trigger, t, 1);
+                     i = i + 1;
+                     WRITE_DATA(data, i, 1);
+                 }
+             }",
+        )
+        .unwrap();
+        let consumer = parse_process(
+            "PROCESS consumer (In DPORT data, Out DPORT sum) {
+                 int x, s;
+                 while (1) {
+                     READ_DATA(data, x, 1);
+                     s = s + x;
+                     WRITE_DATA(sum, s, 1);
+                 }
+             }",
+        )
+        .unwrap();
+        SystemSpec::new("pipeline")
+            .with_process(producer)
+            .with_process(consumer)
+            .with_channel("producer.data", "consumer.data", Some(8))
+            .unwrap()
+    }
+
+    #[test]
+    fn links_pipeline_into_single_net() {
+        let sys = link(&pipeline_spec()).unwrap();
+        assert_eq!(sys.channels.len(), 1);
+        assert_eq!(sys.env_inputs.len(), 1);
+        assert_eq!(sys.env_outputs.len(), 1);
+        assert_eq!(sys.process_names, vec!["producer", "consumer"]);
+        // The channel endpoints share one place.
+        let from = sys.port_place("producer", "data").unwrap();
+        let to = sys.port_place("consumer", "data").unwrap();
+        assert_eq!(from, to);
+        assert_eq!(sys.channel_by_place(from).unwrap().bound, Some(8));
+        // Exactly one uncontrollable source.
+        assert_eq!(sys.uncontrollable_sources().len(), 1);
+        // Both process entry places are marked initially.
+        let m0 = sys.net.initial_marking();
+        assert_eq!(m0.total_tokens(), 2);
+        // The linked net is Unique Choice.
+        let ecs = EcsInfo::compute(&sys.net);
+        assert!(ecs.is_unique_choice(&sys.net, &ReachabilityLimits::default()));
+    }
+
+    #[test]
+    fn environment_port_rates_and_classes() {
+        let spec = pipeline_spec()
+            .with_input_port_class("producer.trigger", PortClass::Controllable)
+            .with_port_rate("producer.trigger", 2);
+        let sys = link(&spec).unwrap();
+        assert!(sys.uncontrollable_sources().is_empty());
+        let input = sys.env_input("producer", "trigger").unwrap();
+        assert_eq!(input.class, PortClass::Controllable);
+        assert_eq!(input.rate, 2);
+        let source = input.source;
+        assert_eq!(
+            sys.net.transition(source).kind,
+            TransitionKind::ControllableSource
+        );
+        assert_eq!(sys.net.weight_t2p(source, input.place), 2);
+        assert!(sys.process_of(source).is_none());
+    }
+
+    #[test]
+    fn sink_transition_drains_output() {
+        let sys = link(&pipeline_spec()).unwrap();
+        let out = sys.env_output("consumer", "sum").unwrap();
+        assert_eq!(sys.net.transition(out.sink).kind, TransitionKind::Sink);
+        assert_eq!(sys.net.weight_p2t(out.place, out.sink), 1);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let spec = SystemSpec::new("broken")
+            .with_channel("a.x", "b.y", None)
+            .unwrap();
+        assert!(link(&spec).is_err());
+    }
+
+    #[test]
+    fn end_to_end_firing_through_channel() {
+        let sys = link(&pipeline_spec()).unwrap();
+        let trigger = sys.env_input("producer", "trigger").unwrap().source;
+        let mut m = sys.net.initial_marking();
+        m = sys.net.fire(trigger, &m).unwrap();
+        // Fire greedily until quiescent; the consumer must have produced
+        // one token on its output port, then the sink drains it.
+        for _ in 0..64 {
+            let enabled: Vec<_> = sys
+                .net
+                .enabled_transitions(&m)
+                .into_iter()
+                .filter(|t| *t != trigger)
+                .collect();
+            let Some(&t) = enabled.first() else { break };
+            m = sys.net.fire(t, &m).unwrap();
+        }
+        // All channel places are empty again and both processes are back at
+        // their entry places.
+        let chan = sys.channels[0].place;
+        assert_eq!(m.tokens(chan), 0);
+        for p in sys.entry_places.values() {
+            assert_eq!(m.tokens(*p), 1);
+        }
+    }
+}

@@ -1,0 +1,782 @@
+//! Recursive-descent parser for FlowC processes.
+
+use crate::ast::*;
+use crate::error::{FlowCError, Result};
+use crate::lexer::{tokenize, Spanned, Token};
+
+/// Parses the source text of a single FlowC process.
+///
+/// # Errors
+/// Returns [`FlowCError::Lex`] or [`FlowCError::Parse`] describing the
+/// first problem found.
+///
+/// ```
+/// let p = qss_flowc::parse_process(
+///     "PROCESS echo (In DPORT a, Out DPORT b) {
+///          int x;
+///          while (1) { READ_DATA(a, x, 1); WRITE_DATA(b, x, 1); }
+///      }")?;
+/// assert_eq!(p.name, "echo");
+/// assert_eq!(p.ports.len(), 2);
+/// # Ok::<(), qss_flowc::FlowCError>(())
+/// ```
+pub fn parse_process(source: &str) -> Result<Process> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let process = p.process()?;
+    p.expect_eof()?;
+    Ok(process)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.line)
+            .unwrap_or(1)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|t| &t.token)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> FlowCError {
+        FlowCError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<()> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected {what}, found {t:?}"))),
+            None => Err(self.error(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.advance() {
+            Some(Token::Ident(name)) if name == kw => Ok(()),
+            other => Err(self.error(format!("expected `{kw}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_int(&mut self, what: &str) -> Result<i64> {
+        match self.advance() {
+            Some(Token::Int(v)) => Ok(v),
+            other => Err(self.error(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input after process body"))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(name)) if name == kw)
+    }
+
+    fn process(&mut self) -> Result<Process> {
+        self.expect_keyword("PROCESS")?;
+        let name = self.expect_ident("process name")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let mut ports = Vec::new();
+        if !matches!(self.peek(), Some(Token::RParen)) {
+            loop {
+                ports.push(self.port_decl()?);
+                if matches!(self.peek(), Some(Token::Comma)) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(Process { name, ports, body })
+    }
+
+    fn port_decl(&mut self) -> Result<PortDecl> {
+        let dir = self.expect_ident("port direction (`In` or `Out`)")?;
+        let direction = match dir.as_str() {
+            "In" => PortDirection::In,
+            "Out" => PortDirection::Out,
+            other => return Err(self.error(format!("unknown port direction `{other}`"))),
+        };
+        self.expect_keyword("DPORT")?;
+        let name = self.expect_ident("port name")?;
+        Ok(PortDecl { name, direction })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&Token::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Some(Token::RBrace)) {
+            if self.peek().is_none() {
+                return Err(self.error("unexpected end of input inside `{ ... }`"));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.expect(&Token::RBrace, "`}`")?;
+        Ok(stmts)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>> {
+        if matches!(self.peek(), Some(Token::LBrace)) {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        match self.peek() {
+            Some(Token::Semi) => {
+                self.pos += 1;
+                Ok(Stmt::Nop)
+            }
+            Some(Token::Ident(name)) => match name.as_str() {
+                "int" => self.declaration(),
+                "if" => self.if_statement(),
+                "while" => self.while_statement(),
+                "for" => self.for_statement(),
+                "switch" => self.select_statement(),
+                "READ_DATA" => self.read_statement(),
+                "WRITE_DATA" => self.write_statement(),
+                _ => {
+                    let s = self.simple_statement()?;
+                    self.expect(&Token::Semi, "`;`")?;
+                    Ok(s)
+                }
+            },
+            _ => {
+                let s = self.simple_statement()?;
+                self.expect(&Token::Semi, "`;`")?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn declaration(&mut self) -> Result<Stmt> {
+        self.expect_keyword("int")?;
+        let mut names = Vec::new();
+        loop {
+            let name = self.expect_ident("variable name")?;
+            let size = if matches!(self.peek(), Some(Token::LBracket)) {
+                self.pos += 1;
+                let v = self.expect_int("array size")?;
+                self.expect(&Token::RBracket, "`]`")?;
+                if v <= 0 {
+                    return Err(self.error("array size must be positive"));
+                }
+                Some(v as u32)
+            } else {
+                None
+            };
+            names.push((name, size));
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(&Token::Semi, "`;`")?;
+        Ok(Stmt::Decl { names })
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt> {
+        self.expect_keyword("if")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let cond = self.expression()?;
+        self.expect(&Token::RParen, "`)`")?;
+        let then_branch = self.stmt_or_block()?;
+        let else_branch = if self.at_keyword("else") {
+            self.pos += 1;
+            if self.at_keyword("if") {
+                vec![self.if_statement()?]
+            } else {
+                self.stmt_or_block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        })
+    }
+
+    fn while_statement(&mut self) -> Result<Stmt> {
+        self.expect_keyword("while")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let cond = self.expression()?;
+        self.expect(&Token::RParen, "`)`")?;
+        let body = self.stmt_or_block()?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    /// Desugars `for (init; cond; update) body` into
+    /// `init; while (cond) { body; update; }`.
+    fn for_statement(&mut self) -> Result<Stmt> {
+        self.expect_keyword("for")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let init = if matches!(self.peek(), Some(Token::Semi)) {
+            None
+        } else {
+            Some(self.simple_statement()?)
+        };
+        self.expect(&Token::Semi, "`;` after for-init")?;
+        let cond = if matches!(self.peek(), Some(Token::Semi)) {
+            Expr::Int(1)
+        } else {
+            self.expression()?
+        };
+        self.expect(&Token::Semi, "`;` after for-condition")?;
+        let update = if matches!(self.peek(), Some(Token::RParen)) {
+            None
+        } else {
+            Some(self.simple_statement()?)
+        };
+        self.expect(&Token::RParen, "`)`")?;
+        let mut body = self.stmt_or_block()?;
+        if let Some(u) = update {
+            body.push(u);
+        }
+        let while_loop = Stmt::While { cond, body };
+        Ok(match init {
+            // A for loop is represented as an `if (1)` wrapper holding the
+            // init statement and the while loop so that a single Stmt is
+            // returned; compilation flattens it again.
+            Some(init_stmt) => Stmt::If {
+                cond: Expr::Int(1),
+                then_branch: vec![init_stmt, while_loop],
+                else_branch: Vec::new(),
+            },
+            None => while_loop,
+        })
+    }
+
+    fn read_statement(&mut self) -> Result<Stmt> {
+        self.expect_keyword("READ_DATA")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let port = self.expect_ident("port name")?;
+        self.expect(&Token::Comma, "`,`")?;
+        // Optional address-of on the destination, as in `&n`.
+        if matches!(self.peek(), Some(Token::Amp)) {
+            self.pos += 1;
+        }
+        let dest = self.lvalue()?;
+        self.expect(&Token::Comma, "`,`")?;
+        let nitems = self.expect_int("item count")?;
+        if nitems <= 0 {
+            return Err(self.error("READ_DATA item count must be positive"));
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        self.expect(&Token::Semi, "`;`")?;
+        Ok(Stmt::Port(PortOp::Read {
+            port,
+            dest,
+            nitems: nitems as u32,
+        }))
+    }
+
+    fn write_statement(&mut self) -> Result<Stmt> {
+        self.expect_keyword("WRITE_DATA")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let port = self.expect_ident("port name")?;
+        self.expect(&Token::Comma, "`,`")?;
+        let src = self.expression()?;
+        self.expect(&Token::Comma, "`,`")?;
+        let nitems = self.expect_int("item count")?;
+        if nitems <= 0 {
+            return Err(self.error("WRITE_DATA item count must be positive"));
+        }
+        self.expect(&Token::RParen, "`)`")?;
+        self.expect(&Token::Semi, "`;`")?;
+        Ok(Stmt::Port(PortOp::Write {
+            port,
+            src,
+            nitems: nitems as u32,
+        }))
+    }
+
+    fn select_statement(&mut self) -> Result<Stmt> {
+        self.expect_keyword("switch")?;
+        self.expect(&Token::LParen, "`(`")?;
+        self.expect_keyword("SELECT")?;
+        self.expect(&Token::LParen, "`(`")?;
+        let mut ports = Vec::new();
+        loop {
+            let port = self.expect_ident("port name")?;
+            self.expect(&Token::Comma, "`,`")?;
+            let n = self.expect_int("item count")?;
+            if n <= 0 {
+                return Err(self.error("SELECT item count must be positive"));
+            }
+            ports.push((port, n as u32));
+            if matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "`)` closing SELECT")?;
+        self.expect(&Token::RParen, "`)` closing switch")?;
+        self.expect(&Token::LBrace, "`{`")?;
+        let mut arms = Vec::new();
+        while self.at_keyword("case") {
+            self.pos += 1;
+            let index = self.expect_int("case label")?;
+            if index < 0 || index as usize >= ports.len() {
+                return Err(self.error(format!(
+                    "case label {index} does not match any SELECT port (0..{})",
+                    ports.len() - 1
+                )));
+            }
+            self.expect(&Token::Colon, "`:`")?;
+            let mut body = Vec::new();
+            loop {
+                if self.at_keyword("break") {
+                    self.pos += 1;
+                    self.expect(&Token::Semi, "`;` after break")?;
+                    break;
+                }
+                if self.at_keyword("case") || matches!(self.peek(), Some(Token::RBrace)) {
+                    break;
+                }
+                body.push(self.statement()?);
+            }
+            arms.push(SelectArm {
+                index: index as u32,
+                body,
+            });
+        }
+        self.expect(&Token::RBrace, "`}` closing switch body")?;
+        if arms.len() != ports.len() {
+            return Err(self.error(format!(
+                "switch (SELECT(...)) must have one case per port: {} ports but {} cases",
+                ports.len(),
+                arms.len()
+            )));
+        }
+        Ok(Stmt::Select { ports, arms })
+    }
+
+    /// Assignment, increment/decrement or bare expression (without the
+    /// trailing `;`, which the caller consumes).
+    fn simple_statement(&mut self) -> Result<Stmt> {
+        // Look ahead for `ident =`, `ident[` ... `=`, `ident++`, `ident--`,
+        // `++ident`, `--ident`.
+        if matches!(self.peek(), Some(Token::PlusPlus | Token::MinusMinus)) {
+            let op = self.advance().unwrap();
+            let target = self.lvalue()?;
+            return Ok(incdec(target, matches!(op, Token::PlusPlus)));
+        }
+        if let Some(Token::Ident(_)) = self.peek() {
+            match self.peek2() {
+                Some(Token::Assign) => {
+                    let target = self.lvalue()?;
+                    self.expect(&Token::Assign, "`=`")?;
+                    let value = self.expression()?;
+                    return Ok(Stmt::Assign { target, value });
+                }
+                Some(Token::PlusPlus) | Some(Token::MinusMinus) => {
+                    let target = self.lvalue()?;
+                    let op = self.advance().unwrap();
+                    return Ok(incdec(target, matches!(op, Token::PlusPlus)));
+                }
+                Some(Token::LBracket) => {
+                    // Could be `a[i] = e` or a bare expression; try lvalue
+                    // assignment first by scanning for `=` after the `]`.
+                    let save = self.pos;
+                    if let Ok(target) = self.lvalue() {
+                        if matches!(self.peek(), Some(Token::Assign)) {
+                            self.pos += 1;
+                            let value = self.expression()?;
+                            return Ok(Stmt::Assign { target, value });
+                        }
+                    }
+                    self.pos = save;
+                }
+                _ => {}
+            }
+        }
+        let e = self.expression()?;
+        Ok(Stmt::Expr(e))
+    }
+
+    fn lvalue(&mut self) -> Result<LValue> {
+        let name = self.expect_ident("variable name")?;
+        if matches!(self.peek(), Some(Token::LBracket)) {
+            self.pos += 1;
+            let idx = self.expression()?;
+            self.expect(&Token::RBracket, "`]`")?;
+            Ok(LValue::Index(name, idx))
+        } else {
+            Ok(LValue::Var(name))
+        }
+    }
+
+    fn expression(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Some(Token::OrOr)) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.equality_expr()?;
+        while matches!(self.peek(), Some(Token::AndAnd)) {
+            self.pos += 1;
+            let rhs = self.equality_expr()?;
+            lhs = Expr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Eq) => BinOp::Eq,
+                Some(Token::Ne) => BinOp::Ne,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.relational_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Lt) => BinOp::Lt,
+                Some(Token::Le) => BinOp::Le,
+                Some(Token::Gt) => BinOp::Gt,
+                Some(Token::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.additive_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            Some(Token::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        match self.advance() {
+            Some(Token::Int(v)) => Ok(Expr::Int(v)),
+            Some(Token::Ident(name)) => {
+                if matches!(self.peek(), Some(Token::LBracket)) {
+                    self.pos += 1;
+                    let idx = self.expression()?;
+                    self.expect(&Token::RBracket, "`]`")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Token::LParen) => {
+                let e = self.expression()?;
+                self.expect(&Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+fn incdec(target: LValue, increment: bool) -> Stmt {
+    let read_back = match &target {
+        LValue::Var(n) => Expr::Var(n.clone()),
+        LValue::Index(n, i) => Expr::Index(n.clone(), Box::new(i.clone())),
+    };
+    let op = if increment { BinOp::Add } else { BinOp::Sub };
+    Stmt::Assign {
+        target,
+        value: Expr::binary(op, read_back, Expr::Int(1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The divisors process of Figure 1.
+    pub(crate) const DIVISORS: &str = r#"
+        PROCESS divisors (In DPORT in, Out DPORT max, Out DPORT all) {
+            int n, i;
+            while (1) {
+                READ_DATA(in, &n, 1);
+                i = n / 2;
+                while (n % i != 0)
+                    i--;
+                WRITE_DATA(max, i, 1);
+                WRITE_DATA(all, i, 1);
+                while (i > 1) {
+                    i--;
+                    if (n % i == 0)
+                        WRITE_DATA(all, i, 1);
+                }
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_divisors_process() {
+        let p = parse_process(DIVISORS).unwrap();
+        assert_eq!(p.name, "divisors");
+        assert_eq!(p.ports.len(), 3);
+        assert_eq!(p.ports[0].direction, PortDirection::In);
+        assert_eq!(p.ports[1].direction, PortDirection::Out);
+        // Body: declaration + while(1).
+        assert_eq!(p.body.len(), 2);
+        match &p.body[1] {
+            Stmt::While { cond, body } => {
+                assert_eq!(cond.as_const(), Some(1));
+                assert_eq!(body.len(), 6);
+            }
+            other => panic!("expected while loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let src = r#"
+            PROCESS p (Out DPORT o) {
+                int x;
+                while (1) {
+                    if (x == 0) WRITE_DATA(o, 1, 1);
+                    else if (x == 1) WRITE_DATA(o, 2, 1);
+                    else x = 0;
+                }
+            }
+        "#;
+        let p = parse_process(src).unwrap();
+        let Stmt::While { body, .. } = &p.body[1] else {
+            panic!()
+        };
+        let Stmt::If { else_branch, .. } = &body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_branch[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_for_loop_desugaring() {
+        let src = r#"
+            PROCESS p (Out DPORT o) {
+                int i;
+                while (1) {
+                    for (i = 0; i < 10; i++)
+                        WRITE_DATA(o, i, 1);
+                }
+            }
+        "#;
+        let p = parse_process(src).unwrap();
+        let Stmt::While { body, .. } = &p.body[1] else {
+            panic!()
+        };
+        // for-loop with init desugars to If { cond: 1, [init, while] }.
+        let Stmt::If { then_branch, .. } = &body[0] else {
+            panic!("expected desugared for, got {:?}", body[0])
+        };
+        assert!(matches!(then_branch[0], Stmt::Assign { .. }));
+        let Stmt::While {
+            body: loop_body, ..
+        } = &then_branch[1]
+        else {
+            panic!()
+        };
+        // body then update
+        assert_eq!(loop_body.len(), 2);
+    }
+
+    #[test]
+    fn parses_select_switch() {
+        let src = r#"
+            PROCESS p (In DPORT c0, In DPORT done0, Out DPORT o) {
+                int x, d, done;
+                while (1) {
+                    switch (SELECT(c0, 1, done0, 1)) {
+                        case 0: READ_DATA(c0, x, 1); break;
+                        case 1: READ_DATA(done0, d, 1); done = 1; break;
+                    }
+                    WRITE_DATA(o, x, 1);
+                }
+            }
+        "#;
+        let p = parse_process(src).unwrap();
+        let Stmt::While { body, .. } = &p.body[1] else {
+            panic!()
+        };
+        let Stmt::Select { ports, arms } = &body[0] else {
+            panic!()
+        };
+        assert_eq!(ports.len(), 2);
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[1].body.len(), 2);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = r#"
+            PROCESS p () {
+                int a, b, c;
+                a = 1 + 2 * 3;
+                b = (1 + 2) * 3;
+                c = a < b && b != 0 || !c;
+            }
+        "#;
+        let p = parse_process(src).unwrap();
+        let Stmt::Assign { value, .. } = &p.body[1] else {
+            panic!()
+        };
+        assert_eq!(value.to_string(), "(1 + (2 * 3))");
+        let Stmt::Assign { value, .. } = &p.body[2] else {
+            panic!()
+        };
+        assert_eq!(value.to_string(), "((1 + 2) * 3)");
+        let Stmt::Assign { value, .. } = &p.body[3] else {
+            panic!()
+        };
+        assert!(matches!(value, Expr::Binary(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        assert!(parse_process("PROCESS p ( {").is_err());
+        assert!(parse_process("PROCESS p () { int x }").is_err());
+        assert!(parse_process("PROCESS p () { READ_DATA(a, x, 0); }").is_err());
+        assert!(parse_process("PROCESS p () { x = ; }").is_err());
+        assert!(parse_process("").is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_select_cases() {
+        let src = r#"
+            PROCESS p (In DPORT a, In DPORT b) {
+                int x;
+                switch (SELECT(a, 1, b, 1)) {
+                    case 0: READ_DATA(a, x, 1); break;
+                }
+            }
+        "#;
+        assert!(parse_process(src).is_err());
+    }
+
+    #[test]
+    fn increments_and_decrements_desugar() {
+        let src = "PROCESS p () { int i; i++; i--; ++i; }";
+        let p = parse_process(src).unwrap();
+        assert_eq!(p.body.len(), 4);
+        let Stmt::Assign { value, .. } = &p.body[1] else {
+            panic!()
+        };
+        assert_eq!(value.to_string(), "(i + 1)");
+        let Stmt::Assign { value, .. } = &p.body[2] else {
+            panic!()
+        };
+        assert_eq!(value.to_string(), "(i - 1)");
+    }
+
+    #[test]
+    fn array_assignment_and_indexing() {
+        let src = "PROCESS p () { int buf[4], i; buf[i] = buf[i - 1] + 1; }";
+        let p = parse_process(src).unwrap();
+        let Stmt::Assign { target, value } = &p.body[1] else {
+            panic!()
+        };
+        assert!(matches!(target, LValue::Index(_, _)));
+        assert_eq!(value.to_string(), "(buf[(i - 1)] + 1)");
+    }
+}

@@ -1,0 +1,306 @@
+//! System specification: a network of FlowC processes and channels.
+
+use crate::ast::{PortDirection, Process};
+use crate::error::{FlowCError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Class of an input port connected to the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortClass {
+    /// The environment decides when data arrives; arrival triggers a
+    /// reaction of the system. One task is generated per uncontrollable
+    /// input port.
+    Uncontrollable,
+    /// The system requests the data when it needs it.
+    Controllable,
+}
+
+/// A point-to-point channel between an output port and an input port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Name of the channel (derived from its endpoints unless overridden).
+    pub name: String,
+    /// Producing endpoint as `(process, port)`.
+    pub from: (String, String),
+    /// Consuming endpoint as `(process, port)`.
+    pub to: (String, String),
+    /// Optional user-specified bound on the number of queued items.
+    pub bound: Option<u32>,
+}
+
+/// A network of processes, channels and environment port attributes.
+///
+/// Unconnected ports are implicitly connected to the environment; input
+/// ports default to [`PortClass::Uncontrollable`] unless overridden with
+/// [`SystemSpec::with_input_port_class`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    name: String,
+    processes: Vec<Process>,
+    channels: Vec<ChannelSpec>,
+    input_classes: BTreeMap<(String, String), PortClass>,
+    port_rates: BTreeMap<(String, String), u32>,
+}
+
+impl SystemSpec {
+    /// Creates an empty specification named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        SystemSpec {
+            name: name.into(),
+            processes: Vec::new(),
+            channels: Vec::new(),
+            input_classes: BTreeMap::new(),
+            port_rates: BTreeMap::new(),
+        }
+    }
+
+    /// Name of the system.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a process to the network.
+    pub fn with_process(mut self, process: Process) -> Self {
+        self.processes.push(process);
+        self
+    }
+
+    /// Connects `from` (an output port reference `"process.port"`) to `to`
+    /// (an input port reference) through a channel with optional bound.
+    ///
+    /// # Errors
+    /// Returns [`FlowCError::Semantic`] if either reference is not of the
+    /// form `process.port`.
+    pub fn with_channel(mut self, from: &str, to: &str, bound: Option<u32>) -> Result<Self> {
+        let from = parse_port_ref(from)?;
+        let to = parse_port_ref(to)?;
+        let name = format!("{}_{}__{}_{}", from.0, from.1, to.0, to.1);
+        self.channels.push(ChannelSpec {
+            name,
+            from,
+            to,
+            bound,
+        });
+        Ok(self)
+    }
+
+    /// Declares the class of an unconnected input port
+    /// (`"process.port"`). Unspecified ports are uncontrollable.
+    pub fn with_input_port_class(mut self, port_ref: &str, class: PortClass) -> Self {
+        if let Ok(key) = parse_port_ref(port_ref) {
+            self.input_classes.insert(key, class);
+        }
+        self
+    }
+
+    /// Declares the rate (arc weight of the environment source/sink
+    /// transition) of an unconnected port. The default rate is 1.
+    pub fn with_port_rate(mut self, port_ref: &str, rate: u32) -> Self {
+        if let Ok(key) = parse_port_ref(port_ref) {
+            self.port_rates.insert(key, rate.max(1));
+        }
+        self
+    }
+
+    /// The processes in the network, in insertion order.
+    pub fn processes(&self) -> &[Process] {
+        &self.processes
+    }
+
+    /// Looks a process up by name.
+    pub fn process(&self, name: &str) -> Option<&Process> {
+        self.processes.iter().find(|p| p.name == name)
+    }
+
+    /// The declared channels.
+    pub fn channels(&self) -> &[ChannelSpec] {
+        &self.channels
+    }
+
+    /// The declared class of an input port (default: uncontrollable).
+    pub fn input_class(&self, process: &str, port: &str) -> PortClass {
+        self.input_classes
+            .get(&(process.to_string(), port.to_string()))
+            .copied()
+            .unwrap_or(PortClass::Uncontrollable)
+    }
+
+    /// The declared rate of an environment port (default: 1).
+    pub fn port_rate(&self, process: &str, port: &str) -> u32 {
+        self.port_rates
+            .get(&(process.to_string(), port.to_string()))
+            .copied()
+            .unwrap_or(1)
+    }
+
+    /// Returns `true` if the given port is connected by some channel.
+    pub fn is_connected(&self, process: &str, port: &str) -> bool {
+        self.channels.iter().any(|c| {
+            (c.from.0 == process && c.from.1 == port) || (c.to.0 == process && c.to.1 == port)
+        })
+    }
+
+    /// Checks the specification for consistency:
+    ///
+    /// * process names are unique,
+    /// * every channel endpoint refers to a declared port of the right
+    ///   direction,
+    /// * every port is the endpoint of at most one channel (point-to-point
+    ///   communication).
+    ///
+    /// # Errors
+    /// Returns [`FlowCError::Semantic`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        let mut names = std::collections::BTreeSet::new();
+        for p in &self.processes {
+            if !names.insert(&p.name) {
+                return Err(FlowCError::Semantic(format!(
+                    "duplicate process name `{}`",
+                    p.name
+                )));
+            }
+        }
+        let mut used: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for c in &self.channels {
+            self.check_endpoint(&c.from, PortDirection::Out)?;
+            self.check_endpoint(&c.to, PortDirection::In)?;
+            *used.entry(c.from.clone()).or_insert(0) += 1;
+            *used.entry(c.to.clone()).or_insert(0) += 1;
+        }
+        if let Some(((proc, port), _)) = used.iter().find(|(_, &n)| n > 1) {
+            return Err(FlowCError::Semantic(format!(
+                "port `{proc}.{port}` is connected to more than one channel"
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_endpoint(&self, endpoint: &(String, String), dir: PortDirection) -> Result<()> {
+        let (proc, port) = endpoint;
+        let process = self.process(proc).ok_or_else(|| {
+            FlowCError::Semantic(format!("channel endpoint refers to unknown process `{proc}`"))
+        })?;
+        let decl = process.port(port).ok_or_else(|| {
+            FlowCError::Semantic(format!(
+                "channel endpoint refers to unknown port `{proc}.{port}`"
+            ))
+        })?;
+        if decl.direction != dir {
+            return Err(FlowCError::Semantic(format!(
+                "port `{proc}.{port}` has the wrong direction for this channel endpoint"
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn parse_port_ref(s: &str) -> Result<(String, String)> {
+    match s.split_once('.') {
+        Some((p, q)) if !p.is_empty() && !q.is_empty() => Ok((p.to_string(), q.to_string())),
+        _ => Err(FlowCError::Semantic(format!(
+            "`{s}` is not a valid port reference (expected `process.port`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_process;
+
+    fn producer() -> Process {
+        parse_process(
+            "PROCESS producer (Out DPORT data) { int i; while (1) { i = i + 1; WRITE_DATA(data, i, 1); } }",
+        )
+        .unwrap()
+    }
+
+    fn consumer() -> Process {
+        parse_process(
+            "PROCESS consumer (In DPORT data) { int x; while (1) { READ_DATA(data, x, 1); } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_validates_simple_pipeline() {
+        let spec = SystemSpec::new("pipe")
+            .with_process(producer())
+            .with_process(consumer())
+            .with_channel("producer.data", "consumer.data", Some(4))
+            .unwrap();
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.channels().len(), 1);
+        assert!(spec.is_connected("producer", "data"));
+        assert!(!spec.is_connected("consumer", "nothing"));
+    }
+
+    #[test]
+    fn rejects_bad_port_reference() {
+        let r = SystemSpec::new("x").with_channel("producerdata", "consumer.data", None);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_endpoint() {
+        let spec = SystemSpec::new("pipe")
+            .with_process(producer())
+            .with_channel("producer.data", "consumer.data", None)
+            .unwrap();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_direction_mismatch() {
+        let spec = SystemSpec::new("pipe")
+            .with_process(producer())
+            .with_process(consumer())
+            .with_channel("consumer.data", "producer.data", None)
+            .unwrap();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_fanout_on_one_port() {
+        let consumer2 = parse_process(
+            "PROCESS consumer2 (In DPORT data) { int x; while (1) { READ_DATA(data, x, 1); } }",
+        )
+        .unwrap();
+        let spec = SystemSpec::new("pipe")
+            .with_process(producer())
+            .with_process(consumer())
+            .with_process(consumer2)
+            .with_channel("producer.data", "consumer.data", None)
+            .unwrap()
+            .with_channel("producer.data", "consumer2.data", None)
+            .unwrap();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_process_names() {
+        let spec = SystemSpec::new("dup")
+            .with_process(producer())
+            .with_process(producer());
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn port_class_and_rate_defaults() {
+        let spec = SystemSpec::new("env")
+            .with_process(consumer())
+            .with_input_port_class("consumer.data", PortClass::Controllable)
+            .with_port_rate("consumer.data", 3);
+        assert_eq!(
+            spec.input_class("consumer", "data"),
+            PortClass::Controllable
+        );
+        assert_eq!(spec.port_rate("consumer", "data"), 3);
+        assert_eq!(
+            spec.input_class("consumer", "other"),
+            PortClass::Uncontrollable
+        );
+        assert_eq!(spec.port_rate("consumer", "other"), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Structural analyses: place degrees and net statistics.
+
+use crate::ids::PlaceId;
+use crate::net::{PetriNet, TransitionKind};
+use serde::{Deserialize, Serialize};
+
+/// Computes the *degree* of place `p` as defined in the paper (Def. 4.4):
+///
+/// ```text
+/// degree(p) = max( max_weight(input(p)) + max_weight(output(p)) − 1,
+///                  M0(p) )
+/// ```
+///
+/// Intuitively, once a place holds `degree(p)` tokens it is *saturated*:
+/// adding further tokens cannot newly enable any successor transition, so
+/// accumulating beyond the degree is only useful if it feeds some other
+/// non-saturated place. The degree drives the irrelevant-marking pruning
+/// criterion of the scheduler.
+pub fn place_degree(net: &PetriNet, p: PlaceId) -> u32 {
+    let max_in = net
+        .place_predecessors(p)
+        .iter()
+        .map(|&t| net.weight_t2p(t, p))
+        .max()
+        .unwrap_or(0);
+    let max_out = net
+        .place_successors(p)
+        .iter()
+        .map(|&t| net.weight_p2t(p, t))
+        .max()
+        .unwrap_or(0);
+    let structural = (max_in + max_out).saturating_sub(1);
+    structural.max(net.place(p).initial)
+}
+
+/// Aggregate structural information about a net.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetAnalysis {
+    /// Degree of every place, indexed by place id.
+    pub degrees: Vec<u32>,
+    /// Number of places.
+    pub num_places: usize,
+    /// Number of transitions.
+    pub num_transitions: usize,
+    /// Number of arcs (counting each direction separately).
+    pub num_arcs: usize,
+    /// Number of uncontrollable source transitions.
+    pub num_uncontrollable_sources: usize,
+    /// Number of controllable source transitions.
+    pub num_controllable_sources: usize,
+    /// Number of choice places (more than one successor).
+    pub num_choice_places: usize,
+    /// `true` if no place has more than one successor (marked-graph-like
+    /// choice structure).
+    pub is_conflict_free: bool,
+}
+
+impl NetAnalysis {
+    /// Computes the analysis for `net`.
+    pub fn of(net: &PetriNet) -> Self {
+        let degrees: Vec<u32> = net.place_ids().map(|p| place_degree(net, p)).collect();
+        let num_arcs: usize = net
+            .transition_ids()
+            .map(|t| net.preset(t).len() + net.postset(t).len())
+            .sum();
+        let num_choice_places = net
+            .place_ids()
+            .filter(|p| net.place_successors(*p).len() > 1)
+            .count();
+        NetAnalysis {
+            num_places: net.num_places(),
+            num_transitions: net.num_transitions(),
+            num_arcs,
+            num_uncontrollable_sources: net
+                .transition_ids()
+                .filter(|t| net.transition(*t).kind == TransitionKind::UncontrollableSource)
+                .count(),
+            num_controllable_sources: net
+                .transition_ids()
+                .filter(|t| net.transition(*t).kind == TransitionKind::ControllableSource)
+                .count(),
+            num_choice_places,
+            is_conflict_free: num_choice_places == 0,
+            degrees,
+        }
+    }
+
+    /// Degree of place `p`.
+    pub fn degree(&self, p: PlaceId) -> u32 {
+        self.degrees[p.index()]
+    }
+
+    /// The maximum degree over all places (0 for a net without places).
+    pub fn max_degree(&self) -> u32 {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, TransitionKind};
+
+    #[test]
+    fn degree_of_simple_place() {
+        let mut b = NetBuilder::new("deg");
+        let p = b.place("p", 0);
+        let a = b.transition("a", TransitionKind::Internal);
+        let c = b.transition("c", TransitionKind::Internal);
+        b.arc_t2p(a, p, 1);
+        b.arc_p2t(p, c, 1);
+        let net = b.build().unwrap();
+        let p = net.place_by_name("p").unwrap();
+        // 1 + 1 - 1 = 1
+        assert_eq!(place_degree(&net, p), 1);
+    }
+
+    #[test]
+    fn degree_with_weights() {
+        let mut b = NetBuilder::new("degw");
+        let p = b.place("p", 0);
+        let a = b.transition("a", TransitionKind::Internal);
+        let c = b.transition("c", TransitionKind::Internal);
+        b.arc_t2p(a, p, 2);
+        b.arc_p2t(p, c, 3);
+        let net = b.build().unwrap();
+        let p = net.place_by_name("p").unwrap();
+        // 2 + 3 - 1 = 4
+        assert_eq!(place_degree(&net, p), 4);
+    }
+
+    #[test]
+    fn degree_dominated_by_initial_marking() {
+        let mut b = NetBuilder::new("deg0");
+        let p = b.place("p", 7);
+        let c = b.transition("c", TransitionKind::Internal);
+        b.arc_p2t(p, c, 1);
+        let net = b.build().unwrap();
+        let p = net.place_by_name("p").unwrap();
+        assert_eq!(place_degree(&net, p), 7);
+    }
+
+    #[test]
+    fn degree_of_isolated_place_is_initial() {
+        let mut b = NetBuilder::new("iso");
+        b.place("p", 2);
+        let net = b.build().unwrap();
+        let p = net.place_by_name("p").unwrap();
+        assert_eq!(place_degree(&net, p), 2);
+    }
+
+    #[test]
+    fn analysis_counts() {
+        let mut b = NetBuilder::new("stats");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let src = b.transition("src", TransitionKind::UncontrollableSource);
+        let t1 = b.transition("t1", TransitionKind::Internal);
+        let t2 = b.transition("t2", TransitionKind::Internal);
+        b.arc_t2p(src, p1, 1);
+        b.arc_p2t(p1, t1, 1);
+        b.arc_p2t(p0, t1, 1);
+        b.arc_p2t(p0, t2, 1);
+        b.arc_t2p(t1, p0, 1);
+        b.arc_t2p(t2, p0, 1);
+        let net = b.build().unwrap();
+        let a = NetAnalysis::of(&net);
+        assert_eq!(a.num_places, 2);
+        assert_eq!(a.num_transitions, 3);
+        assert_eq!(a.num_uncontrollable_sources, 1);
+        assert_eq!(a.num_controllable_sources, 0);
+        assert_eq!(a.num_choice_places, 1);
+        assert!(!a.is_conflict_free);
+        assert_eq!(a.num_arcs, 6);
+        assert!(a.max_degree() >= 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphviz/DOT export of Petri nets, for debugging and documentation.
+
+use crate::net::{PetriNet, PlaceKind, TransitionKind};
+use std::fmt::Write as _;
+
+/// Renders `net` to Graphviz DOT format.
+///
+/// Places are drawn as circles labelled with their name and initial token
+/// count, transitions as boxes; channel places are shaded, source
+/// transitions are shown with a double border.
+///
+/// ```
+/// use qss_petri::{NetBuilder, TransitionKind, dot::to_dot};
+/// let mut b = NetBuilder::new("demo");
+/// let p = b.place("p", 1);
+/// let t = b.transition("t", TransitionKind::Internal);
+/// b.arc_p2t(p, t, 1);
+/// let net = b.build().unwrap();
+/// let dot = to_dot(&net);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("\"p\""));
+/// ```
+pub fn to_dot(net: &PetriNet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", net.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    for p in net.place_ids() {
+        let place = net.place(p);
+        let fill = match place.kind {
+            PlaceKind::Internal => "white",
+            PlaceKind::Channel => "lightblue",
+            PlaceKind::EnvironmentPort => "lightyellow",
+        };
+        let label = if place.initial > 0 {
+            format!("{} ({})", place.name, place.initial)
+        } else {
+            place.name.clone()
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=circle, style=filled, fillcolor={}, label=\"{}\"];",
+            place.name, fill, label
+        );
+    }
+    for t in net.transition_ids() {
+        let tr = net.transition(t);
+        let peripheries = match tr.kind {
+            TransitionKind::UncontrollableSource | TransitionKind::ControllableSource => 2,
+            _ => 1,
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [shape=box, peripheries={}, label=\"{}\"];",
+            tr.name, peripheries, tr.name
+        );
+    }
+    for t in net.transition_ids() {
+        let tname = &net.transition(t).name;
+        for (p, w) in net.preset(t) {
+            let pname = &net.place(*p).name;
+            if *w == 1 {
+                let _ = writeln!(out, "  \"{pname}\" -> \"{tname}\";");
+            } else {
+                let _ = writeln!(out, "  \"{pname}\" -> \"{tname}\" [label=\"{w}\"];");
+            }
+        }
+        for (p, w) in net.postset(t) {
+            let pname = &net.place(*p).name;
+            if *w == 1 {
+                let _ = writeln!(out, "  \"{tname}\" -> \"{pname}\";");
+            } else {
+                let _ = writeln!(out, "  \"{tname}\" -> \"{pname}\" [label=\"{w}\"];");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, PlaceKind, TransitionKind};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = NetBuilder::new("dot-test");
+        let p = b.place_with_kind("chan", 2, PlaceKind::Channel, Some(4));
+        let src = b.transition("in", TransitionKind::UncontrollableSource);
+        let t = b.transition("work", TransitionKind::Internal);
+        b.arc_t2p(src, p, 1);
+        b.arc_p2t(p, t, 3);
+        let net = b.build().unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.contains("digraph \"dot-test\""));
+        assert!(dot.contains("\"chan\""));
+        assert!(dot.contains("chan (2)"));
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("[label=\"3\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,357 @@
+//! Equal conflict sets (ECS) and choice-place classification.
+//!
+//! An ECS groups non-source transitions that consume exactly the same
+//! multiset of tokens (`F(p, t_i) = F(p, t_j)` for all places `p`): either
+//! all of them are enabled at a marking or none is. Source transitions form
+//! singleton ECSs of their own. Data-dependent control constructs compiled
+//! from FlowC become *Equal-Choice* places whose successors are one ECS;
+//! port places read at several program points become *unique-choice*
+//! places. A net in which every choice place is one of the two is a
+//! Unique-Choice Petri Net (UCPN).
+
+use crate::ids::{PlaceId, TransitionId};
+use crate::marking::Marking;
+use crate::net::PetriNet;
+use crate::reach::{ReachabilityGraph, ReachabilityLimits};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifier of an equal conflict set within an [`EcsInfo`] partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EcsId(pub u32);
+
+impl EcsId {
+    /// Raw index of this ECS.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Classification of a place with respect to choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChoiceClass {
+    /// At most one successor transition: no choice at all.
+    NonChoice,
+    /// All successor transitions belong to the same ECS (generalised
+    /// free choice): the choice is resolved by data, not by scheduling.
+    EqualChoice,
+    /// Several successor ECSs, but at most one successor transition is
+    /// enabled at any reachable marking.
+    UniqueChoice,
+    /// Several successor ECSs and the unique-choice property could not be
+    /// established (either it is violated or exploration hit its limit).
+    Unknown,
+}
+
+/// The ECS partition of a net, plus per-place choice classification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcsInfo {
+    /// For each transition (by index), the ECS it belongs to.
+    membership: Vec<EcsId>,
+    /// For each ECS (by index), its member transitions in id order.
+    members: Vec<Vec<TransitionId>>,
+}
+
+impl EcsInfo {
+    /// Computes the ECS partition of `net`.
+    ///
+    /// Non-source transitions are grouped by their full preset
+    /// (place/weight multiset); every structural source transition gets a
+    /// singleton ECS.
+    pub fn compute(net: &PetriNet) -> Self {
+        let mut key_to_ecs: BTreeMap<Vec<(PlaceId, u32)>, EcsId> = BTreeMap::new();
+        let mut membership = vec![EcsId(0); net.num_transitions()];
+        let mut members: Vec<Vec<TransitionId>> = Vec::new();
+
+        for t in net.transition_ids() {
+            if net.is_structural_source(t) {
+                let id = EcsId(members.len() as u32);
+                members.push(vec![t]);
+                membership[t.index()] = id;
+            } else {
+                let mut key: Vec<(PlaceId, u32)> = net.preset(t).to_vec();
+                key.sort();
+                let id = *key_to_ecs.entry(key).or_insert_with(|| {
+                    let id = EcsId(members.len() as u32);
+                    members.push(Vec::new());
+                    id
+                });
+                members[id.index()].push(t);
+                membership[t.index()] = id;
+            }
+        }
+        EcsInfo {
+            membership,
+            members,
+        }
+    }
+
+    /// Number of equal conflict sets.
+    pub fn num_ecs(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The ECS that transition `t` belongs to.
+    ///
+    /// # Panics
+    /// Panics if `t` does not belong to the net this partition was computed
+    /// from.
+    pub fn ecs_of(&self, t: TransitionId) -> EcsId {
+        self.membership[t.index()]
+    }
+
+    /// Member transitions of ECS `e`, in identifier order.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    pub fn members(&self, e: EcsId) -> &[TransitionId] {
+        &self.members[e.index()]
+    }
+
+    /// Iterator over all ECS identifiers.
+    pub fn ecs_ids(&self) -> impl Iterator<Item = EcsId> + '_ {
+        (0..self.members.len()).map(|i| EcsId(i as u32))
+    }
+
+    /// Returns `true` if `a` and `b` are in equal conflict.
+    pub fn in_equal_conflict(&self, a: TransitionId, b: TransitionId) -> bool {
+        self.ecs_of(a) == self.ecs_of(b)
+    }
+
+    /// The ECSs enabled at marking `m` in `net`, in ECS-id order.
+    ///
+    /// By construction, if one member of an ECS is enabled all members are,
+    /// so it suffices to test one representative — this method still tests
+    /// the first member for robustness against inconsistent nets.
+    pub fn enabled_ecs(&self, net: &PetriNet, m: &Marking) -> Vec<EcsId> {
+        self.ecs_ids()
+            .filter(|e| {
+                self.members(*e)
+                    .first()
+                    .map(|t| net.is_enabled(*t, m))
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// Classifies every place of the net.
+    ///
+    /// Places whose successors all belong to one ECS are
+    /// [`ChoiceClass::EqualChoice`] (or [`ChoiceClass::NonChoice`] when
+    /// they have at most one successor). For the remaining choice places a
+    /// bounded reachability exploration checks the unique-choice property;
+    /// places for which the check is inconclusive are
+    /// [`ChoiceClass::Unknown`].
+    pub fn classify_places(
+        &self,
+        net: &PetriNet,
+        limits: &ReachabilityLimits,
+    ) -> BTreeMap<PlaceId, ChoiceClass> {
+        let mut result = BTreeMap::new();
+        let mut needs_reach: Vec<PlaceId> = Vec::new();
+        for p in net.place_ids() {
+            let succs = net.place_successors(p);
+            if succs.len() <= 1 {
+                result.insert(p, ChoiceClass::NonChoice);
+                continue;
+            }
+            let ecs0 = self.ecs_of(succs[0]);
+            if succs.iter().all(|t| self.ecs_of(*t) == ecs0) {
+                result.insert(p, ChoiceClass::EqualChoice);
+            } else {
+                needs_reach.push(p);
+            }
+        }
+        if needs_reach.is_empty() {
+            return result;
+        }
+        // Check unique choice by bounded reachability: a choice place is
+        // unique if no reachable marking enables successors from more than
+        // one of its successor ECSs.
+        match ReachabilityGraph::explore(net, limits) {
+            Ok(graph) => {
+                for &p in &needs_reach {
+                    let mut unique = true;
+                    'markings: for m in graph.markings() {
+                        let mut enabled_sets: BTreeSet<EcsId> = BTreeSet::new();
+                        for &t in net.place_successors(p) {
+                            if net.is_enabled(t, m) {
+                                enabled_sets.insert(self.ecs_of(t));
+                                if enabled_sets.len() > 1 {
+                                    unique = false;
+                                    break 'markings;
+                                }
+                            }
+                        }
+                    }
+                    result.insert(
+                        p,
+                        if unique {
+                            ChoiceClass::UniqueChoice
+                        } else {
+                            ChoiceClass::Unknown
+                        },
+                    );
+                }
+            }
+            Err(_) => {
+                for &p in &needs_reach {
+                    result.insert(p, ChoiceClass::Unknown);
+                }
+            }
+        }
+        result
+    }
+
+    /// Returns `true` if the net is Unique-Choice: every choice place is
+    /// either Equal-Choice or unique-choice under the bounded exploration.
+    pub fn is_unique_choice(&self, net: &PetriNet, limits: &ReachabilityLimits) -> bool {
+        self.classify_places(net, limits)
+            .values()
+            .all(|c| *c != ChoiceClass::Unknown)
+    }
+
+    /// Returns `true` if the net is Equal-Choice: every choice place's
+    /// successors form a single ECS. This is purely structural.
+    pub fn is_equal_choice(&self, net: &PetriNet) -> bool {
+        net.place_ids().all(|p| {
+            let succs = net.place_successors(p);
+            succs.len() <= 1 || {
+                let e = self.ecs_of(succs[0]);
+                succs.iter().all(|t| self.ecs_of(*t) == e)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, TransitionKind};
+
+    /// Builds the paper's Figure 8(a) net:
+    /// source `a` feeds `p1`; `p1` is an equal-choice place with successors
+    /// `b` and `c`; `b -> p2 -> d`, `c -> p3(weight 2) ... e` consumes 2.
+    fn figure8_net() -> PetriNet {
+        let mut bl = NetBuilder::new("fig8");
+        let p1 = bl.place("p1", 0);
+        let p2 = bl.place("p2", 0);
+        let p3 = bl.place("p3", 0);
+        let a = bl.transition("a", TransitionKind::UncontrollableSource);
+        let b = bl.transition("b", TransitionKind::Internal);
+        let c = bl.transition("c", TransitionKind::Internal);
+        let d = bl.transition("d", TransitionKind::Internal);
+        let e = bl.transition("e", TransitionKind::Internal);
+        bl.arc_t2p(a, p1, 1);
+        bl.arc_p2t(p1, b, 1);
+        bl.arc_p2t(p1, c, 1);
+        bl.arc_t2p(b, p2, 1);
+        bl.arc_p2t(p2, d, 1);
+        bl.arc_t2p(c, p3, 1);
+        bl.arc_p2t(p3, e, 2);
+        bl.build().unwrap()
+    }
+
+    #[test]
+    fn equal_conflict_partition() {
+        let net = figure8_net();
+        let ecs = EcsInfo::compute(&net);
+        let b = net.transition_by_name("b").unwrap();
+        let c = net.transition_by_name("c").unwrap();
+        let d = net.transition_by_name("d").unwrap();
+        let a = net.transition_by_name("a").unwrap();
+        assert!(ecs.in_equal_conflict(b, c));
+        assert!(!ecs.in_equal_conflict(b, d));
+        assert!(!ecs.in_equal_conflict(a, b));
+        // a, {b,c}, d, e => 4 ECSs
+        assert_eq!(ecs.num_ecs(), 4);
+        assert_eq!(ecs.members(ecs.ecs_of(b)), &[b, c]);
+    }
+
+    #[test]
+    fn source_gets_singleton_ecs() {
+        let net = figure8_net();
+        let ecs = EcsInfo::compute(&net);
+        let a = net.transition_by_name("a").unwrap();
+        assert_eq!(ecs.members(ecs.ecs_of(a)), &[a]);
+    }
+
+    #[test]
+    fn enabled_ecs_reflects_marking() {
+        let net = figure8_net();
+        let ecs = EcsInfo::compute(&net);
+        let a = net.transition_by_name("a").unwrap();
+        let b = net.transition_by_name("b").unwrap();
+        let m0 = net.initial_marking();
+        let enabled = ecs.enabled_ecs(&net, &m0);
+        assert_eq!(enabled, vec![ecs.ecs_of(a)]);
+        let m1 = net.fire(a, &m0).unwrap();
+        let enabled = ecs.enabled_ecs(&net, &m1);
+        assert!(enabled.contains(&ecs.ecs_of(a)));
+        assert!(enabled.contains(&ecs.ecs_of(b)));
+    }
+
+    #[test]
+    fn equal_choice_classification() {
+        let net = figure8_net();
+        let ecs = EcsInfo::compute(&net);
+        assert!(ecs.is_equal_choice(&net));
+        let classes = ecs.classify_places(&net, &ReachabilityLimits::default());
+        let p1 = net.place_by_name("p1").unwrap();
+        let p2 = net.place_by_name("p2").unwrap();
+        assert_eq!(classes[&p1], ChoiceClass::EqualChoice);
+        assert_eq!(classes[&p2], ChoiceClass::NonChoice);
+    }
+
+    /// A port place read by two different transitions of the same process
+    /// is a unique choice: its two readers are never enabled together.
+    #[test]
+    fn unique_choice_port_place() {
+        let mut bl = NetBuilder::new("ucp");
+        let pc0 = bl.place("pc0", 1);
+        let pc1 = bl.place("pc1", 0);
+        let port = bl.place("port", 0);
+        let src = bl.transition("env", TransitionKind::UncontrollableSource);
+        let r1 = bl.transition("read1", TransitionKind::Internal);
+        let r2 = bl.transition("read2", TransitionKind::Internal);
+        bl.arc_t2p(src, port, 1);
+        // read1: pc0 + port -> pc1 ; read2: pc1 + port -> pc0
+        bl.arc_p2t(pc0, r1, 1);
+        bl.arc_p2t(port, r1, 1);
+        bl.arc_t2p(r1, pc1, 1);
+        bl.arc_p2t(pc1, r2, 1);
+        bl.arc_p2t(port, r2, 1);
+        bl.arc_t2p(r2, pc0, 1);
+        let net = bl.build().unwrap();
+        let ecs = EcsInfo::compute(&net);
+        assert!(!ecs.is_equal_choice(&net));
+        let limits = ReachabilityLimits {
+            max_markings: 2_000,
+            max_tokens_per_place: Some(4),
+        };
+        let classes = ecs.classify_places(&net, &limits);
+        let port = net.place_by_name("port").unwrap();
+        assert_eq!(classes[&port], ChoiceClass::UniqueChoice);
+        assert!(ecs.is_unique_choice(&net, &limits));
+    }
+
+    /// Two transitions of *different* processes competing for the same
+    /// place are simultaneously enabled, so the place is not unique choice.
+    #[test]
+    fn non_unique_choice_detected() {
+        let mut bl = NetBuilder::new("conflict");
+        let shared = bl.place("shared", 1);
+        let t1 = bl.transition("t1", TransitionKind::Internal);
+        let t2 = bl.transition("t2", TransitionKind::Internal);
+        let extra = bl.place("extra", 1);
+        bl.arc_p2t(shared, t1, 1);
+        bl.arc_p2t(shared, t2, 1);
+        bl.arc_p2t(extra, t2, 1);
+        let net = bl.build().unwrap();
+        let ecs = EcsInfo::compute(&net);
+        let classes = ecs.classify_places(&net, &ReachabilityLimits::default());
+        let shared = net.place_by_name("shared").unwrap();
+        assert_eq!(classes[&shared], ChoiceClass::Unknown);
+        assert!(!ecs.is_unique_choice(&net, &ReachabilityLimits::default()));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the Petri-net kernel.
+
+use crate::{PlaceId, TransitionId};
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+/// Errors produced while building or analysing a Petri net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A place identifier does not belong to the net.
+    UnknownPlace(PlaceId),
+    /// A transition identifier does not belong to the net.
+    UnknownTransition(TransitionId),
+    /// An arc was declared with weight zero.
+    ZeroWeightArc {
+        /// Human readable description of the offending arc.
+        arc: String,
+    },
+    /// Attempted to fire a transition that is not enabled.
+    NotEnabled(TransitionId),
+    /// Two places or transitions share the same name.
+    DuplicateName(String),
+    /// The net violates a structural assumption (e.g. not Unique-Choice).
+    Structural(String),
+    /// A reachability exploration exceeded its configured limits.
+    LimitExceeded(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownPlace(p) => write!(f, "unknown place {p}"),
+            NetError::UnknownTransition(t) => write!(f, "unknown transition {t}"),
+            NetError::ZeroWeightArc { arc } => write!(f, "arc {arc} has zero weight"),
+            NetError::NotEnabled(t) => write!(f, "transition {t} is not enabled"),
+            NetError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            NetError::Structural(msg) => write!(f, "structural error: {msg}"),
+            NetError::LimitExceeded(msg) => write!(f, "exploration limit exceeded: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            NetError::UnknownPlace(PlaceId::new(1)),
+            NetError::UnknownTransition(TransitionId::new(2)),
+            NetError::ZeroWeightArc {
+                arc: "p0 -> t1".into(),
+            },
+            NetError::NotEnabled(TransitionId::new(0)),
+            NetError::DuplicateName("x".into()),
+            NetError::Structural("bad".into()),
+            NetError::LimitExceeded("too many nodes".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Strongly-typed identifiers for places and transitions.
+//!
+//! Both identifiers are small indices into the owning [`PetriNet`]'s
+//! internal vectors. Newtypes keep place indices from being confused with
+//! transition indices at compile time.
+//!
+//! [`PetriNet`]: crate::PetriNet
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a place within a [`PetriNet`](crate::PetriNet).
+///
+/// ```
+/// use qss_petri::PlaceId;
+/// let p = PlaceId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PlaceId(u32);
+
+/// Identifier of a transition within a [`PetriNet`](crate::PetriNet).
+///
+/// ```
+/// use qss_petri::TransitionId;
+/// let t = TransitionId::new(7);
+/// assert_eq!(t.index(), 7);
+/// assert_eq!(t.to_string(), "t7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TransitionId(u32);
+
+impl PlaceId {
+    /// Creates a place identifier from a raw index.
+    pub fn new(index: usize) -> Self {
+        PlaceId(index as u32)
+    }
+
+    /// Returns the raw index of this place.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TransitionId {
+    /// Creates a transition identifier from a raw index.
+    pub fn new(index: usize) -> Self {
+        TransitionId(index as u32)
+    }
+
+    /// Returns the raw index of this transition.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<PlaceId> for usize {
+    fn from(id: PlaceId) -> usize {
+        id.index()
+    }
+}
+
+impl From<TransitionId> for usize {
+    fn from(id: TransitionId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_id_round_trip() {
+        let p = PlaceId::new(42);
+        assert_eq!(p.index(), 42);
+        assert_eq!(usize::from(p), 42);
+    }
+
+    #[test]
+    fn transition_id_round_trip() {
+        let t = TransitionId::new(17);
+        assert_eq!(t.index(), 17);
+        assert_eq!(usize::from(t), 17);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PlaceId::new(0).to_string(), "p0");
+        assert_eq!(TransitionId::new(5).to_string(), "t5");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PlaceId::new(1) < PlaceId::new(2));
+        assert!(TransitionId::new(3) > TransitionId::new(1));
+    }
+}

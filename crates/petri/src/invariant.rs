@@ -1,0 +1,403 @@
+//! Incidence matrices and non-negative T-invariant bases.
+//!
+//! A T-invariant is a non-negative integer vector `x` with `C·x = 0`, where
+//! `C` is the incidence matrix. Firing any sequence containing each
+//! transition `t_j` exactly `x_j` times from a marking `M` (if fireable)
+//! leads back to `M`. The scheduler uses a non-negative basis of
+//! T-invariants both as a quick non-schedulability test (no basis ⇒ no
+//! schedule) and to sort ECSs during the search (Sec. 5.5.2 of the paper).
+//!
+//! The basis is computed with the classical Farkas / Fourier–Motzkin
+//! elimination on the matrix `[Cᵀ | I]`, producing the minimal-support
+//! semiflows of the net.
+
+use crate::ids::{PlaceId, TransitionId};
+use crate::net::PetriNet;
+use serde::{Deserialize, Serialize};
+
+/// Dense incidence matrix `C` with `C[p][t] = F(t, p) − F(p, t)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IncidenceMatrix {
+    rows: Vec<Vec<i64>>,
+    num_places: usize,
+    num_transitions: usize,
+}
+
+impl IncidenceMatrix {
+    /// Number of places (rows).
+    pub fn num_places(&self) -> usize {
+        self.num_places
+    }
+
+    /// Number of transitions (columns).
+    pub fn num_transitions(&self) -> usize {
+        self.num_transitions
+    }
+
+    /// Entry `C[p][t]`.
+    pub fn entry(&self, p: PlaceId, t: TransitionId) -> i64 {
+        self.rows[p.index()][t.index()]
+    }
+
+    /// Row of the matrix for place `p`.
+    pub fn row(&self, p: PlaceId) -> &[i64] {
+        &self.rows[p.index()]
+    }
+
+    /// Computes `C·x` for a transition-indexed vector `x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len()` differs from the number of transitions.
+    pub fn apply(&self, x: &[i64]) -> Vec<i64> {
+        assert_eq!(x.len(), self.num_transitions);
+        self.rows
+            .iter()
+            .map(|row| row.iter().zip(x).map(|(c, v)| c * v).sum())
+            .collect()
+    }
+}
+
+/// Builds the incidence matrix of `net`.
+pub fn incidence_matrix(net: &PetriNet) -> IncidenceMatrix {
+    let np = net.num_places();
+    let nt = net.num_transitions();
+    let mut rows = vec![vec![0i64; nt]; np];
+    for t in net.transition_ids() {
+        for (p, w) in net.preset(t) {
+            rows[p.index()][t.index()] -= *w as i64;
+        }
+        for (p, w) in net.postset(t) {
+            rows[p.index()][t.index()] += *w as i64;
+        }
+    }
+    IncidenceMatrix {
+        rows,
+        num_places: np,
+        num_transitions: nt,
+    }
+}
+
+/// A non-negative T-invariant: firing counts per transition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TInvariant {
+    counts: Vec<u64>,
+}
+
+impl TInvariant {
+    /// Creates an invariant from explicit firing counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        TInvariant { counts }
+    }
+
+    /// Number of firings of transition `t` in this invariant.
+    pub fn count(&self, t: TransitionId) -> u64 {
+        self.counts[t.index()]
+    }
+
+    /// Raw counts, indexed by transition.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Transitions with a non-zero firing count (the *support*).
+    pub fn support(&self) -> Vec<TransitionId> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| TransitionId::new(i))
+            .collect()
+    }
+
+    /// Returns `true` if transition `t` appears in the invariant.
+    pub fn contains(&self, t: TransitionId) -> bool {
+        self.counts[t.index()] > 0
+    }
+
+    /// Returns `true` if the invariant is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// Component-wise sum of two invariants.
+    ///
+    /// # Panics
+    /// Panics if the invariants have different lengths.
+    pub fn sum(&self, other: &TInvariant) -> TInvariant {
+        assert_eq!(self.counts.len(), other.counts.len());
+        TInvariant {
+            counts: self
+                .counts
+                .iter()
+                .zip(&other.counts)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Verifies `C·x = 0` against a net.
+    pub fn is_valid_for(&self, net: &PetriNet) -> bool {
+        let c = incidence_matrix(net);
+        let x: Vec<i64> = self.counts.iter().map(|&v| v as i64).collect();
+        c.apply(&x).iter().all(|&v| v == 0)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn normalize(row: &mut [i64]) {
+    let g = row
+        .iter()
+        .map(|v| v.unsigned_abs())
+        .filter(|&v| v != 0)
+        .fold(0u64, gcd);
+    if g > 1 {
+        for v in row.iter_mut() {
+            *v /= g as i64;
+        }
+    }
+}
+
+/// Computes a non-negative basis of T-invariants (minimal-support
+/// semiflows) of `net` using Farkas elimination.
+///
+/// The result may be empty, which the scheduler interprets as "no cyclic
+/// schedule can exist". The number of intermediate rows is capped at
+/// `row_cap` to guard against the (exponential) worst case; nets produced
+/// from FlowC specifications stay far below the cap.
+pub fn t_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
+    let np = net.num_places();
+    let nt = net.num_transitions();
+    let c = incidence_matrix(net);
+
+    // Each working row is [a | b]: a has one entry per place (the residual
+    // C·x restricted to that combination), b has one entry per transition
+    // (the firing counts accumulated so far).
+    let mut rows: Vec<Vec<i64>> = Vec::with_capacity(nt);
+    for t in 0..nt {
+        let mut row = vec![0i64; np + nt];
+        for p in 0..np {
+            row[p] = c.rows[p][t];
+        }
+        row[np + t] = 1;
+        rows.push(row);
+    }
+
+    // Eliminate places one at a time, always picking the place that
+    // produces the fewest new combinations (a standard heuristic that keeps
+    // the intermediate row count small). Rows are deduplicated with a hash
+    // set to avoid quadratic scans.
+    let mut remaining: Vec<usize> = (0..np).collect();
+    while !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let pos = rows.iter().filter(|r| r[p] > 0).count();
+                let neg = rows.iter().filter(|r| r[p] < 0).count();
+                (i, pos * neg + pos + neg)
+            })
+            .min_by_key(|(_, cost)| *cost)
+            .expect("remaining is non-empty");
+        let p = remaining.swap_remove(best_idx);
+
+        let mut seen: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+        let mut next: Vec<Vec<i64>> = Vec::new();
+        let (zeros, nonzeros): (Vec<_>, Vec<_>) = rows.into_iter().partition(|r| r[p] == 0);
+        for row in zeros {
+            if seen.insert(row.clone()) {
+                next.push(row);
+            }
+        }
+        let positives: Vec<&Vec<i64>> = nonzeros.iter().filter(|r| r[p] > 0).collect();
+        let negatives: Vec<&Vec<i64>> = nonzeros.iter().filter(|r| r[p] < 0).collect();
+        for rp in &positives {
+            for rn in &negatives {
+                let a = rp[p];
+                let b = -rn[p];
+                let l = (a / gcd(a as u64, b as u64) as i64) * b;
+                let fa = l / a;
+                let fb = l / b;
+                let mut combined: Vec<i64> = rp
+                    .iter()
+                    .zip(rn.iter())
+                    .map(|(x, y)| fa * x + fb * y)
+                    .collect();
+                normalize(&mut combined);
+                if seen.insert(combined.clone()) {
+                    next.push(combined);
+                }
+                if next.len() > row_cap {
+                    // Bail out conservatively: return what is already a
+                    // valid set of invariants among the finished rows.
+                    return collect_invariants(&next, np, nt, net);
+                }
+            }
+        }
+        rows = next;
+    }
+    collect_invariants(&rows, np, nt, net)
+}
+
+fn collect_invariants(
+    rows: &[Vec<i64>],
+    np: usize,
+    nt: usize,
+    net: &PetriNet,
+) -> Vec<TInvariant> {
+    let mut result: Vec<TInvariant> = Vec::new();
+    for row in rows {
+        if row[..np].iter().any(|&v| v != 0) {
+            continue;
+        }
+        if row[np..].iter().all(|&v| v == 0) {
+            continue;
+        }
+        if row[np..].iter().any(|&v| v < 0) {
+            continue;
+        }
+        let inv = TInvariant::from_counts(row[np..].iter().map(|&v| v as u64).collect());
+        debug_assert_eq!(inv.as_slice().len(), nt);
+        if inv.is_valid_for(net) && !result.contains(&inv) {
+            result.push(inv);
+        }
+    }
+    // Keep only minimal-support invariants to obtain a clean basis.
+    let mut minimal: Vec<TInvariant> = Vec::new();
+    for (i, inv) in result.iter().enumerate() {
+        let sup: Vec<bool> = inv.as_slice().iter().map(|&c| c > 0).collect();
+        let dominated = result.iter().enumerate().any(|(j, other)| {
+            if i == j {
+                return false;
+            }
+            let osup: Vec<bool> = other.as_slice().iter().map(|&c| c > 0).collect();
+            // `other` has strictly smaller support contained in `inv`'s.
+            osup.iter().zip(&sup).all(|(o, s)| !o || *s)
+                && osup.iter().zip(&sup).any(|(o, s)| !o && *s)
+        });
+        if !dominated {
+            minimal.push(inv.clone());
+        }
+    }
+    minimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, TransitionKind};
+
+    fn producer_consumer() -> PetriNet {
+        // src -> buf -> cons, cons -> done (a simple pipeline with a cycle
+        // through the process place to make a T-invariant possible).
+        let mut b = NetBuilder::new("pc");
+        let buf = b.place("buf", 0);
+        let idle = b.place("idle", 1);
+        let src = b.transition("produce", TransitionKind::UncontrollableSource);
+        let cons = b.transition("consume", TransitionKind::Internal);
+        b.arc_t2p(src, buf, 1);
+        b.arc_p2t(buf, cons, 1);
+        b.arc_p2t(idle, cons, 1);
+        b.arc_t2p(cons, idle, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn incidence_matrix_entries() {
+        let net = producer_consumer();
+        let c = incidence_matrix(&net);
+        let buf = net.place_by_name("buf").unwrap();
+        let src = net.transition_by_name("produce").unwrap();
+        let cons = net.transition_by_name("consume").unwrap();
+        assert_eq!(c.entry(buf, src), 1);
+        assert_eq!(c.entry(buf, cons), -1);
+        assert_eq!(c.num_places(), 2);
+        assert_eq!(c.num_transitions(), 2);
+    }
+
+    #[test]
+    fn invariant_basis_of_pipeline() {
+        let net = producer_consumer();
+        let basis = t_invariant_basis(&net, 10_000);
+        assert_eq!(basis.len(), 1);
+        let inv = &basis[0];
+        assert!(inv.is_valid_for(&net));
+        let src = net.transition_by_name("produce").unwrap();
+        let cons = net.transition_by_name("consume").unwrap();
+        assert_eq!(inv.count(src), 1);
+        assert_eq!(inv.count(cons), 1);
+        assert_eq!(inv.support(), vec![src, cons]);
+    }
+
+    #[test]
+    fn weighted_invariant_counts() {
+        // a produces 2 tokens, b consumes 3: the minimal invariant fires a
+        // three times and b twice.
+        let mut bld = NetBuilder::new("weights");
+        let p = bld.place("p", 0);
+        let a = bld.transition("a", TransitionKind::UncontrollableSource);
+        let b = bld.transition("b", TransitionKind::Internal);
+        bld.arc_t2p(a, p, 2);
+        bld.arc_p2t(p, b, 3);
+        let net = bld.build().unwrap();
+        let basis = t_invariant_basis(&net, 10_000);
+        assert_eq!(basis.len(), 1);
+        let a = net.transition_by_name("a").unwrap();
+        let b = net.transition_by_name("b").unwrap();
+        assert_eq!(basis[0].count(a), 3);
+        assert_eq!(basis[0].count(b), 2);
+    }
+
+    #[test]
+    fn no_invariant_for_pure_accumulator() {
+        // A net that only produces tokens has no (non-trivial) T-invariant.
+        let mut b = NetBuilder::new("acc");
+        let p = b.place("p", 0);
+        let src = b.transition("src", TransitionKind::UncontrollableSource);
+        b.arc_t2p(src, p, 1);
+        let net = b.build().unwrap();
+        let basis = t_invariant_basis(&net, 10_000);
+        assert!(basis.is_empty());
+    }
+
+    #[test]
+    fn invariant_helpers() {
+        let inv = TInvariant::from_counts(vec![0, 2, 1]);
+        assert!(!inv.is_zero());
+        assert!(inv.contains(TransitionId::new(1)));
+        assert!(!inv.contains(TransitionId::new(0)));
+        let sum = inv.sum(&TInvariant::from_counts(vec![1, 0, 0]));
+        assert_eq!(sum.as_slice(), &[1, 2, 1]);
+        assert!(TInvariant::from_counts(vec![0, 0]).is_zero());
+    }
+
+    #[test]
+    fn choice_net_has_two_invariants() {
+        // A choice place with two branches that both return to the idle
+        // place yields two minimal invariants (one per branch).
+        let mut bld = NetBuilder::new("choice");
+        let idle = bld.place("idle", 1);
+        let mid = bld.place("mid", 0);
+        let start = bld.transition("start", TransitionKind::Internal);
+        let left = bld.transition("left", TransitionKind::Internal);
+        let right = bld.transition("right", TransitionKind::Internal);
+        bld.arc_p2t(idle, start, 1);
+        bld.arc_t2p(start, mid, 1);
+        bld.arc_p2t(mid, left, 1);
+        bld.arc_p2t(mid, right, 1);
+        bld.arc_t2p(left, idle, 1);
+        bld.arc_t2p(right, idle, 1);
+        let net = bld.build().unwrap();
+        let basis = t_invariant_basis(&net, 10_000);
+        assert_eq!(basis.len(), 2);
+        for inv in &basis {
+            assert!(inv.is_valid_for(&net));
+        }
+    }
+}

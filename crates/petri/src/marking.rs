@@ -1,0 +1,236 @@
+//! Markings: token-count vectors over the places of a net.
+
+use crate::ids::PlaceId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A marking assigns a number of tokens to every place of a net.
+///
+/// Markings are plain vectors indexed by [`PlaceId`]; they do not keep a
+/// reference to the net they belong to, so the caller is responsible for
+/// only combining markings with the net that produced them.
+///
+/// ```
+/// use qss_petri::{Marking, PlaceId};
+/// let mut m = Marking::from_counts([1, 0, 2]);
+/// assert_eq!(m.tokens(PlaceId::new(2)), 2);
+/// m.add_tokens(PlaceId::new(1), 3);
+/// assert_eq!(m.total_tokens(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Marking {
+    counts: Vec<u32>,
+}
+
+impl Marking {
+    /// Creates a marking with `num_places` empty places.
+    pub fn empty(num_places: usize) -> Self {
+        Marking {
+            counts: vec![0; num_places],
+        }
+    }
+
+    /// Creates a marking from explicit token counts, one per place in
+    /// identifier order.
+    pub fn from_counts(counts: impl IntoIterator<Item = u32>) -> Self {
+        Marking {
+            counts: counts.into_iter().collect(),
+        }
+    }
+
+    /// Number of places covered by this marking.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` if the marking covers no places at all.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Tokens currently in place `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range for this marking.
+    pub fn tokens(&self, p: PlaceId) -> u32 {
+        self.counts[p.index()]
+    }
+
+    /// Sets the number of tokens in place `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range for this marking.
+    pub fn set_tokens(&mut self, p: PlaceId, tokens: u32) {
+        self.counts[p.index()] = tokens;
+    }
+
+    /// Adds `n` tokens to place `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range or the count overflows `u32`.
+    pub fn add_tokens(&mut self, p: PlaceId, n: u32) {
+        let c = &mut self.counts[p.index()];
+        *c = c.checked_add(n).expect("token count overflow");
+    }
+
+    /// Removes `n` tokens from place `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range or fewer than `n` tokens are present.
+    pub fn remove_tokens(&mut self, p: PlaceId, n: u32) {
+        let c = &mut self.counts[p.index()];
+        *c = c.checked_sub(n).expect("token count underflow");
+    }
+
+    /// Total number of tokens over all places.
+    pub fn total_tokens(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Returns `true` if every place holds at least as many tokens as in
+    /// `other` (`self >= other` component-wise).
+    ///
+    /// This is the *covering* relation used by the irrelevant-marking
+    /// criterion.
+    ///
+    /// # Panics
+    /// Panics if the two markings have different lengths.
+    pub fn covers(&self, other: &Marking) -> bool {
+        assert_eq!(self.len(), other.len(), "markings of different nets");
+        self.counts
+            .iter()
+            .zip(other.counts.iter())
+            .all(|(a, b)| a >= b)
+    }
+
+    /// Places where `self` holds strictly more tokens than `other`.
+    ///
+    /// # Panics
+    /// Panics if the two markings have different lengths.
+    pub fn strictly_greater_places(&self, other: &Marking) -> Vec<PlaceId> {
+        assert_eq!(self.len(), other.len(), "markings of different nets");
+        self.counts
+            .iter()
+            .zip(other.counts.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a > b)
+            .map(|(i, _)| PlaceId::new(i))
+            .collect()
+    }
+
+    /// Places holding at least one token.
+    pub fn marked_places(&self) -> Vec<PlaceId> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| PlaceId::new(i))
+            .collect()
+    }
+
+    /// Raw counts slice, in place-identifier order.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Iterator over `(place, tokens)` pairs for marked places only.
+    pub fn iter_marked(&self) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (PlaceId::new(i), c))
+    }
+}
+
+impl fmt::Display for Marking {
+    /// Formats as the multiset of marked places, e.g. `p1 p3^2`; the empty
+    /// marking is shown as `0` to match the paper's figures.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let marked: Vec<String> = self
+            .iter_marked()
+            .map(|(p, c)| {
+                if c == 1 {
+                    p.to_string()
+                } else {
+                    format!("{p}^{c}")
+                }
+            })
+            .collect();
+        if marked.is_empty() {
+            write!(f, "0")
+        } else {
+            write!(f, "{}", marked.join(" "))
+        }
+    }
+}
+
+impl FromIterator<u32> for Marking {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Marking::from_counts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Marking::from_counts([1, 2, 0]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.tokens(PlaceId::new(0)), 1);
+        assert_eq!(m.tokens(PlaceId::new(1)), 2);
+        assert_eq!(m.total_tokens(), 3);
+        assert!(!m.is_empty());
+        assert!(Marking::empty(0).is_empty());
+    }
+
+    #[test]
+    fn add_and_remove() {
+        let mut m = Marking::empty(2);
+        m.add_tokens(PlaceId::new(0), 4);
+        m.remove_tokens(PlaceId::new(0), 1);
+        assert_eq!(m.tokens(PlaceId::new(0)), 3);
+        m.set_tokens(PlaceId::new(1), 7);
+        assert_eq!(m.tokens(PlaceId::new(1)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn remove_too_many_panics() {
+        let mut m = Marking::empty(1);
+        m.remove_tokens(PlaceId::new(0), 1);
+    }
+
+    #[test]
+    fn covering_relation() {
+        let a = Marking::from_counts([2, 1, 0]);
+        let b = Marking::from_counts([1, 1, 0]);
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.covers(&a));
+        assert_eq!(a.strictly_greater_places(&b), vec![PlaceId::new(0)]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let m = Marking::from_counts([0, 1, 2]);
+        assert_eq!(m.to_string(), "p1 p2^2");
+        assert_eq!(Marking::empty(3).to_string(), "0");
+    }
+
+    #[test]
+    fn marked_places_and_iter() {
+        let m = Marking::from_counts([0, 3, 0, 1]);
+        assert_eq!(m.marked_places(), vec![PlaceId::new(1), PlaceId::new(3)]);
+        let pairs: Vec<_> = m.iter_marked().collect();
+        assert_eq!(pairs, vec![(PlaceId::new(1), 3), (PlaceId::new(3), 1)]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let m: Marking = [1u32, 2, 3].into_iter().collect();
+        assert_eq!(m.as_slice(), &[1, 2, 3]);
+    }
+}

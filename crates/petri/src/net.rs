@@ -1,0 +1,620 @@
+//! Petri-net structure, builder and firing rule.
+
+use crate::error::{NetError, Result};
+use crate::ids::{PlaceId, TransitionId};
+use crate::marking::Marking;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The role a place plays in the system model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlaceKind {
+    /// Sequencing place internal to one process ("program counter" place).
+    Internal,
+    /// A place that models a communication channel between two processes.
+    Channel,
+    /// A place that models a port connected to the environment (unlinked).
+    EnvironmentPort,
+}
+
+/// The role a transition plays in the system model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransitionKind {
+    /// Ordinary transition annotated with a fragment of process code.
+    Internal,
+    /// Source transition for an uncontrollable environment input port:
+    /// the environment decides when it fires and the system must react.
+    UncontrollableSource,
+    /// Source transition for a controllable environment input port: the
+    /// system decides when to request the input.
+    ControllableSource,
+    /// Sink transition for an environment output port.
+    Sink,
+}
+
+impl TransitionKind {
+    /// Returns `true` for either kind of source transition.
+    pub fn is_source(self) -> bool {
+        matches!(
+            self,
+            TransitionKind::UncontrollableSource | TransitionKind::ControllableSource
+        )
+    }
+}
+
+/// A place of the net together with its metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Place {
+    /// Human readable name (unique within the net).
+    pub name: String,
+    /// Role of the place.
+    pub kind: PlaceKind,
+    /// Number of tokens in the initial marking.
+    pub initial: u32,
+    /// User-specified bound on the number of tokens (channel capacity),
+    /// if any. `None` means unbounded.
+    pub bound: Option<u32>,
+}
+
+/// A transition of the net together with its metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Human readable name (unique within the net).
+    pub name: String,
+    /// Role of the transition.
+    pub kind: TransitionKind,
+    /// Fragment of source code executed when the transition fires
+    /// (used by code generation; empty for silent transitions).
+    pub code: Vec<String>,
+    /// Boolean guard expression of the data-dependent choice this
+    /// transition resolves, if any (e.g. `"i > 1"`).
+    pub guard: Option<String>,
+    /// Whether this transition is the `true` or `false` branch of its guard.
+    pub branch: Option<bool>,
+    /// Name of the process the transition was compiled from, if any.
+    pub process: Option<String>,
+    /// Scheduling priority among sibling choices (lower is preferred);
+    /// used for SELECT arms, `None` for everything else.
+    pub priority: Option<u32>,
+}
+
+/// A weighted place/transition net with an initial marking.
+///
+/// The structure is immutable once built; use [`NetBuilder`] to construct
+/// one incrementally. Arcs are stored as adjacency lists in both
+/// directions so that enabling checks and firing are `O(preset size)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PetriNet {
+    name: String,
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+    /// For each transition, the list of `(place, weight)` pairs it consumes.
+    pre: Vec<Vec<(PlaceId, u32)>>,
+    /// For each transition, the list of `(place, weight)` pairs it produces.
+    post: Vec<Vec<(PlaceId, u32)>>,
+    /// For each place, the transitions that consume from it.
+    place_post: Vec<Vec<TransitionId>>,
+    /// For each place, the transitions that produce into it.
+    place_pre: Vec<Vec<TransitionId>>,
+}
+
+impl PetriNet {
+    /// Name of the net.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of places.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Iterator over all place identifiers.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.places.len()).map(PlaceId::new)
+    }
+
+    /// Iterator over all transition identifiers.
+    pub fn transition_ids(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        (0..self.transitions.len()).map(TransitionId::new)
+    }
+
+    /// Returns the place metadata.
+    ///
+    /// # Panics
+    /// Panics if `p` does not belong to this net.
+    pub fn place(&self, p: PlaceId) -> &Place {
+        &self.places[p.index()]
+    }
+
+    /// Returns the transition metadata.
+    ///
+    /// # Panics
+    /// Panics if `t` does not belong to this net.
+    pub fn transition(&self, t: TransitionId) -> &Transition {
+        &self.transitions[t.index()]
+    }
+
+    /// Looks a place up by name.
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.places
+            .iter()
+            .position(|p| p.name == name)
+            .map(PlaceId::new)
+    }
+
+    /// Looks a transition up by name.
+    pub fn transition_by_name(&self, name: &str) -> Option<TransitionId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(TransitionId::new)
+    }
+
+    /// The arc weight `F(p, t)` from place `p` to transition `t` (0 if absent).
+    pub fn weight_p2t(&self, p: PlaceId, t: TransitionId) -> u32 {
+        self.pre[t.index()]
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, w)| *w)
+            .unwrap_or(0)
+    }
+
+    /// The arc weight `F(t, p)` from transition `t` to place `p` (0 if absent).
+    pub fn weight_t2p(&self, t: TransitionId, p: PlaceId) -> u32 {
+        self.post[t.index()]
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, w)| *w)
+            .unwrap_or(0)
+    }
+
+    /// `(place, weight)` pairs consumed by `t`.
+    pub fn preset(&self, t: TransitionId) -> &[(PlaceId, u32)] {
+        &self.pre[t.index()]
+    }
+
+    /// `(place, weight)` pairs produced by `t`.
+    pub fn postset(&self, t: TransitionId) -> &[(PlaceId, u32)] {
+        &self.post[t.index()]
+    }
+
+    /// Transitions that consume from place `p` (successors of `p`).
+    pub fn place_successors(&self, p: PlaceId) -> &[TransitionId] {
+        &self.place_post[p.index()]
+    }
+
+    /// Transitions that produce into place `p` (predecessors of `p`).
+    pub fn place_predecessors(&self, p: PlaceId) -> &[TransitionId] {
+        &self.place_pre[p.index()]
+    }
+
+    /// Returns `true` if `t` is a source transition (no input places).
+    ///
+    /// Note that this is the *structural* definition from the paper
+    /// (`F(p, t) = 0` for all `p`); the [`TransitionKind`] is additional
+    /// metadata attached during linking.
+    pub fn is_structural_source(&self, t: TransitionId) -> bool {
+        self.pre[t.index()].is_empty()
+    }
+
+    /// The initial marking `M0` of the net.
+    pub fn initial_marking(&self) -> Marking {
+        Marking::from_counts(self.places.iter().map(|p| p.initial))
+    }
+
+    /// Returns `true` if `t` is enabled at marking `m`.
+    pub fn is_enabled(&self, t: TransitionId, m: &Marking) -> bool {
+        self.pre[t.index()]
+            .iter()
+            .all(|(p, w)| m.tokens(*p) >= *w)
+    }
+
+    /// All transitions enabled at `m`, in identifier order.
+    pub fn enabled_transitions(&self, m: &Marking) -> Vec<TransitionId> {
+        self.transition_ids()
+            .filter(|t| self.is_enabled(*t, m))
+            .collect()
+    }
+
+    /// Fires `t` at `m` and returns the successor marking.
+    ///
+    /// # Errors
+    /// Returns [`NetError::NotEnabled`] if `t` is not enabled at `m`.
+    pub fn fire(&self, t: TransitionId, m: &Marking) -> Result<Marking> {
+        if !self.is_enabled(t, m) {
+            return Err(NetError::NotEnabled(t));
+        }
+        Ok(self.fire_unchecked(t, m))
+    }
+
+    /// Fires `t` at `m` without checking enabledness.
+    ///
+    /// # Panics
+    /// Panics (by underflow) in debug builds if `t` is not enabled at `m`.
+    pub fn fire_unchecked(&self, t: TransitionId, m: &Marking) -> Marking {
+        let mut next = m.clone();
+        for (p, w) in &self.pre[t.index()] {
+            next.remove_tokens(*p, *w);
+        }
+        for (p, w) in &self.post[t.index()] {
+            next.add_tokens(*p, *w);
+        }
+        next
+    }
+
+    /// Fires a sequence of transitions starting from `m`.
+    ///
+    /// # Errors
+    /// Returns [`NetError::NotEnabled`] at the first transition of the
+    /// sequence that is not enabled.
+    pub fn fire_sequence(&self, seq: &[TransitionId], m: &Marking) -> Result<Marking> {
+        let mut cur = m.clone();
+        for &t in seq {
+            cur = self.fire(t, &cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Uncontrollable source transitions of the net, in identifier order.
+    pub fn uncontrollable_sources(&self) -> Vec<TransitionId> {
+        self.transition_ids()
+            .filter(|t| self.transition(*t).kind == TransitionKind::UncontrollableSource)
+            .collect()
+    }
+
+    /// Controllable source transitions of the net, in identifier order.
+    pub fn controllable_sources(&self) -> Vec<TransitionId> {
+        self.transition_ids()
+            .filter(|t| self.transition(*t).kind == TransitionKind::ControllableSource)
+            .collect()
+    }
+}
+
+/// Incremental builder for [`PetriNet`].
+///
+/// ```
+/// use qss_petri::{NetBuilder, TransitionKind};
+/// let mut b = NetBuilder::new("demo");
+/// let p = b.place("p", 1);
+/// let t = b.transition("t", TransitionKind::Internal);
+/// b.arc_p2t(p, t, 1);
+/// let net = b.build().unwrap();
+/// assert_eq!(net.num_places(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetBuilder {
+    name: String,
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+    pre: Vec<Vec<(PlaceId, u32)>>,
+    post: Vec<Vec<(PlaceId, u32)>>,
+    zero_weight: Vec<String>,
+}
+
+impl NetBuilder {
+    /// Creates an empty builder for a net called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds an internal place with `initial` tokens and returns its id.
+    pub fn place(&mut self, name: impl Into<String>, initial: u32) -> PlaceId {
+        self.place_with_kind(name, initial, PlaceKind::Internal, None)
+    }
+
+    /// Adds a place with an explicit kind and optional bound.
+    pub fn place_with_kind(
+        &mut self,
+        name: impl Into<String>,
+        initial: u32,
+        kind: PlaceKind,
+        bound: Option<u32>,
+    ) -> PlaceId {
+        let id = PlaceId::new(self.places.len());
+        self.places.push(Place {
+            name: name.into(),
+            kind,
+            initial,
+            bound,
+        });
+        id
+    }
+
+    /// Adds a transition of the given kind and returns its id.
+    pub fn transition(&mut self, name: impl Into<String>, kind: TransitionKind) -> TransitionId {
+        self.transition_full(name, kind, Vec::new(), None, None, None)
+    }
+
+    /// Adds a transition with full metadata.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transition_full(
+        &mut self,
+        name: impl Into<String>,
+        kind: TransitionKind,
+        code: Vec<String>,
+        guard: Option<String>,
+        branch: Option<bool>,
+        process: Option<String>,
+    ) -> TransitionId {
+        let id = TransitionId::new(self.transitions.len());
+        self.transitions.push(Transition {
+            name: name.into(),
+            kind,
+            code,
+            guard,
+            branch,
+            process,
+            priority: None,
+        });
+        self.pre.push(Vec::new());
+        self.post.push(Vec::new());
+        id
+    }
+
+    /// Adds an arc from place `p` to transition `t` with weight `w`.
+    ///
+    /// If an arc between the same pair already exists its weight is
+    /// increased by `w`.
+    pub fn arc_p2t(&mut self, p: PlaceId, t: TransitionId, w: u32) {
+        if w == 0 {
+            self.zero_weight.push(format!("{p} -> {t}"));
+            return;
+        }
+        let list = &mut self.pre[t.index()];
+        if let Some(entry) = list.iter_mut().find(|(q, _)| *q == p) {
+            entry.1 += w;
+        } else {
+            list.push((p, w));
+        }
+    }
+
+    /// Adds an arc from transition `t` to place `p` with weight `w`.
+    ///
+    /// If an arc between the same pair already exists its weight is
+    /// increased by `w`.
+    pub fn arc_t2p(&mut self, t: TransitionId, p: PlaceId, w: u32) {
+        if w == 0 {
+            self.zero_weight.push(format!("{t} -> {p}"));
+            return;
+        }
+        let list = &mut self.post[t.index()];
+        if let Some(entry) = list.iter_mut().find(|(q, _)| *q == p) {
+            entry.1 += w;
+        } else {
+            list.push((p, w));
+        }
+    }
+
+    /// Overrides the metadata of an existing transition.
+    ///
+    /// # Panics
+    /// Panics if `t` was not created by this builder.
+    pub fn set_transition_meta(
+        &mut self,
+        t: TransitionId,
+        code: Vec<String>,
+        guard: Option<String>,
+        branch: Option<bool>,
+        process: Option<String>,
+    ) {
+        let tr = &mut self.transitions[t.index()];
+        tr.code = code;
+        tr.guard = guard;
+        tr.branch = branch;
+        tr.process = process;
+    }
+
+    /// Overrides the scheduling priority of an existing transition.
+    ///
+    /// # Panics
+    /// Panics if `t` was not created by this builder.
+    pub fn set_transition_priority(&mut self, t: TransitionId, priority: Option<u32>) {
+        self.transitions[t.index()].priority = priority;
+    }
+
+    /// Overrides the bound of an existing place.
+    ///
+    /// # Panics
+    /// Panics if `p` was not created by this builder.
+    pub fn set_place_bound(&mut self, p: PlaceId, bound: Option<u32>) {
+        self.places[p.index()].bound = bound;
+    }
+
+    /// Overrides the kind of an existing place.
+    ///
+    /// # Panics
+    /// Panics if `p` was not created by this builder.
+    pub fn set_place_kind(&mut self, p: PlaceId, kind: PlaceKind) {
+        self.places[p.index()].kind = kind;
+    }
+
+    /// Number of places added so far.
+    pub fn num_places(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions added so far.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Finalizes the net.
+    ///
+    /// # Errors
+    /// Returns an error if any arc was declared with weight zero or if two
+    /// places (or two transitions) share the same name.
+    pub fn build(self) -> Result<PetriNet> {
+        if let Some(arc) = self.zero_weight.first() {
+            return Err(NetError::ZeroWeightArc { arc: arc.clone() });
+        }
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        for p in &self.places {
+            if seen.insert(p.name.as_str(), ()).is_some() {
+                return Err(NetError::DuplicateName(p.name.clone()));
+            }
+        }
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        for t in &self.transitions {
+            if seen.insert(t.name.as_str(), ()).is_some() {
+                return Err(NetError::DuplicateName(t.name.clone()));
+            }
+        }
+        let mut place_post = vec![Vec::new(); self.places.len()];
+        let mut place_pre = vec![Vec::new(); self.places.len()];
+        for (ti, inputs) in self.pre.iter().enumerate() {
+            for (p, _) in inputs {
+                place_post[p.index()].push(TransitionId::new(ti));
+            }
+        }
+        for (ti, outputs) in self.post.iter().enumerate() {
+            for (p, _) in outputs {
+                place_pre[p.index()].push(TransitionId::new(ti));
+            }
+        }
+        Ok(PetriNet {
+            name: self.name,
+            places: self.places,
+            transitions: self.transitions,
+            pre: self.pre,
+            post: self.post,
+            place_post,
+            place_pre,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_net() -> PetriNet {
+        // a -> p1 -> b -> p2 -> c (cycle back to p0)
+        let mut b = NetBuilder::new("simple");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let ta = b.transition("a", TransitionKind::Internal);
+        let tb = b.transition("b", TransitionKind::Internal);
+        b.arc_p2t(p0, ta, 1);
+        b.arc_t2p(ta, p1, 1);
+        b.arc_p2t(p1, tb, 1);
+        b.arc_t2p(tb, p0, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_query_structure() {
+        let net = simple_net();
+        assert_eq!(net.num_places(), 2);
+        assert_eq!(net.num_transitions(), 2);
+        let p0 = net.place_by_name("p0").unwrap();
+        let a = net.transition_by_name("a").unwrap();
+        assert_eq!(net.weight_p2t(p0, a), 1);
+        assert_eq!(net.weight_t2p(a, p0), 0);
+        assert_eq!(net.place_successors(p0), &[a]);
+    }
+
+    #[test]
+    fn firing_moves_token() {
+        let net = simple_net();
+        let a = net.transition_by_name("a").unwrap();
+        let b = net.transition_by_name("b").unwrap();
+        let m0 = net.initial_marking();
+        assert!(net.is_enabled(a, &m0));
+        assert!(!net.is_enabled(b, &m0));
+        let m1 = net.fire(a, &m0).unwrap();
+        assert!(!net.is_enabled(a, &m1));
+        assert!(net.is_enabled(b, &m1));
+        let m2 = net.fire(b, &m1).unwrap();
+        assert_eq!(m2, m0);
+    }
+
+    #[test]
+    fn firing_disabled_transition_fails() {
+        let net = simple_net();
+        let b = net.transition_by_name("b").unwrap();
+        let m0 = net.initial_marking();
+        assert_eq!(net.fire(b, &m0), Err(NetError::NotEnabled(b)));
+    }
+
+    #[test]
+    fn fire_sequence_round_trip() {
+        let net = simple_net();
+        let a = net.transition_by_name("a").unwrap();
+        let b = net.transition_by_name("b").unwrap();
+        let m0 = net.initial_marking();
+        let m = net.fire_sequence(&[a, b, a, b], &m0).unwrap();
+        assert_eq!(m, m0);
+        assert!(net.fire_sequence(&[b], &m0).is_err());
+    }
+
+    #[test]
+    fn weighted_arcs_accumulate() {
+        let mut b = NetBuilder::new("weighted");
+        let p = b.place("p", 0);
+        let t = b.transition("t", TransitionKind::Internal);
+        b.arc_t2p(t, p, 2);
+        b.arc_t2p(t, p, 3);
+        let net = b.build().unwrap();
+        let t = net.transition_by_name("t").unwrap();
+        let p = net.place_by_name("p").unwrap();
+        assert_eq!(net.weight_t2p(t, p), 5);
+    }
+
+    #[test]
+    fn zero_weight_arc_is_rejected() {
+        let mut b = NetBuilder::new("zero");
+        let p = b.place("p", 0);
+        let t = b.transition("t", TransitionKind::Internal);
+        b.arc_p2t(p, t, 0);
+        assert!(matches!(b.build(), Err(NetError::ZeroWeightArc { .. })));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut b = NetBuilder::new("dup");
+        b.place("p", 0);
+        b.place("p", 0);
+        assert!(matches!(b.build(), Err(NetError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn source_classification() {
+        let mut b = NetBuilder::new("src");
+        let p = b.place("p", 0);
+        let src = b.transition("in", TransitionKind::UncontrollableSource);
+        let sink = b.transition("out", TransitionKind::Sink);
+        b.arc_t2p(src, p, 1);
+        b.arc_p2t(p, sink, 1);
+        let net = b.build().unwrap();
+        let src = net.transition_by_name("in").unwrap();
+        let sink = net.transition_by_name("out").unwrap();
+        assert!(net.is_structural_source(src));
+        assert!(!net.is_structural_source(sink));
+        assert_eq!(net.uncontrollable_sources(), vec![src]);
+        assert!(net.controllable_sources().is_empty());
+    }
+
+    #[test]
+    fn multi_weight_enabling() {
+        let mut b = NetBuilder::new("multi");
+        let p = b.place("p", 1);
+        let t = b.transition("t", TransitionKind::Internal);
+        b.arc_p2t(p, t, 2);
+        let net = b.build().unwrap();
+        let t = net.transition_by_name("t").unwrap();
+        let p = net.place_by_name("p").unwrap();
+        let mut m = net.initial_marking();
+        assert!(!net.is_enabled(t, &m));
+        m.add_tokens(p, 1);
+        assert!(net.is_enabled(t, &m));
+    }
+}

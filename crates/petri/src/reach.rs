@@ -1,0 +1,225 @@
+//! Bounded reachability exploration.
+//!
+//! Nets with source transitions have infinite reachability graphs, so all
+//! exploration in this crate is bounded: by a maximum number of distinct
+//! markings and, optionally, by a per-place token cap. The scheduler crate
+//! performs its own, smarter exploration (the EP algorithm); this module is
+//! used for structural analyses such as unique-choice classification and
+//! for tests.
+
+use crate::error::{NetError, Result};
+use crate::ids::TransitionId;
+use crate::marking::Marking;
+use crate::net::PetriNet;
+use std::collections::{HashMap, VecDeque};
+
+/// Limits applied to a reachability exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachabilityLimits {
+    /// Maximum number of distinct markings to visit before giving up.
+    pub max_markings: usize,
+    /// If set, markings in which any place exceeds this many tokens are not
+    /// expanded further (they are still recorded).
+    pub max_tokens_per_place: Option<u32>,
+}
+
+impl Default for ReachabilityLimits {
+    fn default() -> Self {
+        ReachabilityLimits {
+            max_markings: 10_000,
+            max_tokens_per_place: Some(16),
+        }
+    }
+}
+
+/// An explicit (bounded) reachability graph.
+#[derive(Debug, Clone)]
+pub struct ReachabilityGraph {
+    markings: Vec<Marking>,
+    /// Edges as `(from-node, transition, to-node)` triples.
+    edges: Vec<(usize, TransitionId, usize)>,
+    /// Whether the exploration was truncated by the limits.
+    truncated: bool,
+}
+
+impl ReachabilityGraph {
+    /// Explores the reachable markings of `net` from its initial marking.
+    ///
+    /// # Errors
+    /// Returns [`NetError::LimitExceeded`] only if the *initial* marking
+    /// already violates `max_tokens_per_place`; otherwise truncation is
+    /// reported through [`ReachabilityGraph::is_truncated`].
+    pub fn explore(net: &PetriNet, limits: &ReachabilityLimits) -> Result<Self> {
+        let m0 = net.initial_marking();
+        if let Some(cap) = limits.max_tokens_per_place {
+            if m0.as_slice().iter().any(|&c| c > cap) {
+                return Err(NetError::LimitExceeded(format!(
+                    "initial marking exceeds the per-place cap of {cap}"
+                )));
+            }
+        }
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut markings = vec![m0.clone()];
+        index.insert(m0, 0);
+        let mut edges = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(0);
+        let mut truncated = false;
+
+        while let Some(node) = queue.pop_front() {
+            let current = markings[node].clone();
+            if let Some(cap) = limits.max_tokens_per_place {
+                if current.as_slice().iter().any(|&c| c > cap) {
+                    truncated = true;
+                    continue;
+                }
+            }
+            for t in net.transition_ids() {
+                if !net.is_enabled(t, &current) {
+                    continue;
+                }
+                let next = net.fire_unchecked(t, &current);
+                let next_node = match index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        if markings.len() >= limits.max_markings {
+                            truncated = true;
+                            continue;
+                        }
+                        let i = markings.len();
+                        markings.push(next.clone());
+                        index.insert(next, i);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                edges.push((node, t, next_node));
+            }
+        }
+        Ok(ReachabilityGraph {
+            markings,
+            edges,
+            truncated,
+        })
+    }
+
+    /// The distinct markings visited, index 0 being the initial marking.
+    pub fn markings(&self) -> &[Marking] {
+        &self.markings
+    }
+
+    /// Number of distinct markings visited.
+    pub fn num_markings(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// The explored edges as `(from, transition, to)` node-index triples.
+    pub fn edges(&self) -> &[(usize, TransitionId, usize)] {
+        &self.edges
+    }
+
+    /// Returns `true` if the exploration stopped because a limit was hit.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Returns `true` if `m` was visited during the exploration.
+    pub fn contains(&self, m: &Marking) -> bool {
+        self.markings.iter().any(|x| x == m)
+    }
+
+    /// Returns the maximum token count observed in each place over all
+    /// visited markings.
+    pub fn place_peaks(&self) -> Vec<u32> {
+        if self.markings.is_empty() {
+            return Vec::new();
+        }
+        let n = self.markings[0].len();
+        let mut peaks = vec![0u32; n];
+        for m in &self.markings {
+            for (i, &c) in m.as_slice().iter().enumerate() {
+                peaks[i] = peaks[i].max(c);
+            }
+        }
+        peaks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, TransitionKind};
+
+    fn cyclic_net() -> PetriNet {
+        let mut b = NetBuilder::new("cycle");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let a = b.transition("a", TransitionKind::Internal);
+        let c = b.transition("c", TransitionKind::Internal);
+        b.arc_p2t(p0, a, 1);
+        b.arc_t2p(a, p1, 1);
+        b.arc_p2t(p1, c, 1);
+        b.arc_t2p(c, p0, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bounded_cycle_is_fully_explored() {
+        let net = cyclic_net();
+        let g = ReachabilityGraph::explore(&net, &ReachabilityLimits::default()).unwrap();
+        assert_eq!(g.num_markings(), 2);
+        assert_eq!(g.edges().len(), 2);
+        assert!(!g.is_truncated());
+        assert!(g.contains(&net.initial_marking()));
+        assert_eq!(g.place_peaks(), vec![1, 1]);
+    }
+
+    #[test]
+    fn source_net_exploration_truncates() {
+        let mut b = NetBuilder::new("unbounded");
+        let p = b.place("p", 0);
+        let src = b.transition("src", TransitionKind::UncontrollableSource);
+        b.arc_t2p(src, p, 1);
+        let net = b.build().unwrap();
+        let limits = ReachabilityLimits {
+            max_markings: 50,
+            max_tokens_per_place: Some(8),
+        };
+        let g = ReachabilityGraph::explore(&net, &limits).unwrap();
+        assert!(g.is_truncated());
+        assert!(g.num_markings() <= 50);
+    }
+
+    #[test]
+    fn marking_cap_limits_growth() {
+        let mut b = NetBuilder::new("growth");
+        let p = b.place("p", 0);
+        let src = b.transition("src", TransitionKind::UncontrollableSource);
+        b.arc_t2p(src, p, 1);
+        let net = b.build().unwrap();
+        let limits = ReachabilityLimits {
+            max_markings: 1_000,
+            max_tokens_per_place: Some(3),
+        };
+        let g = ReachabilityGraph::explore(&net, &limits).unwrap();
+        // markings with 0..=4 tokens are recorded (the 4-token one is not
+        // expanded), so the peak is 4.
+        assert_eq!(g.place_peaks(), vec![4]);
+        assert!(g.is_truncated());
+    }
+
+    #[test]
+    fn invalid_initial_marking_is_rejected() {
+        let mut b = NetBuilder::new("overfull");
+        b.place("p", 100);
+        let net = b.build().unwrap();
+        let limits = ReachabilityLimits {
+            max_markings: 10,
+            max_tokens_per_place: Some(4),
+        };
+        assert!(matches!(
+            ReachabilityGraph::explore(&net, &limits),
+            Err(NetError::LimitExceeded(_))
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests of the Petri-net kernel: firing, markings, ECS
+//! partitions, place degrees, bounded reachability and T-invariants on
+//! randomly generated nets.
+
+use proptest::prelude::*;
+use qss_petri::{
+    incidence_matrix, place_degree, t_invariant_basis, EcsInfo, Marking, NetBuilder, PetriNet,
+    PlaceId, ReachabilityGraph, ReachabilityLimits, TransitionKind,
+};
+
+/// A random connected net description: `places[p]` is the initial token
+/// count; every transition consumes from one place and produces into
+/// another with small weights.
+#[derive(Debug, Clone)]
+struct RandomNet {
+    initial: Vec<u32>,
+    arcs: Vec<(usize, usize, u32, u32)>,
+}
+
+fn random_net_strategy() -> impl Strategy<Value = RandomNet> {
+    (2usize..6, 1usize..8).prop_flat_map(|(num_places, num_transitions)| {
+        let initial = prop::collection::vec(0u32..3, num_places);
+        let arcs = prop::collection::vec(
+            (
+                0..num_places,
+                0..num_places,
+                1u32..3,
+                1u32..3,
+            ),
+            num_transitions,
+        );
+        (initial, arcs).prop_map(|(initial, arcs)| RandomNet { initial, arcs })
+    })
+}
+
+fn build(net: &RandomNet) -> PetriNet {
+    let mut b = NetBuilder::new("random");
+    let places: Vec<PlaceId> = net
+        .initial
+        .iter()
+        .enumerate()
+        .map(|(i, &tokens)| b.place(format!("p{i}"), tokens))
+        .collect();
+    for (i, (from, to, consume, produce)) in net.arcs.iter().enumerate() {
+        let t = b.transition(format!("t{i}"), TransitionKind::Internal);
+        b.arc_p2t(places[*from], t, *consume);
+        b.arc_t2p(t, places[*to], *produce);
+    }
+    b.build().expect("random net builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Firing is exactly the incidence-matrix column update and never
+    /// produces negative token counts.
+    #[test]
+    fn firing_matches_incidence_matrix(desc in random_net_strategy(), steps in 1usize..20) {
+        let net = build(&desc);
+        let c = incidence_matrix(&net);
+        let mut marking = net.initial_marking();
+        for _ in 0..steps {
+            let enabled = net.enabled_transitions(&marking);
+            let Some(&t) = enabled.first() else { break };
+            let next = net.fire(t, &marking).unwrap();
+            for p in net.place_ids() {
+                let delta = c.entry(p, t);
+                prop_assert_eq!(next.tokens(p) as i64, marking.tokens(p) as i64 + delta);
+            }
+            marking = next;
+        }
+    }
+
+    /// A disabled transition can never be fired, and an enabled one always
+    /// can.
+    #[test]
+    fn fire_agrees_with_is_enabled(desc in random_net_strategy()) {
+        let net = build(&desc);
+        let m = net.initial_marking();
+        for t in net.transition_ids() {
+            prop_assert_eq!(net.fire(t, &m).is_ok(), net.is_enabled(t, &m));
+        }
+    }
+
+    /// Transitions in the same ECS have identical presets and identical
+    /// enabling at every marking of the bounded reachability graph.
+    #[test]
+    fn ecs_members_enable_together(desc in random_net_strategy()) {
+        let net = build(&desc);
+        let ecs = EcsInfo::compute(&net);
+        let limits = ReachabilityLimits { max_markings: 200, max_tokens_per_place: Some(6) };
+        let graph = ReachabilityGraph::explore(&net, &limits).unwrap();
+        for e in ecs.ecs_ids() {
+            let members = ecs.members(e);
+            for m in graph.markings() {
+                let enabled: Vec<bool> = members.iter().map(|t| net.is_enabled(*t, m)).collect();
+                prop_assert!(enabled.windows(2).all(|w| w[0] == w[1]),
+                    "ECS members must enable together");
+            }
+        }
+    }
+
+    /// Place degrees dominate the structural saturation point: once a
+    /// place holds `max(degree, heaviest outgoing weight)` tokens, adding
+    /// more never enables a successor transition that was not already
+    /// enabled (the degree only falls below that weight for places with no
+    /// producers, which can never be refilled anyway).
+    #[test]
+    fn degree_is_a_saturation_point(desc in random_net_strategy()) {
+        let net = build(&desc);
+        for p in net.place_ids() {
+            let max_out = net
+                .place_successors(p)
+                .iter()
+                .map(|&t| net.weight_p2t(p, t))
+                .max()
+                .unwrap_or(0);
+            let saturation = place_degree(&net, p).max(max_out);
+            let mut saturated = Marking::empty(net.num_places());
+            saturated.set_tokens(p, saturation);
+            let mut beyond = saturated.clone();
+            beyond.add_tokens(p, 5);
+            for &t in net.place_successors(p) {
+                // Only compare the contribution of p itself: fill every
+                // other input place generously in both markings.
+                let mut a = saturated.clone();
+                let mut b = beyond.clone();
+                for (q, w) in net.preset(t) {
+                    if *q != p {
+                        a.set_tokens(*q, *w);
+                        b.set_tokens(*q, *w);
+                    }
+                }
+                prop_assert_eq!(net.is_enabled(t, &a), net.is_enabled(t, &b));
+            }
+        }
+    }
+
+    /// Every T-invariant of the computed basis satisfies C·x = 0.
+    #[test]
+    fn t_invariant_basis_is_valid(desc in random_net_strategy()) {
+        let net = build(&desc);
+        for inv in t_invariant_basis(&net, 5_000) {
+            prop_assert!(inv.is_valid_for(&net));
+            prop_assert!(!inv.is_zero());
+        }
+    }
+
+    /// Bounded reachability never reports a marking that violates the
+    /// per-place cap by more than one firing's worth of tokens, and always
+    /// contains the initial marking.
+    #[test]
+    fn reachability_respects_limits(desc in random_net_strategy()) {
+        let net = build(&desc);
+        let limits = ReachabilityLimits { max_markings: 100, max_tokens_per_place: Some(4) };
+        if let Ok(graph) = ReachabilityGraph::explore(&net, &limits) {
+            prop_assert!(graph.contains(&net.initial_marking()));
+            prop_assert!(graph.num_markings() <= 100);
+            let max_produce = net
+                .transition_ids()
+                .flat_map(|t| net.postset(t).iter().map(|(_, w)| *w).collect::<Vec<_>>())
+                .max()
+                .unwrap_or(0);
+            for m in graph.markings() {
+                for &c in m.as_slice() {
+                    prop_assert!(c <= 4 + max_produce.max(3));
+                }
+            }
+        }
+    }
+
+    /// Marking display/round-trip helpers are consistent.
+    #[test]
+    fn marking_helpers_are_consistent(counts in prop::collection::vec(0u32..9, 1..8)) {
+        let m = Marking::from_counts(counts.clone());
+        prop_assert_eq!(m.total_tokens(), counts.iter().map(|&c| c as u64).sum::<u64>());
+        prop_assert_eq!(m.marked_places().len(), counts.iter().filter(|&&c| c > 0).count());
+        prop_assert_eq!(m.len(), counts.len());
+        let display = m.to_string();
+        prop_assert!(!display.is_empty());
+        if m.total_tokens() == 0 {
+            prop_assert_eq!(display, "0");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! FIFO channel state shared by the executors.
+//!
+//! Every channel place (and every environment input port place) is backed
+//! by a FIFO of data values. The multi-task executor additionally enforces
+//! per-channel capacities: a write blocks when it would overflow the
+//! buffer, which is what makes small buffers expensive in Figure 20.
+
+use qss_flowc::LinkedSystem;
+use qss_petri::PlaceId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// FIFO queues for the data carried by channel and port places.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelState {
+    queues: BTreeMap<PlaceId, VecDeque<i64>>,
+    capacities: BTreeMap<PlaceId, usize>,
+}
+
+impl ChannelState {
+    /// Creates the channel state for a linked system. If `capacity` is
+    /// given, every inter-process channel gets that capacity (environment
+    /// ports are unbounded); declared channel bounds override it.
+    pub fn for_system(system: &LinkedSystem, capacity: Option<u32>) -> Self {
+        let mut state = ChannelState::default();
+        for channel in &system.channels {
+            state.queues.insert(channel.place, VecDeque::new());
+            let cap = channel.bound.or(capacity);
+            if let Some(c) = cap {
+                state.capacities.insert(channel.place, c as usize);
+            }
+        }
+        for input in &system.env_inputs {
+            state.queues.insert(input.place, VecDeque::new());
+        }
+        for output in &system.env_outputs {
+            state.queues.insert(output.place, VecDeque::new());
+        }
+        state
+    }
+
+    /// Number of queued items at `place`.
+    pub fn len(&self, place: PlaceId) -> usize {
+        self.queues.get(&place).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Returns `true` if no place holds any queued data.
+    pub fn is_empty(&self) -> bool {
+        self.queues.values().all(|q| q.is_empty())
+    }
+
+    /// The configured capacity of `place`, if bounded.
+    pub fn capacity(&self, place: PlaceId) -> Option<usize> {
+        self.capacities.get(&place).copied()
+    }
+
+    /// Returns `true` if `n` more items fit into `place`.
+    pub fn can_accept(&self, place: PlaceId, n: usize) -> bool {
+        match self.capacity(place) {
+            Some(cap) => self.len(place) + n <= cap,
+            None => true,
+        }
+    }
+
+    /// Appends values to the queue of `place`.
+    pub fn push(&mut self, place: PlaceId, values: &[i64]) {
+        self.queues
+            .entry(place)
+            .or_default()
+            .extend(values.iter().copied());
+    }
+
+    /// Removes and returns `n` values from the queue of `place`; returns
+    /// `None` if fewer than `n` values are available.
+    pub fn pop(&mut self, place: PlaceId, n: usize) -> Option<Vec<i64>> {
+        let queue = self.queues.entry(place).or_default();
+        if queue.len() < n {
+            return None;
+        }
+        Some(queue.drain(..n).collect())
+    }
+
+    /// Drains the whole queue of `place`.
+    pub fn drain(&mut self, place: PlaceId) -> Vec<i64> {
+        self.queues
+            .entry(place)
+            .or_default()
+            .drain(..)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_and_capacity() {
+        let mut state = ChannelState::default();
+        let p = PlaceId::new(0);
+        state.capacities.insert(p, 3);
+        assert!(state.can_accept(p, 3));
+        state.push(p, &[1, 2, 3]);
+        assert!(!state.can_accept(p, 1));
+        assert_eq!(state.len(p), 3);
+        assert_eq!(state.pop(p, 2), Some(vec![1, 2]));
+        assert_eq!(state.pop(p, 2), None);
+        assert_eq!(state.drain(p), vec![3]);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn unbounded_place_accepts_everything() {
+        let mut state = ChannelState::default();
+        let p = PlaceId::new(1);
+        assert!(state.can_accept(p, 1_000));
+        state.push(p, &[0; 100]);
+        assert_eq!(state.len(p), 100);
+        assert_eq!(state.capacity(p), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Code-size comparison between the multi-task and single-task
+//! implementations (Table 2 of the paper).
+//!
+//! Sizes are estimated with the per-construct byte model of
+//! [`qss_codegen::size`]: the four-process implementation pays for one
+//! copy of the (large) communication primitives per `READ_DATA` /
+//! `WRITE_DATA` plus per-task overhead, while the generated single task
+//! replaces intra-task communication with plain variable copies and shares
+//! code segments between threads.
+
+use qss_codegen::{estimate_code_size, CodeCostModel, GeneratedTask};
+use qss_flowc::{LinkedSystem, Process, Stmt};
+use serde::{Deserialize, Serialize};
+
+/// Per-construct counts of one FlowC process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessCounts {
+    /// Plain statements (assignments, declarations, expression statements).
+    pub statements: u64,
+    /// Control-flow constructs (`if`, `while`, `switch(SELECT)`).
+    pub conditionals: u64,
+    /// Communication operations (`READ_DATA`, `WRITE_DATA`, SELECT arms).
+    pub comm_ops: u64,
+}
+
+fn count_stmts(stmts: &[Stmt], counts: &mut ProcessCounts) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Decl { .. } | Stmt::Nop => {}
+            Stmt::Assign { .. } | Stmt::Expr(_) => counts.statements += 1,
+            Stmt::Port(_) => counts.comm_ops += 1,
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                counts.conditionals += 1;
+                count_stmts(then_branch, counts);
+                count_stmts(else_branch, counts);
+            }
+            Stmt::While { body, .. } => {
+                counts.conditionals += 1;
+                count_stmts(body, counts);
+            }
+            Stmt::Select { ports, arms } => {
+                counts.conditionals += 1;
+                counts.comm_ops += ports.len() as u64;
+                for arm in arms {
+                    count_stmts(&arm.body, counts);
+                }
+            }
+        }
+    }
+}
+
+/// Counts the constructs of one process.
+pub fn process_counts(process: &Process) -> ProcessCounts {
+    let mut counts = ProcessCounts::default();
+    count_stmts(&process.body, &mut counts);
+    counts
+}
+
+/// Estimated object-code size of one process when compiled as its own RTOS
+/// task. `inline_comm` selects the paper's inlined-primitives variant
+/// (faster but larger code).
+pub fn process_size(process: &Process, model: &CodeCostModel, inline_comm: bool) -> u64 {
+    let counts = process_counts(process);
+    let comm_bytes = if inline_comm {
+        // An inlined circular-buffer implementation of the primitive
+        // (pointer arithmetic, wrap-around, blocking check) is roughly four
+        // times the size of a plain function call.
+        model.bytes_per_rtos_comm * 4
+    } else {
+        model.bytes_per_rtos_comm
+    };
+    model.bytes_task_overhead
+        + counts.statements * model.bytes_per_statement
+        + counts.conditionals * model.bytes_per_conditional
+        + counts.comm_ops * comm_bytes
+}
+
+/// Estimated size of every process of a linked system, by process name.
+pub fn process_network_size(
+    system: &LinkedSystem,
+    processes: &[Process],
+    model: &CodeCostModel,
+    inline_comm: bool,
+) -> Vec<(String, u64)> {
+    system
+        .process_names
+        .iter()
+        .filter_map(|name| {
+            processes
+                .iter()
+                .find(|p| &p.name == name)
+                .map(|p| (name.clone(), process_size(p, model, inline_comm)))
+        })
+        .collect()
+}
+
+/// Estimated object-code size of a generated single task.
+pub fn task_size(task: &GeneratedTask, model: &CodeCostModel) -> u64 {
+    estimate_code_size(&task.stats, model)
+}
+
+/// A Table-2 style size comparison under one cost profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeReport {
+    /// Cost profile name.
+    pub profile: String,
+    /// Per-process sizes of the multi-task implementation, in bytes.
+    pub per_process: Vec<(String, u64)>,
+    /// Total size of the multi-task implementation.
+    pub processes_total: u64,
+    /// Size of the generated single task.
+    pub task: u64,
+    /// `processes_total / task`.
+    pub ratio: f64,
+}
+
+/// Builds the Table-2 comparison for one profile.
+pub fn size_report(
+    system: &LinkedSystem,
+    processes: &[Process],
+    task: &GeneratedTask,
+    model: &CodeCostModel,
+    inline_comm: bool,
+) -> SizeReport {
+    let per_process = process_network_size(system, processes, model, inline_comm);
+    let processes_total: u64 = per_process.iter().map(|(_, s)| s).sum();
+    let task_bytes = task_size(task, model);
+    SizeReport {
+        profile: model.name.to_string(),
+        per_process,
+        processes_total,
+        task: task_bytes,
+        ratio: processes_total as f64 / task_bytes.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qss_flowc::parse_process;
+
+    #[test]
+    fn counts_divisors_process() {
+        let p = parse_process(qss_flowc::examples::DIVISORS).unwrap();
+        let counts = process_counts(&p);
+        // READ_DATA + 3 WRITE_DATA.
+        assert_eq!(counts.comm_ops, 4);
+        // while(1), while(n%i!=0), while(i>1), if(n%i==0).
+        assert_eq!(counts.conditionals, 4);
+        assert!(counts.statements >= 3);
+    }
+
+    #[test]
+    fn inlined_primitives_are_larger() {
+        let p = parse_process(qss_flowc::examples::DIVISORS).unwrap();
+        let model = CodeCostModel::unoptimized();
+        assert!(process_size(&p, &model, true) > process_size(&p, &model, false));
+    }
+
+    #[test]
+    fn optimisation_reduces_process_size() {
+        let p = parse_process(qss_flowc::examples::DIVISORS).unwrap();
+        assert!(
+            process_size(&p, &CodeCostModel::unoptimized(), true)
+                > process_size(&p, &CodeCostModel::optimized2(), true)
+        );
+    }
+}

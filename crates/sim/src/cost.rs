@@ -1,0 +1,127 @@
+//! Cycle cost model standing in for the paper's R3000 measurements.
+//!
+//! The experiments of Sec. 8 report clock cycles measured on a MIPS R3000
+//! workstation under three compiler settings (`pfc`, `pfc-O`, `pfc-O2`).
+//! We replace the hardware with a deterministic cost model: every executed
+//! statement, communication operation, RTOS dispatch and context switch is
+//! charged a fixed number of cycles. Optimisation levels reduce the cost
+//! of computation, while operating-system costs (context switches, RTOS
+//! channel primitives) stay constant — which is exactly why the paper's
+//! speed-up ratio grows from 3.9× (unoptimised) to 5.2× (`-O2`).
+
+use serde::{Deserialize, Serialize};
+
+/// Cycle costs per primitive operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleCostModel {
+    /// Name of the profile (`pfc`, `pfc-O`, `pfc-O2`).
+    pub name: &'static str,
+    /// Cycles per executed C statement (assignment, arithmetic, test).
+    pub cycles_per_statement: u64,
+    /// Cycles per evaluated guard / loop condition.
+    pub cycles_per_condition: u64,
+    /// Cycles per item moved through an *inlined* intra-task buffer.
+    pub cycles_per_inline_item: u64,
+    /// Fixed cycles per RTOS communication primitive call
+    /// (`READ_DATA`/`WRITE_DATA` between separate tasks).
+    pub cycles_per_rtos_call: u64,
+    /// Cycles per item moved by an RTOS communication primitive.
+    pub cycles_per_rtos_item: u64,
+    /// Cycles per context switch between tasks.
+    pub cycles_per_context_switch: u64,
+    /// Cycles per scheduling decision of the round-robin RTOS.
+    pub cycles_per_dispatch: u64,
+    /// Cycles to enter the ISR / react to an environment event.
+    pub cycles_per_event: u64,
+}
+
+impl CycleCostModel {
+    /// Unoptimised compilation (the paper's `pfc` column).
+    pub fn unoptimized() -> Self {
+        CycleCostModel {
+            name: "pfc",
+            cycles_per_statement: 12,
+            cycles_per_condition: 8,
+            cycles_per_inline_item: 8,
+            cycles_per_rtos_call: 80,
+            cycles_per_rtos_item: 12,
+            cycles_per_context_switch: 180,
+            cycles_per_dispatch: 30,
+            cycles_per_event: 60,
+        }
+    }
+
+    /// `-O` compilation (the paper's `pfc-O` column).
+    pub fn optimized() -> Self {
+        CycleCostModel {
+            name: "pfc-O",
+            cycles_per_statement: 5,
+            cycles_per_condition: 3,
+            cycles_per_inline_item: 3,
+            cycles_per_rtos_call: 45,
+            cycles_per_rtos_item: 7,
+            cycles_per_context_switch: 170,
+            cycles_per_dispatch: 28,
+            cycles_per_event: 50,
+        }
+    }
+
+    /// `-O2` compilation (the paper's `pfc-O2` column).
+    pub fn optimized2() -> Self {
+        CycleCostModel {
+            name: "pfc-O2",
+            cycles_per_statement: 4,
+            cycles_per_condition: 3,
+            cycles_per_inline_item: 3,
+            cycles_per_rtos_call: 42,
+            cycles_per_rtos_item: 6,
+            cycles_per_context_switch: 168,
+            cycles_per_dispatch: 27,
+            cycles_per_event: 48,
+        }
+    }
+
+    /// The three profiles used by the paper's evaluation, in order.
+    pub fn profiles() -> [CycleCostModel; 3] {
+        [Self::unoptimized(), Self::optimized(), Self::optimized2()]
+    }
+
+    /// Cycles for one RTOS communication primitive transferring `nitems`.
+    pub fn rtos_comm(&self, nitems: u32) -> u64 {
+        self.cycles_per_rtos_call + self.cycles_per_rtos_item * nitems as u64
+    }
+
+    /// Cycles for moving `nitems` through an inlined intra-task buffer.
+    pub fn inline_comm(&self, nitems: u32) -> u64 {
+        self.cycles_per_inline_item * nitems as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimisation_reduces_computation_but_not_os_costs() {
+        let o0 = CycleCostModel::unoptimized();
+        let o2 = CycleCostModel::optimized2();
+        assert!(o0.cycles_per_statement > o2.cycles_per_statement);
+        // OS costs stay in the same ballpark (< 10% difference).
+        let diff = o0.cycles_per_context_switch as f64 - o2.cycles_per_context_switch as f64;
+        assert!(diff / (o0.cycles_per_context_switch as f64) < 0.1);
+    }
+
+    #[test]
+    fn communication_costs_scale_with_items() {
+        let m = CycleCostModel::unoptimized();
+        assert!(m.rtos_comm(10) > m.rtos_comm(1));
+        assert!(m.inline_comm(10) > m.inline_comm(1));
+        assert!(m.rtos_comm(1) > m.inline_comm(1));
+    }
+
+    #[test]
+    fn profiles_are_named() {
+        let names: Vec<_> = CycleCostModel::profiles().iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["pfc", "pfc-O", "pfc-O2"]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error handling for the execution substrate.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors produced while simulating a system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The simulation deadlocked: events remain but no task can make
+    /// progress (e.g. a channel buffer is too small for a multi-rate
+    /// write).
+    Deadlock(String),
+    /// An environment event refers to an unknown input port.
+    UnknownPort(String),
+    /// The schedule and the system are inconsistent.
+    Schedule(String),
+    /// A run-time guard or expression could not be evaluated.
+    Evaluation(String),
+    /// The simulation exceeded its step budget (runaway loop).
+    StepBudgetExhausted(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(msg) => write!(f, "simulation deadlocked: {msg}"),
+            SimError::UnknownPort(port) => write!(f, "unknown environment port `{port}`"),
+            SimError::Schedule(msg) => write!(f, "schedule execution error: {msg}"),
+            SimError::Evaluation(msg) => write!(f, "evaluation error: {msg}"),
+            SimError::StepBudgetExhausted(steps) => {
+                write!(f, "simulation exceeded its step budget of {steps}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        for e in [
+            SimError::Deadlock("x".into()),
+            SimError::UnknownPort("p".into()),
+            SimError::Schedule("s".into()),
+            SimError::Evaluation("e".into()),
+            SimError::StepBudgetExhausted(10),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

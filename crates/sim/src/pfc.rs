@@ -1,0 +1,220 @@
+//! The PFC video application of Sec. 8.2, written in FlowC.
+//!
+//! Four processes: a `producer` generating frames of pixels, a `filter`
+//! scaling them by a coefficient, a `consumer` accumulating the filtered
+//! frame, and a soft real-time `controller` triggered by the only
+//! uncontrollable input `init`. Pixels travel one by one; end-of-frame is
+//! signalled with dedicated `done` channels and consumed through `SELECT`,
+//! the schedulable idiom of Sec. 7.2; coefficients are read through
+//! `SELECT` only when available, otherwise the previous frame's
+//! coefficient is reused — exactly the behaviour described in the paper.
+//!
+//! The authors' original FlowC sources are not public; this
+//! re-implementation preserves the structure the paper describes (process
+//! topology, uncontrollable `init` trigger, per-pixel data path, per-frame
+//! coefficient path, 10×10-pixel frames) so that the scheduling and cost
+//! behaviour match.
+
+use crate::report::EnvEvent;
+use qss_flowc::{link, parse_process, LinkedSystem, SystemSpec};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the PFC workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PfcParams {
+    /// Number of pixels per frame (the paper uses 10 lines × 10 pixels).
+    pub pixels_per_frame: u32,
+}
+
+impl Default for PfcParams {
+    fn default() -> Self {
+        PfcParams {
+            pixels_per_frame: 100,
+        }
+    }
+}
+
+impl PfcParams {
+    /// A small frame size useful for fast unit tests.
+    pub fn tiny() -> Self {
+        PfcParams {
+            pixels_per_frame: 4,
+        }
+    }
+}
+
+fn controller_source() -> String {
+    r#"
+PROCESS controller (In DPORT init, Out DPORT req, Out DPORT coeff, In DPORT ack) {
+    int v, s;
+    while (1) {
+        READ_DATA(init, &v, 1);
+        if (v % 2 == 0)
+            WRITE_DATA(coeff, v + 2, 1);
+        WRITE_DATA(req, v, 1);
+        READ_DATA(ack, s, 1);
+    }
+}
+"#
+    .to_string()
+}
+
+fn producer_source(params: &PfcParams) -> String {
+    format!(
+        r#"
+PROCESS producer (In DPORT req, Out DPORT pix, Out DPORT pdone) {{
+    int r, i;
+    while (1) {{
+        READ_DATA(req, &r, 1);
+        i = 0;
+        while (i < {pixels}) {{
+            WRITE_DATA(pix, r + i, 1);
+            i++;
+        }}
+        WRITE_DATA(pdone, 0, 1);
+    }}
+}}
+"#,
+        pixels = params.pixels_per_frame
+    )
+}
+
+fn filter_source() -> String {
+    r#"
+PROCESS filter (In DPORT pix, In DPORT pdone, In DPORT coeff, Out DPORT fpix, Out DPORT fdone) {
+    int p, c, d;
+    c = 1;
+    while (1) {
+        switch (SELECT(coeff, 1, pix, 1, pdone, 1)) {
+            case 0: READ_DATA(coeff, c, 1); break;
+            case 1: READ_DATA(pix, p, 1); WRITE_DATA(fpix, p * c, 1); break;
+            case 2: READ_DATA(pdone, d, 1); WRITE_DATA(fdone, 0, 1); break;
+        }
+    }
+}
+"#
+    .to_string()
+}
+
+fn consumer_source() -> String {
+    r#"
+PROCESS consumer (In DPORT fpix, In DPORT fdone, Out DPORT out, Out DPORT ack) {
+    int q, s, d;
+    while (1) {
+        switch (SELECT(fpix, 1, fdone, 1)) {
+            case 0: READ_DATA(fpix, q, 1); s = s + q; break;
+            case 1: READ_DATA(fdone, d, 1); WRITE_DATA(out, s, 1); WRITE_DATA(ack, s, 1); s = 0; break;
+        }
+    }
+}
+"#
+    .to_string()
+}
+
+/// Builds the PFC network specification.
+///
+/// # Panics
+/// Panics only if the embedded FlowC sources fail to parse, which would be
+/// a bug in this crate.
+pub fn pfc_spec(params: &PfcParams) -> SystemSpec {
+    let controller = parse_process(&controller_source()).expect("controller parses");
+    let producer = parse_process(&producer_source(params)).expect("producer parses");
+    let filter = parse_process(&filter_source()).expect("filter parses");
+    let consumer = parse_process(&consumer_source()).expect("consumer parses");
+    SystemSpec::new("pfc")
+        .with_process(controller)
+        .with_process(producer)
+        .with_process(filter)
+        .with_process(consumer)
+        .with_channel("controller.req", "producer.req", None)
+        .expect("req channel")
+        .with_channel("controller.coeff", "filter.coeff", None)
+        .expect("coeff channel")
+        .with_channel("producer.pix", "filter.pix", None)
+        .expect("pix channel")
+        .with_channel("producer.pdone", "filter.pdone", None)
+        .expect("pdone channel")
+        .with_channel("filter.fpix", "consumer.fpix", None)
+        .expect("fpix channel")
+        .with_channel("filter.fdone", "consumer.fdone", None)
+        .expect("fdone channel")
+        .with_channel("consumer.ack", "controller.ack", None)
+        .expect("ack channel")
+}
+
+/// Builds and links the PFC system.
+///
+/// # Errors
+/// Propagates linking errors (none are expected for the embedded sources).
+pub fn pfc_system(params: &PfcParams) -> qss_flowc::Result<LinkedSystem> {
+    link(&pfc_spec(params))
+}
+
+/// The environment workload: `frames` occurrences of the `init` event,
+/// with alternating even/odd frame identifiers so that the coefficient
+/// path is exercised on every other frame.
+pub fn pfc_events(frames: usize) -> Vec<EnvEvent> {
+    (0..frames)
+        .map(|i| EnvEvent::new("controller", "init", i as i64))
+        .collect()
+}
+
+/// The reference output of the PFC application computed directly from its
+/// semantics (used to check both executors): for frame `v`, every pixel is
+/// `v + i` scaled by the coefficient in effect (`v + 2` on even frames,
+/// carried over on odd frames), and the consumer outputs the frame sum.
+pub fn pfc_expected_outputs(params: &PfcParams, frames: usize) -> Vec<i64> {
+    let n = params.pixels_per_frame as i64;
+    let mut coeff = 1i64;
+    let mut outputs = Vec::new();
+    for frame in 0..frames as i64 {
+        if frame % 2 == 0 {
+            coeff = frame + 2;
+        }
+        let sum: i64 = (0..n).map(|i| (frame + i) * coeff).sum();
+        outputs.push(sum);
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qss_petri::EcsInfo;
+
+    #[test]
+    fn pfc_spec_validates_and_links() {
+        let params = PfcParams::tiny();
+        let spec = pfc_spec(&params);
+        assert!(spec.validate().is_ok());
+        let system = pfc_system(&params).unwrap();
+        assert_eq!(system.process_names.len(), 4);
+        assert_eq!(system.channels.len(), 7);
+        // Exactly one uncontrollable input (init) and one environment
+        // output (consumer.out).
+        assert_eq!(system.uncontrollable_sources().len(), 1);
+        assert_eq!(system.env_outputs.len(), 1);
+        // SELECT makes the net non-Equal-Choice, as the paper notes.
+        let ecs = EcsInfo::compute(&system.net);
+        assert!(!ecs.is_equal_choice(&system.net));
+    }
+
+    #[test]
+    fn workload_and_reference_outputs() {
+        let events = pfc_events(3);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].values, vec![2]);
+        let expected = pfc_expected_outputs(&PfcParams::tiny(), 3);
+        // frame 0: coeff 2, pixels 0..4 => (0+1+2+3)*2 = 12
+        // frame 1: coeff 2, pixels 1..5 => (1+2+3+4)*2 = 20
+        // frame 2: coeff 4, pixels 2..6 => (2+3+4+5)*4 = 56
+        assert_eq!(expected, vec![12, 20, 56]);
+    }
+
+    #[test]
+    fn frame_size_is_configurable() {
+        let src = producer_source(&PfcParams { pixels_per_frame: 7 });
+        assert!(src.contains("i < 7"));
+        assert!(parse_process(&src).is_ok());
+    }
+}

@@ -1,0 +1,80 @@
+//! The industrial video application of Sec. 8 (producer / filter /
+//! consumer / controller): scheduling, task generation and the
+//! single-task-vs-four-tasks comparison.
+//!
+//! Run with `cargo run --release -p qss-bench --example video_pfc [frames]`.
+
+use qss_codegen::{generate_task, TaskOptions};
+use qss_core::{schedule_system, ScheduleOptions};
+use qss_sim::{
+    pfc_events, pfc_system, run_multitask, run_singletask, CycleCostModel, MultiTaskConfig,
+    PfcParams, SingleTaskConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let params = PfcParams::default();
+    let system = pfc_system(&params)?;
+    println!(
+        "PFC system: {} processes, {} channels, net of {} places / {} transitions",
+        system.process_names.len(),
+        system.channels.len(),
+        system.net.num_places(),
+        system.net.num_transitions()
+    );
+
+    let schedules = schedule_system(&system, &ScheduleOptions::default())?;
+    let schedule = &schedules.schedules[0];
+    println!(
+        "schedule for `controller.init`: {} nodes, {} edges, {} await node(s)",
+        schedule.num_nodes(),
+        schedule.num_edges(),
+        schedule.await_nodes(&system.net).len()
+    );
+    for channel in &system.channels {
+        println!(
+            "  channel `{}` buffer bound: {}",
+            channel.name,
+            schedules.bound(channel.place)
+        );
+    }
+
+    let task = generate_task(
+        &system,
+        schedule,
+        &schedules.channel_bounds,
+        &TaskOptions::default(),
+    )?;
+    println!(
+        "generated task `{}`: {} code segments, {} threads, {} state variable(s), {} lines of C",
+        task.name,
+        task.stats.num_segments,
+        task.stats.num_threads,
+        task.stats.num_state_variables,
+        task.code.lines().count()
+    );
+
+    let events = pfc_events(frames);
+    println!("\n{:>8} | {:>12} | {:>12} | {:>6}", "profile", "1 task", "4 tasks", "ratio");
+    for profile in CycleCostModel::profiles() {
+        let single = run_singletask(
+            &system,
+            &schedules.schedules,
+            &events,
+            &SingleTaskConfig::new(profile),
+        )?;
+        let multi = run_multitask(&system, &events, &MultiTaskConfig::new(100, profile))?;
+        assert_eq!(single.outputs, multi.outputs, "implementations must agree");
+        println!(
+            "{:>8} | {:>12} | {:>12} | {:>6.1}",
+            profile.name,
+            single.cycles,
+            multi.cycles,
+            multi.cycles as f64 / single.cycles as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Integration test for Sec. 7.2: the false-path problem and its
+//! SELECT-based solution.
+//!
+//! Two processes exchange bursts over coupled fixed-bound loops. The
+//! Petri-net abstraction ignores the loop bounds, so the naive
+//! specification looks unschedulable; rewriting the dependent loops with
+//! `SELECT` over the data channel and a `done` channel makes the network
+//! quasi-statically schedulable with finite buffers.
+
+use qss_core::{schedule_system, ScheduleError, ScheduleOptions};
+use qss_flowc::{examples, link, parse_process, LinkedSystem, SystemSpec};
+use qss_sim::{run_multitask, run_singletask, CycleCostModel, EnvEvent, MultiTaskConfig, SingleTaskConfig};
+
+/// Wraps the naive process A so that each burst is triggered by an
+/// uncontrollable environment event (the published example is a closed
+/// system; the tasks of this paper are generated per environment input).
+/// The SELECT rewrite already declares its `start` trigger port.
+fn triggered_a(source: &str) -> String {
+    if source.contains("DPORT start") {
+        return source.to_string();
+    }
+    source
+        .replace("(Out DPORT c0", "(In DPORT start, Out DPORT c0")
+        .replace("int i,", "int g, i,")
+        .replace(
+            "while (1) {",
+            "while (1) {\n        READ_DATA(start, g, 1);",
+        )
+}
+
+fn build(a_source: &str, b_source: &str, with_done: bool) -> LinkedSystem {
+    let a = parse_process(&triggered_a(a_source)).unwrap();
+    let b = parse_process(b_source).unwrap();
+    let mut spec = SystemSpec::new("false_paths")
+        .with_process(a)
+        .with_process(b)
+        .with_channel("A.c0", "B.c0", None)
+        .unwrap()
+        .with_channel("B.c1", "A.c1", None)
+        .unwrap();
+    if with_done {
+        spec = spec
+            .with_channel("A.done0", "B.done0", None)
+            .unwrap()
+            .with_channel("B.done1", "A.done1", None)
+            .unwrap();
+    }
+    link(&spec).unwrap()
+}
+
+#[test]
+fn naive_coupled_loops_are_rejected() {
+    let system = build(examples::FALSE_PATH_A, examples::FALSE_PATH_B, false);
+    let options = ScheduleOptions {
+        max_nodes: 20_000,
+        ..Default::default()
+    };
+    let err = schedule_system(&system, &options).unwrap_err();
+    assert!(matches!(
+        err,
+        ScheduleError::NoSchedule { .. } | ScheduleError::SearchBudgetExhausted { .. }
+    ));
+}
+
+#[test]
+fn select_rewrite_is_schedulable_with_unit_buffers() {
+    let system = build(
+        examples::FALSE_PATH_A_SELECT,
+        examples::FALSE_PATH_B_SELECT,
+        true,
+    );
+    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
+    let schedule = &schedules.schedules[0];
+    schedule.validate(&system.net).unwrap();
+    assert!(schedule.is_single_source(&system.net));
+    // Every channel gets a small static bound (the data channels carry the
+    // bursts one item at a time).
+    for channel in &system.channels {
+        let bound = schedules.bound(channel.place);
+        assert!(bound >= 1 && bound <= 2, "{} bound {bound}", channel.name);
+    }
+}
+
+#[test]
+fn select_rewrite_behaves_like_the_paper_schedule() {
+    // The paper states the synthesized schedule is equivalent to copying
+    // 10 items from buf1 to buf3 and 2 items from buf4 to buf2. Execute
+    // the generated schedule and the 4-task baseline and compare the
+    // number of items moved (observable through the channel-op counters).
+    let system = build(
+        examples::FALSE_PATH_A_SELECT,
+        examples::FALSE_PATH_B_SELECT,
+        true,
+    );
+    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
+    let events: Vec<EnvEvent> = (0..3).map(|i| EnvEvent::new("A", "start", i)).collect();
+    let single = run_singletask(
+        &system,
+        &schedules.schedules,
+        &events,
+        &SingleTaskConfig::new(CycleCostModel::unoptimized()),
+    )
+    .unwrap();
+    let multi = run_multitask(
+        &system,
+        &events,
+        &MultiTaskConfig::new(16, CycleCostModel::unoptimized()),
+    )
+    .unwrap();
+    assert_eq!(single.outputs, multi.outputs);
+    // Per burst: 10 writes + 10 reads on c0, 1+1 on done0, 2+2 on c1,
+    // 1+1 on done1, plus the kick read: the two implementations must move
+    // the same amount of data.
+    assert_eq!(single.channel_ops, multi.channel_ops);
+    assert!(single.cycles < multi.cycles);
+}

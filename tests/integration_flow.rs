@@ -1,0 +1,253 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! FlowC parsing → linking → quasi-static scheduling → code generation →
+//! execution on both the multi-task baseline and the generated task.
+
+use qss_codegen::{generate_task, SegmentGraph, TaskOptions};
+use qss_core::{execute_run, schedule_system, ScheduleOptions};
+use qss_flowc::{link, parse_process, PortClass, SystemSpec};
+use qss_sim::{
+    pfc_events, pfc_expected_outputs, pfc_system, run_multitask, run_singletask, size_report,
+    CycleCostModel, EnvEvent, MultiTaskConfig, PfcParams, SingleTaskConfig,
+};
+
+/// A three-stage pipeline with a data-dependent branch in the middle stage.
+fn branching_pipeline() -> qss_flowc::LinkedSystem {
+    let source = parse_process(
+        "PROCESS source (In DPORT trigger, Out DPORT raw) {
+             int t;
+             while (1) {
+                 READ_DATA(trigger, t, 1);
+                 WRITE_DATA(raw, t, 1);
+             }
+         }",
+    )
+    .unwrap();
+    let stage = parse_process(
+        "PROCESS stage (In DPORT raw, Out DPORT cooked) {
+             int x;
+             while (1) {
+                 READ_DATA(raw, x, 1);
+                 if (x % 2 == 0)
+                     WRITE_DATA(cooked, x / 2, 1);
+                 else
+                     WRITE_DATA(cooked, 3 * x + 1, 1);
+             }
+         }",
+    )
+    .unwrap();
+    let sink = parse_process(
+        "PROCESS sink (In DPORT cooked, Out DPORT result) {
+             int y;
+             while (1) {
+                 READ_DATA(cooked, y, 1);
+                 WRITE_DATA(result, y, 1);
+             }
+         }",
+    )
+    .unwrap();
+    let spec = SystemSpec::new("collatz_pipeline")
+        .with_process(source)
+        .with_process(stage)
+        .with_process(sink)
+        .with_channel("source.raw", "stage.raw", None)
+        .unwrap()
+        .with_channel("stage.cooked", "sink.cooked", None)
+        .unwrap()
+        .with_input_port_class("source.trigger", PortClass::Uncontrollable);
+    link(&spec).unwrap()
+}
+
+#[test]
+fn full_flow_on_branching_pipeline() {
+    let system = branching_pipeline();
+    // Schedule and validate against the five defining properties.
+    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
+    assert_eq!(schedules.schedules.len(), 1);
+    let schedule = &schedules.schedules[0];
+    schedule.validate(&system.net).unwrap();
+    assert!(schedule.is_single_source(&system.net));
+    // The data-dependent branch appears as a two-edge node.
+    assert!(schedule
+        .node_ids()
+        .any(|id| schedule.edges(id).len() == 2));
+    // All channel buffers are unit size.
+    for channel in &system.channels {
+        assert_eq!(schedules.bound(channel.place), 1, "{}", channel.name);
+    }
+    // Code generation succeeds and emits both guard branches.
+    let graph = SegmentGraph::build(schedule, &system.net).unwrap();
+    assert!(graph.segments.len() >= 1);
+    let task = generate_task(
+        &system,
+        schedule,
+        &schedules.channel_bounds,
+        &TaskOptions::default(),
+    )
+    .unwrap();
+    assert!(task.code.contains("if ("));
+    assert!(task.code.contains("WRITE_DATA(result"));
+
+    // Execute the Collatz-style branch on both implementations.
+    let events: Vec<EnvEvent> = [6i64, 7, 8, 9]
+        .into_iter()
+        .map(|v| EnvEvent::new("source", "trigger", v))
+        .collect();
+    let single = run_singletask(
+        &system,
+        &schedules.schedules,
+        &events,
+        &SingleTaskConfig::new(CycleCostModel::unoptimized()),
+    )
+    .unwrap();
+    let multi = run_multitask(
+        &system,
+        &events,
+        &MultiTaskConfig::new(2, CycleCostModel::unoptimized()),
+    )
+    .unwrap();
+    assert_eq!(single.output("sink", "result"), &[3, 22, 4, 28]);
+    assert_eq!(single.outputs, multi.outputs);
+    assert!(multi.cycles > single.cycles);
+
+    // The abstract run machinery of the core crate agrees with the net.
+    let source = system.uncontrollable_sources()[0];
+    let trace = execute_run(
+        &system.net,
+        &schedules.schedules,
+        &[source, source],
+        |_, _, _| 0,
+    )
+    .unwrap();
+    assert!(!trace.fired.is_empty());
+}
+
+#[test]
+fn pfc_end_to_end_matches_reference_and_paper_shape() {
+    let params = PfcParams::tiny();
+    let system = pfc_system(&params).unwrap();
+    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
+    let schedule = &schedules.schedules[0];
+    schedule.validate(&system.net).unwrap();
+    // The paper: a single task with all channels of unit size.
+    for channel in &system.channels {
+        assert_eq!(schedules.bound(channel.place), 1, "{}", channel.name);
+    }
+    let task = generate_task(
+        &system,
+        schedule,
+        &schedules.channel_bounds,
+        &TaskOptions::default(),
+    )
+    .unwrap();
+    assert!(task.stats.num_segments >= 2);
+
+    let events = pfc_events(6);
+    let single = run_singletask(
+        &system,
+        &schedules.schedules,
+        &events,
+        &SingleTaskConfig::new(CycleCostModel::optimized()),
+    )
+    .unwrap();
+    let multi = run_multitask(
+        &system,
+        &events,
+        &MultiTaskConfig::new(100, CycleCostModel::optimized()),
+    )
+    .unwrap();
+    // Functional equivalence (the role of VCC simulation in the paper).
+    assert_eq!(
+        single.output("consumer", "out"),
+        pfc_expected_outputs(&params, 6).as_slice()
+    );
+    assert_eq!(single.outputs, multi.outputs);
+    // Performance shape: single task wins by a clear factor, and the
+    // advantage grows when buffers shrink.
+    assert!(multi.cycles as f64 / single.cycles as f64 > 2.0);
+    let multi_small = run_multitask(
+        &system,
+        &events,
+        &MultiTaskConfig::new(1, CycleCostModel::optimized()),
+    )
+    .unwrap();
+    assert!(multi_small.cycles > multi.cycles);
+
+    // Code size shape of Table 2: the single task is several times smaller.
+    let spec = qss_sim::pfc_spec(&params);
+    let report = size_report(
+        &system,
+        spec.processes(),
+        &task,
+        &qss_codegen::CodeCostModel::optimized(),
+        true,
+    );
+    assert!(report.ratio > 3.0);
+}
+
+#[test]
+fn divisors_task_computes_divisors_end_to_end() {
+    let process = parse_process(qss_flowc::examples::DIVISORS).unwrap();
+    let spec = SystemSpec::new("divisors_system").with_process(process);
+    let system = link(&spec).unwrap();
+    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
+    schedules.schedules[0].validate(&system.net).unwrap();
+    let events: Vec<EnvEvent> = [12i64, 30]
+        .into_iter()
+        .map(|n| EnvEvent::new("divisors", "in", n))
+        .collect();
+    let single = run_singletask(
+        &system,
+        &schedules.schedules,
+        &events,
+        &SingleTaskConfig::new(CycleCostModel::unoptimized()),
+    )
+    .unwrap();
+    assert_eq!(single.output("divisors", "max"), &[6, 15]);
+    assert_eq!(
+        single.output("divisors", "all"),
+        &[6, 4, 3, 2, 1, 15, 10, 6, 5, 3, 2, 1]
+    );
+    // The multi-task implementation (a single process here) agrees.
+    let multi = run_multitask(
+        &system,
+        &events,
+        &MultiTaskConfig::new(4, CycleCostModel::unoptimized()),
+    )
+    .unwrap();
+    assert_eq!(single.outputs, multi.outputs);
+}
+
+#[test]
+fn controllable_inputs_are_excluded_from_task_generation() {
+    // A system where one input is controllable: only the uncontrollable
+    // port gets a task/schedule.
+    let worker = parse_process(
+        "PROCESS worker (In DPORT job, In DPORT param, Out DPORT done) {
+             int j, p;
+             while (1) {
+                 READ_DATA(job, j, 1);
+                 READ_DATA(param, p, 1);
+                 WRITE_DATA(done, j + p, 1);
+             }
+         }",
+    )
+    .unwrap();
+    let spec = SystemSpec::new("mixed_inputs")
+        .with_process(worker)
+        .with_input_port_class("worker.param", PortClass::Controllable);
+    let system = link(&spec).unwrap();
+    assert_eq!(system.uncontrollable_sources().len(), 1);
+    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
+    assert_eq!(schedules.schedules.len(), 1);
+    let schedule = &schedules.schedules[0];
+    schedule.validate(&system.net).unwrap();
+    // The controllable source is involved in the schedule (the system
+    // requests the parameter itself), which is allowed for SS schedules.
+    let controllable = system
+        .env_inputs
+        .iter()
+        .find(|e| e.class == PortClass::Controllable)
+        .unwrap()
+        .source;
+    assert!(schedule.involved_transitions().contains(&controllable));
+}
