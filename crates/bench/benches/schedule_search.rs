@@ -1,21 +1,38 @@
 //! Criterion benchmark of the compile-time scheduler itself: the EP/EP_ECS
 //! search on the PFC net and on the Figure 7 divider family, including the
-//! heuristic ablation (Sec. 5.5) and the termination-criterion ablation
-//! (Sec. 4.4).
+//! heuristic ablation (Sec. 5.5), the termination-criterion ablation
+//! (Sec. 4.4) and the incremental-engine-vs-reference-oracle comparison
+//! that `BENCH_schedule.json` tracks over time.
+//!
+//! The incremental cases run through the production path (a
+//! [`SearchContext`] built once, searches repeated on it); the
+//! `*_reference` cases run `qss_core::reference`, which re-derives every
+//! per-node and per-net analysis from scratch exactly as the original
+//! engine did.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qss_bench::experiments::divider_net;
-use qss_core::{find_schedule, ScheduleOptions, TerminationKind};
+use qss_core::{reference, ScheduleOptions, SearchContext, TerminationKind};
 use qss_sim::{pfc_system, PfcParams};
 
 fn bench_schedule_search(c: &mut Criterion) {
     let system = pfc_system(&PfcParams::tiny()).expect("PFC links");
     let source = system.uncontrollable_sources()[0];
+    let pfc_context = SearchContext::new(&system.net);
 
     let mut group = c.benchmark_group("schedule_search");
     group.sample_size(20);
     group.bench_function("pfc_with_heuristics", |b| {
-        b.iter(|| find_schedule(&system.net, source, &ScheduleOptions::default()).unwrap())
+        b.iter(|| {
+            pfc_context
+                .find_schedule(source, &ScheduleOptions::default())
+                .unwrap()
+        })
+    });
+    group.bench_function("pfc_with_heuristics_reference", |b| {
+        b.iter(|| {
+            reference::find_schedule(&system.net, source, &ScheduleOptions::default()).unwrap()
+        })
     });
     group.bench_function("pfc_without_heuristics", |b| {
         // The exhaustive, heuristic-free search may legitimately fail to
@@ -24,20 +41,31 @@ fn bench_schedule_search(c: &mut Criterion) {
             max_nodes: 50_000,
             ..ScheduleOptions::default().without_heuristics()
         };
-        b.iter(|| find_schedule(&system.net, source, &opts).ok())
+        b.iter(|| pfc_context.find_schedule(source, &opts).ok())
     });
     for k in [4u32, 8, 12] {
         let (net, src) = divider_net(k);
+        let context = SearchContext::new(&net);
         group.bench_with_input(BenchmarkId::new("divider_irrelevance", k), &k, |b, _| {
-            b.iter(|| find_schedule(&net, src, &ScheduleOptions::default()).unwrap())
+            b.iter(|| {
+                context
+                    .find_schedule(src, &ScheduleOptions::default())
+                    .unwrap()
+            })
         });
-        let (net, src) = divider_net(k);
+        group.bench_with_input(
+            BenchmarkId::new("divider_irrelevance_reference", k),
+            &k,
+            |b, _| {
+                b.iter(|| reference::find_schedule(&net, src, &ScheduleOptions::default()).unwrap())
+            },
+        );
         group.bench_with_input(BenchmarkId::new("divider_place_bounds", k), &k, |b, _| {
             let opts = ScheduleOptions {
                 termination: TerminationKind::PlaceBounds { default: 2 * k },
                 ..Default::default()
             };
-            b.iter(|| find_schedule(&net, src, &opts).unwrap())
+            b.iter(|| context.find_schedule(src, &opts).unwrap())
         });
     }
     group.finish();

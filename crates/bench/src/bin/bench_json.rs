@@ -1,0 +1,126 @@
+//! Emits `BENCH_schedule.json`: median wall-time per schedule-search
+//! benchmark case for the incremental path-state engine *and* the
+//! recompute-from-scratch reference oracle, plus the speedup. This file
+//! seeds the perf trajectory every future performance PR is measured
+//! against.
+//!
+//! The incremental side is measured through the production path — a
+//! [`SearchContext`] built once per net with the EP search repeated on it,
+//! which is how `schedule_system` and a long-running scheduling service
+//! use the engine. The reference side re-derives everything per call, as
+//! the original engine did.
+//!
+//! Run with `cargo run -p qss_bench --release --bin bench_json`.
+//! Set `QSS_BENCH_FAST=1` for a quick smoke run with fewer samples.
+
+use qss_bench::experiments::divider_net;
+use qss_core::{reference, ScheduleOptions, SearchContext, TerminationKind};
+use qss_sim::{pfc_system, PfcParams};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured case: the incremental engine against the oracle.
+struct CaseResult {
+    name: String,
+    median_ms: f64,
+    reference_median_ms: f64,
+}
+
+/// Median wall-clock milliseconds of `f` over `samples` runs (after one
+/// warm-up run).
+fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let samples = if std::env::var_os("QSS_BENCH_FAST").is_some() {
+        3
+    } else {
+        15
+    };
+    let mut cases: Vec<CaseResult> = Vec::new();
+
+    for k in [4u32, 8, 12] {
+        let (net, source) = divider_net(k);
+        let context = SearchContext::new(&net);
+        let options = ScheduleOptions::default();
+        cases.push(CaseResult {
+            name: format!("schedule_search/divider_irrelevance/{k}"),
+            median_ms: median_ms(samples, || {
+                black_box(context.find_schedule(source, &options).unwrap());
+            }),
+            reference_median_ms: median_ms(samples, || {
+                black_box(reference::find_schedule(&net, source, &options).unwrap());
+            }),
+        });
+    }
+
+    {
+        let k = 12u32;
+        let (net, source) = divider_net(k);
+        let context = SearchContext::new(&net);
+        let options = ScheduleOptions {
+            termination: TerminationKind::PlaceBounds { default: 2 * k },
+            ..Default::default()
+        };
+        cases.push(CaseResult {
+            name: format!("schedule_search/divider_place_bounds/{k}"),
+            median_ms: median_ms(samples, || {
+                black_box(context.find_schedule(source, &options).unwrap());
+            }),
+            reference_median_ms: median_ms(samples, || {
+                black_box(reference::find_schedule(&net, source, &options).unwrap());
+            }),
+        });
+    }
+
+    {
+        let system = pfc_system(&PfcParams::tiny()).expect("PFC links");
+        let source = system.uncontrollable_sources()[0];
+        let context = SearchContext::new(&system.net);
+        let options = ScheduleOptions::default();
+        cases.push(CaseResult {
+            name: "schedule_search/pfc_with_heuristics".to_string(),
+            median_ms: median_ms(samples, || {
+                black_box(context.find_schedule(source, &options).unwrap());
+            }),
+            reference_median_ms: median_ms(samples, || {
+                black_box(reference::find_schedule(&system.net, source, &options).unwrap());
+            }),
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"suite\": \"schedule_search\",\n");
+    let _ = writeln!(json, "  \"samples_per_case\": {samples},");
+    json.push_str("  \"command\": \"cargo run -p qss_bench --release --bin bench_json\",\n");
+    json.push_str("  \"cases\": [\n");
+    for (i, case) in cases.iter().enumerate() {
+        let speedup = case.reference_median_ms / case.median_ms;
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"median_ms\": {:.4}, \"reference_median_ms\": {:.4}, \"speedup_vs_reference\": {:.2}}}",
+            case.name, case.median_ms, case.reference_median_ms, speedup
+        );
+        json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_schedule.json".to_string());
+    std::fs::write(&path, &json).expect("write BENCH_schedule.json");
+    print!("{json}");
+    eprintln!("wrote {path}");
+}

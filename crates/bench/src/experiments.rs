@@ -2,14 +2,13 @@
 
 use qss_codegen::{generate_task, CodeCostModel, GeneratedTask, TaskOptions};
 use qss_core::{
-    find_schedule_with_stats, schedule_system, ScheduleOptions, SystemSchedules,
-    TerminationKind,
+    find_schedule_with_stats, schedule_system, ScheduleOptions, SystemSchedules, TerminationKind,
 };
 use qss_flowc::LinkedSystem;
 use qss_petri::{NetBuilder, PetriNet, TransitionId, TransitionKind};
 use qss_sim::{
-    pfc_events, pfc_spec, pfc_system, run_multitask, run_singletask, size_report,
-    CycleCostModel, MultiTaskConfig, PfcParams, SingleTaskConfig, SizeReport,
+    pfc_events, pfc_spec, pfc_system, run_multitask, run_singletask, size_report, CycleCostModel,
+    MultiTaskConfig, PfcParams, SingleTaskConfig, SizeReport,
 };
 use std::fmt::Write as _;
 
@@ -137,13 +136,20 @@ pub fn render_figure20(data: &Figure20Data) -> String {
     let _ = writeln!(
         out,
         "{:>8} | {:>12} {:>12} {:>12}   <- single generated task (unit buffers)",
-        "1 task",
-        data.singletask_cycles[0],
-        data.singletask_cycles[1],
-        data.singletask_cycles[2]
+        "1 task", data.singletask_cycles[0], data.singletask_cycles[1], data.singletask_cycles[2]
     );
-    let best = data.rows.iter().map(|r| r.multitask_cycles[0]).min().unwrap_or(0);
-    let worst = data.rows.iter().map(|r| r.multitask_cycles[0]).max().unwrap_or(0);
+    let best = data
+        .rows
+        .iter()
+        .map(|r| r.multitask_cycles[0])
+        .min()
+        .unwrap_or(0);
+    let worst = data
+        .rows
+        .iter()
+        .map(|r| r.multitask_cycles[0])
+        .max()
+        .unwrap_or(0);
     let _ = writeln!(
         out,
         "speed-up of the single task (pfc profile): {:.1}x (best 4-task config) to {:.1}x (worst)",
@@ -179,12 +185,9 @@ pub fn table1(setup: &PfcSetup, frame_counts: &[usize]) -> Vec<Table1Row> {
                     &SingleTaskConfig::new(profile),
                 )
                 .expect("single-task run");
-                let multi = run_multitask(
-                    &setup.system,
-                    &events,
-                    &MultiTaskConfig::new(100, profile),
-                )
-                .expect("multi-task run");
+                let multi =
+                    run_multitask(&setup.system, &events, &MultiTaskConfig::new(100, profile))
+                        .expect("multi-task run");
                 let ratio = multi.cycles as f64 / single.cycles.max(1) as f64;
                 (single.kcycles(), multi.kcycles(), ratio)
             });
@@ -206,9 +209,22 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         out,
         "{:>7} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6} | {:>8} {:>8} {:>6}",
-        "frames", "1task", "4procs", "ratio", "1task", "4procs", "ratio", "1task", "4procs", "ratio"
+        "frames",
+        "1task",
+        "4procs",
+        "ratio",
+        "1task",
+        "4procs",
+        "ratio",
+        "1task",
+        "4procs",
+        "ratio"
     );
-    let _ = writeln!(out, "{:>7} | {:^24} | {:^24} | {:^24}", "", "pfc", "pfc-O", "pfc-O2");
+    let _ = writeln!(
+        out,
+        "{:>7} | {:^24} | {:^24} | {:^24}",
+        "", "pfc", "pfc-O", "pfc-O2"
+    );
     let _ = writeln!(out, "{}", "-".repeat(88));
     for row in rows {
         let _ = write!(out, "{:>7} |", row.frames);
@@ -234,15 +250,7 @@ pub fn table2(setup: &PfcSetup) -> Table2Data {
     let spec = pfc_spec(&setup.params);
     let reports = CodeCostModel::profiles()
         .iter()
-        .map(|model| {
-            size_report(
-                &setup.system,
-                spec.processes(),
-                &setup.task,
-                model,
-                true,
-            )
-        })
+        .map(|model| size_report(&setup.system, spec.processes(), &setup.task, model, true))
         .collect();
     Table2Data { reports }
 }
@@ -319,10 +327,9 @@ pub fn figure7(ks: &[u32]) -> Vec<Figure7Row> {
             };
             let fixed_bound = with_bound(2);
             let minimal_working_bound = (1..=2 * k).find(|&b| with_bound(b).is_some());
-            let irrelevance =
-                find_schedule_with_stats(&net, source, &ScheduleOptions::default())
-                    .ok()
-                    .map(|(_, st)| st.nodes_created);
+            let irrelevance = find_schedule_with_stats(&net, source, &ScheduleOptions::default())
+                .ok()
+                .map(|(_, st)| st.nodes_created);
             Figure7Row {
                 k,
                 fixed_bound,
@@ -517,7 +524,11 @@ mod tests {
     fn figure7_place_bounds_fail_where_irrelevance_succeeds() {
         let rows = figure7(&[3, 5]);
         for row in &rows {
-            assert!(row.irrelevance.is_some(), "irrelevance must schedule k={}", row.k);
+            assert!(
+                row.irrelevance.is_some(),
+                "irrelevance must schedule k={}",
+                row.k
+            );
             // A constant bound that does not grow with k fails...
             assert!(
                 row.fixed_bound.is_none(),

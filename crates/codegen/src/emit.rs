@@ -179,9 +179,16 @@ impl<'a> Emitter<'a> {
             schedule.num_nodes(),
             self.graph.segments.len()
         );
-        let _ = writeln!(self.out, "#include \"{}.data.h\"", sanitize(self.system.net.name()));
+        let _ = writeln!(
+            self.out,
+            "#include \"{}.data.h\"",
+            sanitize(self.system.net.name())
+        );
         let _ = writeln!(self.out);
-        let _ = writeln!(self.out, "/* state variables (token counts of state places) */");
+        let _ = writeln!(
+            self.out,
+            "/* state variables (token counts of state places) */"
+        );
         for &p in &self.graph.state_places {
             let _ = writeln!(self.out, "int {};", self.state_var(p));
             self.stats.num_statements += 1;
@@ -436,7 +443,10 @@ impl<'a> Emitter<'a> {
                 then_branch,
                 else_branch,
             } => {
-                self.write_line(&format!("if ({}) {{", self.emit_expr(cond, process)), indent);
+                self.write_line(
+                    &format!("if ({}) {{", self.emit_expr(cond, process)),
+                    indent,
+                );
                 self.stats.num_conditionals += 1;
                 for s in then_branch {
                     self.emit_stmt(s, process, indent + 1);
@@ -485,10 +495,7 @@ impl<'a> Emitter<'a> {
                         if size <= 1 && *nitems == 1 {
                             self.write_line(&format!("{dest} = {var};"), indent);
                         } else {
-                            self.write_line(
-                                &format!("CH_READ({var}, &{dest}, {nitems});"),
-                                indent,
-                            );
+                            self.write_line(&format!("CH_READ({var}, &{dest}, {nitems});"), indent);
                         }
                     }
                     PortOp::Write { src, nitems, .. } => {
@@ -496,10 +503,7 @@ impl<'a> Emitter<'a> {
                         if size <= 1 && *nitems == 1 {
                             self.write_line(&format!("{var} = {src};"), indent);
                         } else {
-                            self.write_line(
-                                &format!("CH_WRITE({var}, {src}, {nitems});"),
-                                indent,
-                            );
+                            self.write_line(&format!("CH_WRITE({var}, {src}, {nitems});"), indent);
                         }
                     }
                 }
@@ -574,11 +578,7 @@ fn path_to_leaf(segment: &CodeSegment, taken: TransitionId) -> Vec<TransitionId>
             path.push(*t);
             match branch {
                 Branch::Terminal(_) if *t == taken => return true,
-                Branch::Inline(next) => {
-                    if walk(segment, *next, taken, path) {
-                        return true;
-                    }
-                }
+                Branch::Inline(next) if walk(segment, *next, taken, path) => return true,
                 _ => {}
             }
             path.pop();
@@ -697,8 +697,7 @@ mod tests {
         bl.arc_p2t(p, t, 1);
         let other = bl.build().unwrap();
         let src = other.transition_by_name("in").unwrap();
-        let schedule =
-            qss_core::find_schedule(&other, src, &ScheduleOptions::default()).unwrap();
+        let schedule = qss_core::find_schedule(&other, src, &ScheduleOptions::default()).unwrap();
         // Either segment construction or emission must fail — the schedule
         // talks about transitions that do not exist in `system`.
         let result = generate_task(

@@ -22,10 +22,16 @@ impl fmt::Display for CodegenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodegenError::UnknownTransition(name) => {
-                write!(f, "schedule uses transition `{name}` unknown to the linked system")
+                write!(
+                    f,
+                    "schedule uses transition `{name}` unknown to the linked system"
+                )
             }
             CodegenError::AmbiguousState(msg) => {
-                write!(f, "state variables cannot resolve the next code segment: {msg}")
+                write!(
+                    f,
+                    "state variables cannot resolve the next code segment: {msg}"
+                )
             }
             CodegenError::InvalidSchedule(msg) => write!(f, "invalid schedule: {msg}"),
         }

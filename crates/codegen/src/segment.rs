@@ -120,7 +120,9 @@ impl SegmentGraph {
     /// dispatch cannot be resolved by any set of state places.
     pub fn build(schedule: &Schedule, net: &PetriNet) -> Result<SegmentGraph> {
         if schedule.num_nodes() == 0 {
-            return Err(CodegenError::InvalidSchedule("schedule has no nodes".into()));
+            return Err(CodegenError::InvalidSchedule(
+                "schedule has no nodes".into(),
+            ));
         }
         let builder = GraphBuilder::new(schedule, net);
         builder.build()
@@ -284,8 +286,8 @@ impl<'a> GraphBuilder<'a> {
                     // Inline only if the parent always continues into this
                     // key (a single target, never an await node).
                     let targets = self.targets(&parent, t);
-                    let always = targets.len() == 1
-                        && matches!(&targets[0], Target::Key(k) if k == key);
+                    let always =
+                        targets.len() == 1 && matches!(&targets[0], Target::Key(k) if k == key);
                     if always {
                         inline_parent.insert(key.clone(), parent);
                     } else {
@@ -403,9 +405,7 @@ impl<'a> GraphBuilder<'a> {
                 for outcome in self.outcomes(key, t) {
                     let continuation = match outcome.target() {
                         Target::Await => Continuation::Return,
-                        Target::Key(k) => {
-                            Continuation::Goto(roots.get(&k).copied().unwrap_or(0))
-                        }
+                        Target::Key(k) => Continuation::Goto(roots.get(&k).copied().unwrap_or(0)),
                     };
                     let arm = (outcome.marking().clone(), Box::new(continuation));
                     if !arms.contains(&arm) {
@@ -474,8 +474,7 @@ impl<'a> GraphBuilder<'a> {
                                 if t1 == t2 {
                                     continue;
                                 }
-                                let same =
-                                    state.iter().all(|p| m1.tokens(*p) == m2.tokens(*p));
+                                let same = state.iter().all(|p| m1.tokens(*p) == m2.tokens(*p));
                                 if same {
                                     return Err(CodegenError::AmbiguousState(format!(
                                         "segment `{}` cannot distinguish markings {m1} and {m2}",

@@ -112,7 +112,6 @@ mod tests {
             num_gotos: 3,
             num_conditionals: 5,
             num_returns: 4,
-            ..Default::default()
         }
     }
 

@@ -1,4 +1,5 @@
-//! The EP / EP_ECS schedule search algorithm (Sec. 5).
+//! The EP / EP_ECS schedule search algorithm (Sec. 5), incremental
+//! path-state edition.
 //!
 //! The algorithm grows a rooted tree of markings. For a tree node `v` it
 //! looks for an *entering point*: an ancestor of `v` whose marking can be
@@ -7,12 +8,43 @@
 //! the root is the root itself, the retained part of the tree — closed by
 //! merging each leaf with the equal-marking ancestor it points back to —
 //! is a schedule.
+//!
+//! # Incremental path state
+//!
+//! The search is a depth-first traversal, so all per-node context — the
+//! ancestor markings consulted by the irrelevance criterion, the on-path
+//! firing counts consulted by the T-invariant heuristic, the equal-marking
+//! ancestor lookup that closes cycles — lives on *one* root-to-node path
+//! at a time. Instead of re-deriving that context by walking the parent
+//! chain at every node (`O(depth × places)` per node, superlinear in tree
+//! depth overall), the engine maintains a [`PathTracker`] that is updated
+//! in `O(changed places)` on a typical descent and backtrack (see the
+//! [`PathTracker`] docs for the worst case):
+//!
+//! * one scratch [`Marking`] mutated in place via
+//!   [`PetriNet::fire_into`]/[`PetriNet::unfire_into`] — the search never
+//!   clones markings on the main path (schedule markings are rebuilt by
+//!   replaying the retained tree at the end),
+//! * cumulative per-transition firing counts (a slice read instead of an
+//!   `O(depth + |T|)` chain walk per heuristic evaluation),
+//! * an incrementally-maintained marking hash plus hash index over on-path
+//!   ancestors, making the equal-marking-ancestor query a probe plus exact
+//!   verification instead of a full chain scan,
+//! * per-place token-count histories with box-violation counters that
+//!   evaluate Definition 4.5 ("some ancestor is covered and was saturated
+//!   everywhere it grew") by bookkeeping only the places a firing touched.
+//!
+//! Ancestor tests (`is_ancestor`) degenerate to depth comparisons because
+//! every candidate entering point is on the current path. The original
+//! recompute-from-scratch implementation is retained unchanged in
+//! [`crate::reference`] as the differential-testing oracle; the two
+//! engines produce identical trees, schedules and statistics.
 
 use crate::error::{Result, ScheduleError};
 use crate::heuristics::EcsSorter;
 use crate::independence::{channel_bounds, is_independent_set};
 use crate::schedule::{NodeId, Schedule, ScheduleNode};
-use crate::termination::{Termination, TerminationKind};
+use crate::termination::{PathTracker, TerminationKind};
 use qss_flowc::LinkedSystem;
 use qss_petri::{EcsId, EcsInfo, Marking, PetriNet, PlaceId, TransitionId, TransitionKind};
 use serde::{Deserialize, Serialize};
@@ -117,38 +149,104 @@ pub fn find_schedule_with_stats(
     source: TransitionId,
     options: &ScheduleOptions,
 ) -> Result<(Schedule, SearchStats)> {
-    if net.transition(source).kind != TransitionKind::UncontrollableSource {
-        return Err(ScheduleError::NotUncontrollableSource(source));
-    }
-    let sorter = EcsSorter::new(net);
-    if sorter.has_no_invariants() && net.num_transitions() > 0 {
-        return Err(ScheduleError::NoTInvariants);
-    }
-    let run_once = |opts: &ScheduleOptions| {
-        let mut search = Search {
+    SearchContext::new(net).find_schedule_with_stats(source, options)
+}
+
+/// Reusable per-net scheduling context.
+///
+/// The ECS partition and the non-negative T-invariant basis depend only on
+/// the net structure, and for small reactive nets (e.g. the PFC case
+/// study) the Farkas elimination behind the basis dominates the cost of a
+/// whole schedule search. Build the context once and every
+/// [`SearchContext::find_schedule`] call — across sources, option
+/// profiles and the greedy→exhaustive retry — shares the precomputed
+/// analyses. [`schedule_system`] does this for all the sources of a
+/// linked system.
+#[derive(Debug, Clone)]
+pub struct SearchContext<'a> {
+    net: &'a PetriNet,
+    ecs: EcsInfo,
+    sorter: EcsSorter,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Computes the per-net analyses (ECS partition, T-invariant basis).
+    pub fn new(net: &'a PetriNet) -> Self {
+        SearchContext {
             net,
             ecs: EcsInfo::compute(net),
-            term: Termination::new(net, opts.termination),
-            options: opts,
-            source,
-            sorter: sorter.clone(),
-            nodes: Vec::new(),
-            budget_exhausted: false,
-        };
-        search.run()
-    };
-    match run_once(options) {
-        Ok(result) => Ok(result),
-        Err(first_error) if options.greedy_entering_point => {
-            // The greedy pass is incomplete; fall back to the exhaustive
-            // minimum-entering-point search of the paper before giving up.
-            let exhaustive = ScheduleOptions {
-                greedy_entering_point: false,
-                ..options.clone()
-            };
-            run_once(&exhaustive).map_err(|_| first_error)
+            sorter: EcsSorter::new(net),
         }
-        Err(e) => Err(e),
+    }
+
+    /// The net this context was built for.
+    pub fn net(&self) -> &'a PetriNet {
+        self.net
+    }
+
+    /// The ECS partition of the net.
+    pub fn ecs(&self) -> &EcsInfo {
+        &self.ecs
+    }
+
+    /// Finds a single-source schedule for `source` using the precomputed
+    /// analyses.
+    ///
+    /// # Errors
+    /// Same contract as the free function [`find_schedule`].
+    pub fn find_schedule(
+        &self,
+        source: TransitionId,
+        options: &ScheduleOptions,
+    ) -> Result<Schedule> {
+        self.find_schedule_with_stats(source, options)
+            .map(|(s, _)| s)
+    }
+
+    /// Like [`SearchContext::find_schedule`] but also returns search
+    /// statistics.
+    ///
+    /// # Errors
+    /// Same contract as the free function [`find_schedule_with_stats`].
+    pub fn find_schedule_with_stats(
+        &self,
+        source: TransitionId,
+        options: &ScheduleOptions,
+    ) -> Result<(Schedule, SearchStats)> {
+        let net = self.net;
+        if net.transition(source).kind != TransitionKind::UncontrollableSource {
+            return Err(ScheduleError::NotUncontrollableSource(source));
+        }
+        if self.sorter.has_no_invariants() && net.num_transitions() > 0 {
+            return Err(ScheduleError::NoTInvariants);
+        }
+        let run_once = |opts: &ScheduleOptions| {
+            let mut search = Search {
+                net,
+                ecs: &self.ecs,
+                tracker: PathTracker::new(net, opts.termination),
+                options: opts,
+                source,
+                sorter: &self.sorter,
+                nodes: Vec::new(),
+                budget_exhausted: false,
+            };
+            search.run()
+        };
+        match run_once(options) {
+            Ok(result) => Ok(result),
+            Err(first_error) if options.greedy_entering_point => {
+                // The greedy pass is incomplete; fall back to the
+                // exhaustive minimum-entering-point search of the paper
+                // before giving up.
+                let exhaustive = ScheduleOptions {
+                    greedy_entering_point: false,
+                    ..options.clone()
+                };
+                run_once(&exhaustive).map_err(|_| first_error)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -191,15 +289,21 @@ pub fn schedule_system(
     options: &ScheduleOptions,
 ) -> Result<SystemSchedules> {
     let sources = system.uncontrollable_sources();
+    // One context serves every source: the ECS partition and T-invariant
+    // basis are per-net, not per-source.
+    let context = SearchContext::new(&system.net);
     let mut schedules = Vec::new();
     let mut stats = Vec::new();
     for source in sources {
-        let (s, st) = find_schedule_with_stats(&system.net, source, options)?;
+        let (s, st) = context.find_schedule_with_stats(source, options)?;
         schedules.push(s);
         stats.push(st);
     }
     if let Err((a, b)) = is_independent_set(&schedules, &system.net) {
-        return Err(ScheduleError::NotIndependent { first: a, second: b });
+        return Err(ScheduleError::NotIndependent {
+            first: a,
+            second: b,
+        });
     }
     let channel_bounds = channel_bounds(&schedules, &system.net);
     Ok(SystemSchedules {
@@ -210,46 +314,50 @@ pub fn schedule_system(
 }
 
 /// One node of the search tree.
+///
+/// Markings are *not* stored per node: the search works on the
+/// [`PathTracker`]'s single scratch marking and [`Search::build_schedule`]
+/// reconstructs the retained markings by replaying transitions.
 struct TreeNode {
-    marking: Marking,
-    parent: Option<usize>,
     in_transition: Option<TransitionId>,
     depth: usize,
     children: Vec<(TransitionId, usize)>,
     chosen_ecs: Option<EcsId>,
+    /// For retained leaves: the minimal equal-marking ancestor the leaf
+    /// merges with, recorded when the entering point was found.
+    merge_with: Option<usize>,
 }
 
 struct Search<'a> {
     net: &'a PetriNet,
-    ecs: EcsInfo,
-    term: Termination,
+    ecs: &'a EcsInfo,
+    tracker: PathTracker,
     options: &'a ScheduleOptions,
     source: TransitionId,
-    sorter: EcsSorter,
+    sorter: &'a EcsSorter,
     nodes: Vec<TreeNode>,
     budget_exhausted: bool,
 }
 
 impl<'a> Search<'a> {
     fn run(&mut self) -> Result<(Schedule, SearchStats)> {
-        let m0 = self.net.initial_marking();
         let root_ecs = self.ecs.ecs_of(self.source);
+        // The tracker starts with the root entry (initial marking) on the
+        // path; mirror it in the tree and descend along the source.
         self.nodes.push(TreeNode {
-            marking: m0.clone(),
-            parent: None,
             in_transition: None,
             depth: 0,
             children: Vec::new(),
             chosen_ecs: Some(root_ecs),
+            merge_with: None,
         });
-        let m1 = self.net.fire_unchecked(self.source, &m0);
+        self.tracker.fire(self.net, self.source);
         self.nodes.push(TreeNode {
-            marking: m1,
-            parent: Some(0),
             in_transition: Some(self.source),
             depth: 1,
             children: Vec::new(),
             chosen_ecs: None,
+            merge_with: None,
         });
         self.nodes[0].children.push((self.source, 1));
 
@@ -277,67 +385,19 @@ impl<'a> Search<'a> {
         }
     }
 
-    /// `u` is an ancestor of `v` (possibly `u == v`).
-    fn is_ancestor(&self, u: usize, v: usize) -> bool {
-        let mut cur = v;
-        loop {
-            if cur == u {
-                return true;
-            }
-            if self.nodes[cur].depth <= self.nodes[u].depth {
-                return false;
-            }
-            match self.nodes[cur].parent {
-                Some(p) => cur = p,
-                None => return false,
-            }
-        }
+    /// `u` is an ancestor of `v` (possibly `u == v`), for nodes that are
+    /// both on the current search path: a depth comparison. Every
+    /// entering-point candidate the search handles is on the path, so the
+    /// reference engine's parent-chain walk is never needed.
+    fn on_path_is_ancestor(&self, u: usize, v: usize) -> bool {
+        self.nodes[u].depth <= self.nodes[v].depth
     }
 
-    /// The minimal (closest to the root) proper ancestor of `v` with the
-    /// same marking, if any.
-    fn equal_marking_ancestor(&self, v: usize) -> Option<usize> {
-        let mut found = None;
-        let mut cur = self.nodes[v].parent;
-        while let Some(u) = cur {
-            if self.nodes[u].marking == self.nodes[v].marking {
-                found = Some(u);
-            }
-            cur = self.nodes[u].parent;
-        }
-        found
-    }
-
-    /// Markings of the proper ancestors of `v` (used by the irrelevance
-    /// criterion).
-    fn ancestor_markings(&self, v: usize) -> Vec<&Marking> {
-        let mut result = Vec::with_capacity(self.nodes[v].depth);
-        let mut cur = self.nodes[v].parent;
-        while let Some(u) = cur {
-            result.push(&self.nodes[u].marking);
-            cur = self.nodes[u].parent;
-        }
-        result
-    }
-
-    /// Firing counts of every transition along the path from the root to
-    /// `v` (inclusive).
-    fn path_firings(&self, v: usize) -> Vec<u64> {
-        let mut fired = vec![0u64; self.net.num_transitions()];
-        let mut cur = Some(v);
-        while let Some(u) = cur {
-            if let Some(t) = self.nodes[u].in_transition {
-                fired[t.index()] += 1;
-            }
-            cur = self.nodes[u].parent;
-        }
-        fired
-    }
-
-    /// Enabled ECSs at `v`, filtered by the single-source constraint and
-    /// ordered by the search heuristics.
-    fn candidate_ecs(&self, v: usize) -> Vec<EcsId> {
-        let marking = &self.nodes[v].marking;
+    /// Enabled ECSs at the node currently carried by the tracker, filtered
+    /// by the single-source constraint and ordered by the search
+    /// heuristics.
+    fn candidate_ecs(&self) -> Vec<EcsId> {
+        let marking = self.tracker.marking();
         let mut candidates: Vec<EcsId> = self
             .ecs
             .enabled_ecs(self.net, marking)
@@ -354,7 +414,8 @@ impl<'a> Search<'a> {
             })
             .collect();
         let promising = if self.options.use_invariant_heuristic {
-            self.sorter.promising_vector(&self.path_firings(v))
+            // Cumulative on-path firing counts: a slice read, not a walk.
+            self.sorter.promising_vector(self.tracker.fired())
         } else {
             None
         };
@@ -405,30 +466,49 @@ impl<'a> Search<'a> {
     /// The EP function of Figure 9(a): finds an entering point of `v` that
     /// is an ancestor of `target` if possible, otherwise the entering point
     /// closest to the root, otherwise `None`.
+    ///
+    /// On entry the tracker carries `v`'s marking and the path entries are
+    /// exactly `v`'s proper ancestors; `v` is pushed only while its
+    /// candidate ECSs are being explored.
     fn ep(&mut self, v: usize, target: usize) -> Option<usize> {
         if self.budget_exhausted {
             return None;
         }
-        // Termination conditions.
-        let ancestors = self.ancestor_markings(v);
-        if self
-            .term
-            .should_prune(&self.nodes[v].marking.clone(), &ancestors)
-        {
+        // Termination conditions and the equal-marking-ancestor query
+        // share one hash probe. The prune check needs the count of equal
+        // ancestors because equal markings sit inside their own
+        // irrelevance box but are not irrelevance witnesses.
+        let (num_equal, first_equal) = self.tracker.equal_ancestors();
+        if self.tracker.should_prune(num_equal) {
             return None;
         }
-        // Equal-marking ancestor: unique entering point.
-        if let Some(u) = self.equal_marking_ancestor(v) {
+        // Equal-marking ancestor: unique entering point. Record the merge
+        // target now — build_schedule has no stored markings to re-derive
+        // it from later.
+        if let Some(depth) = first_equal {
+            let u = self.tracker.node_at(depth);
+            self.nodes[v].merge_with = Some(u);
             return Some(u);
         }
+        let t_in = self.nodes[v]
+            .in_transition
+            .expect("ep is never called on the root");
+        self.tracker.push_entry(self.net, t_in, v);
+        let result = self.ep_candidates(v, target);
+        self.tracker.pop_entry(self.net, t_in);
+        result
+    }
+
+    /// The candidate-ECS loop of EP, run while `v` is the top path entry.
+    fn ep_candidates(&mut self, v: usize, target: usize) -> Option<usize> {
         let mut best: Option<usize> = None;
-        for e in self.candidate_ecs(v) {
+        for e in self.candidate_ecs() {
             let result = self.ep_ecs(e, v, target);
             if self.budget_exhausted {
                 return None;
             }
             if let Some(u) = result {
-                if self.is_ancestor(u, target) {
+                if self.on_path_is_ancestor(u, target) {
                     self.nodes[v].chosen_ecs = Some(e);
                     return Some(u);
                 }
@@ -464,24 +544,24 @@ impl<'a> Search<'a> {
                 self.budget_exhausted = true;
                 return None;
             }
-            let marking = self.net.fire_unchecked(t, &self.nodes[v].marking);
+            self.tracker.fire(self.net, t);
             let w = self.nodes.len();
             let depth = self.nodes[v].depth + 1;
             self.nodes.push(TreeNode {
-                marking,
-                parent: Some(v),
                 in_transition: Some(t),
                 depth,
                 children: Vec::new(),
                 chosen_ecs: None,
+                merge_with: None,
             });
             self.nodes[v].children.push((t, w));
             let ep = self.ep(w, current_target);
+            self.tracker.unfire(self.net, t);
             match ep {
                 // The child's entering point must be `v` itself or an
                 // ancestor of `v` (Sec. 5.1); anything deeper (or UNDEF)
                 // means this ECS has no entering point.
-                Some(u) if self.is_ancestor(u, v) => {
+                Some(u) if self.on_path_is_ancestor(u, v) => {
                     best = Some(match best {
                         None => u,
                         Some(b) => {
@@ -492,7 +572,7 @@ impl<'a> Search<'a> {
                             }
                         }
                     });
-                    if self.is_ancestor(best.unwrap(), target) {
+                    if self.on_path_is_ancestor(best.unwrap(), target) {
                         current_target = v;
                     }
                 }
@@ -504,26 +584,21 @@ impl<'a> Search<'a> {
 
     /// Post-processing: retain the chosen-ECS part of the tree and close
     /// the cycles by merging each retained leaf with its equal-marking
-    /// ancestor.
+    /// ancestor. Markings are reconstructed by replaying transitions over
+    /// one scratch marking along the retained tree (the search itself
+    /// stored none).
     fn build_schedule(&self) -> Schedule {
         let mut map: BTreeMap<usize, usize> = BTreeMap::new();
         let mut nodes: Vec<ScheduleNode> = Vec::new();
-        self.assign(0, &mut map, &mut nodes);
-        Schedule::from_parts(
-            self.source,
-            nodes
-                .into_iter()
-                .map(|n| ScheduleNode {
-                    marking: n.marking,
-                    edges: n.edges,
-                })
-                .collect(),
-        )
+        let mut scratch = self.net.initial_marking();
+        self.assign(0, &mut scratch, &mut map, &mut nodes);
+        Schedule::from_parts(self.source, nodes)
     }
 
     fn assign(
         &self,
         v: usize,
+        scratch: &mut Marking,
         map: &mut BTreeMap<usize, usize>,
         nodes: &mut Vec<ScheduleNode>,
     ) -> usize {
@@ -534,14 +609,16 @@ impl<'a> Search<'a> {
             Some(ecs) => {
                 let id = nodes.len();
                 nodes.push(ScheduleNode {
-                    marking: self.nodes[v].marking.clone(),
+                    marking: scratch.clone(),
                     edges: Vec::new(),
                 });
                 map.insert(v, id);
                 let mut edges = Vec::new();
                 for (t, w) in &self.nodes[v].children {
                     if self.ecs.ecs_of(*t) == ecs {
-                        let target = self.assign(*w, map, nodes);
+                        self.net.fire_into(*t, scratch);
+                        let target = self.assign(*w, scratch, map, nodes);
+                        self.net.unfire_into(*t, scratch);
                         edges.push((*t, NodeId(target as u32)));
                     }
                 }
@@ -549,11 +626,16 @@ impl<'a> Search<'a> {
                 id
             }
             None => {
-                // Leaf: merge with the (minimal) equal-marking ancestor.
-                let u = self
-                    .equal_marking_ancestor(v)
+                // Leaf: merge with the (minimal) equal-marking ancestor
+                // recorded when the entering point was found. The ancestor
+                // lies on the DFS path of this reconstruction, so it has
+                // been assigned already.
+                let u = self.nodes[v]
+                    .merge_with
                     .expect("retained leaf must have an equal-marking ancestor");
-                let id = self.assign(u, map, nodes);
+                let id = *map
+                    .get(&u)
+                    .expect("merge ancestor assigned before its leaves");
                 map.insert(v, id);
                 id
             }
@@ -663,8 +745,10 @@ mod tests {
         assert!(matches!(err, ScheduleError::NoSchedule { .. }));
         // With the single-source restriction lifted, a (multi-source)
         // schedule exists.
-        let mut opts = ScheduleOptions::default();
-        opts.single_source = false;
+        let opts = ScheduleOptions {
+            single_source: false,
+            ..Default::default()
+        };
         let s = find_schedule(&net, a, &opts).unwrap();
         s.validate(&net).unwrap();
         assert!(!s.is_single_source(&net));

@@ -61,6 +61,10 @@ impl EcsSorter {
         }
         let mut combo = vec![0u64; self.num_transitions];
         let mut guard = 0usize;
+        // The deficit index set is recomputed per round but reuses one
+        // buffer; this runs on every explored search node, so avoiding a
+        // fresh allocation per round matters.
+        let mut deficit: Vec<usize> = Vec::with_capacity(self.num_transitions);
         loop {
             guard += 1;
             if guard > 64 {
@@ -68,9 +72,8 @@ impl EcsSorter {
                 // plausible for a schedule; give up on guidance.
                 return None;
             }
-            let deficit: Vec<usize> = (0..self.num_transitions)
-                .filter(|&i| fired[i] > combo[i])
-                .collect();
+            deficit.clear();
+            deficit.extend((0..self.num_transitions).filter(|&i| fired[i] > combo[i]));
             if deficit.is_empty() {
                 break;
             }
@@ -79,17 +82,8 @@ impl EcsSorter {
             let best = self
                 .basis
                 .iter()
-                .max_by_key(|inv| {
-                    deficit
-                        .iter()
-                        .filter(|&&i| inv.as_slice()[i] > 0)
-                        .count()
-                })
-                .filter(|inv| {
-                    deficit
-                        .iter()
-                        .any(|&i| inv.as_slice()[i] > 0)
-                })?;
+                .max_by_key(|inv| deficit.iter().filter(|&&i| inv.as_slice()[i] > 0).count())
+                .filter(|inv| deficit.iter().any(|&i| inv.as_slice()[i] > 0))?;
             for (c, &b) in combo.iter_mut().zip(best.as_slice()) {
                 *c += b;
             }
@@ -153,10 +147,7 @@ pub fn greedy_binate_cover(
         }
         // Pick the column that satisfies the most violated rows.
         let mut best: Option<(usize, usize)> = None;
-        for c in 0..num_columns {
-            if selected[c] {
-                continue;
-            }
+        for (c, _) in selected.iter().enumerate().filter(|(_, &s)| !s) {
             let gain = violated.iter().filter(|(sat, _)| sat.contains(&c)).count();
             if gain > 0 && best.map(|(_, g)| gain > g).unwrap_or(true) {
                 best = Some((c, gain));

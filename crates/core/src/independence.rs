@@ -7,21 +7,26 @@
 //! token count of every place — for channel places this is the buffer
 //! size the implementation has to provide.
 
-use crate::schedule::Schedule;
+use crate::schedule::{NodeId, Schedule};
 use qss_petri::{PetriNet, PlaceId, TransitionId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Returns `true` if `a` and `b` are mutually independent with respect to
 /// `net` (Definition 4.3).
 pub fn are_independent(a: &Schedule, b: &Schedule, net: &PetriNet) -> bool {
-    places_constant_at_awaits(a, b, net) && places_constant_at_awaits(b, a, net)
+    let (a_places, a_awaits) = (a.involved_places(net), a.await_nodes(net));
+    let (b_places, b_awaits) = (b.involved_places(net), b.await_nodes(net));
+    places_constant_at_awaits(&a_places, b, &b_awaits)
+        && places_constant_at_awaits(&b_places, a, &a_awaits)
 }
 
-/// For every place involved in `of`, checks that its token count is the
-/// same at every await node of `other`.
-fn places_constant_at_awaits(of: &Schedule, other: &Schedule, net: &PetriNet) -> bool {
-    let places = of.involved_places(net);
-    let awaits = other.await_nodes(net);
+/// Checks that every place of `places` holds the same token count at every
+/// await node of `other`.
+fn places_constant_at_awaits(
+    places: &BTreeSet<PlaceId>,
+    other: &Schedule,
+    awaits: &[NodeId],
+) -> bool {
     places.iter().all(|p| {
         let mut counts = awaits.iter().map(|v| other.marking(*v).tokens(*p));
         match counts.next() {
@@ -31,7 +36,9 @@ fn places_constant_at_awaits(of: &Schedule, other: &Schedule, net: &PetriNet) ->
     })
 }
 
-/// Checks pairwise independence of a set of schedules.
+/// Checks pairwise independence of a set of schedules. The involved-place
+/// sets and await-node lists are derived once per schedule, not once per
+/// pair.
 ///
 /// # Errors
 /// Returns the source transitions of the first interfering pair.
@@ -39,9 +46,13 @@ pub fn is_independent_set(
     schedules: &[Schedule],
     net: &PetriNet,
 ) -> std::result::Result<(), (TransitionId, TransitionId)> {
+    let places: Vec<BTreeSet<PlaceId>> = schedules.iter().map(|s| s.involved_places(net)).collect();
+    let awaits: Vec<Vec<NodeId>> = schedules.iter().map(|s| s.await_nodes(net)).collect();
     for (i, a) in schedules.iter().enumerate() {
-        for b in schedules.iter().skip(i + 1) {
-            if !are_independent(a, b, net) {
+        for (j, b) in schedules.iter().enumerate().skip(i + 1) {
+            if !places_constant_at_awaits(&places[i], b, &awaits[j])
+                || !places_constant_at_awaits(&places[j], a, &awaits[i])
+            {
                 return Err((a.source(), b.source()));
             }
         }

@@ -47,16 +47,17 @@ pub mod ep;
 pub mod error;
 pub mod heuristics;
 pub mod independence;
+pub mod reference;
 pub mod run;
 pub mod schedule;
 pub mod termination;
 
 pub use ep::{
-    find_schedule, find_schedule_with_stats, schedule_system, ScheduleOptions, SearchStats,
-    SystemSchedules,
+    find_schedule, find_schedule_with_stats, schedule_system, ScheduleOptions, SearchContext,
+    SearchStats, SystemSchedules,
 };
 pub use error::{Result, ScheduleError};
 pub use independence::{are_independent, channel_bounds, is_independent_set};
 pub use run::{execute_run, RunTrace};
 pub use schedule::{NodeId, Schedule, ScheduleNode};
-pub use termination::{Termination, TerminationKind};
+pub use termination::{PathTracker, Termination, TerminationKind};

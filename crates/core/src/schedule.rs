@@ -163,7 +163,9 @@ impl Schedule {
     /// violated property.
     pub fn validate(&self, net: &PetriNet) -> Result<()> {
         if self.nodes.is_empty() {
-            return Err(ScheduleError::InvalidSchedule("schedule has no nodes".into()));
+            return Err(ScheduleError::InvalidSchedule(
+                "schedule has no nodes".into(),
+            ));
         }
         // Property 1: r carries the initial marking and has out-degree 1.
         let root = &self.nodes[0];

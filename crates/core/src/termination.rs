@@ -14,7 +14,9 @@
 //! Declared channel bounds in the net (user-specified `Place::bound`) are
 //! always respected in addition to the selected criterion.
 
-use qss_petri::{place_degree, Marking, PetriNet, PlaceId};
+use qss_petri::{
+    place_count_hash, place_degree, FxHashMap, Marking, PetriNet, PlaceId, TransitionId,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which pruning criterion to use.
@@ -85,14 +87,12 @@ impl Termination {
             }
         }
         match self.kind {
-            TerminationKind::PlaceBounds { default } => marking
-                .as_slice()
-                .iter()
-                .enumerate()
-                .any(|(i, &tokens)| {
+            TerminationKind::PlaceBounds { default } => {
+                marking.as_slice().iter().enumerate().any(|(i, &tokens)| {
                     let bound = self.declared_bounds[i].unwrap_or(default);
                     tokens > bound
-                }),
+                })
+            }
             TerminationKind::Irrelevance => self.is_irrelevant(marking, ancestors),
         }
     }
@@ -120,6 +120,377 @@ impl Termination {
                     .all(|p| m.tokens(*p) >= self.degrees[p.index()])
         })
     }
+}
+
+/// One count-change segment of a place's on-path history: the place held
+/// `count` tokens from path entry `start` until the next segment's start
+/// (or the top of the path for the last segment).
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    count: u32,
+    start: u32,
+}
+
+/// Incremental per-path search state: the scratch marking, cumulative
+/// transition firing counts, a marking-hash index over on-path ancestors,
+/// and the incremental irrelevance/bound trackers. The EP search drives it
+/// with strictly LIFO `fire`/`push_entry` … `pop_entry`/`unfire` calls, so
+/// every per-node question the search asks — "should this marking be
+/// pruned?", "which ancestor carries an equal marking?", "how often has
+/// each transition fired on this path?" — is answered in `O(changed
+/// places)` in the typical case instead of `O(depth × places)` always.
+/// The worst case is weaker: a box-boundary move must flip every path
+/// entry holding an affected count (see [`PathTracker::fire`]), so a
+/// place oscillating between two counts along a deep path degrades a
+/// single fire back towards `O(depth)` — still never worse than the
+/// recompute-from-scratch engine, which pays `O(depth × places)` on
+/// every node unconditionally.
+///
+/// # How the irrelevance check becomes incremental
+///
+/// Definition 4.5 prunes a marking `C` iff some proper on-path ancestor
+/// `M ≠ C` satisfies: `C` covers `M` and every place where `C` strictly
+/// exceeds `M` was already saturated in `M` (held at least its degree).
+/// Per place that is a *box* condition:
+///
+/// ```text
+/// M(p) ∈ [min(C(p), degree(p)), C(p)]
+/// ```
+///
+/// so `C` is irrelevant iff some ancestor lies in the box on **every**
+/// place and differs from `C` somewhere. The tracker maintains, for every
+/// path entry, the number of places whose box condition it violates
+/// (`viol`), and the count of entries with zero violations (`num_valid`).
+/// When a transition fires, only the boxes of its changed places move,
+/// and each box boundary moves by at most the arc weight — the entries
+/// whose validity flips are found through a per-place `count → segments`
+/// index of the path history. Ancestors *equal* to `C` are excluded by
+/// subtracting the number of verified hits in the marking-hash index.
+#[derive(Debug, Clone)]
+pub struct PathTracker {
+    kind: TerminationKind,
+    degrees: Vec<u32>,
+    /// Effective bound per place: the declared bound if any, else the
+    /// uniform default in `PlaceBounds` mode, else `u32::MAX` (no bound).
+    eff_bounds: Vec<u32>,
+    /// The scratch marking `C` of the node currently being explored.
+    marking: Marking,
+    /// Incremental [`Marking::path_hash`] of `C`.
+    hash: u64,
+    /// Cumulative firing count per transition along the current path.
+    fired: Vec<u64>,
+    /// Per path entry: number of places violating the box condition.
+    viol: Vec<u32>,
+    /// Per path entry: the search-tree node it corresponds to.
+    node_at: Vec<usize>,
+    /// Number of path entries with `viol == 0`.
+    num_valid: usize,
+    /// Number of places with `C(p) > eff_bounds[p]`.
+    bound_over: usize,
+    /// Per place: stack of count-change segments along the path.
+    segs: Vec<Vec<Seg>>,
+    /// Per place: count value → indices into `segs[p]` holding that count
+    /// (a vector indexed by count; on-path counts stay small because both
+    /// pruning criteria cut off unbounded growth).
+    occ: Vec<Vec<Vec<u32>>>,
+    /// Marking hash → path entries (ascending) whose marking has it.
+    hash_index: FxHashMap<u64, Vec<u32>>,
+}
+
+impl PathTracker {
+    /// Builds a tracker for `net` with the root entry (the initial
+    /// marking, tree node 0) already on the path.
+    pub fn new(net: &PetriNet, kind: TerminationKind) -> Self {
+        let num_places = net.num_places();
+        let degrees: Vec<u32> = net.place_ids().map(|p| place_degree(net, p)).collect();
+        let eff_bounds: Vec<u32> = net
+            .place_ids()
+            .map(|p| match (net.place(p).bound, kind) {
+                (Some(b), _) => b,
+                (None, TerminationKind::PlaceBounds { default }) => default,
+                (None, TerminationKind::Irrelevance) => u32::MAX,
+            })
+            .collect();
+        let marking = net.initial_marking();
+        let hash = marking.path_hash();
+        let bound_over = (0..num_places)
+            .filter(|&i| marking.tokens(PlaceId::new(i)) > eff_bounds[i])
+            .count();
+        let segs: Vec<Vec<Seg>> = (0..num_places)
+            .map(|i| {
+                vec![Seg {
+                    count: marking.tokens(PlaceId::new(i)),
+                    start: 0,
+                }]
+            })
+            .collect();
+        let occ: Vec<Vec<Vec<u32>>> = (0..num_places)
+            .map(|i| {
+                let count = marking.tokens(PlaceId::new(i)) as usize;
+                let mut by_count = vec![Vec::new(); count + 1];
+                by_count[count].push(0u32);
+                by_count
+            })
+            .collect();
+        let mut hash_index = FxHashMap::default();
+        hash_index.insert(hash, vec![0u32]);
+        PathTracker {
+            kind,
+            degrees,
+            eff_bounds,
+            marking,
+            hash,
+            fired: vec![0; net.num_transitions()],
+            viol: vec![0],
+            node_at: vec![0],
+            num_valid: 1,
+            bound_over,
+            segs,
+            occ,
+            hash_index,
+        }
+    }
+
+    /// The marking of the node currently being explored.
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// Firing counts of every transition along the current path,
+    /// including the transition entering the current node.
+    pub fn fired(&self) -> &[u64] {
+        &self.fired
+    }
+
+    /// The tree node behind path entry `depth`.
+    pub fn node_at(&self, depth: usize) -> usize {
+        self.node_at[depth]
+    }
+
+    /// Number of entries on the path (= proper ancestors of the node
+    /// whose marking is currently in the tracker, before `push_entry`).
+    pub fn len(&self) -> usize {
+        self.viol.len()
+    }
+
+    /// `true` if the path holds no entries (never the case after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.viol.is_empty()
+    }
+
+    /// Applies `t` to the scratch marking and updates every incremental
+    /// structure. Call when the search descends along `t`.
+    pub fn fire(&mut self, net: &PetriNet, t: TransitionId) {
+        self.fired[t.index()] += 1;
+        for &(p, delta) in net.changed_places(t) {
+            self.place_changed(p, delta);
+        }
+    }
+
+    /// Reverts a previous [`PathTracker::fire`] of `t`. Calls must be
+    /// strictly LIFO with respect to `fire`.
+    pub fn unfire(&mut self, net: &PetriNet, t: TransitionId) {
+        self.fired[t.index()] -= 1;
+        for &(p, delta) in net.changed_places(t) {
+            self.place_changed(p, -delta);
+        }
+    }
+
+    fn place_changed(&mut self, p: PlaceId, delta: i64) {
+        let old = self.marking.tokens(p);
+        self.marking.apply_delta(p, delta);
+        let new = self.marking.tokens(p);
+        self.hash = self
+            .hash
+            .wrapping_sub(place_count_hash(p, old))
+            .wrapping_add(place_count_hash(p, new));
+        let bound = self.eff_bounds[p.index()];
+        match (old > bound, new > bound) {
+            (false, true) => self.bound_over += 1,
+            (true, false) => self.bound_over -= 1,
+            _ => {}
+        }
+        self.shift_box(p, old, new);
+    }
+
+    /// Moves place `p`'s box from `[min(old, deg), old]` to
+    /// `[min(new, deg), new]`, flipping the violation state of every path
+    /// entry whose count for `p` enters or leaves the box. Both boundary
+    /// moves span at most `|old − new|` count values, and only count
+    /// values actually occurring on the path cost anything.
+    fn shift_box(&mut self, p: PlaceId, old: u32, new: u32) {
+        let deg = self.degrees[p.index()];
+        let old_box = (old.min(deg), old);
+        let new_box = (new.min(deg), new);
+        if old_box == new_box {
+            return;
+        }
+        // Counts in old_box but not new_box become violations (+1);
+        // counts in new_box but not old_box stop violating (−1).
+        for (lo, hi) in interval_difference(old_box, new_box) {
+            for count in lo..=hi {
+                self.flip(p, count, 1);
+            }
+        }
+        for (lo, hi) in interval_difference(new_box, old_box) {
+            for count in lo..=hi {
+                self.flip(p, count, -1);
+            }
+        }
+    }
+
+    /// Adjusts the violation counter of every path entry where `p` holds
+    /// exactly `count` tokens.
+    fn flip(&mut self, p: PlaceId, count: u32, sign: i32) {
+        let Some(seg_ids) = self.occ[p.index()].get(count as usize) else {
+            return;
+        };
+        if seg_ids.is_empty() {
+            return;
+        }
+        let segs = &self.segs[p.index()];
+        let top = self.viol.len();
+        for &si in seg_ids {
+            let start = segs[si as usize].start as usize;
+            let end = segs
+                .get(si as usize + 1)
+                .map(|s| s.start as usize)
+                .unwrap_or(top);
+            for entry in start..end {
+                if sign > 0 {
+                    if self.viol[entry] == 0 {
+                        self.num_valid -= 1;
+                    }
+                    self.viol[entry] += 1;
+                } else {
+                    self.viol[entry] -= 1;
+                    if self.viol[entry] == 0 {
+                        self.num_valid += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pushes the node whose marking is currently in the tracker as a new
+    /// path entry. `t` is the transition that entered it (the same one
+    /// passed to the preceding [`PathTracker::fire`]).
+    pub fn push_entry(&mut self, net: &PetriNet, t: TransitionId, node: usize) {
+        let depth = self.viol.len() as u32;
+        for &(p, _) in net.changed_places(t) {
+            let count = self.marking.tokens(p);
+            let si = self.segs[p.index()].len() as u32;
+            let by_count = &mut self.occ[p.index()];
+            if by_count.len() <= count as usize {
+                by_count.resize(count as usize + 1, Vec::new());
+            }
+            by_count[count as usize].push(si);
+            self.segs[p.index()].push(Seg {
+                count,
+                start: depth,
+            });
+        }
+        // The new entry's marking equals the current marking, which lies
+        // in its own box on every place: zero violations by construction.
+        self.viol.push(0);
+        self.num_valid += 1;
+        self.node_at.push(node);
+        self.hash_index.entry(self.hash).or_default().push(depth);
+    }
+
+    /// Pops the top path entry. Calls must be strictly LIFO with respect
+    /// to [`PathTracker::push_entry`].
+    pub fn pop_entry(&mut self, net: &PetriNet, t: TransitionId) {
+        let viol = self.viol.pop().expect("pop_entry on an empty path");
+        debug_assert_eq!(viol, 0, "a path entry must leave as it arrived");
+        self.num_valid -= 1;
+        self.node_at.pop();
+        for &(p, _) in net.changed_places(t) {
+            let seg = self.segs[p.index()].pop().expect("segment stack underflow");
+            self.occ[p.index()][seg.count as usize].pop();
+        }
+        let bucket = self
+            .hash_index
+            .get_mut(&self.hash)
+            .expect("entry missing from the hash index");
+        bucket.pop();
+        if bucket.is_empty() {
+            self.hash_index.remove(&self.hash);
+        }
+    }
+
+    /// The token count place `p` held at path entry `depth`.
+    fn count_at(&self, p: PlaceId, depth: u32) -> u32 {
+        let segs = &self.segs[p.index()];
+        let i = segs.partition_point(|s| s.start <= depth);
+        segs[i - 1].count
+    }
+
+    /// `true` if the marking at path entry `depth` equals the current
+    /// marking (exact verification behind a hash hit).
+    fn entry_equals_current(&self, depth: u32) -> bool {
+        self.marking
+            .as_slice()
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| self.count_at(PlaceId::new(i), depth) == c)
+    }
+
+    /// Proper on-path ancestors whose marking equals the current marking:
+    /// how many there are, and the minimal (closest to the root) one.
+    /// Typically a single hash probe; exact equality is verified against
+    /// the per-place history on a hit, so a hash collision can never
+    /// produce a wrong ancestor.
+    pub fn equal_ancestors(&self) -> (usize, Option<usize>) {
+        let Some(bucket) = self.hash_index.get(&self.hash) else {
+            return (0, None);
+        };
+        let mut count = 0;
+        let mut first = None;
+        for &depth in bucket {
+            if self.entry_equals_current(depth) {
+                count += 1;
+                if first.is_none() {
+                    first = Some(depth as usize);
+                }
+            }
+        }
+        (count, first)
+    }
+
+    /// Whether the node whose marking is currently in the tracker should
+    /// be pruned, given the number of proper ancestors with an equal
+    /// marking (from [`PathTracker::equal_ancestors`]). Matches
+    /// [`Termination::should_prune`] over the same path exactly.
+    pub fn should_prune(&self, num_equal: usize) -> bool {
+        if self.bound_over > 0 {
+            return true;
+        }
+        match self.kind {
+            // Every effective bound is already folded into `bound_over`.
+            TerminationKind::PlaceBounds { .. } => false,
+            // Irrelevant iff some in-box ancestor is not an equal marking.
+            TerminationKind::Irrelevance => self.num_valid > num_equal,
+        }
+    }
+}
+
+/// The parts of the closed interval `a` not covered by the closed
+/// interval `b` (at most two closed intervals).
+fn interval_difference(a: (u32, u32), b: (u32, u32)) -> impl Iterator<Item = (u32, u32)> {
+    let (alo, ahi) = a;
+    let (blo, bhi) = b;
+    let left = if alo < blo {
+        Some((alo, ahi.min(blo - 1)))
+    } else {
+        None
+    };
+    let right = if ahi > bhi {
+        Some((alo.max(bhi + 1), ahi))
+    } else {
+        None
+    };
+    left.into_iter().chain(right)
 }
 
 #[cfg(test)]
@@ -184,6 +555,100 @@ mod tests {
         // Not covering (q decreased) is never irrelevant.
         let anc2 = Marking::from_counts([4, 1]);
         assert!(!term.is_irrelevant(&m5, &[&anc2]));
+    }
+
+    /// Drives a [`PathTracker`] and the recompute-from-scratch
+    /// [`Termination`] down the same firing path, asserting that the
+    /// incremental prune/equal answers match the oracle at every step.
+    fn assert_tracker_matches_oracle(
+        net: &PetriNet,
+        kind: TerminationKind,
+        path: &[qss_petri::TransitionId],
+    ) {
+        let term = Termination::new(net, kind);
+        let mut tracker = PathTracker::new(net, kind);
+        let mut markings = vec![net.initial_marking()];
+        for &t in path {
+            tracker.fire(net, t);
+            let current = net.fire_unchecked(t, markings.last().unwrap());
+            let ancestors: Vec<&Marking> = markings.iter().collect();
+            let (num_equal, first_equal) = tracker.equal_ancestors();
+            let oracle_equal = markings.iter().position(|m| *m == current);
+            assert_eq!(first_equal, oracle_equal, "minimal equal ancestor");
+            assert_eq!(
+                num_equal,
+                markings.iter().filter(|m| **m == current).count(),
+                "equal ancestor count"
+            );
+            assert_eq!(
+                tracker.should_prune(num_equal),
+                term.should_prune(&current, &ancestors),
+                "prune decision at path position {}",
+                markings.len()
+            );
+            tracker.push_entry(net, t, markings.len());
+            markings.push(current);
+        }
+        // Unwind completely; the tracker must return to its initial state.
+        for &t in path.iter().rev() {
+            tracker.pop_entry(net, t);
+            tracker.unfire(net, t);
+        }
+        assert_eq!(tracker.marking(), &net.initial_marking());
+        assert_eq!(tracker.len(), 1);
+        assert!(tracker.fired().iter().all(|&f| f == 0));
+    }
+
+    #[test]
+    fn tracker_matches_oracle_on_divider_path() {
+        // a -(1)-> p1 -(3)-> b -> p2 -> c: saturate p1, drain, repeat.
+        let mut bl = NetBuilder::new("div");
+        let p1 = bl.place("p1", 0);
+        let p2 = bl.place("p2", 0);
+        let a = bl.transition("a", TransitionKind::UncontrollableSource);
+        let b = bl.transition("b", TransitionKind::Internal);
+        let c = bl.transition("c", TransitionKind::Internal);
+        bl.arc_t2p(a, p1, 1);
+        bl.arc_p2t(p1, b, 3);
+        bl.arc_t2p(b, p2, 1);
+        bl.arc_p2t(p2, c, 1);
+        let net = bl.build().unwrap();
+        let a = net.transition_by_name("a").unwrap();
+        let b = net.transition_by_name("b").unwrap();
+        let c = net.transition_by_name("c").unwrap();
+        let path = [a, a, a, b, c, a, a, a, b, c, a];
+        assert_tracker_matches_oracle(&net, TerminationKind::Irrelevance, &path);
+        assert_tracker_matches_oracle(&net, TerminationKind::PlaceBounds { default: 4 }, &path);
+    }
+
+    #[test]
+    fn tracker_prunes_saturated_growth_like_oracle() {
+        let net = net_with_weights();
+        let a = net.transition_by_name("a").unwrap();
+        // degree(p) = 4; firing `a` (produces 2) three times reaches 6,
+        // covering the saturated 4-token ancestor: both must prune there.
+        assert_tracker_matches_oracle(&net, TerminationKind::Irrelevance, &[a, a, a, a]);
+    }
+
+    #[test]
+    fn tracker_respects_declared_bounds() {
+        let mut b = NetBuilder::new("bounded");
+        let p = b.place("p", 0);
+        b.set_place_bound(p, Some(1));
+        let t = b.transition("t", TransitionKind::UncontrollableSource);
+        b.arc_t2p(t, p, 1);
+        let net = b.build().unwrap();
+        let t = net.transition_by_name("t").unwrap();
+        assert_tracker_matches_oracle(&net, TerminationKind::Irrelevance, &[t, t]);
+        let mut tracker = PathTracker::new(&net, TerminationKind::Irrelevance);
+        tracker.fire(&net, t);
+        tracker.push_entry(&net, t, 1);
+        tracker.fire(&net, t);
+        let (num_equal, _) = tracker.equal_ancestors();
+        assert!(
+            tracker.should_prune(num_equal),
+            "2 tokens exceed the declared bound 1"
+        );
     }
 
     #[test]

@@ -311,10 +311,7 @@ impl Stmt {
                 format!("WRITE_DATA({port}, {src}, {nitems});")
             }
             Stmt::Select { ports, .. } => {
-                let list: Vec<String> = ports
-                    .iter()
-                    .map(|(p, n)| format!("{p}, {n}"))
-                    .collect();
+                let list: Vec<String> = ports.iter().map(|(p, n)| format!("{p}, {n}")).collect();
                 format!("switch (SELECT({})) ...", list.join(", "))
             }
             Stmt::Expr(e) => format!("{e};"),

@@ -173,9 +173,7 @@ impl<'a> Compiler<'a> {
         // the cycle; otherwise the remaining statements are implicitly
         // repeated forever.
         let cyclic_body: Vec<Stmt> = match rest {
-            [Stmt::While { cond, body }]
-                if cond.as_const().map(|v| v != 0).unwrap_or(false) =>
-            {
+            [Stmt::While { cond, body }] if cond.as_const().map(|v| v != 0).unwrap_or(false) => {
                 body.clone()
             }
             other => other.to_vec(),
@@ -428,7 +426,8 @@ impl<'a> Compiler<'a> {
                         None,
                         Some((port.clone(), *nitems, priority as u32)),
                     );
-                    self.builder.set_transition_priority(t, Some(priority as u32));
+                    self.builder
+                        .set_transition_priority(t, Some(priority as u32));
                     self.builder.arc_p2t(entry, t, 1);
                     if decl.direction == crate::ast::PortDirection::In {
                         // Test arc: the arm requires `nitems` tokens on the
@@ -603,10 +602,9 @@ mod tests {
 
     #[test]
     fn wrong_direction_port_use_is_rejected() {
-        let p = parse_process(
-            "PROCESS bad (In DPORT a) { int x; while (1) { WRITE_DATA(a, x, 1); } }",
-        )
-        .unwrap();
+        let p =
+            parse_process("PROCESS bad (In DPORT a) { int x; while (1) { WRITE_DATA(a, x, 1); } }")
+                .unwrap();
         assert!(matches!(compile(&p), Err(FlowCError::Semantic(_))));
     }
 

@@ -31,8 +31,12 @@ pub enum FlowCError {
 impl fmt::Display for FlowCError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FlowCError::Lex { line, message } => write!(f, "lexical error at line {line}: {message}"),
-            FlowCError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            FlowCError::Lex { line, message } => {
+                write!(f, "lexical error at line {line}: {message}")
+            }
+            FlowCError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             FlowCError::Semantic(msg) => write!(f, "semantic error: {msg}"),
             FlowCError::Net(msg) => write!(f, "net construction error: {msg}"),
         }

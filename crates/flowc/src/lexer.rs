@@ -205,7 +205,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -248,10 +252,7 @@ mod tests {
 
     #[test]
     fn rejects_unterminated_comment() {
-        assert!(matches!(
-            tokenize("a /* oops"),
-            Err(FlowCError::Lex { .. })
-        ));
+        assert!(matches!(tokenize("a /* oops"), Err(FlowCError::Lex { .. })));
     }
 
     #[test]

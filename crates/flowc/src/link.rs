@@ -158,14 +158,14 @@ pub fn link(spec: &SystemSpec) -> Result<LinkedSystem> {
     for process in spec.processes() {
         for port in &process.ports {
             let key = (process.name.clone(), port.name.clone());
-            if !port_places.contains_key(&key) {
+            if let std::collections::btree_map::Entry::Vacant(entry) = port_places.entry(key) {
                 let place = builder.place_with_kind(
                     format!("{}.{}", process.name, port.name),
                     0,
                     PlaceKind::EnvironmentPort,
                     None,
                 );
-                port_places.insert(key, place);
+                entry.insert(place);
             }
         }
     }
@@ -212,10 +212,8 @@ pub fn link(spec: &SystemSpec) -> Result<LinkedSystem> {
                         PortClass::Uncontrollable => TransitionKind::UncontrollableSource,
                         PortClass::Controllable => TransitionKind::ControllableSource,
                     };
-                    let t = builder.transition(
-                        format!("env_in_{}_{}", process.name, port.name),
-                        kind,
-                    );
+                    let t =
+                        builder.transition(format!("env_in_{}_{}", process.name, port.name), kind);
                     builder.arc_t2p(t, place, rate);
                     env_inputs.push(EnvInputInfo {
                         process: process.name.clone(),

@@ -179,7 +179,9 @@ impl SystemSpec {
     fn check_endpoint(&self, endpoint: &(String, String), dir: PortDirection) -> Result<()> {
         let (proc, port) = endpoint;
         let process = self.process(proc).ok_or_else(|| {
-            FlowCError::Semantic(format!("channel endpoint refers to unknown process `{proc}`"))
+            FlowCError::Semantic(format!(
+                "channel endpoint refers to unknown process `{proc}`"
+            ))
         })?;
         let decl = process.port(port).ok_or_else(|| {
             FlowCError::Semantic(format!(

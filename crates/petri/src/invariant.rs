@@ -182,8 +182,8 @@ pub fn t_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
     let mut rows: Vec<Vec<i64>> = Vec::with_capacity(nt);
     for t in 0..nt {
         let mut row = vec![0i64; np + nt];
-        for p in 0..np {
-            row[p] = c.rows[p][t];
+        for (p, slot) in row.iter_mut().enumerate().take(np) {
+            *slot = c.rows[p][t];
         }
         row[np + t] = 1;
         rows.push(row);
@@ -245,12 +245,7 @@ pub fn t_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
     collect_invariants(&rows, np, nt, net)
 }
 
-fn collect_invariants(
-    rows: &[Vec<i64>],
-    np: usize,
-    nt: usize,
-    net: &PetriNet,
-) -> Vec<TInvariant> {
+fn collect_invariants(rows: &[Vec<i64>], np: usize, nt: usize, net: &PetriNet) -> Vec<TInvariant> {
     let mut result: Vec<TInvariant> = Vec::new();
     for row in rows {
         if row[..np].iter().any(|&v| v != 0) {

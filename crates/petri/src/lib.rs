@@ -34,6 +34,7 @@ pub mod analysis;
 pub mod dot;
 pub mod ecs;
 pub mod error;
+pub mod fx;
 pub mod ids;
 pub mod invariant;
 pub mod marking;
@@ -43,8 +44,9 @@ pub mod reach;
 pub use analysis::{place_degree, NetAnalysis};
 pub use ecs::{ChoiceClass, EcsId, EcsInfo};
 pub use error::{NetError, Result};
+pub use fx::{FxHashMap, FxHashSet};
 pub use ids::{PlaceId, TransitionId};
 pub use invariant::{incidence_matrix, t_invariant_basis, IncidenceMatrix, TInvariant};
-pub use marking::Marking;
+pub use marking::{place_count_hash, Marking};
 pub use net::{NetBuilder, PetriNet, Place, PlaceKind, Transition, TransitionKind};
 pub use reach::{ReachabilityGraph, ReachabilityLimits};

@@ -82,6 +82,31 @@ impl Marking {
         *c = c.checked_sub(n).expect("token count underflow");
     }
 
+    /// Applies a signed token delta to place `p` (the primitive behind
+    /// [`PetriNet::fire_into`](crate::PetriNet::fire_into)).
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range or the count leaves the `u32` range
+    /// ("token count underflow"/"token count overflow").
+    pub fn apply_delta(&mut self, p: PlaceId, delta: i64) {
+        let c = &mut self.counts[p.index()];
+        let next = *c as i64 + delta;
+        assert!(next >= 0, "token count underflow");
+        assert!(next <= u32::MAX as i64, "token count overflow");
+        *c = next as u32;
+    }
+
+    /// A 64-bit hash of the whole marking, defined as the wrapping sum of
+    /// [`place_count_hash`] over every place. Because the combiner is
+    /// addition, the hash can be maintained *incrementally* when one place
+    /// changes: `h += place_count_hash(p, new) − place_count_hash(p, old)`.
+    /// The schedule search uses this to index on-path ancestor markings.
+    pub fn path_hash(&self) -> u64 {
+        self.counts.iter().enumerate().fold(0u64, |h, (i, &c)| {
+            h.wrapping_add(place_count_hash(PlaceId::new(i), c))
+        })
+    }
+
     /// Total number of tokens over all places.
     pub fn total_tokens(&self) -> u64 {
         self.counts.iter().map(|&c| c as u64).sum()
@@ -141,6 +166,18 @@ impl Marking {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (PlaceId::new(i), c))
     }
+}
+
+/// Mixes one `(place, token count)` pair into a well-distributed 64-bit
+/// value (a splitmix64 finalizer over the packed pair). Summed over all
+/// places by [`Marking::path_hash`]; exposed so callers can update the sum
+/// incrementally as individual places change.
+pub fn place_count_hash(p: PlaceId, count: u32) -> u64 {
+    let mut z = ((p.index() as u64) << 32) ^ (count as u64);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl fmt::Display for Marking {
@@ -226,6 +263,42 @@ mod tests {
         assert_eq!(m.marked_places(), vec![PlaceId::new(1), PlaceId::new(3)]);
         let pairs: Vec<_> = m.iter_marked().collect();
         assert_eq!(pairs, vec![(PlaceId::new(1), 3), (PlaceId::new(3), 1)]);
+    }
+
+    #[test]
+    fn apply_delta_round_trips() {
+        let mut m = Marking::from_counts([2, 0]);
+        m.apply_delta(PlaceId::new(0), -2);
+        m.apply_delta(PlaceId::new(1), 5);
+        assert_eq!(m.as_slice(), &[0, 5]);
+        m.apply_delta(PlaceId::new(1), -5);
+        assert_eq!(m.as_slice(), &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn apply_delta_underflow_panics() {
+        let mut m = Marking::from_counts([1]);
+        m.apply_delta(PlaceId::new(0), -2);
+    }
+
+    #[test]
+    fn path_hash_is_incremental() {
+        let mut m = Marking::from_counts([1, 4, 0]);
+        let mut h = m.path_hash();
+        // Change place 1 from 4 to 7 and update the hash incrementally.
+        let p = PlaceId::new(1);
+        h = h
+            .wrapping_sub(place_count_hash(p, 4))
+            .wrapping_add(place_count_hash(p, 7));
+        m.set_tokens(p, 7);
+        assert_eq!(h, m.path_hash());
+        // Different markings get different hashes (no strict guarantee,
+        // but these must not collide for the index to be useful).
+        assert_ne!(
+            Marking::from_counts([0, 1]).path_hash(),
+            Marking::from_counts([1, 0]).path_hash()
+        );
     }
 
     #[test]

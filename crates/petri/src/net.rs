@@ -96,6 +96,13 @@ pub struct PetriNet {
     place_post: Vec<Vec<TransitionId>>,
     /// For each place, the transitions that produce into it.
     place_pre: Vec<Vec<TransitionId>>,
+    /// For each transition, the net token change it causes, as sorted
+    /// `(place, post − pre)` pairs with zero entries elided. This is the
+    /// dense delta representation used by [`PetriNet::fire_into`] /
+    /// [`PetriNet::unfire_into`]: the schedule search applies and reverts
+    /// transitions on one scratch marking in `O(changed places)` instead
+    /// of cloning a marking per firing.
+    changed: Vec<Vec<(PlaceId, i64)>>,
 }
 
 impl PetriNet {
@@ -210,9 +217,7 @@ impl PetriNet {
 
     /// Returns `true` if `t` is enabled at marking `m`.
     pub fn is_enabled(&self, t: TransitionId, m: &Marking) -> bool {
-        self.pre[t.index()]
-            .iter()
-            .all(|(p, w)| m.tokens(*p) >= *w)
+        self.pre[t.index()].iter().all(|(p, w)| m.tokens(*p) >= *w)
     }
 
     /// All transitions enabled at `m`, in identifier order.
@@ -246,6 +251,46 @@ impl PetriNet {
             next.add_tokens(*p, *w);
         }
         next
+    }
+
+    /// The net token change of `t` as sorted `(place, post − pre)` pairs,
+    /// zero entries elided. Precomputed at build time; this is the set of
+    /// places whose token count differs between a marking and its
+    /// successor under `t`.
+    pub fn changed_places(&self, t: TransitionId) -> &[(PlaceId, i64)] {
+        &self.changed[t.index()]
+    }
+
+    /// Fires `t` by applying its net delta to `m` in place, without
+    /// checking enabledness. Unlike [`PetriNet::fire_unchecked`] no
+    /// marking is cloned: the cost is `O(changed places)`.
+    ///
+    /// Because only *net* deltas are applied, places `t` consumes from
+    /// and refills with equal weight (self-loops) are not touched at
+    /// all: firing a disabled self-loop transition is **not** detected
+    /// here (unlike `fire_unchecked`, whose per-arc subtraction would
+    /// panic). Callers must only fire enabled transitions; the schedule
+    /// search guarantees this via the ECS enabling check.
+    ///
+    /// # Panics
+    /// Panics if a net delta underflows a token count (a sufficient but
+    /// not necessary symptom of `t` being disabled at `m`).
+    pub fn fire_into(&self, t: TransitionId, m: &mut Marking) {
+        for &(p, delta) in &self.changed[t.index()] {
+            m.apply_delta(p, delta);
+        }
+    }
+
+    /// Reverts a previous [`PetriNet::fire_into`] of `t` on `m` in place.
+    /// The self-loop caveat of [`PetriNet::fire_into`] applies here too.
+    ///
+    /// # Panics
+    /// Panics if a net delta underflows a token count (a sufficient but
+    /// not necessary symptom of `m` not being a successor marking of `t`).
+    pub fn unfire_into(&self, t: TransitionId, m: &mut Marking) {
+        for &(p, delta) in &self.changed[t.index()] {
+            m.apply_delta(p, -delta);
+        }
     }
 
     /// Fires a sequence of transitions starting from `m`.
@@ -480,6 +525,22 @@ impl NetBuilder {
                 place_pre[p.index()].push(TransitionId::new(ti));
             }
         }
+        let changed = self
+            .pre
+            .iter()
+            .zip(self.post.iter())
+            .map(|(inputs, outputs)| {
+                let mut delta: std::collections::BTreeMap<PlaceId, i64> =
+                    std::collections::BTreeMap::new();
+                for (p, w) in inputs {
+                    *delta.entry(*p).or_insert(0) -= *w as i64;
+                }
+                for (p, w) in outputs {
+                    *delta.entry(*p).or_insert(0) += *w as i64;
+                }
+                delta.into_iter().filter(|(_, d)| *d != 0).collect()
+            })
+            .collect();
         Ok(PetriNet {
             name: self.name,
             places: self.places,
@@ -488,6 +549,7 @@ impl NetBuilder {
             post: self.post,
             place_post,
             place_pre,
+            changed,
         })
     }
 }
@@ -601,6 +663,48 @@ mod tests {
         assert!(!net.is_structural_source(sink));
         assert_eq!(net.uncontrollable_sources(), vec![src]);
         assert!(net.controllable_sources().is_empty());
+    }
+
+    #[test]
+    fn changed_places_elide_zero_deltas() {
+        // t consumes 2 and produces 2 into the same place: net delta 0.
+        let mut b = NetBuilder::new("selfloop");
+        let p = b.place("p", 2);
+        let q = b.place("q", 0);
+        let t = b.transition("t", TransitionKind::Internal);
+        b.arc_p2t(p, t, 2);
+        b.arc_t2p(t, p, 2);
+        b.arc_t2p(t, q, 3);
+        let net = b.build().unwrap();
+        let t = net.transition_by_name("t").unwrap();
+        let q = net.place_by_name("q").unwrap();
+        assert_eq!(net.changed_places(t), &[(q, 3)]);
+    }
+
+    #[test]
+    fn fire_into_matches_fire_unchecked() {
+        let net = simple_net();
+        let a = net.transition_by_name("a").unwrap();
+        let b = net.transition_by_name("b").unwrap();
+        let m0 = net.initial_marking();
+        let mut scratch = m0.clone();
+        net.fire_into(a, &mut scratch);
+        assert_eq!(scratch, net.fire_unchecked(a, &m0));
+        net.fire_into(b, &mut scratch);
+        assert_eq!(scratch, m0);
+        // unfire_into reverts in reverse order.
+        net.fire_into(a, &mut scratch);
+        net.unfire_into(a, &mut scratch);
+        assert_eq!(scratch, m0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn fire_into_disabled_underflows() {
+        let net = simple_net();
+        let b = net.transition_by_name("b").unwrap();
+        let mut m = net.initial_marking();
+        net.fire_into(b, &mut m);
     }
 
     #[test]

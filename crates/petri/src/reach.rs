@@ -8,10 +8,11 @@
 //! for tests.
 
 use crate::error::{NetError, Result};
+use crate::fx::FxHashMap;
 use crate::ids::TransitionId;
 use crate::marking::Marking;
 use crate::net::PetriNet;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Limits applied to a reachability exploration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +37,9 @@ impl Default for ReachabilityLimits {
 #[derive(Debug, Clone)]
 pub struct ReachabilityGraph {
     markings: Vec<Marking>,
+    /// Marking → node index, kept from the exploration so membership
+    /// queries are hash probes instead of linear scans.
+    index: FxHashMap<Marking, usize>,
     /// Edges as `(from-node, transition, to-node)` triples.
     edges: Vec<(usize, TransitionId, usize)>,
     /// Whether the exploration was truncated by the limits.
@@ -58,7 +62,7 @@ impl ReachabilityGraph {
                 )));
             }
         }
-        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut index: FxHashMap<Marking, usize> = FxHashMap::default();
         let mut markings = vec![m0.clone()];
         index.insert(m0, 0);
         let mut edges = Vec::new();
@@ -98,6 +102,7 @@ impl ReachabilityGraph {
         }
         Ok(ReachabilityGraph {
             markings,
+            index,
             edges,
             truncated,
         })
@@ -123,9 +128,15 @@ impl ReachabilityGraph {
         self.truncated
     }
 
-    /// Returns `true` if `m` was visited during the exploration.
+    /// Returns `true` if `m` was visited during the exploration
+    /// (an `O(1)` probe of the marking index).
     pub fn contains(&self, m: &Marking) -> bool {
-        self.markings.iter().any(|x| x == m)
+        self.index.contains_key(m)
+    }
+
+    /// Returns the node index of `m`, if it was visited.
+    pub fn node_of(&self, m: &Marking) -> Option<usize> {
+        self.index.get(m).copied()
     }
 
     /// Returns the maximum token count observed in each place over all
@@ -171,6 +182,8 @@ mod tests {
         assert_eq!(g.edges().len(), 2);
         assert!(!g.is_truncated());
         assert!(g.contains(&net.initial_marking()));
+        assert_eq!(g.node_of(&net.initial_marking()), Some(0));
+        assert!(!g.contains(&Marking::from_counts([7, 7])));
         assert_eq!(g.place_peaks(), vec![1, 1]);
     }
 

@@ -21,12 +21,7 @@ fn random_net_strategy() -> impl Strategy<Value = RandomNet> {
     (2usize..6, 1usize..8).prop_flat_map(|(num_places, num_transitions)| {
         let initial = prop::collection::vec(0u32..3, num_places);
         let arcs = prop::collection::vec(
-            (
-                0..num_places,
-                0..num_places,
-                1u32..3,
-                1u32..3,
-            ),
+            (0..num_places, 0..num_places, 1u32..3, 1u32..3),
             num_transitions,
         );
         (initial, arcs).prop_map(|(initial, arcs)| RandomNet { initial, arcs })

@@ -1,0 +1,276 @@
+//! Offline shim for `criterion`: a minimal but real benchmark harness.
+//!
+//! Implements the subset of the Criterion 0.5 API used by this workspace
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, the `criterion_group!`/`criterion_main!`
+//! macros and `black_box`). Measurements are genuine: every benchmark is
+//! warmed up, then timed over `sample_size` samples whose iteration count
+//! is calibrated so a sample lasts at least ~2 ms, and the median and mean
+//! per-iteration times are printed to stdout.
+//!
+//! Set `QSS_BENCH_FAST=1` to cut sample counts (used by CI smoke runs).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one parameterised benchmark case, e.g.
+/// `divider_irrelevance/12`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements/sec when set).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-sample wall times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count per sample so
+        // that one sample lasts at least ~2 ms (or a single iteration if
+        // the routine itself is slower than that).
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn per_iter_nanos(&self) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect()
+    }
+}
+
+/// Formats a per-iteration time in adaptive units, Criterion-style.
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = if self.criterion.fast {
+            3
+        } else {
+            self.sample_size
+        };
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size,
+        };
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Finishes the group (separator line in the report).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let mut per_iter = bencher.per_iter_nanos();
+        if per_iter.is_empty() {
+            println!("{}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  [{:.0} elem/s]", n as f64 * 1e9 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  [{:.0} B/s]", n as f64 * 1e9 / median)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id:<40} median {:>12}  mean {:>12}  ({} samples × {} iters){throughput}",
+            self.name,
+            format_nanos(median),
+            format_nanos(mean),
+            per_iter.len(),
+            bencher.iters_per_sample,
+        );
+    }
+}
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+pub struct Criterion {
+    fast: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            fast: std::env::var_os("QSS_BENCH_FAST").is_some(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, Criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { fast: true };
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box((0..100u64).sum::<u64>())
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("divider", 12).to_string(), "divider/12");
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`: marker traits plus the no-op derives.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so
+//! that swapping in the real serde is a manifest-only change, but nothing
+//! in-tree serializes through serde. The traits are therefore empty
+//! markers with blanket implementations, and the derives (re-exported from
+//! the shim `serde_derive`) expand to nothing. See `crates/shims/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -81,11 +81,7 @@ impl ChannelState {
 
     /// Drains the whole queue of `place`.
     pub fn drain(&mut self, place: PlaceId) -> Vec<i64> {
-        self.queues
-            .entry(place)
-            .or_default()
-            .drain(..)
-            .collect()
+        self.queues.entry(place).or_default().drain(..).collect()
     }
 }
 

@@ -103,7 +103,10 @@ impl ProcessEnv {
 
     fn array_get(&self, name: &str, index: i64) -> Result<i64> {
         let arr = self.arrays.get(name).ok_or_else(|| {
-            SimError::Evaluation(format!("`{name}` is not an array in process {}", self.process))
+            SimError::Evaluation(format!(
+                "`{name}` is not an array in process {}",
+                self.process
+            ))
         })?;
         arr.get(index as usize).copied().ok_or_else(|| {
             SimError::Evaluation(format!(
@@ -276,7 +279,9 @@ impl ProcessEnv {
                 for (name, size) in names {
                     match size {
                         Some(s) => {
-                            self.arrays.entry(name.clone()).or_insert(vec![0; *s as usize]);
+                            self.arrays
+                                .entry(name.clone())
+                                .or_insert(vec![0; *s as usize]);
                         }
                         None => {
                             self.scalars.entry(name.clone()).or_insert(0);
@@ -410,10 +415,7 @@ mod tests {
         let Stmt::While { body, .. } = &p.body[1] else {
             panic!()
         };
-        let mut env = ProcessEnv::new(
-            "divisors",
-            &[("n".into(), None), ("i".into(), None)],
-        );
+        let mut env = ProcessEnv::new("divisors", &[("n".into(), None), ("i".into(), None)]);
         let mut io = TestIo::default();
         io.queues.insert("in".into(), vec![12]);
         let mut counters = ExecCounters::default();

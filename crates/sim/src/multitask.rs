@@ -449,10 +449,7 @@ mod tests {
         )
         .unwrap();
         assert!(o0.cycles > o2.cycles);
-        assert_eq!(
-            o0.output("consumer", "out"),
-            o2.output("consumer", "out")
-        );
+        assert_eq!(o0.output("consumer", "out"), o2.output("consumer", "out"));
     }
 
     #[test]

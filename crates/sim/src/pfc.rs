@@ -213,7 +213,9 @@ mod tests {
 
     #[test]
     fn frame_size_is_configurable() {
-        let src = producer_source(&PfcParams { pixels_per_frame: 7 });
+        let src = producer_source(&PfcParams {
+            pixels_per_frame: 7,
+        });
         assert!(src.contains("i < 7"));
         assert!(parse_process(&src).is_ok());
     }

@@ -257,10 +257,7 @@ impl<'a> SingleSim<'a> {
 
     /// Resolves a data-dependent choice by evaluating the guards of the
     /// candidate transitions against the live process variables.
-    fn resolve_choice(
-        &self,
-        edges: &[(TransitionId, NodeId)],
-    ) -> Result<(TransitionId, NodeId)> {
+    fn resolve_choice(&self, edges: &[(TransitionId, NodeId)]) -> Result<(TransitionId, NodeId)> {
         for (t, target) in edges {
             let Some(code) = self.system.transition_code.get(t) else {
                 continue;
@@ -268,9 +265,10 @@ impl<'a> SingleSim<'a> {
             let Some((expr, branch)) = &code.guard else {
                 continue;
             };
-            let env = self.envs.get(&code.process).ok_or_else(|| {
-                SimError::Schedule(format!("unknown process `{}`", code.process))
-            })?;
+            let env = self
+                .envs
+                .get(&code.process)
+                .ok_or_else(|| SimError::Schedule(format!("unknown process `{}`", code.process)))?;
             if env.eval_guard(expr)? == *branch {
                 return Ok((*t, *target));
             }
@@ -290,7 +288,8 @@ impl<'a> SingleSim<'a> {
         if code.guard.is_some() {
             counters.conditions += 1;
         }
-        let (env_ops, env_items) = self.exec_in_process(&code.process, &code.stmts, &mut counters)?;
+        let (env_ops, env_items) =
+            self.exec_in_process(&code.process, &code.stmts, &mut counters)?;
         self.charge(&counters, env_ops, env_items);
         Ok(())
     }

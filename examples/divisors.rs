@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compiled.net.num_places(),
         compiled.net.num_transitions()
     );
-    println!("\nGraphviz of the compiled net (Figure 3):\n{}", to_dot(&compiled.net));
+    println!(
+        "\nGraphviz of the compiled net (Figure 3):\n{}",
+        to_dot(&compiled.net)
+    );
 
     // Linking against the environment (in/max/all all unconnected) and
     // scheduling the uncontrollable `in` port.

@@ -7,7 +7,11 @@
 use qss_core::{schedule_system, ScheduleOptions};
 use qss_flowc::{examples, link, parse_process, SystemSpec};
 
-fn build(a_source: &str, b_source: &str, with_done: bool) -> qss_flowc::Result<qss_flowc::LinkedSystem> {
+fn build(
+    a_source: &str,
+    b_source: &str,
+    with_done: bool,
+) -> qss_flowc::Result<qss_flowc::LinkedSystem> {
     // The naive process A is modified to wait for an environment trigger
     // before each burst so that the system has an uncontrollable input to
     // schedule against; the SELECT rewrite already declares one.
@@ -17,7 +21,10 @@ fn build(a_source: &str, b_source: &str, with_done: bool) -> qss_flowc::Result<q
         a_source
             .replace("(Out DPORT c0", "(In DPORT start, Out DPORT c0")
             .replace("int i,", "int g, i,")
-            .replace("while (1) {", "while (1) {\n        READ_DATA(start, g, 1);")
+            .replace(
+                "while (1) {",
+                "while (1) {\n        READ_DATA(start, g, 1);",
+            )
     };
     let a = parse_process(&a_source)?;
     let b = parse_process(b_source)?;
@@ -39,9 +46,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let naive = build(examples::FALSE_PATH_A, examples::FALSE_PATH_B, false)?;
     match schedule_system(&naive, &ScheduleOptions::default()) {
         Ok(_) => println!("naive version: unexpectedly schedulable"),
-        Err(e) => println!(
-            "naive version: NOT schedulable, as predicted by Sec. 7.2\n  reason: {e}"
-        ),
+        Err(e) => {
+            println!("naive version: NOT schedulable, as predicted by Sec. 7.2\n  reason: {e}")
+        }
     }
 
     // The rewrite with SELECT and done channels.

@@ -34,5 +34,7 @@ fn main() {
             run(TerminationKind::Irrelevance)
         );
     }
-    println!("\nno constant bound works for every k; the irrelevance criterion needs no bound at all");
+    println!(
+        "\nno constant bound works for every k; the irrelevance criterion needs no bound at all"
+    );
 }

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let events = pfc_events(frames);
-    println!("\n{:>8} | {:>12} | {:>12} | {:>6}", "profile", "1 task", "4 tasks", "ratio");
+    println!(
+        "\n{:>8} | {:>12} | {:>12} | {:>6}",
+        "profile", "1 task", "4 tasks", "ratio"
+    );
     for profile in CycleCostModel::profiles() {
         let single = run_singletask(
             &system,

@@ -1,0 +1,20 @@
+//! Facade crate for the quasi-static scheduling workspace.
+//!
+//! Re-exports the sub-crates so the root-level integration tests and
+//! examples can reach everything through one dependency, and so downstream
+//! users can depend on a single `qss` crate:
+//!
+//! * [`petri`] — Petri-net kernel (markings, ECS, reachability, invariants),
+//! * [`flowc`] — FlowC front end (parsing, compilation to nets, linking),
+//! * [`core`] — the EP/EP_ECS quasi-static scheduler,
+//! * [`codegen`] — sequential task generation (C emission),
+//! * [`sim`] — execution substrate and the PFC case study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use qss_codegen as codegen;
+pub use qss_core as core;
+pub use qss_flowc as flowc;
+pub use qss_petri as petri;
+pub use qss_sim as sim;

@@ -1,0 +1,213 @@
+//! Differential tests: the incremental path-state EP engine
+//! (`qss_core::find_schedule_with_stats`) must be observationally
+//! identical to the retained recompute-from-scratch oracle
+//! (`qss_core::reference`) — same schedules (node for node, marking for
+//! marking), same search statistics, same channel bounds, same errors —
+//! across fixed paper fixtures, the divider family, the PFC case study
+//! and randomly generated nets.
+
+use proptest::prelude::*;
+use qss_bench::experiments::divider_net;
+use qss_core::{
+    channel_bounds, find_schedule_with_stats, reference, ScheduleOptions, TerminationKind,
+};
+use qss_petri::{NetBuilder, PetriNet, TransitionId, TransitionKind};
+use qss_sim::{pfc_system, PfcParams};
+
+/// Runs both engines under `options` and asserts identical outcomes.
+fn assert_engines_agree(net: &PetriNet, source: TransitionId, options: &ScheduleOptions) {
+    let incremental = find_schedule_with_stats(net, source, options);
+    let oracle = reference::find_schedule_with_stats(net, source, options);
+    match (&incremental, &oracle) {
+        (Ok((s_inc, st_inc)), Ok((s_ref, st_ref))) => {
+            assert_eq!(s_inc, s_ref, "schedules differ on {}", net.name());
+            assert_eq!(st_inc, st_ref, "search stats differ on {}", net.name());
+            s_inc.validate(net).expect("incremental schedule validates");
+        }
+        _ => assert_eq!(
+            incremental,
+            oracle,
+            "engine outcomes differ on {}",
+            net.name()
+        ),
+    }
+}
+
+/// Every option profile the workspace exercises.
+fn option_profiles() -> Vec<ScheduleOptions> {
+    vec![
+        ScheduleOptions::default(),
+        ScheduleOptions::default().without_heuristics(),
+        ScheduleOptions::with_place_bounds(3),
+        ScheduleOptions {
+            greedy_entering_point: false,
+            ..ScheduleOptions::default()
+        },
+        ScheduleOptions {
+            single_source: false,
+            ..ScheduleOptions::default()
+        },
+    ]
+}
+
+fn assert_engines_agree_all_profiles(net: &PetriNet, source: TransitionId) {
+    for options in option_profiles() {
+        assert_engines_agree(net, source, &options);
+    }
+}
+
+/// The Figure 8(a) net of the paper.
+fn figure8() -> PetriNet {
+    let mut bl = NetBuilder::new("fig8");
+    let p1 = bl.place("p1", 0);
+    let p2 = bl.place("p2", 0);
+    let p3 = bl.place("p3", 0);
+    let a = bl.transition("a", TransitionKind::UncontrollableSource);
+    let b = bl.transition("b", TransitionKind::Internal);
+    let c = bl.transition("c", TransitionKind::Internal);
+    let d = bl.transition("d", TransitionKind::Internal);
+    let e = bl.transition("e", TransitionKind::Internal);
+    bl.arc_t2p(a, p1, 1);
+    bl.arc_p2t(p1, b, 1);
+    bl.arc_p2t(p1, c, 1);
+    bl.arc_t2p(b, p2, 1);
+    bl.arc_p2t(p2, d, 1);
+    bl.arc_t2p(c, p3, 1);
+    bl.arc_p2t(p3, e, 2);
+    bl.arc_t2p(e, p1, 1);
+    bl.build().unwrap()
+}
+
+#[test]
+fn engines_agree_on_figure8() {
+    let net = figure8();
+    let a = net.transition_by_name("a").unwrap();
+    assert_engines_agree_all_profiles(&net, a);
+}
+
+#[test]
+fn engines_agree_on_divider_family() {
+    for k in 1..=12 {
+        let (net, source) = divider_net(k);
+        assert_engines_agree_all_profiles(&net, source);
+        // The Sec. 4.4 comparison: place bounds tighter and looser than k.
+        for bound in [k.saturating_sub(1).max(1), k, 2 * k] {
+            let opts = ScheduleOptions {
+                termination: TerminationKind::PlaceBounds { default: bound },
+                ..Default::default()
+            };
+            assert_engines_agree(&net, source, &opts);
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_pfc_system_and_channel_bounds() {
+    let system = pfc_system(&PfcParams::tiny()).expect("PFC links");
+    let options = ScheduleOptions::default();
+    let mut reference_schedules = Vec::new();
+    for source in system.uncontrollable_sources() {
+        assert_engines_agree(&system.net, source, &options);
+        let (s, _) = reference::find_schedule_with_stats(&system.net, source, &options).unwrap();
+        reference_schedules.push(s);
+    }
+    // Channel bounds derived through the production path must equal the
+    // bounds computed from the oracle's schedules.
+    let schedules = qss_core::schedule_system(&system, &options).expect("PFC schedules");
+    assert_eq!(
+        schedules.channel_bounds,
+        channel_bounds(&reference_schedules, &system.net)
+    );
+}
+
+#[test]
+fn engines_agree_on_unschedulable_nets() {
+    // Figure 4(b): two uncontrollable sources feeding one synchroniser.
+    let mut bl = NetBuilder::new("fig4b");
+    let p1 = bl.place("p1", 0);
+    let p2 = bl.place("p2", 0);
+    let a = bl.transition("a", TransitionKind::UncontrollableSource);
+    let b = bl.transition("b", TransitionKind::UncontrollableSource);
+    let c = bl.transition("c", TransitionKind::Internal);
+    bl.arc_t2p(a, p1, 1);
+    bl.arc_t2p(b, p2, 1);
+    bl.arc_p2t(p1, c, 1);
+    bl.arc_p2t(p2, c, 1);
+    let net = bl.build().unwrap();
+    let a = net.transition_by_name("a").unwrap();
+    assert_engines_agree_all_profiles(&net, a);
+}
+
+#[test]
+fn engines_agree_under_tiny_node_budgets() {
+    let net = figure8();
+    let a = net.transition_by_name("a").unwrap();
+    for max_nodes in 2..20 {
+        let opts = ScheduleOptions {
+            max_nodes,
+            ..Default::default()
+        };
+        assert_engines_agree(&net, a, &opts);
+    }
+}
+
+/// A random net description: a source feeding place 0, plus `arcs`
+/// transitions each consuming from one place and producing into another.
+#[derive(Debug, Clone)]
+struct RandomNet {
+    initial: Vec<u32>,
+    source_weight: u32,
+    arcs: Vec<(usize, usize, u32, u32)>,
+}
+
+fn random_net_strategy() -> impl Strategy<Value = RandomNet> {
+    (2usize..5, 1usize..6).prop_flat_map(|(num_places, num_transitions)| {
+        let initial = prop::collection::vec(0u32..2, num_places);
+        let arcs = prop::collection::vec(
+            (0..num_places, 0..num_places, 1u32..3, 1u32..3),
+            num_transitions,
+        );
+        (initial, arcs, 1u32..3).prop_map(|(initial, arcs, source_weight)| RandomNet {
+            initial,
+            source_weight,
+            arcs,
+        })
+    })
+}
+
+fn build_random(desc: &RandomNet) -> (PetriNet, TransitionId) {
+    let mut b = NetBuilder::new("random");
+    let places: Vec<_> = desc
+        .initial
+        .iter()
+        .enumerate()
+        .map(|(i, &tokens)| b.place(format!("p{i}"), tokens))
+        .collect();
+    let src = b.transition("src", TransitionKind::UncontrollableSource);
+    b.arc_t2p(src, places[0], desc.source_weight);
+    for (i, (from, to, consume, produce)) in desc.arcs.iter().enumerate() {
+        let t = b.transition(format!("t{i}"), TransitionKind::Internal);
+        b.arc_p2t(places[*from], t, *consume);
+        b.arc_t2p(t, places[*to], *produce);
+    }
+    let net = b.build().expect("random net builds");
+    let src = net.transition_by_name("src").unwrap();
+    (net, src)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Schedulable or not, both engines reach byte-identical outcomes on
+    /// random nets under every option profile. A small node budget keeps
+    /// degenerate explosions bounded while still exercising the
+    /// budget-exhaustion path differentially.
+    #[test]
+    fn engines_agree_on_random_nets(desc in random_net_strategy()) {
+        let (net, source) = build_random(&desc);
+        for base in option_profiles() {
+            let opts = ScheduleOptions { max_nodes: 3_000, ..base };
+            assert_engines_agree(&net, source, &opts);
+        }
+    }
+}

@@ -9,7 +9,9 @@
 
 use qss_core::{schedule_system, ScheduleError, ScheduleOptions};
 use qss_flowc::{examples, link, parse_process, LinkedSystem, SystemSpec};
-use qss_sim::{run_multitask, run_singletask, CycleCostModel, EnvEvent, MultiTaskConfig, SingleTaskConfig};
+use qss_sim::{
+    run_multitask, run_singletask, CycleCostModel, EnvEvent, MultiTaskConfig, SingleTaskConfig,
+};
 
 /// Wraps the naive process A so that each burst is triggered by an
 /// uncontrollable environment event (the published example is a closed
@@ -77,7 +79,7 @@ fn select_rewrite_is_schedulable_with_unit_buffers() {
     // bursts one item at a time).
     for channel in &system.channels {
         let bound = schedules.bound(channel.place);
-        assert!(bound >= 1 && bound <= 2, "{} bound {bound}", channel.name);
+        assert!((1..=2).contains(&bound), "{} bound {bound}", channel.name);
     }
 }
 

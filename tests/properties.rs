@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use qss_core::{find_schedule, ScheduleOptions};
 use qss_flowc::{link, parse_process, SystemSpec};
 use qss_petri::{
-    place_degree, t_invariant_basis, EcsInfo, Marking, NetBuilder, PetriNet, PlaceId,
-    TransitionId, TransitionKind,
+    place_degree, t_invariant_basis, EcsInfo, Marking, NetBuilder, PetriNet, PlaceId, TransitionId,
+    TransitionKind,
 };
 use qss_sim::{
     run_multitask, run_singletask, CycleCostModel, EnvEvent, MultiTaskConfig, SingleTaskConfig,
