@@ -25,7 +25,7 @@ fn bench_schedule_search(c: &mut Criterion) {
     group.bench_function("pfc_with_heuristics", |b| {
         b.iter(|| {
             pfc_context
-                .find_schedule(source, &ScheduleOptions::default())
+                .find_schedule(&system.net, source, &ScheduleOptions::default())
                 .unwrap()
         })
     });
@@ -41,7 +41,7 @@ fn bench_schedule_search(c: &mut Criterion) {
             max_nodes: 50_000,
             ..ScheduleOptions::default().without_heuristics()
         };
-        b.iter(|| pfc_context.find_schedule(source, &opts).ok())
+        b.iter(|| pfc_context.find_schedule(&system.net, source, &opts).ok())
     });
     for k in [4u32, 8, 12] {
         let (net, src) = divider_net(k);
@@ -49,7 +49,7 @@ fn bench_schedule_search(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("divider_irrelevance", k), &k, |b, _| {
             b.iter(|| {
                 context
-                    .find_schedule(src, &ScheduleOptions::default())
+                    .find_schedule(&net, src, &ScheduleOptions::default())
                     .unwrap()
             })
         });
@@ -65,7 +65,7 @@ fn bench_schedule_search(c: &mut Criterion) {
                 termination: TerminationKind::PlaceBounds { default: 2 * k },
                 ..Default::default()
             };
-            b.iter(|| context.find_schedule(src, &opts).unwrap())
+            b.iter(|| context.find_schedule(&net, src, &opts).unwrap())
         });
     }
     group.finish();

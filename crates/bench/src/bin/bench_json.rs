@@ -57,7 +57,7 @@ fn main() {
         cases.push(CaseResult {
             name: format!("schedule_search/divider_irrelevance/{k}"),
             median_ms: median_ms(samples, || {
-                black_box(context.find_schedule(source, &options).unwrap());
+                black_box(context.find_schedule(&net, source, &options).unwrap());
             }),
             reference_median_ms: median_ms(samples, || {
                 black_box(reference::find_schedule(&net, source, &options).unwrap());
@@ -76,7 +76,7 @@ fn main() {
         cases.push(CaseResult {
             name: format!("schedule_search/divider_place_bounds/{k}"),
             median_ms: median_ms(samples, || {
-                black_box(context.find_schedule(source, &options).unwrap());
+                black_box(context.find_schedule(&net, source, &options).unwrap());
             }),
             reference_median_ms: median_ms(samples, || {
                 black_box(reference::find_schedule(&net, source, &options).unwrap());
@@ -92,7 +92,11 @@ fn main() {
         cases.push(CaseResult {
             name: "schedule_search/pfc_with_heuristics".to_string(),
             median_ms: median_ms(samples, || {
-                black_box(context.find_schedule(source, &options).unwrap());
+                black_box(
+                    context
+                        .find_schedule(&system.net, source, &options)
+                        .unwrap(),
+                );
             }),
             reference_median_ms: median_ms(samples, || {
                 black_box(reference::find_schedule(&system.net, source, &options).unwrap());

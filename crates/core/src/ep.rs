@@ -149,7 +149,7 @@ pub fn find_schedule_with_stats(
     source: TransitionId,
     options: &ScheduleOptions,
 ) -> Result<(Schedule, SearchStats)> {
-    SearchContext::new(net).find_schedule_with_stats(source, options)
+    SearchContext::new(net).find_schedule_with_stats(net, source, options)
 }
 
 /// Reusable per-net scheduling context.
@@ -161,27 +161,28 @@ pub fn find_schedule_with_stats(
 /// [`SearchContext::find_schedule`] call — across sources, option
 /// profiles and the greedy→exhaustive retry — shares the precomputed
 /// analyses. [`schedule_system`] does this for all the sources of a
-/// linked system.
+/// linked system, and the `qss` facade's `ScheduleArtifact` carries the
+/// context forward so repeated scheduling requests against the same net
+/// skip the analyses entirely.
+///
+/// The context is an owned value (no borrow of the net): the net is
+/// passed to each call instead, and — like [`Marking`] — the caller is
+/// responsible for only combining a context with the net it was computed
+/// from. All fields are immutable after construction, so one context can
+/// be shared by reference across threads ([`schedule_system_parallel`]).
 #[derive(Debug, Clone)]
-pub struct SearchContext<'a> {
-    net: &'a PetriNet,
+pub struct SearchContext {
     ecs: EcsInfo,
     sorter: EcsSorter,
 }
 
-impl<'a> SearchContext<'a> {
+impl SearchContext {
     /// Computes the per-net analyses (ECS partition, T-invariant basis).
-    pub fn new(net: &'a PetriNet) -> Self {
+    pub fn new(net: &PetriNet) -> Self {
         SearchContext {
-            net,
             ecs: EcsInfo::compute(net),
             sorter: EcsSorter::new(net),
         }
-    }
-
-    /// The net this context was built for.
-    pub fn net(&self) -> &'a PetriNet {
-        self.net
     }
 
     /// The ECS partition of the net.
@@ -190,16 +191,17 @@ impl<'a> SearchContext<'a> {
     }
 
     /// Finds a single-source schedule for `source` using the precomputed
-    /// analyses.
+    /// analyses. `net` must be the net this context was built from.
     ///
     /// # Errors
     /// Same contract as the free function [`find_schedule`].
     pub fn find_schedule(
         &self,
+        net: &PetriNet,
         source: TransitionId,
         options: &ScheduleOptions,
     ) -> Result<Schedule> {
-        self.find_schedule_with_stats(source, options)
+        self.find_schedule_with_stats(net, source, options)
             .map(|(s, _)| s)
     }
 
@@ -210,10 +212,10 @@ impl<'a> SearchContext<'a> {
     /// Same contract as the free function [`find_schedule_with_stats`].
     pub fn find_schedule_with_stats(
         &self,
+        net: &PetriNet,
         source: TransitionId,
         options: &ScheduleOptions,
     ) -> Result<(Schedule, SearchStats)> {
-        let net = self.net;
         if net.transition(source).kind != TransitionKind::UncontrollableSource {
             return Err(ScheduleError::NotUncontrollableSource(source));
         }
@@ -251,7 +253,7 @@ impl<'a> SearchContext<'a> {
 }
 
 /// The schedules of a whole linked system: one per uncontrollable input.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SystemSchedules {
     /// One schedule per uncontrollable source transition, in the order the
     /// environment inputs appear in the linked system.
@@ -288,17 +290,94 @@ pub fn schedule_system(
     system: &LinkedSystem,
     options: &ScheduleOptions,
 ) -> Result<SystemSchedules> {
-    let sources = system.uncontrollable_sources();
     // One context serves every source: the ECS partition and T-invariant
     // basis are per-net, not per-source.
     let context = SearchContext::new(&system.net);
+    schedule_system_with_context(system, &context, options)
+}
+
+/// Like [`schedule_system`], but reuses a prebuilt [`SearchContext`]
+/// (which must have been computed from `system.net`).
+///
+/// # Errors
+/// Same contract as [`schedule_system`].
+pub fn schedule_system_with_context(
+    system: &LinkedSystem,
+    context: &SearchContext,
+    options: &ScheduleOptions,
+) -> Result<SystemSchedules> {
+    let sources = system.uncontrollable_sources();
     let mut schedules = Vec::new();
     let mut stats = Vec::new();
     for source in sources {
-        let (s, st) = context.find_schedule_with_stats(source, options)?;
+        let (s, st) = context.find_schedule_with_stats(&system.net, source, options)?;
         schedules.push(s);
         stats.push(st);
     }
+    seal_system_schedules(system, schedules, stats)
+}
+
+/// Computes one schedule per uncontrollable input like [`schedule_system`],
+/// but fans the per-source searches out across threads
+/// (`std::thread::scope`), sharing one read-only [`SearchContext`].
+///
+/// The searches of different sources are completely independent — they
+/// only read the net and the per-net analyses — so the result is
+/// deterministic and identical to the sequential path: schedules are
+/// collected in source order and, when several sources fail, the error of
+/// the earliest source is reported, exactly as the sequential loop would.
+///
+/// # Errors
+/// Same contract as [`schedule_system`].
+pub fn schedule_system_parallel(
+    system: &LinkedSystem,
+    options: &ScheduleOptions,
+) -> Result<SystemSchedules> {
+    let context = SearchContext::new(&system.net);
+    schedule_system_parallel_with_context(system, &context, options)
+}
+
+/// Like [`schedule_system_parallel`], but reuses a prebuilt
+/// [`SearchContext`] (which must have been computed from `system.net`).
+///
+/// # Errors
+/// Same contract as [`schedule_system`].
+pub fn schedule_system_parallel_with_context(
+    system: &LinkedSystem,
+    context: &SearchContext,
+    options: &ScheduleOptions,
+) -> Result<SystemSchedules> {
+    let sources = system.uncontrollable_sources();
+    if sources.len() <= 1 {
+        return schedule_system_with_context(system, context, options);
+    }
+    let net = &system.net;
+    let mut results: Vec<Option<Result<(Schedule, SearchStats)>>> = Vec::new();
+    results.resize_with(sources.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, &source) in results.iter_mut().zip(&sources) {
+            scope.spawn(move || {
+                *slot = Some(context.find_schedule_with_stats(net, source, options));
+            });
+        }
+    });
+    let mut schedules = Vec::new();
+    let mut stats = Vec::new();
+    for result in results {
+        let (s, st) = result.expect("every scheduling thread fills its slot")?;
+        schedules.push(s);
+        stats.push(st);
+    }
+    seal_system_schedules(system, schedules, stats)
+}
+
+/// Shared tail of the system schedulers: the independence check and the
+/// channel-bound computation.
+fn seal_system_schedules(
+    system: &LinkedSystem,
+    schedules: Vec<Schedule>,
+    stats: Vec<SearchStats>,
+) -> Result<SystemSchedules> {
     if let Err((a, b)) = is_independent_set(&schedules, &system.net) {
         return Err(ScheduleError::NotIndependent {
             first: a,

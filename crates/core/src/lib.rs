@@ -53,8 +53,9 @@ pub mod schedule;
 pub mod termination;
 
 pub use ep::{
-    find_schedule, find_schedule_with_stats, schedule_system, ScheduleOptions, SearchContext,
-    SearchStats, SystemSchedules,
+    find_schedule, find_schedule_with_stats, schedule_system, schedule_system_parallel,
+    schedule_system_parallel_with_context, schedule_system_with_context, ScheduleOptions,
+    SearchContext, SearchStats, SystemSchedules,
 };
 pub use error::{Result, ScheduleError};
 pub use independence::{are_independent, channel_bounds, is_independent_set};

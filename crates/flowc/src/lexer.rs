@@ -63,6 +63,10 @@ pub enum Token {
     PlusPlus,
     /// `--`
     MinusMinus,
+    /// `.` (port references in system manifests)
+    Dot,
+    /// `->` (channel direction in system manifests)
+    Arrow,
 }
 
 /// A token together with the 1-based source line it starts on.
@@ -166,6 +170,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>> {
             Some(('|', '|')) => (Token::OrOr, 2),
             Some(('+', '+')) => (Token::PlusPlus, 2),
             Some(('-', '-')) => (Token::MinusMinus, 2),
+            Some(('-', '>')) => (Token::Arrow, 2),
             _ => match c {
                 '(' => (Token::LParen, 1),
                 ')' => (Token::RParen, 1),
@@ -176,6 +181,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Spanned>> {
                 ';' => (Token::Semi, 1),
                 ',' => (Token::Comma, 1),
                 ':' => (Token::Colon, 1),
+                '.' => (Token::Dot, 1),
                 '=' => (Token::Assign, 1),
                 '<' => (Token::Lt, 1),
                 '>' => (Token::Gt, 1),

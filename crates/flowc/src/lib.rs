@@ -11,7 +11,9 @@
 //!
 //! * a lexer, parser and AST for FlowC processes ([`parse_process`]),
 //! * a [`SystemSpec`] builder describing the network (processes, channels,
-//!   environment ports),
+//!   environment ports), and a whole-system parser ([`parse_system`])
+//!   that reads multi-process source files with a `SYSTEM` manifest
+//!   block,
 //! * *compilation* of each process into a Petri-net fragment at the
 //!   leader-based granularity of the paper ([`compile`]),
 //! * *linking* of the per-process nets into a single Unique-Choice Petri
@@ -71,5 +73,5 @@ pub use ast::{BinOp, Expr, LValue, PortOp, Process, Stmt, UnOp};
 pub use compile::{compile, CompiledProcess, TransitionCode};
 pub use error::{FlowCError, Result};
 pub use link::{link, ChannelInfo, EnvInputInfo, EnvOutputInfo, LinkedSystem};
-pub use parser::parse_process;
+pub use parser::{parse_process, parse_system};
 pub use spec::{ChannelSpec, PortClass, SystemSpec};

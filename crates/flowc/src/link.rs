@@ -11,10 +11,11 @@ use crate::compile::{compile_into, TransitionCode};
 use crate::error::{FlowCError, Result};
 use crate::spec::{PortClass, SystemSpec};
 use qss_petri::{NetBuilder, PetriNet, PlaceId, PlaceKind, TransitionId, TransitionKind};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A channel of the linked system and the place that models it.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChannelInfo {
     /// Channel name.
     pub name: String,
@@ -29,7 +30,7 @@ pub struct ChannelInfo {
 }
 
 /// An environment input port of the linked system.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EnvInputInfo {
     /// Owning process.
     pub process: String,
@@ -46,7 +47,7 @@ pub struct EnvInputInfo {
 }
 
 /// An environment output port of the linked system.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EnvOutputInfo {
     /// Owning process.
     pub process: String,
@@ -61,7 +62,7 @@ pub struct EnvOutputInfo {
 }
 
 /// The linked system: one Petri net for the whole network plus metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinkedSystem {
     /// The system Petri net.
     pub net: PetriNet,

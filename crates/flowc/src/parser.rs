@@ -1,8 +1,9 @@
-//! Recursive-descent parser for FlowC processes.
+//! Recursive-descent parser for FlowC processes and whole-system files.
 
 use crate::ast::*;
 use crate::error::{FlowCError, Result};
 use crate::lexer::{tokenize, Spanned, Token};
+use crate::spec::{PortClass, SystemSpec};
 
 /// Parses the source text of a single FlowC process.
 ///
@@ -26,6 +27,73 @@ pub fn parse_process(source: &str) -> Result<Process> {
     let process = p.process()?;
     p.expect_eof()?;
     Ok(process)
+}
+
+/// Parses a whole-system FlowC file: any number of `PROCESS` definitions
+/// plus an optional `SYSTEM` manifest block describing the network.
+///
+/// The manifest understands three declaration forms, each terminated by a
+/// semicolon:
+///
+/// * `CHANNEL producer.data -> consumer.data;` — a point-to-point channel,
+///   optionally bounded: `CHANNEL a.x -> b.y [4];`,
+/// * `INPUT process.port CONTROLLABLE;` (or `UNCONTROLLABLE`) — the class
+///   of an environment input port (unspecified ports are uncontrollable),
+/// * `RATE process.port 2;` — items per firing of an environment port.
+///
+/// Without a `SYSTEM` block the file describes a single unconnected
+/// network named after its first process (`<name>_system`), which matches
+/// the convention the examples use for the Figure 1 `divisors` process.
+///
+/// The returned specification has already been
+/// [validated](SystemSpec::validate).
+///
+/// # Errors
+/// Returns [`FlowCError::Lex`] or [`FlowCError::Parse`] (with the source
+/// line) on malformed input, and [`FlowCError::Semantic`] if the manifest
+/// references unknown processes or ports, connects a port twice, or
+/// duplicates a process name.
+///
+/// ```
+/// let spec = qss_flowc::parse_system(r#"
+///     SYSTEM pipeline {
+///         CHANNEL producer.data -> consumer.data;
+///     }
+///     PROCESS producer (In DPORT trigger, Out DPORT data) {
+///         int t;
+///         while (1) { READ_DATA(trigger, t, 1); WRITE_DATA(data, t, 1); }
+///     }
+///     PROCESS consumer (In DPORT data, Out DPORT sum) {
+///         int x, s;
+///         while (1) { READ_DATA(data, x, 1); s = s + x; WRITE_DATA(sum, s, 1); }
+///     }
+/// "#)?;
+/// assert_eq!(spec.name(), "pipeline");
+/// assert_eq!(spec.processes().len(), 2);
+/// assert_eq!(spec.channels().len(), 1);
+/// # Ok::<(), qss_flowc::FlowCError>(())
+/// ```
+pub fn parse_system(source: &str) -> Result<SystemSpec> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.system()
+}
+
+/// One declaration of a `SYSTEM` manifest block.
+enum SystemDecl {
+    Channel {
+        from: String,
+        to: String,
+        bound: Option<u32>,
+    },
+    Input {
+        port: String,
+        class: PortClass,
+    },
+    Rate {
+        port: String,
+        rate: u32,
+    },
 }
 
 struct Parser {
@@ -107,6 +175,120 @@ impl Parser {
 
     fn at_keyword(&self, kw: &str) -> bool {
         matches!(self.peek(), Some(Token::Ident(name)) if name == kw)
+    }
+
+    fn system(&mut self) -> Result<SystemSpec> {
+        let mut name: Option<String> = None;
+        let mut processes: Vec<Process> = Vec::new();
+        let mut decls: Vec<SystemDecl> = Vec::new();
+        loop {
+            if self.at_keyword("PROCESS") {
+                processes.push(self.process()?);
+            } else if self.at_keyword("SYSTEM") {
+                if name.is_some() {
+                    return Err(self.error("duplicate `SYSTEM` block"));
+                }
+                name = Some(self.system_block(&mut decls)?);
+            } else if self.peek().is_none() {
+                break;
+            } else {
+                return Err(self.error(format!(
+                    "expected `PROCESS` or `SYSTEM`, found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+        let Some(first) = processes.first() else {
+            return Err(self.error("a system file needs at least one `PROCESS`"));
+        };
+        let name = name.unwrap_or_else(|| format!("{}_system", first.name));
+        let mut spec = SystemSpec::new(name);
+        for process in processes {
+            spec = spec.with_process(process);
+        }
+        for decl in decls {
+            match decl {
+                SystemDecl::Channel { from, to, bound } => {
+                    spec = spec.with_channel(&from, &to, bound)?;
+                }
+                SystemDecl::Input { port, class } => {
+                    spec = spec.with_input_port_class(&port, class);
+                }
+                SystemDecl::Rate { port, rate } => {
+                    spec = spec.with_port_rate(&port, rate);
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Parses `SYSTEM name { ... }`, pushing the declarations into `decls`
+    /// and returning the system name.
+    fn system_block(&mut self, decls: &mut Vec<SystemDecl>) -> Result<String> {
+        self.expect_keyword("SYSTEM")?;
+        let name = self.expect_ident("system name")?;
+        self.expect(&Token::LBrace, "`{`")?;
+        while !matches!(self.peek(), Some(Token::RBrace)) {
+            if self.peek().is_none() {
+                return Err(self.error("unexpected end of input inside `SYSTEM { ... }`"));
+            }
+            let keyword = self.expect_ident("`CHANNEL`, `INPUT` or `RATE`")?;
+            let decl = match keyword.as_str() {
+                "CHANNEL" => {
+                    let from = self.port_ref()?;
+                    self.expect(&Token::Arrow, "`->`")?;
+                    let to = self.port_ref()?;
+                    let bound = if matches!(self.peek(), Some(Token::LBracket)) {
+                        self.pos += 1;
+                        let v = self.expect_int("channel bound")?;
+                        self.expect(&Token::RBracket, "`]`")?;
+                        Some(u32::try_from(v).map_err(|_| {
+                            self.error(format!("channel bound `{v}` is out of range"))
+                        })?)
+                    } else {
+                        None
+                    };
+                    SystemDecl::Channel { from, to, bound }
+                }
+                "INPUT" => {
+                    let port = self.port_ref()?;
+                    let class = self.expect_ident("`UNCONTROLLABLE` or `CONTROLLABLE`")?;
+                    let class = match class.as_str() {
+                        "UNCONTROLLABLE" => PortClass::Uncontrollable,
+                        "CONTROLLABLE" => PortClass::Controllable,
+                        other => return Err(self.error(format!("unknown input class `{other}`"))),
+                    };
+                    SystemDecl::Input { port, class }
+                }
+                "RATE" => {
+                    let port = self.port_ref()?;
+                    let v = self.expect_int("port rate")?;
+                    let rate = u32::try_from(v).ok().filter(|r| *r > 0).ok_or_else(|| {
+                        self.error(format!("port rate `{v}` must be a positive integer"))
+                    })?;
+                    SystemDecl::Rate { port, rate }
+                }
+                other => {
+                    return Err(self.error(format!(
+                    "unknown system declaration `{other}` (expected `CHANNEL`, `INPUT` or `RATE`)"
+                )))
+                }
+            };
+            self.expect(&Token::Semi, "`;`")?;
+            decls.push(decl);
+        }
+        self.expect(&Token::RBrace, "`}`")?;
+        Ok(name)
+    }
+
+    /// Parses a `process.port` reference and renders it back to the
+    /// dotted form [`SystemSpec`]'s builder methods expect.
+    fn port_ref(&mut self) -> Result<String> {
+        let process = self.expect_ident("process name")?;
+        self.expect(&Token::Dot, "`.`")?;
+        let port = self.expect_ident("port name")?;
+        Ok(format!("{process}.{port}"))
     }
 
     fn process(&mut self) -> Result<Process> {
@@ -778,5 +960,90 @@ mod tests {
         };
         assert!(matches!(target, LValue::Index(_, _)));
         assert_eq!(value.to_string(), "(buf[(i - 1)] + 1)");
+    }
+
+    const SYSTEM_FILE: &str = r#"
+        SYSTEM pair {
+            CHANNEL a.out -> b.data [3];
+            INPUT a.trigger UNCONTROLLABLE;
+            INPUT b.side CONTROLLABLE;
+            RATE b.sum 2;
+        }
+        PROCESS a (In DPORT trigger, Out DPORT out) {
+            int t;
+            while (1) { READ_DATA(trigger, t, 1); WRITE_DATA(out, t, 1); }
+        }
+        PROCESS b (In DPORT data, In DPORT side, Out DPORT sum) {
+            int x, y;
+            while (1) {
+                READ_DATA(data, x, 1);
+                READ_DATA(side, y, 1);
+                WRITE_DATA(sum, x + y, 1);
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_system_files_with_manifest() {
+        let spec = parse_system(SYSTEM_FILE).unwrap();
+        assert_eq!(spec.name(), "pair");
+        assert_eq!(spec.processes().len(), 2);
+        assert_eq!(spec.channels().len(), 1);
+        assert_eq!(spec.channels()[0].bound, Some(3));
+        assert_eq!(spec.input_class("b", "side"), PortClass::Controllable);
+        assert_eq!(spec.input_class("a", "trigger"), PortClass::Uncontrollable);
+        assert_eq!(spec.port_rate("b", "sum"), 2);
+        // The manifest can also follow the processes.
+        let (manifest, processes) = SYSTEM_FILE.split_at(SYSTEM_FILE.find("PROCESS").unwrap());
+        let swapped = format!("{processes}\n{manifest}");
+        let spec2 = parse_system(&swapped).unwrap();
+        assert_eq!(spec2.name(), "pair");
+        assert_eq!(spec2.channels(), spec.channels());
+    }
+
+    #[test]
+    fn system_file_without_manifest_uses_first_process_name() {
+        let spec = parse_system(
+            "PROCESS solo (In DPORT a, Out DPORT b) {
+                 int x;
+                 while (1) { READ_DATA(a, x, 1); WRITE_DATA(b, x, 1); }
+             }",
+        )
+        .unwrap();
+        assert_eq!(spec.name(), "solo_system");
+        assert!(spec.channels().is_empty());
+    }
+
+    #[test]
+    fn system_file_errors_are_reported() {
+        // No processes at all.
+        assert!(parse_system("").is_err());
+        // Unknown declaration keyword.
+        assert!(parse_system("SYSTEM s { BOGUS a.b; } PROCESS p () { int x; }").is_err());
+        // Channel endpoints that do not exist are a semantic error.
+        let err = parse_system("SYSTEM s { CHANNEL a.out -> b.in; } PROCESS p () { int x; }")
+            .unwrap_err();
+        assert!(matches!(err, FlowCError::Semantic(_)));
+        // Duplicate SYSTEM blocks.
+        assert!(parse_system("SYSTEM s { } SYSTEM t { } PROCESS p () { int x; }").is_err());
+        // Parse errors carry the source line.
+        let err = parse_system("SYSTEM s {\n  CHANNEL a.out b.in;\n}").unwrap_err();
+        assert!(matches!(err, FlowCError::Parse { line: 2, .. }));
+        // A SYSTEM block alone (no processes) is rejected.
+        assert!(parse_system("SYSTEM s { }").is_err());
+        // INPUT/RATE declarations with typo'd ports are semantic errors,
+        // not silently applied defaults.
+        let err = parse_system(
+            "SYSTEM s { INPUT p.inn UNCONTROLLABLE; }
+             PROCESS p (In DPORT in) { int x; while (1) { READ_DATA(in, x, 1); } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowCError::Semantic(_)), "{err}");
+        let err = parse_system(
+            "SYSTEM s { RATE q.out 2; }
+             PROCESS p (In DPORT in) { int x; while (1) { READ_DATA(in, x, 1); } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowCError::Semantic(_)), "{err}");
     }
 }

@@ -147,7 +147,10 @@ impl SystemSpec {
     /// * every channel endpoint refers to a declared port of the right
     ///   direction,
     /// * every port is the endpoint of at most one channel (point-to-point
-    ///   communication).
+    ///   communication),
+    /// * every declared input class and port rate refers to a declared
+    ///   port (so a typo in a `SYSTEM` manifest cannot silently leave a
+    ///   port with its defaults).
     ///
     /// # Errors
     /// Returns [`FlowCError::Semantic`] describing the first violation.
@@ -172,6 +175,21 @@ impl SystemSpec {
             return Err(FlowCError::Semantic(format!(
                 "port `{proc}.{port}` is connected to more than one channel"
             )));
+        }
+        for ((proc, port), what) in self
+            .input_classes
+            .keys()
+            .map(|k| (k, "input class"))
+            .chain(self.port_rates.keys().map(|k| (k, "port rate")))
+        {
+            let known = self
+                .process(proc)
+                .is_some_and(|process| process.port(port).is_some());
+            if !known {
+                return Err(FlowCError::Semantic(format!(
+                    "{what} declared for unknown port `{proc}.{port}`"
+                )));
+            }
         }
         Ok(())
     }

@@ -1,0 +1,91 @@
+//! Support functions called by code the shim `serde_derive` generates.
+//!
+//! Generated impls only build [`Value`] trees and pick them apart again;
+//! everything error-prone (lookups, arity checks, enum tagging) lives here
+//! so the generated token streams stay small and readable.
+
+use crate::value::Value;
+use crate::{DeserializeOwned, Error};
+
+/// Serializes a unit enum variant: `"Name"`.
+pub fn unit_variant(name: &str) -> Value {
+    Value::String(name.to_owned())
+}
+
+/// Serializes a newtype enum variant: `{"Name": content}`.
+pub fn newtype_variant(name: &str, content: Value) -> Value {
+    Value::Object(vec![(name.to_owned(), content)])
+}
+
+/// Serializes a tuple enum variant: `{"Name": [fields...]}`.
+pub fn tuple_variant(name: &str, fields: Vec<Value>) -> Value {
+    Value::Object(vec![(name.to_owned(), Value::Array(fields))])
+}
+
+/// Serializes a struct enum variant: `{"Name": {fields...}}`.
+pub fn struct_variant(name: &str, fields: Vec<(String, Value)>) -> Value {
+    Value::Object(vec![(name.to_owned(), Value::Object(fields))])
+}
+
+/// Splits an externally tagged enum value into `(tag, content)`.
+pub fn variant_parts<'v>(
+    value: &'v Value,
+    ty: &str,
+) -> Result<(&'v str, Option<&'v Value>), Error> {
+    match value {
+        Value::String(tag) => Ok((tag, None)),
+        Value::Object(pairs) if pairs.len() == 1 => Ok((&pairs[0].0, Some(&pairs[0].1))),
+        other => Err(Error::custom(format!(
+            "expected an externally tagged `{ty}` variant, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// The content of a non-unit variant (errors if the tag came alone).
+pub fn content<'v>(content: Option<&'v Value>, what: &str) -> Result<&'v Value, Error> {
+    content.ok_or_else(|| Error::custom(format!("variant `{what}` is missing its content")))
+}
+
+/// Deserializes a value with type inference at the call site.
+pub fn de<T: DeserializeOwned>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Looks up and deserializes a named field of a struct (or struct variant).
+pub fn field<T: DeserializeOwned>(value: &Value, ty: &str, name: &str) -> Result<T, Error> {
+    let field = value
+        .get(name)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` of `{ty}`")))?;
+    T::from_value(field)
+        .map_err(|e| Error::custom(format!("field `{name}` of `{ty}`: {}", e.message())))
+}
+
+/// Extracts and deserializes one positional field of a tuple struct or
+/// tuple variant of the given arity (arity 1 is transparent, like serde).
+pub fn tuple_field<T: DeserializeOwned>(
+    value: &Value,
+    ty: &str,
+    index: usize,
+    arity: usize,
+) -> Result<T, Error> {
+    let item = if arity == 1 {
+        value
+    } else {
+        let items = value.as_array().ok_or_else(|| {
+            Error::custom(format!(
+                "expected an array for `{ty}`, found {}",
+                value.kind()
+            ))
+        })?;
+        if items.len() != arity {
+            return Err(Error::custom(format!(
+                "expected {arity} items for `{ty}`, found {}",
+                items.len()
+            )));
+        }
+        &items[index]
+    };
+    T::from_value(item)
+        .map_err(|e| Error::custom(format!("field {index} of `{ty}`: {}", e.message())))
+}

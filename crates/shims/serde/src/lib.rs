@@ -1,18 +1,86 @@
-//! Offline shim for `serde`: marker traits plus the no-op derives.
+//! Offline shim for `serde`: a real (if small) serialization framework.
 //!
-//! The workspace derives `Serialize`/`Deserialize` on its data types so
-//! that swapping in the real serde is a manifest-only change, but nothing
-//! in-tree serializes through serde. The traits are therefore empty
-//! markers with blanket implementations, and the derives (re-exported from
-//! the shim `serde_derive`) expand to nothing. See `crates/shims/README.md`.
+//! Earlier revisions of this shim were empty marker traits — the workspace
+//! only *derived* `Serialize`/`Deserialize` and never serialized anything.
+//! The `qss` pipeline API now emits every stage artifact as JSON, so the
+//! shim grew into a working mini-serde built around a JSON [`Value`] tree:
+//!
+//! * [`Serialize`] converts a value into a [`Value`],
+//! * [`Deserialize`] rebuilds a value from a [`Value`],
+//! * the companion `serde_derive` shim generates both impls for structs
+//!   and enums (externally tagged, like real serde's default),
+//! * the companion `serde_json` shim renders a [`Value`] to JSON text and
+//!   parses it back.
+//!
+//! The data model intentionally mirrors `serde_json`'s defaults (structs
+//! as objects, tuples as arrays, newtypes transparent, enums externally
+//! tagged, maps with string keys as objects) so that swapping in the real
+//! crates keeps the wire format. Maps with non-string keys are encoded as
+//! arrays of `[key, value]` pairs — real `serde_json` errors on those, so
+//! avoid them in types that must stay format-compatible.
+//!
+//! See `crates/shims/README.md` for the scope of every shim.
+
+#![forbid(unsafe_code)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+pub mod derive;
+mod impls;
+mod value;
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+pub use value::{Number, Value};
 
-impl<T> Serialize for T {}
-impl<'de, T> Deserialize<'de> for T {}
+use std::fmt;
+
+/// Error produced when deserializing from a [`Value`] fails.
+///
+/// (Real serde keeps errors in `serde_json`; the shim defines the type
+/// here so that generated code only ever references the `serde` crate.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialization into the JSON [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the JSON [`Value`] data model.
+///
+/// The lifetime parameter exists for signature compatibility with real
+/// serde (`#[derive(Deserialize)]` expands to `impl<'de> Deserialize<'de>`);
+/// the shim never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

@@ -1,0 +1,182 @@
+//! The JSON value tree shared by the shim serde family.
+
+/// An arbitrary-precision-ish JSON number: unsigned, signed or float.
+///
+/// Mirrors `serde_json::Number`: non-negative integers are stored as
+/// `u64`, negative integers as `i64`, everything else as `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::UInt(v) => Some(v),
+            Number::Int(v) => u64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::UInt(v) => i64::try_from(v).ok(),
+            Number::Int(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::UInt(v) => v as f64,
+            Number::Int(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Float(a), Number::Float(b)) => a == b,
+            (Number::Float(_), _) | (_, Number::Float(_)) => false,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                (None, None) => self.as_i64() == other.as_i64(),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        Number::UInt(v)
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Number::UInt(v as u64)
+        } else {
+            Number::Int(v)
+        }
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number::Float(v)
+    }
+}
+
+/// A JSON value.
+///
+/// Objects preserve insertion order (a `Vec` of pairs rather than a map),
+/// so serialized artifacts are deterministic and diff-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// An object: ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up `key` in an object (`None` for other value kinds).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|pairs| pairs.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+
+    /// A short human-readable description of the value kind, for errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}

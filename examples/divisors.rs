@@ -1,7 +1,7 @@
 //! The `divisors` process of Figure 1: compilation to the Petri net of
 //! Figure 3, scheduling and task generation.
 //!
-//! Run with `cargo run -p qss-bench --example divisors`.
+//! Run with `cargo run --example divisors`.
 
 use qss_codegen::{generate_task, TaskOptions};
 use qss_core::{schedule_system, ScheduleOptions};

@@ -2,7 +2,7 @@
 //! loops are rejected by the conservative Petri-net abstraction, but the
 //! rewrite with `SELECT` and `done` channels is schedulable.
 //!
-//! Run with `cargo run -p qss-bench --example false_paths`.
+//! Run with `cargo run --example false_paths`.
 
 use qss_core::{schedule_system, ScheduleOptions};
 use qss_flowc::{examples, link, parse_process, SystemSpec};

@@ -3,7 +3,7 @@
 //! with the divider parameter `k`, while the irrelevant-marking criterion
 //! adapts automatically.
 //!
-//! Run with `cargo run -p qss-bench --example irrelevance`.
+//! Run with `cargo run --example irrelevance`.
 
 use qss_bench::experiments::divider_net;
 use qss_core::{find_schedule_with_stats, ScheduleOptions, TerminationKind};

@@ -1,109 +1,96 @@
-//! Quickstart: the full flow on a two-process pipeline.
+//! Quickstart: the full flow on a two-process pipeline, through the
+//! staged `Pipeline` API.
 //!
 //! 1. write two FlowC processes and connect them with a channel,
-//! 2. link the network into a single Petri net,
-//! 3. compute the quasi-static schedule of the uncontrollable input,
-//! 4. generate the single sequential task (C code),
-//! 5. execute both the 4-task baseline and the generated task on the same
-//!    workload and compare cycles.
+//! 2. `link()` the network into a single Petri net,
+//! 3. `schedule()` the quasi-static schedule of the uncontrollable input,
+//! 4. `generate()` the single sequential task (C code),
+//! 5. `simulate()` both the 3-task baseline and the generated task on the
+//!    same workload and compare cycles.
 //!
-//! Run with `cargo run -p qss-bench --example quickstart`.
+//! Run with `cargo run --example quickstart`.
 
-use qss_codegen::{generate_task, TaskOptions};
-use qss_core::{schedule_system, ScheduleOptions};
-use qss_flowc::{link, parse_process, SystemSpec};
-use qss_sim::{
-    run_multitask, run_singletask, CycleCostModel, EnvEvent, MultiTaskConfig, SingleTaskConfig,
-};
+use qss::{EnvEvent, Pipeline, QssError};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Two FlowC processes: a producer triggered by the environment and a
-    //    consumer that accumulates and reports a running sum.
-    let producer = parse_process(
-        "PROCESS producer (In DPORT trigger, Out DPORT data) {
-             int t;
-             while (1) {
-                 READ_DATA(trigger, t, 1);
-                 WRITE_DATA(data, t * 2, 1);
-             }
-         }",
+fn main() -> Result<(), QssError> {
+    // 1. Two FlowC processes — a producer triggered by the environment and
+    //    a consumer that accumulates a running sum — plus the channel
+    //    between them, all in one system file.
+    let pipeline = Pipeline::from_source(
+        r#"
+        SYSTEM quickstart {
+            CHANNEL producer.data -> consumer.data;
+        }
+        PROCESS producer (In DPORT trigger, Out DPORT data) {
+            int t;
+            while (1) {
+                READ_DATA(trigger, t, 1);
+                WRITE_DATA(data, t * 2, 1);
+            }
+        }
+        PROCESS consumer (In DPORT data, Out DPORT sum) {
+            int x, s;
+            while (1) {
+                READ_DATA(data, x, 1);
+                s = s + x;
+                WRITE_DATA(sum, s, 1);
+            }
+        }
+        "#,
     )?;
-    let consumer = parse_process(
-        "PROCESS consumer (In DPORT data, Out DPORT sum) {
-             int x, s;
-             while (1) {
-                 READ_DATA(data, x, 1);
-                 s = s + x;
-                 WRITE_DATA(sum, s, 1);
-             }
-         }",
-    )?;
-    let spec = SystemSpec::new("quickstart")
-        .with_process(producer)
-        .with_process(consumer)
-        .with_channel("producer.data", "consumer.data", None)?;
 
     // 2. Link into one Petri net.
-    let system = link(&spec)?;
+    let linked = pipeline.link()?;
     println!(
         "linked net: {} places, {} transitions, {} channel(s)",
-        system.net.num_places(),
-        system.net.num_transitions(),
-        system.channels.len()
+        linked.system.net.num_places(),
+        linked.system.net.num_transitions(),
+        linked.system.channels.len()
     );
 
     // 3. One schedule per uncontrollable input port.
-    let schedules = schedule_system(&system, &ScheduleOptions::default())?;
-    let schedule = &schedules.schedules[0];
+    let scheduled = linked.schedule()?;
+    let schedule = &scheduled.schedules.schedules[0];
     println!(
         "schedule: {} nodes, {} edges, {} await node(s)",
         schedule.num_nodes(),
         schedule.num_edges(),
-        schedule.await_nodes(&system.net).len()
+        schedule.await_nodes(&scheduled.system.net).len()
     );
-    for channel in &system.channels {
+    for channel in &scheduled.system.channels {
         println!(
             "  channel `{}` needs a buffer of {}",
             channel.name,
-            schedules.bound(channel.place)
+            scheduled.schedules.bound(channel.place)
         );
     }
 
     // 4. Generate the sequential task.
-    let task = generate_task(
-        &system,
-        schedule,
-        &schedules.channel_bounds,
-        &TaskOptions::default(),
-    )?;
-    println!("\ngenerated task `{}`:\n{}", task.name, task.code);
+    let task = scheduled.generate()?;
+    println!(
+        "\ngenerated task `{}`:\n{}",
+        task.tasks[0].name, task.tasks[0].code
+    );
 
     // 5. Execute both implementations on the same workload.
     let events: Vec<EnvEvent> = (1..=5)
         .map(|i| EnvEvent::new("producer", "trigger", i))
         .collect();
-    let single = run_singletask(
-        &system,
-        &schedules.schedules,
-        &events,
-        &SingleTaskConfig::new(CycleCostModel::unoptimized()),
-    )?;
-    let multi = run_multitask(
-        &system,
-        &events,
-        &MultiTaskConfig::new(4, CycleCostModel::unoptimized()),
-    )?;
-    assert_eq!(single.outputs, multi.outputs);
+    let sim = task.simulate(&events)?;
+    assert!(sim.outputs_match);
     println!(
         "outputs (both implementations): {:?}",
-        single.output("consumer", "sum")
+        sim.single.output("consumer", "sum")
     );
     println!(
-        "cycles: single task {} vs 4 tasks {} ({:.1}x faster, {} context switches avoided)",
-        single.cycles,
-        multi.cycles,
-        multi.cycles as f64 / single.cycles as f64,
-        multi.context_switches
+        "cycles: single task {} vs multi-task {} ({:.1}x faster, {} context switches avoided)",
+        sim.single.cycles, sim.multi.cycles, sim.speedup, sim.multi.context_switches
+    );
+
+    // Every stage artifact serializes to JSON for archival / services.
+    println!(
+        "\nmachine-readable report:\n{}",
+        task.report(Some(&sim)).to_json_pretty()
     );
     Ok(())
 }

@@ -1,23 +1,28 @@
 //! The industrial video application of Sec. 8 (producer / filter /
 //! consumer / controller): scheduling, task generation and the
-//! single-task-vs-four-tasks comparison.
+//! single-task-vs-four-tasks comparison, through the `Pipeline` API.
 //!
-//! Run with `cargo run --release -p qss-bench --example video_pfc [frames]`.
+//! Run with `cargo run --release --example video_pfc [frames]`.
 
-use qss_codegen::{generate_task, TaskOptions};
-use qss_core::{schedule_system, ScheduleOptions};
-use qss_sim::{
-    pfc_events, pfc_system, run_multitask, run_singletask, CycleCostModel, MultiTaskConfig,
-    PfcParams, SingleTaskConfig,
-};
+use qss::{CostProfile, Pipeline, PipelineConfig, QssError};
+use qss_sim::{pfc_events, pfc_spec, PfcParams};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), QssError> {
     let frames: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
     let params = PfcParams::default();
-    let system = pfc_system(&params)?;
+
+    let config = PipelineConfig {
+        multitask_buffer_size: 100,
+        ..PipelineConfig::default()
+    };
+    let scheduled = Pipeline::new(pfc_spec(&params))
+        .with_config(config)
+        .link()?
+        .schedule()?;
+    let system = &scheduled.system;
     println!(
         "PFC system: {} processes, {} channels, net of {} places / {} transitions",
         system.process_names.len(),
@@ -25,9 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         system.net.num_places(),
         system.net.num_transitions()
     );
-
-    let schedules = schedule_system(&system, &ScheduleOptions::default())?;
-    let schedule = &schedules.schedules[0];
+    let schedule = &scheduled.schedules.schedules[0];
     println!(
         "schedule for `controller.init`: {} nodes, {} edges, {} await node(s)",
         schedule.num_nodes(),
@@ -38,23 +41,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  channel `{}` buffer bound: {}",
             channel.name,
-            schedules.bound(channel.place)
+            scheduled.schedules.bound(channel.place)
         );
     }
 
-    let task = generate_task(
-        &system,
-        schedule,
-        &schedules.channel_bounds,
-        &TaskOptions::default(),
-    )?;
+    let mut task = scheduled.generate()?;
+    let generated = &task.tasks[0];
     println!(
         "generated task `{}`: {} code segments, {} threads, {} state variable(s), {} lines of C",
-        task.name,
-        task.stats.num_segments,
-        task.stats.num_threads,
-        task.stats.num_state_variables,
-        task.code.lines().count()
+        generated.name,
+        generated.stats.num_segments,
+        generated.stats.num_threads,
+        generated.stats.num_state_variables,
+        generated.code.lines().count()
     );
 
     let events = pfc_events(frames);
@@ -62,21 +61,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n{:>8} | {:>12} | {:>12} | {:>6}",
         "profile", "1 task", "4 tasks", "ratio"
     );
-    for profile in CycleCostModel::profiles() {
-        let single = run_singletask(
-            &system,
-            &schedules.schedules,
-            &events,
-            &SingleTaskConfig::new(profile),
-        )?;
-        let multi = run_multitask(&system, &events, &MultiTaskConfig::new(100, profile))?;
-        assert_eq!(single.outputs, multi.outputs, "implementations must agree");
+    for profile in [
+        CostProfile::Unoptimized,
+        CostProfile::Optimized,
+        CostProfile::Optimized2,
+    ] {
+        task.config.profile = profile;
+        let sim = task.simulate(&events)?;
+        assert!(sim.outputs_match, "implementations must agree");
         println!(
             "{:>8} | {:>12} | {:>12} | {:>6.1}",
-            profile.name,
-            single.cycles,
-            multi.cycles,
-            multi.cycles as f64 / single.cycles as f64
+            profile.name(),
+            sim.single.cycles,
+            sim.multi.cycles,
+            sim.speedup
         );
     }
     Ok(())

@@ -1,0 +1,331 @@
+//! `qssc` — the quasi-static scheduling compiler, on the command line.
+//!
+//! Runs the whole `qss` pipeline on a whole-system FlowC file (any number
+//! of `PROCESS` definitions plus an optional `SYSTEM` manifest block, see
+//! [`qss::parse_system`]) and emits the stage artifacts:
+//!
+//! ```text
+//! qssc build system.flowc --emit c,json,dot --out out/ \
+//!      --events source.trigger=6,7,8,9 --report out/report.json
+//! qssc check system.flowc
+//! ```
+//!
+//! * `--emit c` writes one `<system>.<task>.c` file per generated task,
+//! * `--emit json` writes `<system>.pipeline.json` (the serialized
+//!   [`TaskArtifact`](qss::TaskArtifact)) and, when events were given,
+//!   `<system>.sim.json`,
+//! * `--emit dot` writes `<system>.net.dot` plus one
+//!   `<system>.<port>.schedule.dot` per schedule,
+//! * `--report PATH` writes the deterministic run summary
+//!   ([`PipelineReport`](qss::PipelineReport)); `-` prints it to stdout.
+
+use qss::{CostProfile, EnvEvent, Pipeline, PipelineConfig, QssError, ScheduleOptions};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qssc — quasi-static scheduling compiler (Cortadella et al., DAC 2000)
+
+USAGE:
+    qssc build <FILE> [OPTIONS]    run the pipeline and emit artifacts
+    qssc check <FILE>              parse and link only, print a summary
+    qssc --help                    show this help
+
+BUILD OPTIONS:
+    --emit KINDS          comma-separated artifacts: c, json, dot (default: c)
+    --out DIR             output directory (default: .)
+    --report PATH         write the JSON run summary to PATH (`-` = stdout)
+    --events P.PORT=V,..  simulate a workload: one flag per input port,
+                          values are delivered in flag order (repeatable)
+    --profile NAME        cost profile: pfc, pfc-O, pfc-O2 (default: pfc)
+    --buffer N            multi-task baseline buffer capacity (default: 4)
+    --place-bound N       prune with uniform place bounds instead of the
+                          irrelevant-marking criterion
+    --no-heuristics       disable the search-ordering heuristics
+    --parallel            schedule the uncontrollable inputs on threads
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(Exit::Usage(message)) => {
+            eprintln!("qssc: {message}");
+            eprintln!("run `qssc --help` for usage");
+            ExitCode::from(2)
+        }
+        Err(Exit::Pipeline(e)) => {
+            eprintln!("qssc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum Exit {
+    /// A command-line problem (exit code 2).
+    Usage(String),
+    /// A pipeline or I/O failure (exit code 1).
+    Pipeline(QssError),
+}
+
+impl From<QssError> for Exit {
+    fn from(e: QssError) -> Self {
+        Exit::Pipeline(e)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Exit> {
+    match args.first().map(String::as_str) {
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some("build") => build(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some(other) => Err(Exit::Usage(format!("unknown command `{other}`"))),
+        None => Err(Exit::Usage("missing command".into())),
+    }
+}
+
+/// Options collected from the `build` argument list.
+struct BuildArgs {
+    input: PathBuf,
+    emit_c: bool,
+    emit_json: bool,
+    emit_dot: bool,
+    out_dir: PathBuf,
+    report: Option<String>,
+    events: Vec<(String, String, Vec<i64>)>,
+    config: PipelineConfig,
+}
+
+fn parse_build_args(args: &[String]) -> Result<BuildArgs, Exit> {
+    let mut input: Option<PathBuf> = None;
+    let mut emit = "c".to_string();
+    let mut out_dir = PathBuf::from(".");
+    let mut report = None;
+    let mut events = Vec::new();
+    let mut config = PipelineConfig::default();
+    let mut i = 0;
+    let next_value = |args: &[String], i: &mut usize, flag: &str| {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| Exit::Usage(format!("`{flag}` needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--emit" => emit = next_value(args, &mut i, "--emit")?,
+            "--out" => out_dir = PathBuf::from(next_value(args, &mut i, "--out")?),
+            "--report" => report = Some(next_value(args, &mut i, "--report")?),
+            "--events" => {
+                let spec = next_value(args, &mut i, "--events")?;
+                events.push(parse_events_spec(&spec)?);
+            }
+            "--profile" => {
+                let name = next_value(args, &mut i, "--profile")?;
+                config.profile = CostProfile::from_name(&name)?;
+            }
+            "--buffer" => {
+                let value = next_value(args, &mut i, "--buffer")?;
+                config.multitask_buffer_size = value
+                    .parse()
+                    .map_err(|_| Exit::Usage(format!("invalid `--buffer` value `{value}`")))?;
+            }
+            "--place-bound" => {
+                let value = next_value(args, &mut i, "--place-bound")?;
+                let bound: u32 = value
+                    .parse()
+                    .map_err(|_| Exit::Usage(format!("invalid `--place-bound` value `{value}`")))?;
+                config.schedule = ScheduleOptions {
+                    termination: qss::core::TerminationKind::PlaceBounds { default: bound },
+                    ..config.schedule
+                };
+            }
+            "--no-heuristics" => config.schedule = config.schedule.without_heuristics(),
+            "--parallel" => config.parallel_schedule = true,
+            flag if flag.starts_with('-') => {
+                return Err(Exit::Usage(format!("unknown option `{flag}`")))
+            }
+            path if input.is_none() => input = Some(PathBuf::from(path)),
+            extra => return Err(Exit::Usage(format!("unexpected argument `{extra}`"))),
+        }
+        i += 1;
+    }
+    let input = input.ok_or_else(|| Exit::Usage("missing input file".into()))?;
+    let mut build = BuildArgs {
+        input,
+        emit_c: false,
+        emit_json: false,
+        emit_dot: false,
+        out_dir,
+        report,
+        events,
+        config,
+    };
+    for kind in emit.split(',').filter(|k| !k.is_empty()) {
+        match kind.trim() {
+            "c" => build.emit_c = true,
+            "json" => build.emit_json = true,
+            "dot" => build.emit_dot = true,
+            other => return Err(Exit::Usage(format!("unknown `--emit` kind `{other}`"))),
+        }
+    }
+    Ok(build)
+}
+
+/// Parses `process.port=v1,v2,...` into per-port event values.
+fn parse_events_spec(spec: &str) -> Result<(String, String, Vec<i64>), Exit> {
+    let bad = || {
+        Exit::Usage(format!(
+            "invalid `--events` spec `{spec}` (expected `process.port=v1,v2,...`)"
+        ))
+    };
+    let (port_ref, values) = spec.split_once('=').ok_or_else(bad)?;
+    let (process, port) = port_ref.split_once('.').ok_or_else(bad)?;
+    if process.is_empty() || port.is_empty() {
+        return Err(bad());
+    }
+    let values = values
+        .split(',')
+        .map(|v| v.trim().parse::<i64>().map_err(|_| bad()))
+        .collect::<Result<Vec<i64>, Exit>>()?;
+    if values.is_empty() {
+        return Err(bad());
+    }
+    Ok((process.to_string(), port.to_string(), values))
+}
+
+fn read_source(path: &Path) -> Result<String, QssError> {
+    std::fs::read_to_string(path).map_err(|e| QssError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn write_file(path: &Path, contents: &str) -> Result<(), QssError> {
+    std::fs::write(path, contents).map_err(|e| QssError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn build(args: &[String]) -> Result<(), Exit> {
+    let args = parse_build_args(args)?;
+    let source = read_source(&args.input)?;
+
+    let pipeline = Pipeline::from_source(&source)?.with_config(args.config.clone());
+    let system_name = pipeline.spec().name().to_string();
+    let linked = pipeline.link()?;
+    // The DOT texts are rendered only on request, but must be captured
+    // here: the later stages consume the artifacts they borrow from.
+    let net_dot = args.emit_dot.then(|| linked.net_dot());
+    let scheduled = linked.schedule()?;
+    let schedule_dots: Vec<(String, String)> = if args.emit_dot {
+        scheduled
+            .schedules
+            .schedules
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    scheduled.source_port(s).replace('.', "_"),
+                    scheduled.schedule_dot(i),
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let task = scheduled.generate()?;
+
+    let events: Vec<EnvEvent> = args
+        .events
+        .iter()
+        .flat_map(|(process, port, values)| {
+            values
+                .iter()
+                .map(|v| EnvEvent::new(process.clone(), port.clone(), *v))
+        })
+        .collect();
+    let sim = if events.is_empty() {
+        None
+    } else {
+        Some(task.simulate(&events)?)
+    };
+
+    if args.emit_c || args.emit_json || args.emit_dot {
+        std::fs::create_dir_all(&args.out_dir).map_err(|e| QssError::Io {
+            path: args.out_dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+    }
+    let out = |file_name: String| args.out_dir.join(file_name);
+    if args.emit_c {
+        for generated in &task.tasks {
+            let path = out(format!("{system_name}.{}.c", generated.name));
+            write_file(&path, &generated.code)?;
+            eprintln!("qssc: wrote {}", path.display());
+        }
+    }
+    if args.emit_json {
+        let path = out(format!("{system_name}.pipeline.json"));
+        write_file(&path, &task.to_json_pretty())?;
+        eprintln!("qssc: wrote {}", path.display());
+        if let Some(sim) = &sim {
+            let path = out(format!("{system_name}.sim.json"));
+            write_file(&path, &sim.to_json_pretty())?;
+            eprintln!("qssc: wrote {}", path.display());
+        }
+    }
+    if let Some(net_dot) = &net_dot {
+        let path = out(format!("{system_name}.net.dot"));
+        write_file(&path, net_dot)?;
+        eprintln!("qssc: wrote {}", path.display());
+        for (port, dot) in &schedule_dots {
+            let path = out(format!("{system_name}.{port}.schedule.dot"));
+            write_file(&path, dot)?;
+            eprintln!("qssc: wrote {}", path.display());
+        }
+    }
+
+    let report = task.report(sim.as_ref()).to_json_pretty();
+    match args.report.as_deref() {
+        Some("-") => print!("{report}"),
+        Some(path) => {
+            let path = Path::new(path);
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                std::fs::create_dir_all(parent).map_err(|e| QssError::Io {
+                    path: parent.display().to_string(),
+                    message: e.to_string(),
+                })?;
+            }
+            write_file(path, &report)?;
+            eprintln!("qssc: wrote {}", path.display());
+        }
+        None => {}
+    }
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), Exit> {
+    let [path] = args else {
+        return Err(Exit::Usage("`check` takes exactly one input file".into()));
+    };
+    let path = Path::new(path);
+    let source = read_source(path)?;
+    let linked = Pipeline::from_source(&source)?.link()?;
+    let analysis = linked.analysis();
+    println!(
+        "{}: {} process(es), {} channel(s), net of {} places / {} transitions, \
+         {} uncontrollable input(s), {} choice place(s)",
+        linked.spec.name(),
+        linked.system.process_names.len(),
+        linked.system.channels.len(),
+        analysis.num_places,
+        analysis.num_transitions,
+        analysis.num_uncontrollable_sources,
+        analysis.num_choice_places,
+    );
+    Ok(())
+}

@@ -1,0 +1,178 @@
+//! The unified error type of the `qss` pipeline.
+
+use std::fmt;
+
+/// The pipeline stage an error originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Lexing/parsing FlowC source text.
+    Parse,
+    /// Building and linking the system Petri net.
+    Link,
+    /// The quasi-static schedule search.
+    Schedule,
+    /// Sequential-task code generation.
+    Generate,
+    /// Executing the system on a workload.
+    Simulate,
+    /// Interpreting a pipeline configuration.
+    Config,
+    /// Reading or writing files (CLI only).
+    Io,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Parse => "parse",
+            Stage::Link => "link",
+            Stage::Schedule => "schedule",
+            Stage::Generate => "generate",
+            Stage::Simulate => "simulate",
+            Stage::Config => "config",
+            Stage::Io => "io",
+        })
+    }
+}
+
+/// One error type for the whole flow: every stage's error converts into
+/// `QssError` via `From`, so a full pipeline run needs a single `?`-able
+/// signature.
+///
+/// Source locations survive the wrapping: FlowC lex/parse errors carry
+/// their 1-based source line, and [`QssError::stage`] names the pipeline
+/// stage, which [`fmt::Display`] prefixes to every message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QssError {
+    /// A front-end error (lexing, parsing, linking).
+    Flowc(qss_flowc::FlowCError),
+    /// A Petri-net kernel error.
+    Net(qss_petri::NetError),
+    /// A scheduling error.
+    Schedule(qss_core::ScheduleError),
+    /// A code-generation error.
+    Codegen(qss_codegen::CodegenError),
+    /// A simulation error.
+    Sim(qss_sim::SimError),
+    /// An invalid pipeline configuration.
+    Config(String),
+    /// A file-system error, with the offending path.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error message.
+        message: String,
+    },
+}
+
+impl QssError {
+    /// The pipeline stage the error originated from.
+    pub fn stage(&self) -> Stage {
+        match self {
+            QssError::Flowc(
+                qss_flowc::FlowCError::Lex { .. } | qss_flowc::FlowCError::Parse { .. },
+            ) => Stage::Parse,
+            QssError::Flowc(_) | QssError::Net(_) => Stage::Link,
+            QssError::Schedule(_) => Stage::Schedule,
+            QssError::Codegen(_) => Stage::Generate,
+            QssError::Sim(_) => Stage::Simulate,
+            QssError::Config(_) => Stage::Config,
+            QssError::Io { .. } => Stage::Io,
+        }
+    }
+
+    /// The source line the error points at, if the stage tracks one
+    /// (FlowC lex/parse errors do).
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            QssError::Flowc(
+                qss_flowc::FlowCError::Lex { line, .. } | qss_flowc::FlowCError::Parse { line, .. },
+            ) => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for QssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} stage: ", self.stage())?;
+        match self {
+            QssError::Flowc(e) => e.fmt(f),
+            QssError::Net(e) => e.fmt(f),
+            QssError::Schedule(e) => e.fmt(f),
+            QssError::Codegen(e) => e.fmt(f),
+            QssError::Sim(e) => e.fmt(f),
+            QssError::Config(msg) => f.write_str(msg),
+            QssError::Io { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QssError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QssError::Flowc(e) => Some(e),
+            QssError::Net(e) => Some(e),
+            QssError::Schedule(e) => Some(e),
+            QssError::Codegen(e) => Some(e),
+            QssError::Sim(e) => Some(e),
+            QssError::Config(_) | QssError::Io { .. } => None,
+        }
+    }
+}
+
+impl From<qss_flowc::FlowCError> for QssError {
+    fn from(e: qss_flowc::FlowCError) -> Self {
+        QssError::Flowc(e)
+    }
+}
+
+impl From<qss_petri::NetError> for QssError {
+    fn from(e: qss_petri::NetError) -> Self {
+        QssError::Net(e)
+    }
+}
+
+impl From<qss_core::ScheduleError> for QssError {
+    fn from(e: qss_core::ScheduleError) -> Self {
+        QssError::Schedule(e)
+    }
+}
+
+impl From<qss_codegen::CodegenError> for QssError {
+    fn from(e: qss_codegen::CodegenError) -> Self {
+        QssError::Codegen(e)
+    }
+}
+
+impl From<qss_sim::SimError> for QssError {
+    fn from(e: qss_sim::SimError) -> Self {
+        QssError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_and_lines_are_reported() {
+        let e: QssError = qss_flowc::FlowCError::Parse {
+            line: 7,
+            message: "expected `)`".into(),
+        }
+        .into();
+        assert_eq!(e.stage(), Stage::Parse);
+        assert_eq!(e.line(), Some(7));
+        assert!(e.to_string().starts_with("parse stage:"));
+        assert!(e.to_string().contains("line 7"));
+
+        let e: QssError = qss_flowc::FlowCError::Semantic("dangling port".into()).into();
+        assert_eq!(e.stage(), Stage::Link);
+        assert_eq!(e.line(), None);
+
+        let e: QssError = qss_core::ScheduleError::NoTInvariants.into();
+        assert_eq!(e.stage(), Stage::Schedule);
+        assert!(e.to_string().starts_with("schedule stage:"));
+    }
+}

@@ -1,8 +1,33 @@
-//! Facade crate for the quasi-static scheduling workspace.
+//! `qss` — quasi-static scheduling of mixed data-control embedded
+//! software (Cortadella et al., DAC 2000), as one typed pipeline.
 //!
-//! Re-exports the sub-crates so the root-level integration tests and
-//! examples can reach everything through one dependency, and so downstream
-//! users can depend on a single `qss` crate:
+//! The paper's flow — FlowC processes → linked Petri net → quasi-static
+//! schedules → one sequential task → execution comparison — is exposed as
+//! a staged API in which every stage returns a serializable artifact:
+//!
+//! ```
+//! use qss::{EnvEvent, Pipeline, QssError};
+//!
+//! let events: Vec<EnvEvent> = (1..=3).map(|i| EnvEvent::new("echo", "a", i)).collect();
+//! let task = Pipeline::from_source(r#"
+//!     PROCESS echo (In DPORT a, Out DPORT b) {
+//!         int x;
+//!         while (1) { READ_DATA(a, x, 1); WRITE_DATA(b, x * 2, 1); }
+//!     }
+//! "#)?
+//! .link()?       // LinkedArtifact: the system Petri net
+//! .schedule()?   // ScheduleArtifact: schedules + channel bounds + SearchContext
+//! .generate()?;  // TaskArtifact: the sequential C task(s)
+//! let sim = task.simulate(&events)?; // SimArtifact: both executions compared
+//! assert!(sim.outputs_match);
+//! println!("{}", task.report(Some(&sim)).to_json_pretty());
+//! # Ok::<(), QssError>(())
+//! ```
+//!
+//! The same flow is available from the command line through the `qssc`
+//! binary (`qssc build system.flowc --emit c,json,dot --report -`).
+//!
+//! The sub-crates remain reachable as modules for power users:
 //!
 //! * [`petri`] — Petri-net kernel (markings, ECS, reachability, invariants),
 //! * [`flowc`] — FlowC front end (parsing, compilation to nets, linking),
@@ -18,3 +43,32 @@ pub use qss_core as core;
 pub use qss_flowc as flowc;
 pub use qss_petri as petri;
 pub use qss_sim as sim;
+
+mod error;
+mod pipeline;
+
+pub use error::{QssError, Stage};
+pub use pipeline::{
+    CostProfile, LinkedArtifact, Pipeline, PipelineConfig, PipelineReport, ScheduleArtifact,
+    ScheduleSummary, SimArtifact, SimSummary, TaskArtifact, TaskSummary,
+};
+
+// The working vocabulary of the flow, flattened so that one `use qss::…`
+// import covers a full pipeline run and the common escape hatches.
+pub use qss_codegen::{generate_task, GeneratedTask, TaskOptions, TaskStats};
+pub use qss_core::{
+    find_schedule, schedule_system, schedule_system_parallel, Schedule, ScheduleError,
+    ScheduleOptions, SearchContext, SystemSchedules,
+};
+pub use qss_flowc::{
+    link, parse_process, parse_system, FlowCError, LinkedSystem, PortClass, SystemSpec,
+};
+pub use qss_sim::{
+    run_multitask, run_singletask, CycleCostModel, EnvEvent, MultiTaskConfig, SimError, SimReport,
+    SingleTaskConfig,
+};
+
+/// Renders a Petri net as Graphviz DOT (re-exported from
+/// [`qss_petri::dot::to_dot`] so debugging output needs no sub-crate
+/// imports; schedules render through [`Schedule::to_dot`]).
+pub use qss_petri::dot::to_dot as net_to_dot;

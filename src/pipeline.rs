@@ -1,0 +1,698 @@
+//! The staged, typed pipeline API of the `qss` facade.
+//!
+//! The paper's contribution is a *flow* — FlowC processes → linked Petri
+//! net → quasi-static schedules → one sequential task → execution
+//! comparison — and this module is that flow as a typed state machine:
+//!
+//! ```text
+//! Pipeline ──link()──▶ LinkedArtifact ──schedule()──▶ ScheduleArtifact
+//!     ──generate()──▶ TaskArtifact ──simulate(events)──▶ SimArtifact
+//! ```
+//!
+//! Every stage returns an owned artifact struct that
+//!
+//! * carries everything later stages need (no re-wiring by the caller),
+//! * serializes to JSON ([`to_json`](LinkedArtifact::to_json) /
+//!   [`to_json_pretty`](LinkedArtifact::to_json_pretty)) so runs can be
+//!   archived, diffed and resumed by services,
+//! * renders its domain-specific views (Graphviz DOT for nets and
+//!   schedules, C for generated tasks).
+//!
+//! One [`PipelineConfig`] value parameterizes every stage; the
+//! [`ScheduleArtifact`] keeps the per-net [`SearchContext`] so follow-up
+//! scheduling requests against the same net skip the structural analyses.
+
+use crate::error::QssError;
+use qss_codegen::{generate_task, CodeCostModel, GeneratedTask};
+use qss_core::{
+    schedule_system_parallel_with_context, schedule_system_with_context, SearchContext,
+    SystemSchedules,
+};
+use qss_flowc::{parse_system, LinkedSystem, SystemSpec};
+use qss_petri::NetAnalysis;
+use qss_sim::{
+    run_multitask, run_singletask, CycleCostModel, EnvEvent, MultiTaskConfig, SimReport,
+    SingleTaskConfig,
+};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+pub use qss_codegen::TaskOptions;
+pub use qss_core::ScheduleOptions;
+
+/// Cost-model profile: the compiler-optimisation level of the paper's
+/// measurements (`pfc`, `pfc-O`, `pfc-O2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostProfile {
+    /// Unoptimised compilation (`pfc`).
+    Unoptimized,
+    /// `-O` compilation (`pfc-O`).
+    Optimized,
+    /// `-O2` compilation (`pfc-O2`).
+    Optimized2,
+}
+
+impl CostProfile {
+    /// The cycle cost model of this profile.
+    pub fn cycle_model(self) -> CycleCostModel {
+        match self {
+            CostProfile::Unoptimized => CycleCostModel::unoptimized(),
+            CostProfile::Optimized => CycleCostModel::optimized(),
+            CostProfile::Optimized2 => CycleCostModel::optimized2(),
+        }
+    }
+
+    /// The code-size cost model of this profile.
+    pub fn code_model(self) -> CodeCostModel {
+        match self {
+            CostProfile::Unoptimized => CodeCostModel::unoptimized(),
+            CostProfile::Optimized => CodeCostModel::optimized(),
+            CostProfile::Optimized2 => CodeCostModel::optimized2(),
+        }
+    }
+
+    /// The paper's name for the profile.
+    pub fn name(self) -> &'static str {
+        self.cycle_model().name
+    }
+
+    /// Parses a profile name (`pfc`, `pfc-O`, `pfc-O2`).
+    ///
+    /// # Errors
+    /// Returns [`QssError::Config`] for unknown names.
+    pub fn from_name(name: &str) -> Result<Self, QssError> {
+        match name {
+            "pfc" => Ok(CostProfile::Unoptimized),
+            "pfc-O" => Ok(CostProfile::Optimized),
+            "pfc-O2" => Ok(CostProfile::Optimized2),
+            other => Err(QssError::Config(format!(
+                "unknown cost profile `{other}` (expected `pfc`, `pfc-O` or `pfc-O2`)"
+            ))),
+        }
+    }
+}
+
+/// Configuration of a whole pipeline run: one value subsumes the
+/// scheduler's [`ScheduleOptions`], the code generator's [`TaskOptions`],
+/// the executors' configs and the cost-model profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Schedule-search options.
+    pub schedule: ScheduleOptions,
+    /// Task-generation options.
+    pub task: TaskOptions,
+    /// Cost-model profile for simulation and code-size estimation.
+    pub profile: CostProfile,
+    /// Channel buffer capacity of the multi-task baseline executor
+    /// (the x axis of the paper's Figure 20).
+    pub multitask_buffer_size: u32,
+    /// Safety bound on executor steps (both executors).
+    pub max_sim_steps: u64,
+    /// Fan the per-source schedule searches out across threads
+    /// (identical results, one thread per uncontrollable input).
+    pub parallel_schedule: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            schedule: ScheduleOptions::default(),
+            task: TaskOptions::default(),
+            profile: CostProfile::Unoptimized,
+            multitask_buffer_size: 4,
+            max_sim_steps: 200_000_000,
+            parallel_schedule: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Replaces the cost profile.
+    pub fn with_profile(mut self, profile: CostProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Replaces the schedule-search options.
+    pub fn with_schedule_options(mut self, schedule: ScheduleOptions) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    fn single_task_config(&self) -> SingleTaskConfig {
+        let mut config = SingleTaskConfig::new(self.profile.cycle_model());
+        config.max_steps = self.max_sim_steps;
+        config
+    }
+
+    fn multi_task_config(&self) -> MultiTaskConfig {
+        let mut config =
+            MultiTaskConfig::new(self.multitask_buffer_size, self.profile.cycle_model());
+        config.max_steps = self.max_sim_steps;
+        config.inline_communication = self.task.inline_communication;
+        config
+    }
+}
+
+/// Entry point of the flow: a system specification plus a configuration,
+/// not yet linked.
+///
+/// ```
+/// use qss::{Pipeline, QssError};
+///
+/// let sim = Pipeline::from_source(r#"
+///     PROCESS echo (In DPORT a, Out DPORT b) {
+///         int x;
+///         while (1) { READ_DATA(a, x, 1); WRITE_DATA(b, x * 2, 1); }
+///     }
+/// "#)?
+/// .link()?
+/// .schedule()?
+/// .generate()?
+/// .simulate(&[qss::EnvEvent::new("echo", "a", 21)])?;
+/// assert_eq!(sim.single.output("echo", "b"), &[42]);
+/// # Ok::<(), QssError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Pipeline {
+    spec: SystemSpec,
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Starts a pipeline from an already-built specification.
+    pub fn new(spec: SystemSpec) -> Self {
+        Pipeline {
+            spec,
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Starts a pipeline by parsing whole-system FlowC source text
+    /// (see [`qss_flowc::parse_system`] for the accepted format).
+    ///
+    /// # Errors
+    /// Returns a parse- or link-stage [`QssError`] for malformed source.
+    pub fn from_source(source: &str) -> Result<Self, QssError> {
+        Ok(Pipeline::new(parse_system(source)?))
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: PipelineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut PipelineConfig {
+        &mut self.config
+    }
+
+    /// The system specification.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// Stage 1: validates the specification and links the per-process
+    /// nets into the system Petri net.
+    ///
+    /// # Errors
+    /// Returns a link-stage [`QssError`] for inconsistent networks.
+    pub fn link(self) -> Result<LinkedArtifact, QssError> {
+        let system = qss_flowc::link(&self.spec)?;
+        Ok(LinkedArtifact {
+            spec: self.spec,
+            system,
+            config: self.config,
+        })
+    }
+}
+
+/// Stage-1 artifact: the linked system Petri net plus its metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkedArtifact {
+    /// The specification the system was linked from.
+    pub spec: SystemSpec,
+    /// The linked system (net, channels, environment ports, code).
+    pub system: LinkedSystem,
+    /// The run configuration, carried through every stage.
+    pub config: PipelineConfig,
+}
+
+impl LinkedArtifact {
+    /// Structural analysis of the linked net (degrees, choice structure).
+    pub fn analysis(&self) -> NetAnalysis {
+        NetAnalysis::of(&self.system.net)
+    }
+
+    /// The linked net as Graphviz DOT.
+    pub fn net_dot(&self) -> String {
+        qss_petri::dot::to_dot(&self.system.net)
+    }
+
+    /// Compact JSON rendering of the artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serialization is infallible")
+    }
+
+    /// Pretty-printed JSON rendering of the artifact.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serialization is infallible")
+    }
+
+    /// Rebuilds an artifact from its JSON rendering.
+    ///
+    /// # Errors
+    /// Returns [`QssError::Config`] if the text is not a valid artifact.
+    pub fn from_json(text: &str) -> Result<Self, QssError> {
+        serde_json::from_str(text)
+            .map_err(|e| QssError::Config(format!("invalid LinkedArtifact JSON: {e}")))
+    }
+
+    /// Stage 2: computes one quasi-static schedule per uncontrollable
+    /// input and the static channel bounds, precomputing a reusable
+    /// [`SearchContext`].
+    ///
+    /// # Errors
+    /// Returns a schedule-stage [`QssError`] if some input has no
+    /// single-source schedule (or the search budget runs out).
+    pub fn schedule(self) -> Result<ScheduleArtifact, QssError> {
+        let context = SearchContext::new(&self.system.net);
+        let schedules = if self.config.parallel_schedule {
+            schedule_system_parallel_with_context(&self.system, &context, &self.config.schedule)?
+        } else {
+            schedule_system_with_context(&self.system, &context, &self.config.schedule)?
+        };
+        Ok(ScheduleArtifact {
+            spec: self.spec,
+            system: self.system,
+            config: self.config,
+            schedules,
+            context,
+        })
+    }
+}
+
+/// The environment port (`process.port`) a schedule serves, shared by
+/// [`ScheduleArtifact::source_port`] and the report/CLI file names so
+/// they can never drift apart.
+fn source_port_name(system: &LinkedSystem, schedule: &qss_core::Schedule) -> String {
+    system
+        .env_inputs
+        .iter()
+        .find(|e| e.source == schedule.source())
+        .map(|e| format!("{}.{}", e.process, e.port))
+        .unwrap_or_else(|| system.net.transition(schedule.source()).name.clone())
+}
+
+/// Stage-2 artifact: the schedules of every uncontrollable input, the
+/// static channel bounds, and the reusable per-net [`SearchContext`].
+#[derive(Debug, Clone)]
+pub struct ScheduleArtifact {
+    /// The specification the system was linked from.
+    pub spec: SystemSpec,
+    /// The linked system.
+    pub system: LinkedSystem,
+    /// The run configuration.
+    pub config: PipelineConfig,
+    /// One schedule per uncontrollable input, with bounds and stats.
+    pub schedules: SystemSchedules,
+    /// The per-net analyses, reusable for further scheduling requests
+    /// against the same net (rebuilt on deserialization).
+    context: SearchContext,
+}
+
+impl ScheduleArtifact {
+    /// The reusable per-net search context.
+    pub fn context(&self) -> &SearchContext {
+        &self.context
+    }
+
+    /// The environment port name (`process.port`) a schedule serves.
+    pub fn source_port(&self, schedule: &qss_core::Schedule) -> String {
+        source_port_name(&self.system, schedule)
+    }
+
+    /// The schedule at `index` as Graphviz DOT.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn schedule_dot(&self, index: usize) -> String {
+        self.schedules.schedules[index].to_dot(&self.system.net)
+    }
+
+    /// Compact JSON rendering of the artifact (without the context, which
+    /// is derived data).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serialization is infallible")
+    }
+
+    /// Pretty-printed JSON rendering of the artifact.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serialization is infallible")
+    }
+
+    /// Rebuilds an artifact from its JSON rendering, recomputing the
+    /// [`SearchContext`] from the embedded net.
+    ///
+    /// # Errors
+    /// Returns [`QssError::Config`] if the text is not a valid artifact.
+    pub fn from_json(text: &str) -> Result<Self, QssError> {
+        serde_json::from_str(text)
+            .map_err(|e| QssError::Config(format!("invalid ScheduleArtifact JSON: {e}")))
+    }
+
+    /// Stage 3: decomposes every schedule into code segments and emits
+    /// one sequential C task per uncontrollable input.
+    ///
+    /// # Errors
+    /// Returns a generate-stage [`QssError`] if a schedule and the system
+    /// are inconsistent.
+    pub fn generate(self) -> Result<TaskArtifact, QssError> {
+        let tasks = self
+            .schedules
+            .schedules
+            .iter()
+            .map(|schedule| {
+                generate_task(
+                    &self.system,
+                    schedule,
+                    &self.schedules.channel_bounds,
+                    &self.config.task,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TaskArtifact {
+            spec: self.spec,
+            system: self.system,
+            config: self.config,
+            schedules: self.schedules,
+            tasks,
+        })
+    }
+}
+
+/// The serialized form of a [`ScheduleArtifact`] skips the derived
+/// [`SearchContext`]; deserialization recomputes it from the net.
+impl Serialize for ScheduleArtifact {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("spec".into(), self.spec.to_value()),
+            ("system".into(), self.system.to_value()),
+            ("config".into(), self.config.to_value()),
+            ("schedules".into(), self.schedules.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for ScheduleArtifact {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let system: LinkedSystem = serde::derive::field(value, "ScheduleArtifact", "system")?;
+        let context = SearchContext::new(&system.net);
+        Ok(ScheduleArtifact {
+            spec: serde::derive::field(value, "ScheduleArtifact", "spec")?,
+            config: serde::derive::field(value, "ScheduleArtifact", "config")?,
+            schedules: serde::derive::field(value, "ScheduleArtifact", "schedules")?,
+            system,
+            context,
+        })
+    }
+}
+
+/// Stage-3 artifact: the generated sequential tasks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskArtifact {
+    /// The specification the system was linked from.
+    pub spec: SystemSpec,
+    /// The linked system.
+    pub system: LinkedSystem,
+    /// The run configuration.
+    pub config: PipelineConfig,
+    /// The schedules the tasks were generated from.
+    pub schedules: SystemSchedules,
+    /// One generated task per uncontrollable input, in schedule order.
+    pub tasks: Vec<GeneratedTask>,
+}
+
+impl TaskArtifact {
+    /// The emitted C source of every task, concatenated.
+    pub fn c_code(&self) -> String {
+        let mut out = String::new();
+        for task in &self.tasks {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&task.code);
+        }
+        out
+    }
+
+    /// Compact JSON rendering of the artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serialization is infallible")
+    }
+
+    /// Pretty-printed JSON rendering of the artifact.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serialization is infallible")
+    }
+
+    /// Rebuilds an artifact from its JSON rendering.
+    ///
+    /// # Errors
+    /// Returns [`QssError::Config`] if the text is not a valid artifact.
+    pub fn from_json(text: &str) -> Result<Self, QssError> {
+        serde_json::from_str(text)
+            .map_err(|e| QssError::Config(format!("invalid TaskArtifact JSON: {e}")))
+    }
+
+    /// Stage 4: executes the workload on both implementations — the
+    /// generated single task(s) driven by the schedules, and the
+    /// one-task-per-process RTOS baseline — and compares them.
+    ///
+    /// Borrows `self` so one task artifact can serve many workloads.
+    ///
+    /// # Errors
+    /// Returns a simulate-stage [`QssError`] on deadlock, unknown event
+    /// ports or step-budget exhaustion.
+    pub fn simulate(&self, events: &[EnvEvent]) -> Result<SimArtifact, QssError> {
+        let single = run_singletask(
+            &self.system,
+            &self.schedules.schedules,
+            events,
+            &self.config.single_task_config(),
+        )?;
+        let multi = run_multitask(&self.system, events, &self.config.multi_task_config())?;
+        let outputs_match = single.outputs == multi.outputs;
+        let speedup = if single.cycles > 0 {
+            multi.cycles as f64 / single.cycles as f64
+        } else {
+            0.0
+        };
+        Ok(SimArtifact {
+            config: self.config.clone(),
+            events: events.to_vec(),
+            single,
+            multi,
+            speedup,
+            outputs_match,
+        })
+    }
+
+    /// The machine-readable run summary (the CLI's `--report`).
+    pub fn report(&self, simulation: Option<&SimArtifact>) -> PipelineReport {
+        let code_model = self.config.profile.code_model();
+        let schedules = self
+            .schedules
+            .schedules
+            .iter()
+            .zip(&self.schedules.stats)
+            .map(|(schedule, stats)| ScheduleSummary {
+                source: source_port_name(&self.system, schedule),
+                nodes: schedule.num_nodes(),
+                edges: schedule.num_edges(),
+                await_nodes: schedule.await_nodes(&self.system.net).len(),
+                nodes_explored: stats.nodes_created,
+            })
+            .collect();
+        let channel_bounds = self
+            .system
+            .channels
+            .iter()
+            .map(|c| {
+                (
+                    c.name.clone(),
+                    self.schedules
+                        .channel_bounds
+                        .get(&c.place)
+                        .copied()
+                        .unwrap_or(0),
+                )
+            })
+            .collect();
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|task| TaskSummary {
+                name: task.name.clone(),
+                segments: task.stats.num_segments,
+                threads: task.stats.num_threads,
+                state_variables: task.stats.num_state_variables,
+                code_bytes: qss_codegen::estimate_code_size(&task.stats, &code_model),
+            })
+            .collect();
+        PipelineReport {
+            system: self.spec.name().to_string(),
+            profile: self.config.profile.name().to_string(),
+            processes: self.system.process_names.clone(),
+            places: self.system.net.num_places(),
+            transitions: self.system.net.num_transitions(),
+            schedules,
+            channel_bounds,
+            tasks,
+            simulation: simulation.map(SimArtifact::summary),
+        }
+    }
+}
+
+/// Stage-4 artifact: both execution reports and their comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimArtifact {
+    /// The run configuration.
+    pub config: PipelineConfig,
+    /// The workload that was executed.
+    pub events: Vec<EnvEvent>,
+    /// Report of the generated single task(s).
+    pub single: SimReport,
+    /// Report of the one-task-per-process RTOS baseline.
+    pub multi: SimReport,
+    /// `multi.cycles / single.cycles` (the paper's headline ratio).
+    pub speedup: f64,
+    /// Whether both implementations wrote identical output sequences
+    /// (the role VCC simulation played in the paper).
+    pub outputs_match: bool,
+}
+
+impl SimArtifact {
+    /// Compact JSON rendering of the artifact.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serialization is infallible")
+    }
+
+    /// Pretty-printed JSON rendering of the artifact.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serialization is infallible")
+    }
+
+    /// Rebuilds an artifact from its JSON rendering.
+    ///
+    /// # Errors
+    /// Returns [`QssError::Config`] if the text is not a valid artifact.
+    pub fn from_json(text: &str) -> Result<Self, QssError> {
+        serde_json::from_str(text)
+            .map_err(|e| QssError::Config(format!("invalid SimArtifact JSON: {e}")))
+    }
+
+    /// The condensed comparison used inside [`PipelineReport`].
+    pub fn summary(&self) -> SimSummary {
+        SimSummary {
+            events: self.events.len(),
+            single_cycles: self.single.cycles,
+            multi_cycles: self.multi.cycles,
+            speedup: (self.speedup * 1000.0).round() / 1000.0,
+            context_switches: self.multi.context_switches,
+            outputs_match: self.outputs_match,
+        }
+    }
+}
+
+/// Per-schedule entry of a [`PipelineReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleSummary {
+    /// The environment port (`process.port`) the schedule serves.
+    pub source: String,
+    /// Nodes in the schedule graph.
+    pub nodes: usize,
+    /// Edges in the schedule graph.
+    pub edges: usize,
+    /// Await nodes (environment synchronization points).
+    pub await_nodes: usize,
+    /// Search-tree nodes explored to find the schedule.
+    pub nodes_explored: usize,
+}
+
+/// Per-task entry of a [`PipelineReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSummary {
+    /// Task name (derived from the environment port it serves).
+    pub name: String,
+    /// Code segments (labels) in the task.
+    pub segments: usize,
+    /// Threads (reactions between await nodes).
+    pub threads: usize,
+    /// State variables of the task.
+    pub state_variables: usize,
+    /// Estimated object-code size under the configured profile.
+    pub code_bytes: u64,
+}
+
+/// Condensed execution comparison inside a [`PipelineReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// Number of environment events executed.
+    pub events: usize,
+    /// Cycles of the generated single task(s).
+    pub single_cycles: u64,
+    /// Cycles of the multi-task baseline.
+    pub multi_cycles: u64,
+    /// `multi / single`, rounded to three decimals.
+    pub speedup: f64,
+    /// Context switches of the baseline (the single task needs none).
+    pub context_switches: u64,
+    /// Whether both implementations produced identical outputs.
+    pub outputs_match: bool,
+}
+
+/// Machine-readable summary of a pipeline run: what `qssc --report`
+/// emits, deterministic and diffable against golden files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// System name.
+    pub system: String,
+    /// Cost profile name (`pfc`, `pfc-O`, `pfc-O2`).
+    pub profile: String,
+    /// Process names, in specification order.
+    pub processes: Vec<String>,
+    /// Places of the linked net.
+    pub places: usize,
+    /// Transitions of the linked net.
+    pub transitions: usize,
+    /// One summary per schedule, in environment-input order.
+    pub schedules: Vec<ScheduleSummary>,
+    /// Static buffer bound of every channel, in specification order.
+    pub channel_bounds: Vec<(String, u32)>,
+    /// One summary per generated task.
+    pub tasks: Vec<TaskSummary>,
+    /// The execution comparison, when a workload was simulated.
+    pub simulation: Option<SimSummary>,
+}
+
+impl PipelineReport {
+    /// Pretty-printed JSON rendering (with a trailing newline, so the
+    /// file diffs cleanly).
+    pub fn to_json_pretty(&self) -> String {
+        let mut text =
+            serde_json::to_string_pretty(self).expect("report serialization is infallible");
+        text.push('\n');
+        text
+    }
+
+    /// Parses a report back from JSON text.
+    ///
+    /// # Errors
+    /// Returns [`QssError::Config`] if the text is not a valid report.
+    pub fn from_json(text: &str) -> Result<Self, QssError> {
+        serde_json::from_str(text)
+            .map_err(|e| QssError::Config(format!("invalid PipelineReport JSON: {e}")))
+    }
+}

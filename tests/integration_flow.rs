@@ -1,117 +1,65 @@
-//! End-to-end integration tests spanning every crate of the workspace:
+//! End-to-end integration tests spanning every crate of the workspace,
+//! written against the staged `Pipeline` API of the `qss` facade:
 //! FlowC parsing → linking → quasi-static scheduling → code generation →
 //! execution on both the multi-task baseline and the generated task.
 
-use qss_codegen::{generate_task, SegmentGraph, TaskOptions};
-use qss_core::{execute_run, schedule_system, ScheduleOptions};
-use qss_flowc::{link, parse_process, PortClass, SystemSpec};
-use qss_sim::{
-    pfc_events, pfc_expected_outputs, pfc_system, run_multitask, run_singletask, size_report,
-    CycleCostModel, EnvEvent, MultiTaskConfig, PfcParams, SingleTaskConfig,
+use qss::{
+    schedule_system, schedule_system_parallel, CostProfile, EnvEvent, Pipeline, PipelineConfig,
+    PortClass, QssError, ScheduleOptions, SystemSpec, TaskArtifact,
 };
+use qss_codegen::SegmentGraph;
+use qss_core::execute_run;
+use qss_sim::{pfc_events, pfc_expected_outputs, pfc_spec, size_report, PfcParams};
 
-/// A three-stage pipeline with a data-dependent branch in the middle stage.
-fn branching_pipeline() -> qss_flowc::LinkedSystem {
-    let source = parse_process(
-        "PROCESS source (In DPORT trigger, Out DPORT raw) {
-             int t;
-             while (1) {
-                 READ_DATA(trigger, t, 1);
-                 WRITE_DATA(raw, t, 1);
-             }
-         }",
-    )
-    .unwrap();
-    let stage = parse_process(
-        "PROCESS stage (In DPORT raw, Out DPORT cooked) {
-             int x;
-             while (1) {
-                 READ_DATA(raw, x, 1);
-                 if (x % 2 == 0)
-                     WRITE_DATA(cooked, x / 2, 1);
-                 else
-                     WRITE_DATA(cooked, 3 * x + 1, 1);
-             }
-         }",
-    )
-    .unwrap();
-    let sink = parse_process(
-        "PROCESS sink (In DPORT cooked, Out DPORT result) {
-             int y;
-             while (1) {
-                 READ_DATA(cooked, y, 1);
-                 WRITE_DATA(result, y, 1);
-             }
-         }",
-    )
-    .unwrap();
-    let spec = SystemSpec::new("collatz_pipeline")
-        .with_process(source)
-        .with_process(stage)
-        .with_process(sink)
-        .with_channel("source.raw", "stage.raw", None)
-        .unwrap()
-        .with_channel("stage.cooked", "sink.cooked", None)
-        .unwrap()
-        .with_input_port_class("source.trigger", PortClass::Uncontrollable);
-    link(&spec).unwrap()
+/// A three-stage pipeline with a data-dependent branch in the middle
+/// stage, as a whole-system FlowC source file (the same system that is
+/// checked in as `samples/pipeline.flowc` for the CLI).
+const COLLATZ_PIPELINE: &str = include_str!("../samples/pipeline.flowc");
+
+fn collatz_task() -> Result<TaskArtifact, QssError> {
+    Pipeline::from_source(COLLATZ_PIPELINE)?
+        .link()?
+        .schedule()?
+        .generate()
 }
 
 #[test]
 fn full_flow_on_branching_pipeline() {
-    let system = branching_pipeline();
+    let task = collatz_task().unwrap();
+    let system = &task.system;
     // Schedule and validate against the five defining properties.
-    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
-    assert_eq!(schedules.schedules.len(), 1);
-    let schedule = &schedules.schedules[0];
+    assert_eq!(task.schedules.schedules.len(), 1);
+    let schedule = &task.schedules.schedules[0];
     schedule.validate(&system.net).unwrap();
     assert!(schedule.is_single_source(&system.net));
     // The data-dependent branch appears as a two-edge node.
     assert!(schedule.node_ids().any(|id| schedule.edges(id).len() == 2));
     // All channel buffers are unit size.
     for channel in &system.channels {
-        assert_eq!(schedules.bound(channel.place), 1, "{}", channel.name);
+        assert_eq!(task.schedules.bound(channel.place), 1, "{}", channel.name);
     }
-    // Code generation succeeds and emits both guard branches.
+    // Code generation succeeded and emitted both guard branches.
     let graph = SegmentGraph::build(schedule, &system.net).unwrap();
     assert!(!graph.segments.is_empty());
-    let task = generate_task(
-        &system,
-        schedule,
-        &schedules.channel_bounds,
-        &TaskOptions::default(),
-    )
-    .unwrap();
-    assert!(task.code.contains("if ("));
-    assert!(task.code.contains("WRITE_DATA(result"));
+    assert!(task.c_code().contains("if ("));
+    assert!(task.c_code().contains("WRITE_DATA(result"));
 
     // Execute the Collatz-style branch on both implementations.
     let events: Vec<EnvEvent> = [6i64, 7, 8, 9]
         .into_iter()
         .map(|v| EnvEvent::new("source", "trigger", v))
         .collect();
-    let single = run_singletask(
-        &system,
-        &schedules.schedules,
-        &events,
-        &SingleTaskConfig::new(CycleCostModel::unoptimized()),
-    )
-    .unwrap();
-    let multi = run_multitask(
-        &system,
-        &events,
-        &MultiTaskConfig::new(2, CycleCostModel::unoptimized()),
-    )
-    .unwrap();
-    assert_eq!(single.output("sink", "result"), &[3, 22, 4, 28]);
-    assert_eq!(single.outputs, multi.outputs);
-    assert!(multi.cycles > single.cycles);
+    let sim = task.simulate(&events).unwrap();
+    assert_eq!(sim.single.output("sink", "result"), &[3, 22, 4, 28]);
+    assert!(sim.outputs_match);
+    assert!(sim.multi.cycles > sim.single.cycles);
+    assert!(sim.speedup > 1.0);
 
     // The abstract run machinery of the core crate agrees with the net.
     let source = system.uncontrollable_sources()[0];
     let trace = execute_run(
         &system.net,
-        &schedules.schedules,
+        &task.schedules.schedules,
         &[source, source],
         |_, _, _| 0,
     )
@@ -120,63 +68,76 @@ fn full_flow_on_branching_pipeline() {
 }
 
 #[test]
+fn pipeline_report_summarizes_the_run() {
+    let task = collatz_task().unwrap();
+    let events: Vec<EnvEvent> = [6i64, 7, 8, 9]
+        .into_iter()
+        .map(|v| EnvEvent::new("source", "trigger", v))
+        .collect();
+    let sim = task.simulate(&events).unwrap();
+    let report = task.report(Some(&sim));
+    assert_eq!(report.system, "collatz");
+    assert_eq!(report.processes, vec!["source", "stage", "sink"]);
+    assert_eq!(report.schedules.len(), 1);
+    assert_eq!(report.schedules[0].source, "source.trigger");
+    assert_eq!(report.channel_bounds.len(), 2);
+    assert!(report.channel_bounds.iter().all(|(_, b)| *b == 1));
+    let summary = report.simulation.as_ref().unwrap();
+    assert!(summary.outputs_match);
+    assert!(summary.speedup > 1.0);
+    // The report round-trips through its JSON rendering.
+    let back = qss::PipelineReport::from_json(&report.to_json_pretty()).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
 fn pfc_end_to_end_matches_reference_and_paper_shape() {
     let params = PfcParams::tiny();
-    let system = pfc_system(&params).unwrap();
-    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
-    let schedule = &schedules.schedules[0];
+    let config = PipelineConfig {
+        profile: CostProfile::Optimized,
+        multitask_buffer_size: 100,
+        ..PipelineConfig::default()
+    };
+    let task = Pipeline::new(pfc_spec(&params))
+        .with_config(config)
+        .link()
+        .unwrap()
+        .schedule()
+        .unwrap()
+        .generate()
+        .unwrap();
+    let system = &task.system;
+    let schedule = &task.schedules.schedules[0];
     schedule.validate(&system.net).unwrap();
     // The paper: a single task with all channels of unit size.
     for channel in &system.channels {
-        assert_eq!(schedules.bound(channel.place), 1, "{}", channel.name);
+        assert_eq!(task.schedules.bound(channel.place), 1, "{}", channel.name);
     }
-    let task = generate_task(
-        &system,
-        schedule,
-        &schedules.channel_bounds,
-        &TaskOptions::default(),
-    )
-    .unwrap();
-    assert!(task.stats.num_segments >= 2);
+    assert!(task.tasks[0].stats.num_segments >= 2);
 
     let events = pfc_events(6);
-    let single = run_singletask(
-        &system,
-        &schedules.schedules,
-        &events,
-        &SingleTaskConfig::new(CycleCostModel::optimized()),
-    )
-    .unwrap();
-    let multi = run_multitask(
-        &system,
-        &events,
-        &MultiTaskConfig::new(100, CycleCostModel::optimized()),
-    )
-    .unwrap();
+    let sim = task.simulate(&events).unwrap();
     // Functional equivalence (the role of VCC simulation in the paper).
     assert_eq!(
-        single.output("consumer", "out"),
+        sim.single.output("consumer", "out"),
         pfc_expected_outputs(&params, 6).as_slice()
     );
-    assert_eq!(single.outputs, multi.outputs);
+    assert!(sim.outputs_match);
     // Performance shape: single task wins by a clear factor, and the
     // advantage grows when buffers shrink.
-    assert!(multi.cycles as f64 / single.cycles as f64 > 2.0);
-    let multi_small = run_multitask(
-        &system,
-        &events,
-        &MultiTaskConfig::new(1, CycleCostModel::optimized()),
-    )
-    .unwrap();
-    assert!(multi_small.cycles > multi.cycles);
+    assert!(sim.speedup > 2.0);
+    let mut small = task.clone();
+    small.config.multitask_buffer_size = 1;
+    let sim_small = small.simulate(&events).unwrap();
+    assert!(sim_small.multi.cycles > sim.multi.cycles);
 
     // Code size shape of Table 2: the single task is several times smaller.
-    let spec = qss_sim::pfc_spec(&params);
+    let spec = pfc_spec(&params);
     let report = size_report(
-        &system,
+        system,
         spec.processes(),
-        &task,
-        &qss_codegen::CodeCostModel::optimized(),
+        &task.tasks[0],
+        &CostProfile::Optimized.code_model(),
         true,
     );
     assert!(report.ratio > 3.0);
@@ -184,43 +145,42 @@ fn pfc_end_to_end_matches_reference_and_paper_shape() {
 
 #[test]
 fn divisors_task_computes_divisors_end_to_end() {
-    let process = parse_process(qss_flowc::examples::DIVISORS).unwrap();
-    let spec = SystemSpec::new("divisors_system").with_process(process);
-    let system = link(&spec).unwrap();
-    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
-    schedules.schedules[0].validate(&system.net).unwrap();
+    let spec = SystemSpec::new("divisors_system")
+        .with_process(qss::parse_process(qss_flowc::examples::DIVISORS).unwrap());
+    let task = Pipeline::new(spec)
+        .link()
+        .unwrap()
+        .schedule()
+        .unwrap()
+        .generate()
+        .unwrap();
+    task.schedules.schedules[0]
+        .validate(&task.system.net)
+        .unwrap();
     let events: Vec<EnvEvent> = [12i64, 30]
         .into_iter()
         .map(|n| EnvEvent::new("divisors", "in", n))
         .collect();
-    let single = run_singletask(
-        &system,
-        &schedules.schedules,
-        &events,
-        &SingleTaskConfig::new(CycleCostModel::unoptimized()),
-    )
-    .unwrap();
-    assert_eq!(single.output("divisors", "max"), &[6, 15]);
+    let sim = task.simulate(&events).unwrap();
+    assert_eq!(sim.single.output("divisors", "max"), &[6, 15]);
     assert_eq!(
-        single.output("divisors", "all"),
+        sim.single.output("divisors", "all"),
         &[6, 4, 3, 2, 1, 15, 10, 6, 5, 3, 2, 1]
     );
     // The multi-task implementation (a single process here) agrees.
-    let multi = run_multitask(
-        &system,
-        &events,
-        &MultiTaskConfig::new(4, CycleCostModel::unoptimized()),
-    )
-    .unwrap();
-    assert_eq!(single.outputs, multi.outputs);
+    assert!(sim.outputs_match);
 }
 
 #[test]
 fn controllable_inputs_are_excluded_from_task_generation() {
     // A system where one input is controllable: only the uncontrollable
-    // port gets a task/schedule.
-    let worker = parse_process(
-        "PROCESS worker (In DPORT job, In DPORT param, Out DPORT done) {
+    // port gets a task/schedule. The whole-system parser declares the
+    // class in the SYSTEM manifest.
+    let scheduled = Pipeline::from_source(
+        "SYSTEM mixed_inputs {
+             INPUT worker.param CONTROLLABLE;
+         }
+         PROCESS worker (In DPORT job, In DPORT param, Out DPORT done) {
              int j, p;
              while (1) {
                  READ_DATA(job, j, 1);
@@ -229,16 +189,17 @@ fn controllable_inputs_are_excluded_from_task_generation() {
              }
          }",
     )
+    .unwrap()
+    .link()
+    .unwrap()
+    .schedule()
     .unwrap();
-    let spec = SystemSpec::new("mixed_inputs")
-        .with_process(worker)
-        .with_input_port_class("worker.param", PortClass::Controllable);
-    let system = link(&spec).unwrap();
+    let system = &scheduled.system;
     assert_eq!(system.uncontrollable_sources().len(), 1);
-    let schedules = schedule_system(&system, &ScheduleOptions::default()).unwrap();
-    assert_eq!(schedules.schedules.len(), 1);
-    let schedule = &schedules.schedules[0];
+    assert_eq!(scheduled.schedules.schedules.len(), 1);
+    let schedule = &scheduled.schedules.schedules[0];
     schedule.validate(&system.net).unwrap();
+    assert_eq!(scheduled.source_port(schedule), "worker.job");
     // The controllable source is involved in the schedule (the system
     // requests the parameter itself), which is allowed for SS schedules.
     let controllable = system
@@ -248,4 +209,108 @@ fn controllable_inputs_are_excluded_from_task_generation() {
         .unwrap()
         .source;
     assert!(schedule.involved_transitions().contains(&controllable));
+}
+
+/// Two independent producer/consumer pairs: two uncontrollable inputs,
+/// so the parallel scheduler actually fans out.
+fn two_pair_system() -> qss_flowc::LinkedSystem {
+    qss::link(
+        &qss::parse_system(
+            "SYSTEM two_pairs {
+                 CHANNEL left.out -> left_sink.data;
+                 CHANNEL right.out -> right_sink.data;
+             }
+             PROCESS left (In DPORT go, Out DPORT out) {
+                 int x;
+                 while (1) { READ_DATA(go, x, 1); WRITE_DATA(out, x + 1, 1); }
+             }
+             PROCESS left_sink (In DPORT data, Out DPORT res) {
+                 int y;
+                 while (1) { READ_DATA(data, y, 1); WRITE_DATA(res, y, 1); }
+             }
+             PROCESS right (In DPORT go, Out DPORT out) {
+                 int x;
+                 while (1) { READ_DATA(go, x, 1); WRITE_DATA(out, 2 * x, 1); }
+             }
+             PROCESS right_sink (In DPORT data, Out DPORT res) {
+                 int y;
+                 while (1) { READ_DATA(data, y, 1); WRITE_DATA(res, y, 1); }
+             }",
+        )
+        .unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn parallel_scheduling_matches_sequential_results() {
+    let system = two_pair_system();
+    assert_eq!(system.uncontrollable_sources().len(), 2);
+    let options = ScheduleOptions::default();
+    let sequential = schedule_system(&system, &options).unwrap();
+    let parallel = schedule_system_parallel(&system, &options).unwrap();
+    assert_eq!(parallel.schedules, sequential.schedules);
+    assert_eq!(parallel.channel_bounds, sequential.channel_bounds);
+    assert_eq!(parallel.stats, sequential.stats);
+
+    // The pipeline flag drives the same code path.
+    let spec = qss::parse_system(
+        "SYSTEM pair { CHANNEL a.out -> b.data; }
+         PROCESS a (In DPORT go, Out DPORT out) {
+             int x;
+             while (1) { READ_DATA(go, x, 1); WRITE_DATA(out, x, 1); }
+         }
+         PROCESS b (In DPORT data, Out DPORT res) {
+             int y;
+             while (1) { READ_DATA(data, y, 1); WRITE_DATA(res, y, 1); }
+         }",
+    )
+    .unwrap();
+    let config = PipelineConfig {
+        parallel_schedule: true,
+        ..PipelineConfig::default()
+    };
+    let scheduled = Pipeline::new(spec.clone())
+        .with_config(config)
+        .link()
+        .unwrap()
+        .schedule()
+        .unwrap();
+    let baseline = Pipeline::new(spec).link().unwrap().schedule().unwrap();
+    assert_eq!(scheduled.schedules.schedules, baseline.schedules.schedules);
+}
+
+#[test]
+fn parallel_scheduling_reports_the_earliest_failure() {
+    // Two uncontrollable sources feeding one synchronising transition:
+    // no single-source schedule exists for either (Figure 4(b)). The
+    // parallel path must report the same error as the sequential one.
+    let spec = qss::parse_system(
+        "SYSTEM sync {
+             CHANNEL a.out -> join.ina;
+             CHANNEL b.out -> join.inb;
+         }
+         PROCESS a (In DPORT go, Out DPORT out) {
+             int x;
+             while (1) { READ_DATA(go, x, 1); WRITE_DATA(out, x, 1); }
+         }
+         PROCESS b (In DPORT go, Out DPORT out) {
+             int x;
+             while (1) { READ_DATA(go, x, 1); WRITE_DATA(out, x, 1); }
+         }
+         PROCESS join (In DPORT ina, In DPORT inb, Out DPORT res) {
+             int p, q;
+             while (1) {
+                 READ_DATA(ina, p, 1);
+                 READ_DATA(inb, q, 1);
+                 WRITE_DATA(res, p + q, 1);
+             }
+         }",
+    )
+    .unwrap();
+    let system = qss::link(&spec).unwrap();
+    let options = ScheduleOptions::default();
+    let sequential = schedule_system(&system, &options).unwrap_err();
+    let parallel = schedule_system_parallel(&system, &options).unwrap_err();
+    assert_eq!(parallel, sequential);
 }

@@ -1,0 +1,114 @@
+//! End-to-end tests of the `qssc` CLI binary: builds the checked-in
+//! FlowC sample, checks every emitted artifact, and diffs the JSON
+//! report against the golden file CI also compares against.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_file(relative: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(relative)
+}
+
+fn qssc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qssc"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qssc-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn build_emits_c_json_dot_and_the_golden_report() {
+    let out = temp_dir("build");
+    let report_path = out.join("report.json");
+    let status = qssc()
+        .args([
+            "build",
+            repo_file("samples/pipeline.flowc").to_str().unwrap(),
+            "--emit",
+            "c,json,dot",
+            "--out",
+            out.to_str().unwrap(),
+            "--events",
+            "source.trigger=6,7,8,9",
+            "--report",
+            report_path.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    // All three artifact kinds exist and look like themselves.
+    let c = std::fs::read_to_string(out.join("collatz.task_source_trigger.c")).unwrap();
+    assert!(c.contains("void task_source_trigger_run(void)"));
+    assert!(c.contains("goto "));
+    let net_dot = std::fs::read_to_string(out.join("collatz.net.dot")).unwrap();
+    assert!(net_dot.starts_with("digraph"));
+    let schedule_dot =
+        std::fs::read_to_string(out.join("collatz.source_trigger.schedule.dot")).unwrap();
+    assert!(schedule_dot.starts_with("digraph"));
+    let pipeline_json = std::fs::read_to_string(out.join("collatz.pipeline.json")).unwrap();
+    let task = qss::TaskArtifact::from_json(&pipeline_json).unwrap();
+    assert_eq!(task.spec.name(), "collatz");
+    let sim_json = std::fs::read_to_string(out.join("collatz.sim.json")).unwrap();
+    let sim = qss::SimArtifact::from_json(&sim_json).unwrap();
+    assert!(sim.outputs_match);
+
+    // The report matches the golden file byte for byte (CI re-checks
+    // this with `diff` so the CLI path cannot rot).
+    let report = std::fs::read_to_string(&report_path).unwrap();
+    let golden = std::fs::read_to_string(repo_file("samples/pipeline.report.golden.json")).unwrap();
+    assert_eq!(report, golden, "report drifted from the golden file");
+
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn check_prints_a_summary_and_rejects_malformed_input() {
+    let output = qssc()
+        .args([
+            "check",
+            repo_file("samples/pipeline.flowc").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("collatz"));
+    assert!(stdout.contains("3 process(es)"));
+
+    // A malformed file fails with a parse-stage error on stderr.
+    let dir = temp_dir("check");
+    let bad = dir.join("bad.flowc");
+    std::fs::write(&bad, "PROCESS broken (In DPORT a { }").unwrap();
+    let output = qssc()
+        .args(["check", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("parse stage"), "stderr was: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_with_code_two() {
+    let output = qssc().args(["frobnicate"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let output = qssc()
+        .args(["build", "nope.flowc", "--emit", "pdf"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    // Missing files are an I/O failure (exit 1), not a usage error.
+    let output = qssc()
+        .args(["build", "does-not-exist.flowc"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("io stage"), "stderr was: {stderr}");
+}

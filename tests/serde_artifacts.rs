@@ -1,0 +1,173 @@
+//! Serde JSON round-trip tests for the pipeline's serializable types:
+//! schedules, generated tasks, simulation reports, and the stage
+//! artifacts of the `qss` facade (through the offline serde shims).
+
+use qss::{
+    CostProfile, EnvEvent, LinkedArtifact, Pipeline, PipelineConfig, QssError, ScheduleArtifact,
+    ScheduleOptions, SimArtifact, SimReport, TaskArtifact,
+};
+use qss_core::{Schedule, SystemSchedules};
+
+const SOURCE: &str = include_str!("../samples/pipeline.flowc");
+
+fn task_artifact() -> TaskArtifact {
+    Pipeline::from_source(SOURCE)
+        .unwrap()
+        .link()
+        .unwrap()
+        .schedule()
+        .unwrap()
+        .generate()
+        .unwrap()
+}
+
+fn events() -> Vec<EnvEvent> {
+    [6i64, 7, 8, 9]
+        .into_iter()
+        .map(|v| EnvEvent::new("source", "trigger", v))
+        .collect()
+}
+
+#[test]
+fn schedule_round_trips() {
+    let task = task_artifact();
+    let schedule = &task.schedules.schedules[0];
+    let json = serde_json::to_string(schedule).unwrap();
+    let back: Schedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, schedule);
+    // And the whole system-schedules bundle (schedules + bounds + stats).
+    let json = serde_json::to_string(&task.schedules).unwrap();
+    let back: SystemSchedules = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, task.schedules);
+}
+
+#[test]
+fn generated_task_round_trips() {
+    let task = task_artifact();
+    let json = serde_json::to_string(&task.tasks[0]).unwrap();
+    let back: qss::GeneratedTask = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, task.tasks[0]);
+    assert!(json.contains("\"code\""));
+}
+
+#[test]
+fn sim_report_round_trips() {
+    let task = task_artifact();
+    let sim = task.simulate(&events()).unwrap();
+    let json = serde_json::to_string(&sim.single).unwrap();
+    let back: SimReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, sim.single);
+    // Output maps keep their `process.port` keys as JSON object keys.
+    assert!(json.contains("\"sink.result\""));
+}
+
+#[test]
+fn pipeline_config_round_trips() {
+    let config = PipelineConfig {
+        profile: CostProfile::Optimized2,
+        multitask_buffer_size: 17,
+        parallel_schedule: true,
+        schedule: ScheduleOptions::with_place_bounds(9),
+        ..PipelineConfig::default()
+    };
+    let json = serde_json::to_string(&config).unwrap();
+    let back: PipelineConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, config);
+}
+
+#[test]
+fn linked_artifact_round_trips() {
+    let linked = Pipeline::from_source(SOURCE).unwrap().link().unwrap();
+    let back = LinkedArtifact::from_json(&linked.to_json()).unwrap();
+    // The artifact types embed the full net, which has no PartialEq;
+    // compare the canonical JSON renderings instead.
+    assert_eq!(back.to_json(), linked.to_json());
+    assert_eq!(back.spec, linked.spec);
+    assert_eq!(back.system.net.num_places(), linked.system.net.num_places());
+    // The rebuilt net still links/schedules: run the next stage on it.
+    let scheduled = back.schedule().unwrap();
+    assert_eq!(scheduled.schedules.schedules.len(), 1);
+}
+
+#[test]
+fn schedule_artifact_round_trips_and_rebuilds_its_context() {
+    let scheduled = Pipeline::from_source(SOURCE)
+        .unwrap()
+        .link()
+        .unwrap()
+        .schedule()
+        .unwrap();
+    let back = ScheduleArtifact::from_json(&scheduled.to_json_pretty()).unwrap();
+    assert_eq!(back.to_json(), scheduled.to_json());
+    assert_eq!(back.schedules, scheduled.schedules);
+    // The SearchContext is derived data: it is not serialized, but the
+    // deserialized artifact has a working one (same ECS partition).
+    let source = back.system.uncontrollable_sources()[0];
+    let schedule = back
+        .context()
+        .find_schedule(&back.system.net, source, &ScheduleOptions::default())
+        .unwrap();
+    assert_eq!(schedule, scheduled.schedules.schedules[0]);
+    // And the rebuilt artifact continues through the remaining stages.
+    let task = back.generate().unwrap();
+    assert!(task.simulate(&events()).unwrap().outputs_match);
+}
+
+#[test]
+fn task_and_sim_artifacts_round_trip() {
+    let task = task_artifact();
+    let back = TaskArtifact::from_json(&task.to_json()).unwrap();
+    assert_eq!(back.to_json(), task.to_json());
+    assert_eq!(back.tasks, task.tasks);
+    let sim = task.simulate(&events()).unwrap();
+    let back = SimArtifact::from_json(&sim.to_json_pretty()).unwrap();
+    assert_eq!(back.to_json(), sim.to_json());
+    assert_eq!(back.single, sim.single);
+    assert_eq!(back.events, sim.events);
+    assert!(back.outputs_match);
+}
+
+#[test]
+fn malformed_artifact_json_is_rejected() {
+    assert!(matches!(
+        TaskArtifact::from_json("{\"nope\": 1}"),
+        Err(QssError::Config(_))
+    ));
+    assert!(matches!(
+        ScheduleArtifact::from_json("not json at all"),
+        Err(QssError::Config(_))
+    ));
+    assert!(LinkedArtifact::from_json("[1, 2, 3]").is_err());
+}
+
+#[test]
+fn json_values_cover_the_corner_cases() {
+    // Escapes, unicode, negative numbers, floats, nesting.
+    let value = serde_json::Value::Object(vec![
+        (
+            "tab\"quote\\".into(),
+            serde_json::Value::String("π 😀 \n".into()),
+        ),
+        (
+            "numbers".into(),
+            serde_json::Value::Array(vec![
+                serde_json::to_value(&-42i64).unwrap(),
+                serde_json::to_value(&u64::MAX).unwrap(),
+                serde_json::to_value(&1.25f64).unwrap(),
+            ]),
+        ),
+    ]);
+    let compact = serde_json::to_string(&value).unwrap();
+    let pretty = serde_json::to_string_pretty(&value).unwrap();
+    assert_eq!(
+        serde_json::from_str::<serde_json::Value>(&compact).unwrap(),
+        value
+    );
+    assert_eq!(
+        serde_json::from_str::<serde_json::Value>(&pretty).unwrap(),
+        value
+    );
+    // u64::MAX survives (no float detour).
+    let n: u64 = serde_json::from_str(&serde_json::to_string(&u64::MAX).unwrap()).unwrap();
+    assert_eq!(n, u64::MAX);
+}
