@@ -15,6 +15,7 @@
 
 use qss_bench::experiments::divider_net;
 use qss_core::{reference, ScheduleOptions, SearchContext, TerminationKind};
+use qss_petri::{t_invariant_basis, t_invariant_basis_dense};
 use qss_sim::{pfc_system, PfcParams};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -100,6 +101,21 @@ fn main() {
             }),
             reference_median_ms: median_ms(samples, || {
                 black_box(reference::find_schedule(&system.net, source, &options).unwrap());
+            }),
+        });
+
+        // The cold-start analysis cost: the sparse-row Farkas elimination
+        // against the retained dense oracle (same row cap as the
+        // production `EcsSorter`). This is what a scheduling service pays
+        // the first time it sees a net, before `SearchContext` reuse
+        // amortises it away.
+        cases.push(CaseResult {
+            name: "analysis/t_invariant_basis_pfc".to_string(),
+            median_ms: median_ms(samples, || {
+                black_box(t_invariant_basis(&system.net, 50_000));
+            }),
+            reference_median_ms: median_ms(samples, || {
+                black_box(t_invariant_basis_dense(&system.net, 50_000));
             }),
         });
     }

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod testgen;
 
 pub use experiments::{
     ablation, figure20, figure7, pfc_setup, render_ablation, render_figure20, render_figure7,

@@ -43,10 +43,13 @@
 use crate::error::{Result, ScheduleError};
 use crate::heuristics::EcsSorter;
 use crate::independence::{channel_bounds, is_independent_set};
-use crate::schedule::{NodeId, Schedule, ScheduleNode};
+use crate::schedule::{NodeId, Schedule};
 use crate::termination::{PathTracker, TerminationKind};
 use qss_flowc::LinkedSystem;
-use qss_petri::{EcsId, EcsInfo, Marking, PetriNet, PlaceId, TransitionId, TransitionKind};
+use qss_petri::{
+    EcsId, EcsInfo, Marking, MarkingId, MarkingStore, PetriNet, PlaceId, TransitionId,
+    TransitionKind,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -174,20 +177,34 @@ pub fn find_schedule_with_stats(
 pub struct SearchContext {
     ecs: EcsInfo,
     sorter: EcsSorter,
+    /// Per-net marking store seeded with the initial marking; every search
+    /// clones it so the path tracker's interning starts from the shared
+    /// base instead of re-hashing the initial marking per call.
+    base_store: MarkingStore,
 }
 
 impl SearchContext {
-    /// Computes the per-net analyses (ECS partition, T-invariant basis).
+    /// Computes the per-net analyses (ECS partition, T-invariant basis)
+    /// and seeds the per-net marking store.
     pub fn new(net: &PetriNet) -> Self {
+        let mut base_store = MarkingStore::new();
+        base_store.intern_owned(net.initial_marking());
         SearchContext {
             ecs: EcsInfo::compute(net),
             sorter: EcsSorter::new(net),
+            base_store,
         }
     }
 
     /// The ECS partition of the net.
     pub fn ecs(&self) -> &EcsInfo {
         &self.ecs
+    }
+
+    /// The per-net marking store the searches start from (holds the
+    /// interned initial marking).
+    pub fn base_store(&self) -> &MarkingStore {
+        &self.base_store
     }
 
     /// Finds a single-source schedule for `source` using the precomputed
@@ -226,7 +243,7 @@ impl SearchContext {
             let mut search = Search {
                 net,
                 ecs: &self.ecs,
-                tracker: PathTracker::new(net, opts.termination),
+                tracker: PathTracker::with_store(net, opts.termination, self.base_store.clone()),
                 options: opts,
                 source,
                 sorter: &self.sorter,
@@ -405,6 +422,13 @@ struct TreeNode {
     /// For retained leaves: the minimal equal-marking ancestor the leaf
     /// merges with, recorded when the entering point was found.
     merge_with: Option<usize>,
+}
+
+/// Accumulator of [`Search::build_schedule`]: the schedule's marking
+/// arena plus the interned `(marking, edges)` node list under construction.
+struct ScheduleBuild {
+    store: MarkingStore,
+    nodes: Vec<(MarkingId, Vec<(TransitionId, NodeId)>)>,
 }
 
 struct Search<'a> {
@@ -665,13 +689,17 @@ impl<'a> Search<'a> {
     /// the cycles by merging each retained leaf with its equal-marking
     /// ancestor. Markings are reconstructed by replaying transitions over
     /// one scratch marking along the retained tree (the search itself
-    /// stored none).
+    /// stored none) and hash-consed straight into the schedule's
+    /// [`MarkingStore`] — revisited markings never get a second slab slot.
     fn build_schedule(&self) -> Schedule {
         let mut map: BTreeMap<usize, usize> = BTreeMap::new();
-        let mut nodes: Vec<ScheduleNode> = Vec::new();
+        let mut build = ScheduleBuild {
+            store: MarkingStore::new(),
+            nodes: Vec::new(),
+        };
         let mut scratch = self.net.initial_marking();
-        self.assign(0, &mut scratch, &mut map, &mut nodes);
-        Schedule::from_parts(self.source, nodes)
+        self.assign(0, &mut scratch, &mut map, &mut build);
+        Schedule::from_interned(self.source, build.store, build.nodes)
     }
 
     fn assign(
@@ -679,29 +707,27 @@ impl<'a> Search<'a> {
         v: usize,
         scratch: &mut Marking,
         map: &mut BTreeMap<usize, usize>,
-        nodes: &mut Vec<ScheduleNode>,
+        build: &mut ScheduleBuild,
     ) -> usize {
         if let Some(&id) = map.get(&v) {
             return id;
         }
         match self.nodes[v].chosen_ecs {
             Some(ecs) => {
-                let id = nodes.len();
-                nodes.push(ScheduleNode {
-                    marking: scratch.clone(),
-                    edges: Vec::new(),
-                });
+                let id = build.nodes.len();
+                let marking = build.store.intern(scratch);
+                build.nodes.push((marking, Vec::new()));
                 map.insert(v, id);
                 let mut edges = Vec::new();
                 for (t, w) in &self.nodes[v].children {
                     if self.ecs.ecs_of(*t) == ecs {
                         self.net.fire_into(*t, scratch);
-                        let target = self.assign(*w, scratch, map, nodes);
+                        let target = self.assign(*w, scratch, map, build);
                         self.net.unfire_into(*t, scratch);
                         edges.push((*t, NodeId(target as u32)));
                     }
                 }
-                nodes[id].edges = edges;
+                build.nodes[id].1 = edges;
                 id
             }
             None => {

@@ -14,7 +14,7 @@
 //! 5. every node lies on a cycle through `r`.
 
 use crate::error::{Result, ScheduleError};
-use qss_petri::{EcsInfo, Marking, PetriNet, PlaceId, TransitionId};
+use qss_petri::{EcsInfo, Marking, MarkingId, MarkingStore, PetriNet, PlaceId, TransitionId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -32,6 +32,11 @@ impl NodeId {
 }
 
 /// One node of a schedule: a marking and its outgoing edges.
+///
+/// This is the *exchange* representation — the type [`Schedule::from_parts`]
+/// consumes and the serialized form round-trips through. Inside a
+/// [`Schedule`] markings are hash-consed into one [`MarkingStore`] and
+/// nodes carry [`MarkingId`] handles instead.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScheduleNode {
     /// Marking associated with the node.
@@ -40,19 +45,114 @@ pub struct ScheduleNode {
     pub edges: Vec<(TransitionId, NodeId)>,
 }
 
+/// One stored node of a schedule: an interned marking handle plus edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Slot {
+    marking: MarkingId,
+    edges: Vec<(TransitionId, NodeId)>,
+}
+
 /// A schedule for one uncontrollable source transition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Node markings are interned: every distinct marking is stored once in
+/// the schedule's [`MarkingStore`] and nodes reference it by
+/// [`MarkingId`]. Equality, hashing and the serialized wire format are
+/// unaffected — two schedules compare equal iff they have the same source
+/// and the same per-node resolved markings and edges, and serialization
+/// resolves the handles back to full markings (byte-identical to the
+/// pre-interning format).
+#[derive(Debug, Clone)]
 pub struct Schedule {
     source: TransitionId,
-    nodes: Vec<ScheduleNode>,
+    store: MarkingStore,
+    slots: Vec<Slot>,
+}
+
+impl PartialEq for Schedule {
+    fn eq(&self, other: &Self) -> bool {
+        self.source == other.source
+            && self.slots.len() == other.slots.len()
+            && self.slots.iter().zip(&other.slots).all(|(a, b)| {
+                a.edges == b.edges
+                    && self.store.resolve(a.marking) == other.store.resolve(b.marking)
+            })
+    }
+}
+
+impl Eq for Schedule {}
+
+impl Serialize for Schedule {
+    /// Serializes exactly like the former derived impl on
+    /// `{source, nodes: Vec<ScheduleNode>}`, so artifacts written before
+    /// interning parse unchanged (and vice versa).
+    fn to_value(&self) -> serde::Value {
+        let nodes: Vec<serde::Value> = self
+            .node_ids()
+            .map(|id| {
+                ScheduleNode {
+                    marking: self.marking(id).clone(),
+                    edges: self.edges(id).to_vec(),
+                }
+                .to_value()
+            })
+            .collect();
+        serde::Value::Object(vec![
+            ("source".to_owned(), self.source.to_value()),
+            ("nodes".to_owned(), serde::Value::Array(nodes)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for Schedule {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let source: TransitionId = serde::derive::field(value, "Schedule", "source")?;
+        let nodes: Vec<ScheduleNode> = serde::derive::field(value, "Schedule", "nodes")?;
+        Ok(Schedule::from_parts(source, nodes))
+    }
 }
 
 impl Schedule {
     /// Assembles a schedule from its parts without validating the five
     /// properties (use [`Schedule::validate`] for that). Node 0 must be the
-    /// distinguished node.
+    /// distinguished node. Equal markings of different nodes are interned
+    /// onto one slab slot.
     pub fn from_parts(source: TransitionId, nodes: Vec<ScheduleNode>) -> Schedule {
-        Schedule { source, nodes }
+        let mut store = MarkingStore::new();
+        let slots = nodes
+            .into_iter()
+            .map(|n| Slot {
+                marking: store.intern_owned(n.marking),
+                edges: n.edges,
+            })
+            .collect();
+        Schedule {
+            source,
+            store,
+            slots,
+        }
+    }
+
+    /// Assembles a schedule whose markings are already interned in
+    /// `store`. Used by the search engines, which intern while
+    /// reconstructing the retained tree instead of cloning markings into
+    /// an intermediate [`ScheduleNode`] list. Every marking in `store`
+    /// must be referenced by some node (queries such as
+    /// [`Schedule::place_peak`] scan the store as the set of distinct
+    /// node markings).
+    pub fn from_interned(
+        source: TransitionId,
+        store: MarkingStore,
+        nodes: Vec<(MarkingId, Vec<(TransitionId, NodeId)>)>,
+    ) -> Schedule {
+        let slots = nodes
+            .into_iter()
+            .map(|(marking, edges)| Slot { marking, edges })
+            .collect();
+        Schedule {
+            source,
+            store,
+            slots,
+        }
     }
 
     /// The uncontrollable source transition this schedule serves.
@@ -67,41 +167,44 @@ impl Schedule {
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.slots.len()
     }
 
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
-        self.nodes.iter().map(|n| n.edges.len()).sum()
+        self.slots.iter().map(|n| n.edges.len()).sum()
     }
 
     /// Iterator over all node identifiers.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len()).map(|i| NodeId(i as u32))
+        (0..self.slots.len()).map(|i| NodeId(i as u32))
     }
 
-    /// The node data for `id`.
-    ///
-    /// # Panics
-    /// Panics if `id` is out of range.
-    pub fn node(&self, id: NodeId) -> &ScheduleNode {
-        &self.nodes[id.index()]
-    }
-
-    /// The marking of node `id`.
+    /// The marking of node `id`, resolved against the schedule's store.
     pub fn marking(&self, id: NodeId) -> &Marking {
-        &self.nodes[id.index()].marking
+        self.store.resolve(self.slots[id.index()].marking)
+    }
+
+    /// The interned marking handle of node `id`. Two nodes of this
+    /// schedule carry equal markings iff their handles are equal.
+    pub fn marking_id(&self, id: NodeId) -> MarkingId {
+        self.slots[id.index()].marking
+    }
+
+    /// The hash-consed marking arena backing this schedule.
+    pub fn store(&self) -> &MarkingStore {
+        &self.store
     }
 
     /// Outgoing edges of node `id`.
     pub fn edges(&self, id: NodeId) -> &[(TransitionId, NodeId)] {
-        &self.nodes[id.index()].edges
+        &self.slots[id.index()].edges
     }
 
     /// All transitions involved in (associated with some edge of) the
     /// schedule.
     pub fn involved_transitions(&self) -> BTreeSet<TransitionId> {
-        self.nodes
+        self.slots
             .iter()
             .flat_map(|n| n.edges.iter().map(|(t, _)| *t))
             .collect()
@@ -147,11 +250,12 @@ impl Schedule {
 
     /// The maximum number of tokens held by place `p` over all nodes of the
     /// schedule. For places involved in the schedule this is the static
-    /// buffer bound guaranteed by Proposition 4.2.
+    /// buffer bound guaranteed by Proposition 4.2. Interning makes this a
+    /// scan over *distinct* markings rather than all nodes.
     pub fn place_peak(&self, p: PlaceId) -> u32 {
-        self.nodes
-            .iter()
-            .map(|n| n.marking.tokens(p))
+        self.store
+            .markings()
+            .map(|m| m.tokens(p))
             .max()
             .unwrap_or(0)
     }
@@ -162,14 +266,14 @@ impl Schedule {
     /// Returns [`ScheduleError::InvalidSchedule`] describing the first
     /// violated property.
     pub fn validate(&self, net: &PetriNet) -> Result<()> {
-        if self.nodes.is_empty() {
+        if self.slots.is_empty() {
             return Err(ScheduleError::InvalidSchedule(
                 "schedule has no nodes".into(),
             ));
         }
         // Property 1: r carries the initial marking and has out-degree 1.
-        let root = &self.nodes[0];
-        if root.marking != net.initial_marking() {
+        let root = &self.slots[0];
+        if self.store.resolve(root.marking) != &net.initial_marking() {
             return Err(ScheduleError::InvalidSchedule(
                 "the distinguished node does not carry the initial marking".into(),
             ));
@@ -187,7 +291,8 @@ impl Schedule {
             ));
         }
         let ecs = EcsInfo::compute(net);
-        for (i, node) in self.nodes.iter().enumerate() {
+        for (i, node) in self.slots.iter().enumerate() {
+            let marking = self.store.resolve(node.marking);
             if node.edges.is_empty() {
                 return Err(ScheduleError::InvalidSchedule(format!(
                     "node {i} has no outgoing edges"
@@ -204,14 +309,15 @@ impl Schedule {
                 )));
             }
             for (t, target) in &node.edges {
-                if !net.is_enabled(*t, &node.marking) {
+                if !net.is_enabled(*t, marking) {
                     return Err(ScheduleError::InvalidSchedule(format!(
                         "transition {t} on an edge out of node {i} is not enabled at the node's marking"
                     )));
                 }
-                // Property 4: firing consistency.
-                let next = net.fire_unchecked(*t, &node.marking);
-                if next != self.nodes[target.index()].marking {
+                // Property 4: firing consistency. Interning makes the
+                // comparison an id check once the successor is looked up.
+                let next = net.fire_unchecked(*t, marking);
+                if self.store.lookup(&next) != Some(self.slots[target.index()].marking) {
                     return Err(ScheduleError::InvalidSchedule(format!(
                         "edge {t} out of node {i} does not lead to the marking of its target node"
                     )));
@@ -220,7 +326,7 @@ impl Schedule {
         }
         // Property 5: every node is on a cycle through r — equivalently,
         // every node is reachable from r and r is reachable from every node.
-        let n = self.nodes.len();
+        let n = self.slots.len();
         let forward = self.reachable_from(0);
         if forward.len() != n {
             return Err(ScheduleError::InvalidSchedule(
@@ -229,7 +335,7 @@ impl Schedule {
         }
         // Reverse reachability to r.
         let mut rev_adj = vec![Vec::new(); n];
-        for (i, node) in self.nodes.iter().enumerate() {
+        for (i, node) in self.slots.iter().enumerate() {
             for (_, target) in &node.edges {
                 rev_adj[target.index()].push(i);
             }
@@ -258,7 +364,7 @@ impl Schedule {
         let mut stack = vec![start];
         seen.insert(start);
         while let Some(v) = stack.pop() {
-            for (_, target) in &self.nodes[v].edges {
+            for (_, target) in &self.slots[v].edges {
                 if seen.insert(target.index()) {
                     stack.push(target.index());
                 }
@@ -355,13 +461,57 @@ mod tests {
     #[test]
     fn wrong_root_marking_is_rejected() {
         let (net, src, t) = tiny();
-        let mut s = tiny_schedule(&net, src, t);
-        // Corrupt the root marking.
-        s.nodes[0].marking = Marking::from_counts([5]);
+        let good = tiny_schedule(&net, src, t);
+        // Rebuild with a corrupted root marking.
+        let mut nodes: Vec<ScheduleNode> = good
+            .node_ids()
+            .map(|id| ScheduleNode {
+                marking: good.marking(id).clone(),
+                edges: good.edges(id).to_vec(),
+            })
+            .collect();
+        nodes[0].marking = Marking::from_counts([5]);
+        let s = Schedule::from_parts(src, nodes);
         assert!(matches!(
             s.validate(&net),
             Err(ScheduleError::InvalidSchedule(_))
         ));
+    }
+
+    #[test]
+    fn equal_markings_share_one_interned_slot() {
+        let (net, src, t) = tiny();
+        let m0 = net.initial_marking();
+        let m1 = net.fire(src, &m0).unwrap();
+        // A two-cycle schedule revisiting the same two markings: four
+        // nodes, two distinct markings, two slab slots.
+        let s = Schedule::from_parts(
+            src,
+            vec![
+                ScheduleNode {
+                    marking: m0.clone(),
+                    edges: vec![(src, NodeId(1))],
+                },
+                ScheduleNode {
+                    marking: m1.clone(),
+                    edges: vec![(t, NodeId(2))],
+                },
+                ScheduleNode {
+                    marking: m0.clone(),
+                    edges: vec![(src, NodeId(3))],
+                },
+                ScheduleNode {
+                    marking: m1,
+                    edges: vec![(t, NodeId(0))],
+                },
+            ],
+        );
+        assert_eq!(s.num_nodes(), 4);
+        assert_eq!(s.store().len(), 2);
+        assert_eq!(s.marking_id(NodeId(0)), s.marking_id(NodeId(2)));
+        assert_eq!(s.marking_id(NodeId(1)), s.marking_id(NodeId(3)));
+        assert_ne!(s.marking_id(NodeId(0)), s.marking_id(NodeId(1)));
+        assert_eq!(s.marking(NodeId(2)), &m0);
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! always respected in addition to the selected criterion.
 
 use qss_petri::{
-    place_count_hash, place_degree, FxHashMap, Marking, PetriNet, PlaceId, TransitionId,
+    place_count_hash, place_degree, Marking, MarkingId, MarkingStore, PetriNet, PlaceId,
+    TransitionId,
 };
 use serde::{Deserialize, Serialize};
 
@@ -165,7 +166,19 @@ struct Seg {
 /// and each box boundary moves by at most the arc weight — the entries
 /// whose validity flips are found through a per-place `count → segments`
 /// index of the path history. Ancestors *equal* to `C` are excluded by
-/// subtracting the number of verified hits in the marking-hash index.
+/// subtracting the bucket length of `C`'s [`MarkingId`] in the interned
+/// ancestor index.
+///
+/// # Interned ancestors
+///
+/// Every pushed path entry's marking is hash-consed into a
+/// [`MarkingStore`] (typically the per-net store cached by the search
+/// context, so the initial marking is shared). The equal-ancestor index
+/// maps a `MarkingId` — not a raw hash — to the ascending path entries
+/// carrying that marking, which makes the equal-marking-ancestor query a
+/// store probe plus one integer-keyed map lookup: interning has already
+/// established exact equality, so no per-place verification remains and
+/// hash collisions cannot surface here.
 #[derive(Debug, Clone)]
 pub struct PathTracker {
     kind: TerminationKind,
@@ -193,14 +206,37 @@ pub struct PathTracker {
     /// (a vector indexed by count; on-path counts stay small because both
     /// pruning criteria cut off unbounded growth).
     occ: Vec<Vec<Vec<u32>>>,
-    /// Marking hash → path entries (ascending) whose marking has it.
-    hash_index: FxHashMap<u64, Vec<u32>>,
+    /// Hash-consed markings of every path entry ever pushed.
+    store: MarkingStore,
+    /// Per path entry: the interned id of its marking.
+    entry_ids: Vec<MarkingId>,
+    /// Per interned marking (dense by [`MarkingId`] index): how many path
+    /// entries currently carry it. Ids are dense, so the ancestor query
+    /// is an array index instead of a hash probe.
+    entry_count_by_id: Vec<u32>,
+    /// Per interned marking: the minimal (closest to the root) path entry
+    /// carrying it. Pushes and pops are strictly LIFO, so the value set
+    /// when the count left zero stays correct until it returns to zero.
+    first_entry_by_id: Vec<u32>,
+    /// Memoized store lookup of the current marking (guarded by its
+    /// hash): [`PathTracker::equal_ancestors`] resolves the id,
+    /// [`PathTracker::push_entry`] reuses it, any marking change clears
+    /// it.
+    cached_lookup: Option<(u64, Option<MarkingId>)>,
 }
 
 impl PathTracker {
     /// Builds a tracker for `net` with the root entry (the initial
-    /// marking, tree node 0) already on the path.
+    /// marking, tree node 0) already on the path, interning markings into
+    /// a fresh store.
     pub fn new(net: &PetriNet, kind: TerminationKind) -> Self {
+        PathTracker::with_store(net, kind, MarkingStore::new())
+    }
+
+    /// Like [`PathTracker::new`] but interning into `store` (usually the
+    /// per-net store cloned from a search context, which already holds the
+    /// initial marking).
+    pub fn with_store(net: &PetriNet, kind: TerminationKind, store: MarkingStore) -> Self {
         let num_places = net.num_places();
         let degrees: Vec<u32> = net.place_ids().map(|p| place_degree(net, p)).collect();
         let eff_bounds: Vec<u32> = net
@@ -232,8 +268,12 @@ impl PathTracker {
                 by_count
             })
             .collect();
-        let mut hash_index = FxHashMap::default();
-        hash_index.insert(hash, vec![0u32]);
+        let mut store = store;
+        let root_id = store.intern_hashed(hash, &marking);
+        let mut entry_count_by_id = vec![0u32; store.len()];
+        let mut first_entry_by_id = vec![0u32; store.len()];
+        entry_count_by_id[root_id.index()] = 1;
+        first_entry_by_id[root_id.index()] = 0;
         PathTracker {
             kind,
             degrees,
@@ -247,7 +287,11 @@ impl PathTracker {
             bound_over,
             segs,
             occ,
-            hash_index,
+            store,
+            entry_ids: vec![root_id],
+            entry_count_by_id,
+            first_entry_by_id,
+            cached_lookup: None,
         }
     }
 
@@ -297,6 +341,7 @@ impl PathTracker {
     }
 
     fn place_changed(&mut self, p: PlaceId, delta: i64) {
+        self.cached_lookup = None;
         let old = self.marking.tokens(p);
         self.marking.apply_delta(p, delta);
         let new = self.marking.tokens(p);
@@ -395,11 +440,28 @@ impl PathTracker {
         self.viol.push(0);
         self.num_valid += 1;
         self.node_at.push(node);
-        self.hash_index.entry(self.hash).or_default().push(depth);
+        // Reuse the id `equal_ancestors` just resolved for this marking
+        // (the search always queries before pushing); intern otherwise.
+        let id = match self.cached_lookup.take() {
+            Some((hash, Some(id))) if hash == self.hash => id,
+            _ => self.store.intern_hashed(self.hash, &self.marking),
+        };
+        self.entry_ids.push(id);
+        if self.entry_count_by_id.len() < self.store.len() {
+            self.entry_count_by_id.resize(self.store.len(), 0);
+            self.first_entry_by_id.resize(self.store.len(), 0);
+        }
+        let count = &mut self.entry_count_by_id[id.index()];
+        if *count == 0 {
+            self.first_entry_by_id[id.index()] = depth;
+        }
+        *count += 1;
     }
 
     /// Pops the top path entry. Calls must be strictly LIFO with respect
-    /// to [`PathTracker::push_entry`].
+    /// to [`PathTracker::push_entry`]. The entry's marking stays interned
+    /// in the store (interning is append-only); only the on-path ancestor
+    /// index forgets it.
     pub fn pop_entry(&mut self, net: &PetriNet, t: TransitionId) {
         let viol = self.viol.pop().expect("pop_entry on an empty path");
         debug_assert_eq!(viol, 0, "a path entry must leave as it arrived");
@@ -409,53 +471,36 @@ impl PathTracker {
             let seg = self.segs[p.index()].pop().expect("segment stack underflow");
             self.occ[p.index()][seg.count as usize].pop();
         }
-        let bucket = self
-            .hash_index
-            .get_mut(&self.hash)
-            .expect("entry missing from the hash index");
-        bucket.pop();
-        if bucket.is_empty() {
-            self.hash_index.remove(&self.hash);
-        }
-    }
-
-    /// The token count place `p` held at path entry `depth`.
-    fn count_at(&self, p: PlaceId, depth: u32) -> u32 {
-        let segs = &self.segs[p.index()];
-        let i = segs.partition_point(|s| s.start <= depth);
-        segs[i - 1].count
-    }
-
-    /// `true` if the marking at path entry `depth` equals the current
-    /// marking (exact verification behind a hash hit).
-    fn entry_equals_current(&self, depth: u32) -> bool {
-        self.marking
-            .as_slice()
-            .iter()
-            .enumerate()
-            .all(|(i, &c)| self.count_at(PlaceId::new(i), depth) == c)
+        let id = self.entry_ids.pop().expect("entry id stack underflow");
+        self.entry_count_by_id[id.index()] -= 1;
     }
 
     /// Proper on-path ancestors whose marking equals the current marking:
     /// how many there are, and the minimal (closest to the root) one.
-    /// Typically a single hash probe; exact equality is verified against
-    /// the per-place history on a hit, so a hash collision can never
-    /// produce a wrong ancestor.
-    pub fn equal_ancestors(&self) -> (usize, Option<usize>) {
-        let Some(bucket) = self.hash_index.get(&self.hash) else {
+    /// One store probe (reusing the incrementally maintained hash) plus
+    /// an array index: interning already established exact equality, so
+    /// the bucket needs no per-entry verification. The resolved id is
+    /// memoized for the [`PathTracker::push_entry`] that typically
+    /// follows.
+    pub fn equal_ancestors(&mut self) -> (usize, Option<usize>) {
+        let id = match self.cached_lookup {
+            Some((hash, id)) if hash == self.hash => id,
+            _ => {
+                let id = self.store.lookup_hashed(self.hash, &self.marking);
+                self.cached_lookup = Some((self.hash, id));
+                id
+            }
+        };
+        let Some(id) = id else {
             return (0, None);
         };
-        let mut count = 0;
-        let mut first = None;
-        for &depth in bucket {
-            if self.entry_equals_current(depth) {
-                count += 1;
-                if first.is_none() {
-                    first = Some(depth as usize);
-                }
-            }
+        match self.entry_count_by_id.get(id.index()).copied() {
+            Some(count) if count > 0 => (
+                count as usize,
+                Some(self.first_entry_by_id[id.index()] as usize),
+            ),
+            _ => (0, None),
         }
-        (count, first)
     }
 
     /// Whether the node whose marking is currently in the tracker should

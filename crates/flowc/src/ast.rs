@@ -120,6 +120,48 @@ pub enum Expr {
     Binary(BinOp, Box<Expr>, Box<Expr>),
 }
 
+impl Drop for Expr {
+    /// Drops iteratively: a chained expression like `1+1+…+1` parses into
+    /// a left-deep tree whose *depth* is the term count, and the default
+    /// recursive drop would overflow the stack on hostile input (the
+    /// parser bounds nesting, but chains are built by iteration). Children
+    /// are detached onto an explicit worklist first, so every individual
+    /// drop only ever sees leaves.
+    fn drop(&mut self) {
+        if matches!(self, Expr::Int(_) | Expr::Var(_)) {
+            return;
+        }
+        let mut worklist: Vec<Expr> = Vec::new();
+        detach_children(self, &mut worklist);
+        while let Some(mut e) = worklist.pop() {
+            detach_children(&mut e, &mut worklist);
+        }
+    }
+}
+
+/// Replaces every interior child of `e` with a leaf, moving the real
+/// children onto `out` (the iterative-drop worklist). Leaf children are
+/// left in place — they drop trivially, and skipping them keeps the
+/// worklist allocation-free for the ubiquitous shallow expressions.
+fn detach_children(e: &mut Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Int(_) | Expr::Var(_) => {}
+        Expr::Index(_, a) | Expr::Unary(_, a) => {
+            if !matches!(**a, Expr::Int(_) | Expr::Var(_)) {
+                out.push(std::mem::replace(&mut **a, Expr::Int(0)));
+            }
+        }
+        Expr::Binary(_, a, b) => {
+            if !matches!(**a, Expr::Int(_) | Expr::Var(_)) {
+                out.push(std::mem::replace(&mut **a, Expr::Int(0)));
+            }
+            if !matches!(**b, Expr::Int(_) | Expr::Var(_)) {
+                out.push(std::mem::replace(&mut **b, Expr::Int(0)));
+            }
+        }
+    }
+}
+
 impl Expr {
     /// Convenience constructor for a binary expression.
     pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {

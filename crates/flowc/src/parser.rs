@@ -23,7 +23,11 @@ use crate::spec::{PortClass, SystemSpec};
 /// ```
 pub fn parse_process(source: &str) -> Result<Process> {
     let tokens = tokenize(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let process = p.process()?;
     p.expect_eof()?;
     Ok(process)
@@ -75,7 +79,11 @@ pub fn parse_process(source: &str) -> Result<Process> {
 /// ```
 pub fn parse_system(source: &str) -> Result<SystemSpec> {
     let tokens = tokenize(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     p.system()
 }
 
@@ -96,9 +104,17 @@ enum SystemDecl {
     },
 }
 
+/// Deepest statement/expression nesting the parser accepts. Recursive
+/// descent recurses once per nesting level, so without a limit hostile
+/// input like `((((…1…))))` overflows the thread stack (an abort, not a
+/// catchable error). Real FlowC processes nest single digits deep.
+const MAX_NEST_DEPTH: usize = 256;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Current statement/expression nesting depth (see [`MAX_NEST_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -344,7 +360,27 @@ impl Parser {
         }
     }
 
+    /// Increments the nesting depth, erroring out (instead of blowing the
+    /// stack) past [`MAX_NEST_DEPTH`]. Paired with a `self.depth -= 1`
+    /// in the callers that guard a recursion root.
+    fn enter_nested(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            return Err(self.error(format!(
+                "statements/expressions nested deeper than {MAX_NEST_DEPTH} levels"
+            )));
+        }
+        Ok(())
+    }
+
     fn statement(&mut self) -> Result<Stmt> {
+        self.enter_nested()?;
+        let result = self.statement_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn statement_inner(&mut self) -> Result<Stmt> {
         match self.peek() {
             Some(Token::Semi) => {
                 self.pos += 1;
@@ -408,7 +444,10 @@ impl Parser {
         let else_branch = if self.at_keyword("else") {
             self.pos += 1;
             if self.at_keyword("if") {
-                vec![self.if_statement()?]
+                // Recurse through `statement` so the chain counts against
+                // the nesting guard: a long `else if` cascade recurses
+                // once per arm and must not bypass MAX_NEST_DEPTH.
+                vec![self.statement()?]
             } else {
                 self.stmt_or_block()?
             }
@@ -634,7 +673,10 @@ impl Parser {
     }
 
     fn expression(&mut self) -> Result<Expr> {
-        self.or_expr()
+        self.enter_nested()?;
+        let result = self.or_expr();
+        self.depth -= 1;
+        result
     }
 
     fn or_expr(&mut self) -> Result<Expr> {
@@ -721,17 +763,23 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr> {
-        match self.peek() {
+        // Guarded: `!!!…!x` recurses here without passing `expression`.
+        self.enter_nested()?;
+        let result = match self.peek() {
             Some(Token::Minus) => {
                 self.pos += 1;
-                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+                self.unary_expr()
+                    .map(|e| Expr::Unary(UnOp::Neg, Box::new(e)))
             }
             Some(Token::Bang) => {
                 self.pos += 1;
-                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+                self.unary_expr()
+                    .map(|e| Expr::Unary(UnOp::Not, Box::new(e)))
             }
             _ => self.primary_expr(),
-        }
+        };
+        self.depth -= 1;
+        result
     }
 
     fn primary_expr(&mut self) -> Result<Expr> {

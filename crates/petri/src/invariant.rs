@@ -164,14 +164,277 @@ fn normalize(row: &mut [i64]) {
     }
 }
 
+/// One working row of the Farkas elimination, stored sparsely as sorted
+/// `(column, value)` pairs with zero values elided. Columns `0..np` carry
+/// the residual `C·x` restricted to the row's combination, columns
+/// `np..np+nt` the accumulated firing counts.
+///
+/// FlowC-derived nets have incidence columns with 2–4 non-zeros, so a
+/// sparse row is an order of magnitude smaller than its dense `np + nt`
+/// counterpart — and every elimination step (lookup, combine, dedup)
+/// scales with the non-zero count instead of the net size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SparseRow {
+    entries: Vec<(u32, i64)>,
+}
+
+impl SparseRow {
+    /// The value in column `col` (0 if elided).
+    fn get(&self, col: u32) -> i64 {
+        match self.entries.binary_search_by_key(&col, |&(c, _)| c) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// `fa·self + fb·other`, merged in one pass over both sorted entry
+    /// lists; resulting zeros are elided.
+    fn combine(&self, fa: i64, other: &SparseRow, fb: i64) -> SparseRow {
+        let mut entries = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() || j < other.entries.len() {
+            let (col, v) = match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&(ca, va)), Some(&(cb, vb))) => {
+                    if ca < cb {
+                        i += 1;
+                        (ca, fa * va)
+                    } else if cb < ca {
+                        j += 1;
+                        (cb, fb * vb)
+                    } else {
+                        i += 1;
+                        j += 1;
+                        (ca, fa * va + fb * vb)
+                    }
+                }
+                (Some(&(ca, va)), None) => {
+                    i += 1;
+                    (ca, fa * va)
+                }
+                (None, Some(&(cb, vb))) => {
+                    j += 1;
+                    (cb, fb * vb)
+                }
+                (None, None) => unreachable!(),
+            };
+            if v != 0 {
+                entries.push((col, v));
+            }
+        }
+        SparseRow { entries }
+    }
+
+    /// Divides every value by the gcd of their absolute values.
+    fn normalize(&mut self) {
+        let g = self
+            .entries
+            .iter()
+            .map(|&(_, v)| v.unsigned_abs())
+            .fold(0u64, gcd);
+        if g > 1 {
+            for (_, v) in self.entries.iter_mut() {
+                *v /= g as i64;
+            }
+        }
+    }
+
+    /// An order-dependent 64-bit fingerprint of the entries. Used to
+    /// bucket rows for deduplication; candidates sharing a fingerprint
+    /// are compared exactly, so a collision can only cost time.
+    fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &(c, v) in &self.entries {
+            h ^= (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            h ^= v as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Deduplicating accumulator of the next elimination round: rows bucketed
+/// by fingerprint, exact-compared on fingerprint hits. Replaces the
+/// former `HashSet<Vec<i64>>` of full dense rows, which hashed and stored
+/// every row twice (once in the set, once in the row list).
+#[derive(Default)]
+struct RowSet {
+    rows: Vec<SparseRow>,
+    by_fingerprint: crate::fx::FxHashMap<u64, Vec<u32>>,
+}
+
+impl RowSet {
+    /// Appends `row` unless an equal row is already present.
+    fn insert(&mut self, row: SparseRow) {
+        let bucket = self.by_fingerprint.entry(row.fingerprint()).or_default();
+        if bucket.iter().any(|&i| self.rows[i as usize] == row) {
+            return;
+        }
+        bucket.push(self.rows.len() as u32);
+        self.rows.push(row);
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
 /// Computes a non-negative basis of T-invariants (minimal-support
-/// semiflows) of `net` using Farkas elimination.
+/// semiflows) of `net` using Farkas elimination over sparse rows.
 ///
 /// The result may be empty, which the scheduler interprets as "no cyclic
 /// schedule can exist". The number of intermediate rows is capped at
 /// `row_cap` to guard against the (exponential) worst case; nets produced
 /// from FlowC specifications stay far below the cap.
+///
+/// The elimination pivots, combination order and dedup-by-content are
+/// identical to the retained dense implementation
+/// ([`t_invariant_basis_dense`]), so both produce the same basis in the
+/// same order; the property suite asserts this on random nets.
 pub fn t_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
+    let np = net.num_places();
+    let nt = net.num_transitions();
+
+    // One sparse row per transition: the incidence column plus a unit
+    // firing-count entry.
+    let mut rows: Vec<SparseRow> = Vec::with_capacity(nt);
+    for t in net.transition_ids() {
+        let mut delta: std::collections::BTreeMap<u32, i64> = std::collections::BTreeMap::new();
+        for (p, w) in net.preset(t) {
+            *delta.entry(p.index() as u32).or_insert(0) -= *w as i64;
+        }
+        for (p, w) in net.postset(t) {
+            *delta.entry(p.index() as u32).or_insert(0) += *w as i64;
+        }
+        let mut entries: Vec<(u32, i64)> = delta.into_iter().filter(|&(_, v)| v != 0).collect();
+        entries.push(((np + t.index()) as u32, 1));
+        rows.push(SparseRow { entries });
+    }
+
+    // Eliminate places one at a time, always picking the place that
+    // produces the fewest new combinations (a standard heuristic that
+    // keeps the intermediate row count small). The per-place sign counts
+    // are gathered in one pass over the rows' non-zeros instead of one
+    // full row scan per candidate place.
+    let mut remaining: Vec<usize> = (0..np).collect();
+    let mut pos = vec![0usize; np];
+    let mut neg = vec![0usize; np];
+    while !remaining.is_empty() {
+        pos.iter_mut().for_each(|c| *c = 0);
+        neg.iter_mut().for_each(|c| *c = 0);
+        for row in &rows {
+            for &(c, v) in &row.entries {
+                let c = c as usize;
+                if c >= np {
+                    break;
+                }
+                if v > 0 {
+                    pos[c] += 1;
+                } else {
+                    neg[c] += 1;
+                }
+            }
+        }
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i, pos[p] * neg[p] + pos[p] + neg[p]))
+            .min_by_key(|(_, cost)| *cost)
+            .expect("remaining is non-empty");
+        let p = remaining.swap_remove(best_idx) as u32;
+
+        let mut next = RowSet::default();
+        let (zeros, nonzeros): (Vec<_>, Vec<_>) = rows.into_iter().partition(|r| r.get(p) == 0);
+        for row in zeros {
+            next.insert(row);
+        }
+        // Capture the pivot value once per row: the pair loop below visits
+        // every (positive, negative) combination and must not re-run the
+        // binary search per pair.
+        let positives: Vec<(&SparseRow, i64)> = nonzeros
+            .iter()
+            .filter_map(|r| match r.get(p) {
+                v if v > 0 => Some((r, v)),
+                _ => None,
+            })
+            .collect();
+        let negatives: Vec<(&SparseRow, i64)> = nonzeros
+            .iter()
+            .filter_map(|r| match r.get(p) {
+                v if v < 0 => Some((r, v)),
+                _ => None,
+            })
+            .collect();
+        for &(rp, a) in &positives {
+            for &(rn, nb) in &negatives {
+                let b = -nb;
+                let l = (a / gcd(a as u64, b as u64) as i64) * b;
+                let mut combined = rp.combine(l / a, rn, l / b);
+                combined.normalize();
+                next.insert(combined);
+                if next.len() > row_cap {
+                    // Bail out conservatively: return what is already a
+                    // valid set of invariants among the finished rows.
+                    return collect_invariants(&next.rows, np, nt, net);
+                }
+            }
+        }
+        rows = next.rows;
+    }
+    collect_invariants(&rows, np, nt, net)
+}
+
+fn collect_invariants(rows: &[SparseRow], np: usize, nt: usize, net: &PetriNet) -> Vec<TInvariant> {
+    let mut result: Vec<TInvariant> = Vec::new();
+    for row in rows {
+        // Only rows whose residual place part vanished are invariants.
+        if row.entries.iter().any(|&(c, _)| (c as usize) < np) {
+            continue;
+        }
+        if row.entries.is_empty() {
+            continue;
+        }
+        if row.entries.iter().any(|&(_, v)| v < 0) {
+            continue;
+        }
+        let mut counts = vec![0u64; nt];
+        for &(c, v) in &row.entries {
+            counts[c as usize - np] = v as u64;
+        }
+        let inv = TInvariant::from_counts(counts);
+        if inv.is_valid_for(net) && !result.contains(&inv) {
+            result.push(inv);
+        }
+    }
+    minimal_support(result)
+}
+
+/// Keeps only minimal-support invariants to obtain a clean basis.
+fn minimal_support(result: Vec<TInvariant>) -> Vec<TInvariant> {
+    let mut minimal: Vec<TInvariant> = Vec::new();
+    for (i, inv) in result.iter().enumerate() {
+        let sup: Vec<bool> = inv.as_slice().iter().map(|&c| c > 0).collect();
+        let dominated = result.iter().enumerate().any(|(j, other)| {
+            if i == j {
+                return false;
+            }
+            let osup: Vec<bool> = other.as_slice().iter().map(|&c| c > 0).collect();
+            // `other` has strictly smaller support contained in `inv`'s.
+            osup.iter().zip(&sup).all(|(o, s)| !o || *s)
+                && osup.iter().zip(&sup).any(|(o, s)| !o && *s)
+        });
+        if !dominated {
+            minimal.push(inv.clone());
+        }
+    }
+    minimal
+}
+
+/// The original dense-row Farkas elimination, retained verbatim as the
+/// differential-testing oracle for [`t_invariant_basis`] (and as the
+/// baseline the benchmark suite measures the sparse rework against). Do
+/// not use it in production paths.
+pub fn t_invariant_basis_dense(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
     let np = net.num_places();
     let nt = net.num_transitions();
     let c = incidence_matrix(net);
@@ -189,10 +452,6 @@ pub fn t_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
         rows.push(row);
     }
 
-    // Eliminate places one at a time, always picking the place that
-    // produces the fewest new combinations (a standard heuristic that keeps
-    // the intermediate row count small). Rows are deduplicated with a hash
-    // set to avoid quadratic scans.
     let mut remaining: Vec<usize> = (0..np).collect();
     while !remaining.is_empty() {
         let (best_idx, _) = remaining
@@ -234,18 +493,21 @@ pub fn t_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
                     next.push(combined);
                 }
                 if next.len() > row_cap {
-                    // Bail out conservatively: return what is already a
-                    // valid set of invariants among the finished rows.
-                    return collect_invariants(&next, np, nt, net);
+                    return collect_invariants_dense(&next, np, nt, net);
                 }
             }
         }
         rows = next;
     }
-    collect_invariants(&rows, np, nt, net)
+    collect_invariants_dense(&rows, np, nt, net)
 }
 
-fn collect_invariants(rows: &[Vec<i64>], np: usize, nt: usize, net: &PetriNet) -> Vec<TInvariant> {
+fn collect_invariants_dense(
+    rows: &[Vec<i64>],
+    np: usize,
+    nt: usize,
+    net: &PetriNet,
+) -> Vec<TInvariant> {
     let mut result: Vec<TInvariant> = Vec::new();
     for row in rows {
         if row[..np].iter().any(|&v| v != 0) {
@@ -263,24 +525,7 @@ fn collect_invariants(rows: &[Vec<i64>], np: usize, nt: usize, net: &PetriNet) -
             result.push(inv);
         }
     }
-    // Keep only minimal-support invariants to obtain a clean basis.
-    let mut minimal: Vec<TInvariant> = Vec::new();
-    for (i, inv) in result.iter().enumerate() {
-        let sup: Vec<bool> = inv.as_slice().iter().map(|&c| c > 0).collect();
-        let dominated = result.iter().enumerate().any(|(j, other)| {
-            if i == j {
-                return false;
-            }
-            let osup: Vec<bool> = other.as_slice().iter().map(|&c| c > 0).collect();
-            // `other` has strictly smaller support contained in `inv`'s.
-            osup.iter().zip(&sup).all(|(o, s)| !o || *s)
-                && osup.iter().zip(&sup).any(|(o, s)| !o && *s)
-        });
-        if !dominated {
-            minimal.push(inv.clone());
-        }
-    }
-    minimal
+    minimal_support(result)
 }
 
 #[cfg(test)]

@@ -40,13 +40,17 @@ pub mod invariant;
 pub mod marking;
 pub mod net;
 pub mod reach;
+pub mod store;
 
 pub use analysis::{place_degree, NetAnalysis};
 pub use ecs::{ChoiceClass, EcsId, EcsInfo};
 pub use error::{NetError, Result};
 pub use fx::{FxHashMap, FxHashSet};
 pub use ids::{PlaceId, TransitionId};
-pub use invariant::{incidence_matrix, t_invariant_basis, IncidenceMatrix, TInvariant};
+pub use invariant::{
+    incidence_matrix, t_invariant_basis, t_invariant_basis_dense, IncidenceMatrix, TInvariant,
+};
 pub use marking::{place_count_hash, Marking};
 pub use net::{NetBuilder, PetriNet, Place, PlaceKind, Transition, TransitionKind};
 pub use reach::{ReachabilityGraph, ReachabilityLimits};
+pub use store::{MarkingId, MarkingStore};

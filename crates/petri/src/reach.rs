@@ -8,10 +8,10 @@
 //! for tests.
 
 use crate::error::{NetError, Result};
-use crate::fx::FxHashMap;
 use crate::ids::TransitionId;
 use crate::marking::Marking;
 use crate::net::PetriNet;
+use crate::store::{MarkingId, MarkingStore};
 use std::collections::VecDeque;
 
 /// Limits applied to a reachability exploration.
@@ -34,12 +34,16 @@ impl Default for ReachabilityLimits {
 }
 
 /// An explicit (bounded) reachability graph.
+///
+/// Node indices coincide with [`MarkingId`] indices: the graph is backed
+/// by a [`MarkingStore`] whose interning order *is* the BFS visit order,
+/// so the store doubles as both the marking slab and the dedup index —
+/// membership queries are hash probes and distinct markings are stored
+/// exactly once.
 #[derive(Debug, Clone)]
 pub struct ReachabilityGraph {
-    markings: Vec<Marking>,
-    /// Marking → node index, kept from the exploration so membership
-    /// queries are hash probes instead of linear scans.
-    index: FxHashMap<Marking, usize>,
+    /// Visited markings, hash-consed; `MarkingId(i)` is node `i`.
+    store: MarkingStore,
     /// Edges as `(from-node, transition, to-node)` triples.
     edges: Vec<(usize, TransitionId, usize)>,
     /// Whether the exploration was truncated by the limits.
@@ -62,16 +66,15 @@ impl ReachabilityGraph {
                 )));
             }
         }
-        let mut index: FxHashMap<Marking, usize> = FxHashMap::default();
-        let mut markings = vec![m0.clone()];
-        index.insert(m0, 0);
+        let mut store = MarkingStore::new();
+        store.intern_owned(m0);
         let mut edges = Vec::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
         queue.push_back(0);
         let mut truncated = false;
 
         while let Some(node) = queue.pop_front() {
-            let current = markings[node].clone();
+            let current = store.resolve(MarkingId(node as u32)).clone();
             if let Some(cap) = limits.max_tokens_per_place {
                 if current.as_slice().iter().any(|&c| c > cap) {
                     truncated = true;
@@ -83,16 +86,14 @@ impl ReachabilityGraph {
                     continue;
                 }
                 let next = net.fire_unchecked(t, &current);
-                let next_node = match index.get(&next) {
-                    Some(&i) => i,
+                let next_node = match store.lookup(&next) {
+                    Some(id) => id.index(),
                     None => {
-                        if markings.len() >= limits.max_markings {
+                        if store.len() >= limits.max_markings {
                             truncated = true;
                             continue;
                         }
-                        let i = markings.len();
-                        markings.push(next.clone());
-                        index.insert(next, i);
+                        let i = store.intern_owned(next).index();
                         queue.push_back(i);
                         i
                     }
@@ -101,21 +102,35 @@ impl ReachabilityGraph {
             }
         }
         Ok(ReachabilityGraph {
-            markings,
-            index,
+            store,
             edges,
             truncated,
         })
     }
 
-    /// The distinct markings visited, index 0 being the initial marking.
-    pub fn markings(&self) -> &[Marking] {
-        &self.markings
+    /// The distinct markings visited, in visit order (the first is the
+    /// initial marking).
+    pub fn markings(&self) -> impl Iterator<Item = &Marking> {
+        self.store.markings()
+    }
+
+    /// The marking of node `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn marking(&self, node: usize) -> &Marking {
+        self.store.resolve(MarkingId(node as u32))
+    }
+
+    /// The hash-consed marking arena backing the graph. `MarkingId(i)`
+    /// is node `i`.
+    pub fn store(&self) -> &MarkingStore {
+        &self.store
     }
 
     /// Number of distinct markings visited.
     pub fn num_markings(&self) -> usize {
-        self.markings.len()
+        self.store.len()
     }
 
     /// The explored edges as `(from, transition, to)` node-index triples.
@@ -129,25 +144,22 @@ impl ReachabilityGraph {
     }
 
     /// Returns `true` if `m` was visited during the exploration
-    /// (an `O(1)` probe of the marking index).
+    /// (an `O(1)` probe of the marking store).
     pub fn contains(&self, m: &Marking) -> bool {
-        self.index.contains_key(m)
+        self.store.lookup(m).is_some()
     }
 
     /// Returns the node index of `m`, if it was visited.
     pub fn node_of(&self, m: &Marking) -> Option<usize> {
-        self.index.get(m).copied()
+        self.store.lookup(m).map(MarkingId::index)
     }
 
     /// Returns the maximum token count observed in each place over all
     /// visited markings.
     pub fn place_peaks(&self) -> Vec<u32> {
-        if self.markings.is_empty() {
-            return Vec::new();
-        }
-        let n = self.markings[0].len();
-        let mut peaks = vec![0u32; n];
-        for m in &self.markings {
+        let mut peaks: Vec<u32> = Vec::new();
+        for m in self.store.markings() {
+            peaks.resize(m.len().max(peaks.len()), 0);
             for (i, &c) in m.as_slice().iter().enumerate() {
                 peaks[i] = peaks[i].max(c);
             }

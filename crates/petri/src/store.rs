@@ -1,0 +1,267 @@
+//! Hash-consed marking storage.
+//!
+//! A [`MarkingStore`] is an append-only arena that *interns* markings:
+//! every distinct token vector is stored exactly once and identified by a
+//! compact [`MarkingId`] handle. Equality of interned markings is equality
+//! of the handles — an integer comparison — and hashing a handle hashes
+//! four bytes instead of a whole token vector. The reachability explorer,
+//! the EP schedule search and schedule graphs all store `MarkingId`s and
+//! resolve them against one store, so a marking visited a thousand times
+//! costs one slab slot.
+//!
+//! Markings are deduplicated through the same incremental
+//! [`Marking::path_hash`] the schedule search maintains, so callers that
+//! already track the hash of a mutating scratch marking can look it up
+//! without rehashing ([`MarkingStore::lookup_hashed`]). Hash collisions
+//! are handled by exact comparison against the slab: two different
+//! markings can never receive the same id.
+
+use crate::fx::FxHashMap;
+use crate::ids::TransitionId;
+use crate::marking::Marking;
+use crate::net::PetriNet;
+use serde::{Deserialize, Serialize};
+
+/// Compact handle of a marking interned in a [`MarkingStore`].
+///
+/// Ids are dense (`0..store.len()`) in interning order. A handle is only
+/// meaningful together with the store that produced it; the caller is
+/// responsible for not mixing handles across stores (the same discipline
+/// [`Marking`] demands for nets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MarkingId(pub u32);
+
+impl MarkingId {
+    /// Raw slab index of the marking.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interning arena for [`Marking`]s.
+///
+/// ```
+/// use qss_petri::{Marking, MarkingStore};
+/// let mut store = MarkingStore::new();
+/// let a = store.intern(&Marking::from_counts([1, 0]));
+/// let b = store.intern(&Marking::from_counts([1, 0]));
+/// let c = store.intern(&Marking::from_counts([0, 1]));
+/// assert_eq!(a, b); // equal markings share one id (and one slab slot)
+/// assert_ne!(a, c);
+/// assert_eq!(store.resolve(a).as_slice(), &[1, 0]);
+/// assert_eq!(store.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MarkingStore {
+    /// The slab: every distinct marking, in interning order.
+    markings: Vec<Marking>,
+    /// `path_hash` → most recently interned id with that hash. Further
+    /// ids sharing the hash are chained through `same_hash`, so an intern
+    /// costs one map operation and no per-bucket allocation.
+    index: FxHashMap<u64, MarkingId>,
+    /// Per id: the previously interned id with the same hash (intrusive
+    /// collision chain; `u32::MAX` terminates).
+    same_hash: Vec<u32>,
+}
+
+/// Terminator of the `same_hash` collision chains.
+const NO_ID: u32 = u32::MAX;
+
+impl MarkingStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MarkingStore::default()
+    }
+
+    /// Number of distinct markings interned.
+    pub fn len(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.markings.is_empty()
+    }
+
+    /// Interns `m`, returning the id of the (unique) slab entry equal to
+    /// it. The marking is cloned only when it was not present yet.
+    pub fn intern(&mut self, m: &Marking) -> MarkingId {
+        self.intern_hashed(m.path_hash(), m)
+    }
+
+    /// Interns an owned marking, avoiding the clone on first occurrence.
+    pub fn intern_owned(&mut self, m: Marking) -> MarkingId {
+        let hash = m.path_hash();
+        if let Some(id) = self.lookup_hashed(hash, &m) {
+            return id;
+        }
+        self.push_new(hash, m)
+    }
+
+    /// Like [`MarkingStore::intern`] for callers that already know
+    /// `m.path_hash()` (e.g. the search's incrementally maintained hash).
+    ///
+    /// The hash is trusted; passing a wrong hash breaks the dedup
+    /// invariant, so debug builds verify it.
+    pub fn intern_hashed(&mut self, hash: u64, m: &Marking) -> MarkingId {
+        debug_assert_eq!(hash, m.path_hash(), "caller-supplied hash is stale");
+        if let Some(id) = self.lookup_hashed(hash, m) {
+            return id;
+        }
+        self.push_new(hash, m.clone())
+    }
+
+    /// Appends a marking known to be absent, linking it into the
+    /// collision chain of `hash`.
+    fn push_new(&mut self, hash: u64, m: Marking) -> MarkingId {
+        let id = MarkingId(self.markings.len() as u32);
+        let prev = self.index.insert(hash, id).map(|p| p.0).unwrap_or(NO_ID);
+        self.same_hash.push(prev);
+        self.markings.push(m);
+        id
+    }
+
+    /// The id of the slab entry equal to `m`, if `m` was ever interned.
+    /// Never inserts.
+    pub fn lookup(&self, m: &Marking) -> Option<MarkingId> {
+        self.lookup_hashed(m.path_hash(), m)
+    }
+
+    /// Like [`MarkingStore::lookup`] with a caller-supplied
+    /// [`Marking::path_hash`].
+    pub fn lookup_hashed(&self, hash: u64, m: &Marking) -> Option<MarkingId> {
+        debug_assert_eq!(hash, m.path_hash(), "caller-supplied hash is stale");
+        let mut cursor = self.index.get(&hash).map(|id| id.0).unwrap_or(NO_ID);
+        while cursor != NO_ID {
+            if &self.markings[cursor as usize] == m {
+                return Some(MarkingId(cursor));
+            }
+            cursor = self.same_hash[cursor as usize];
+        }
+        None
+    }
+
+    /// The marking behind `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this store.
+    pub fn resolve(&self, id: MarkingId) -> &Marking {
+        &self.markings[id.index()]
+    }
+
+    /// Iterator over the interned markings, in id order.
+    pub fn markings(&self) -> impl Iterator<Item = &Marking> {
+        self.markings.iter()
+    }
+
+    /// Iterator over `(id, marking)` pairs, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (MarkingId, &Marking)> {
+        self.markings
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (MarkingId(i as u32), m))
+    }
+
+    /// Fires `t` on the marking behind `from` and interns the successor,
+    /// applying the net-delta list (see [`PetriNet::fire_into`], whose
+    /// self-loop caveat applies: `t` must be enabled at `from`).
+    ///
+    /// # Panics
+    /// Panics if a delta underflows a token count.
+    pub fn fire(&mut self, net: &PetriNet, t: TransitionId, from: MarkingId) -> MarkingId {
+        let mut next = self.markings[from.index()].clone();
+        net.fire_into(t, &mut next);
+        self.intern_owned(next)
+    }
+
+    /// Reverts a firing of `t`: interns the predecessor marking obtained
+    /// by un-applying `t`'s net delta to the marking behind `from`.
+    ///
+    /// # Panics
+    /// Panics if a delta underflows a token count.
+    pub fn unfire(&mut self, net: &PetriNet, t: TransitionId, from: MarkingId) -> MarkingId {
+        let mut prev = self.markings[from.index()].clone();
+        net.unfire_into(t, &mut prev);
+        self.intern_owned(prev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, TransitionKind};
+
+    #[test]
+    fn intern_dedups_and_resolves() {
+        let mut store = MarkingStore::new();
+        let a = store.intern(&Marking::from_counts([2, 0, 1]));
+        let b = store.intern(&Marking::from_counts([2, 0, 1]));
+        let c = store.intern(&Marking::from_counts([2, 1, 0]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.resolve(a).as_slice(), &[2, 0, 1]);
+        assert_eq!(store.resolve(c).as_slice(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn ids_are_dense_in_interning_order() {
+        let mut store = MarkingStore::new();
+        for i in 0..5u32 {
+            let id = store.intern(&Marking::from_counts([i]));
+            assert_eq!(id.index(), i as usize);
+        }
+        let pairs: Vec<_> = store
+            .iter()
+            .map(|(id, m)| (id.0, m.tokens(crate::ids::PlaceId::new(0))))
+            .collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+    }
+
+    #[test]
+    fn lookup_never_inserts() {
+        let mut store = MarkingStore::new();
+        let m = Marking::from_counts([1, 2]);
+        assert_eq!(store.lookup(&m), None);
+        assert!(store.is_empty());
+        let id = store.intern_owned(m.clone());
+        assert_eq!(store.lookup(&m), Some(id));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn fire_and_unfire_round_trip_through_the_store() {
+        let mut b = NetBuilder::new("t");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        let t = b.transition("t", TransitionKind::Internal);
+        b.arc_p2t(p, t, 1);
+        b.arc_t2p(t, q, 1);
+        let net = b.build().unwrap();
+        let t = net.transition_by_name("t").unwrap();
+        let mut store = MarkingStore::new();
+        let m0 = store.intern(&net.initial_marking());
+        let m1 = store.fire(&net, t, m0);
+        assert_eq!(store.resolve(m1).as_slice(), &[0, 1]);
+        // Un-firing reproduces the *same id* as the initial marking.
+        assert_eq!(store.unfire(&net, t, m1), m0);
+        // Re-firing dedups onto the existing successor.
+        assert_eq!(store.fire(&net, t, m0), m1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn markings_with_colliding_buckets_stay_distinct() {
+        // Exercise the bucket scan: intern many markings; every distinct
+        // one must resolve back exactly.
+        let mut store = MarkingStore::new();
+        let ids: Vec<MarkingId> = (0..64u32)
+            .map(|i| store.intern(&Marking::from_counts([i % 8, i / 8])))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            let i = i as u32;
+            assert_eq!(store.resolve(*id).as_slice(), &[i % 8, i / 8]);
+        }
+        assert_eq!(store.len(), 64);
+    }
+}

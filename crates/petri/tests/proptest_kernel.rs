@@ -1,11 +1,13 @@
 //! Property-based tests of the Petri-net kernel: firing, markings, ECS
-//! partitions, place degrees, bounded reachability and T-invariants on
-//! randomly generated nets.
+//! partitions, place degrees, bounded reachability, T-invariants (the
+//! sparse Farkas elimination against its retained dense oracle) and the
+//! hash-consing marking store, on randomly generated nets.
 
 use proptest::prelude::*;
 use qss_petri::{
-    incidence_matrix, place_degree, t_invariant_basis, EcsInfo, Marking, NetBuilder, PetriNet,
-    PlaceId, ReachabilityGraph, ReachabilityLimits, TransitionKind,
+    incidence_matrix, place_degree, t_invariant_basis, t_invariant_basis_dense, EcsInfo, Marking,
+    MarkingStore, NetBuilder, PetriNet, PlaceId, ReachabilityGraph, ReachabilityLimits,
+    TransitionKind,
 };
 
 /// A random connected net description: `places[p]` is the initial token
@@ -162,6 +164,81 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The sparse-row Farkas elimination produces exactly the basis of
+    /// the retained dense implementation — same invariants, same order.
+    #[test]
+    fn sparse_farkas_matches_dense_oracle(desc in random_net_strategy(), row_cap in 4usize..64) {
+        let net = build(&desc);
+        prop_assert_eq!(
+            t_invariant_basis(&net, 5_000),
+            t_invariant_basis_dense(&net, 5_000)
+        );
+        // Including under aggressive row caps, where both bail out early.
+        prop_assert_eq!(
+            t_invariant_basis(&net, row_cap),
+            t_invariant_basis_dense(&net, row_cap)
+        );
+    }
+
+    /// Intern/resolve round-trips, and interning is a bijection between
+    /// distinct markings and ids (the dedup invariant).
+    #[test]
+    fn marking_store_interning_is_a_bijection(
+        rows in prop::collection::vec(prop::collection::vec(0u32..4, 3), 1..24)
+    ) {
+        let mut store = MarkingStore::new();
+        let markings: Vec<Marking> = rows.iter().cloned().map(Marking::from_counts).collect();
+        let ids: Vec<_> = markings.iter().map(|m| store.intern(m)).collect();
+        for (m, &id) in markings.iter().zip(&ids) {
+            // Round-trip: the id resolves back to an equal marking...
+            prop_assert_eq!(store.resolve(id), m);
+            // ...and lookup finds the same id without inserting.
+            prop_assert_eq!(store.lookup(m), Some(id));
+        }
+        for (i, a) in markings.iter().enumerate() {
+            for (j, b) in markings.iter().enumerate() {
+                // Dedup invariant: equal markings ⇔ equal ids.
+                prop_assert_eq!(a == b, ids[i] == ids[j]);
+            }
+        }
+        let distinct = {
+            let mut sorted = markings.clone();
+            sorted.sort();
+            sorted.dedup();
+            sorted.len()
+        };
+        prop_assert_eq!(store.len(), distinct);
+    }
+
+    /// Walking a net through `MarkingStore::fire`/`unfire` (delta
+    /// application on resolved markings) always lands on the same ids as
+    /// freshly interning independently computed successor markings.
+    #[test]
+    fn marking_store_fire_matches_fresh_interning(desc in random_net_strategy(), steps in 1usize..24) {
+        let net = build(&desc);
+        let mut store = MarkingStore::new();
+        let mut id = store.intern(&net.initial_marking());
+        let mut marking = net.initial_marking();
+        let mut trail = Vec::new();
+        for _ in 0..steps {
+            let enabled = net.enabled_transitions(&marking);
+            let Some(&t) = enabled.first() else { break };
+            id = store.fire(&net, t, id);
+            marking = net.fire(t, &marking).unwrap();
+            // Delta application and fresh interning agree on the id.
+            prop_assert_eq!(id, store.intern(&marking));
+            prop_assert_eq!(store.resolve(id), &marking);
+            trail.push(t);
+        }
+        // Unwinding through unfire retraces the same interned ids.
+        for &t in trail.iter().rev() {
+            id = store.unfire(&net, t, id);
+            net.unfire_into(t, &mut marking);
+            prop_assert_eq!(store.lookup(&marking), Some(id));
+        }
+        prop_assert_eq!(store.resolve(id), &net.initial_marking());
     }
 
     /// Marking display/round-trip helpers are consistent.

@@ -7,7 +7,22 @@
 //!
 //! Values are generated from a deterministic xorshift generator seeded
 //! from the test's module path and name, so failures are reproducible run
-//! to run. There is no shrinking: the failing case is reported verbatim.
+//! to run.
+//!
+//! # Shrinking
+//!
+//! When a case fails, the runner greedily *shrinks* it: every strategy
+//! can propose simplifications of a failing value
+//! ([`Strategy::shrink`]), the runner keeps any candidate that still
+//! fails and repeats until no candidate fails (or the attempt budget runs
+//! out), then reports the minimized inputs. Ranges shrink towards their
+//! start, collections drop and shrink elements, tuples shrink one
+//! component at a time. `prop_map`/`prop_flat_map` outputs do not shrink
+//! (the mapping cannot be inverted); strategies that need domain-aware
+//! shrinking — like the workspace's random-net generator — implement
+//! [`Strategy`] directly and override `shrink`. Because generation is
+//! seeded deterministically, the same failure shrinks the same way on
+//! every run.
 
 use std::fmt;
 
@@ -89,6 +104,15 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of `value`, most aggressive first.
+    ///
+    /// Called by the runner on failing values only; every candidate must
+    /// itself be a value this strategy could describe. The default is no
+    /// shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -148,6 +172,19 @@ macro_rules! impl_range_strategy {
                 let offset = (rng.next_u64() as u128 % span) as i128;
                 (self.start as i128 + offset) as $t
             }
+
+            /// Shrinks towards the range start: the minimum first, then
+            /// the halfway point, then one step down.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (v, lo) = (*value as i128, self.start as i128);
+                let mut out = Vec::new();
+                for cand in [lo, lo + (v - lo) / 2, v - 1] {
+                    if cand >= lo && cand < v && !out.contains(&(cand as $t)) {
+                        out.push(cand as $t);
+                    }
+                }
+                out
+            }
         }
     )+};
 }
@@ -156,11 +193,27 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($($s:ident . $idx:tt),+) => {
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            /// Shrinks one component at a time, keeping the others fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
@@ -219,7 +272,10 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
@@ -227,12 +283,109 @@ pub mod collection {
             let len = self.size.min + (rng.next_u64() % span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
+
+        /// Shrinks by truncating to the minimum length, dropping single
+        /// elements (respecting the minimum), and shrinking each element
+        /// in place.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let min = self.size.min;
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                for i in 0..value.len() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    if shorter.len() >= min {
+                        out.push(shorter);
+                    }
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                for cand in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
 /// Namespace alias matching `proptest::prelude::prop`.
 pub mod prop {
     pub use crate::collection;
+}
+
+/// Upper bound on shrink candidates tried per failing case; generation is
+/// deterministic, so hitting the budget still reports a reproducible
+/// (just less minimal) counterexample.
+const MAX_SHRINK_ATTEMPTS: usize = 1024;
+
+/// Drives one property: generates `config.cases` values from `strategy`,
+/// runs `check` on each, and on failure greedily shrinks the value before
+/// panicking with the minimized counterexample. The `proptest!` macro
+/// expands to a call of this function; `describe` renders a value with
+/// the argument names of the property.
+pub fn run_property<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: S,
+    describe: impl Fn(&S::Value) -> String,
+    check: impl Fn(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: Clone,
+{
+    let mut rng = TestRng::new(name);
+    for case in 0..config.cases {
+        let value = strategy.generate(&mut rng);
+        let Err(error) = check(&value) else {
+            continue;
+        };
+        let (minimized, min_error, attempts) = shrink_failure(&strategy, &check, value, error);
+        panic!(
+            "proptest {} failed at case {} of {}: {}\n  inputs ({}): {}",
+            name,
+            case,
+            config.cases,
+            min_error,
+            if attempts == 0 {
+                "not shrinkable".to_string()
+            } else {
+                format!("minimized, {attempts} shrink attempt(s)")
+            },
+            describe(&minimized),
+        );
+    }
+}
+
+/// Greedy shrinking: repeatedly adopt the first candidate simplification
+/// that still fails, until none fails or the attempt budget is spent.
+/// Returns the most-shrunk failing value, its error, and the number of
+/// candidates tried. Exposed so harnesses outside the `proptest!` macro
+/// (and the shim's own tests) can reuse the loop.
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    check: &impl Fn(&S::Value) -> Result<(), TestCaseError>,
+    mut value: S::Value,
+    mut error: TestCaseError,
+) -> (S::Value, TestCaseError, usize) {
+    let mut attempts = 0;
+    'progress: loop {
+        for candidate in strategy.shrink(&value) {
+            if attempts >= MAX_SHRINK_ATTEMPTS {
+                break 'progress;
+            }
+            attempts += 1;
+            if let Err(e) = check(&candidate) {
+                value = candidate;
+                error = e;
+                continue 'progress;
+            }
+        }
+        break;
+    }
+    (value, error, attempts)
 }
 
 /// The common imports, matching `proptest::prelude`.
@@ -306,27 +459,22 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            let mut rng = $crate::TestRng::new(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
-                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
-                let description = [
-                    $(format!("{} = {:?}", stringify!($arg), &$arg)),+
-                ].join(", ");
-                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+            // The arguments are driven as one tuple strategy so the
+            // runner can generate *and shrink* them together.
+            $crate::run_property(
+                &config,
+                concat!(module_path!(), "::", stringify!($name)),
+                ($($strategy,)+),
+                |__vals| {
+                    let ($($arg,)+) = __vals;
+                    [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ")
+                },
+                |__vals| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(__vals);
                     $body
                     ::std::result::Result::Ok(())
-                })();
-                if let ::std::result::Result::Err(err) = outcome {
-                    panic!(
-                        "proptest {} failed at case {} of {}: {}\n  inputs: {}",
-                        stringify!($name),
-                        case,
-                        config.cases,
-                        err,
-                        description
-                    );
-                }
-            }
+                },
+            );
         }
         $crate::__proptest_items! { ($config) $($rest)* }
     };
@@ -372,5 +520,64 @@ mod tests {
         }).prop_map(|xs| xs.len()), _unused in 0u32..2) {
             prop_assert!((1..4).contains(&v));
         }
+    }
+
+    #[test]
+    fn ranges_shrink_towards_start() {
+        let candidates = Strategy::shrink(&(3u32..17), &9);
+        assert!(candidates.contains(&3), "the minimum comes first");
+        assert!(candidates.iter().all(|&c| (3..9).contains(&c)));
+        assert!(Strategy::shrink(&(3u32..17), &3).is_empty());
+    }
+
+    #[test]
+    fn shrinking_minimizes_a_failing_vector() {
+        // Property "every element < 5": greedy shrinking must reduce any
+        // failing vector to the single minimal offender `[5]`.
+        let strategy = prop::collection::vec(0u32..10, 0..8);
+        let check = |v: &Vec<u32>| {
+            if v.iter().all(|&x| x < 5) {
+                Ok(())
+            } else {
+                Err(crate::TestCaseError::fail("contains an element >= 5"))
+            }
+        };
+        let mut rng = crate::TestRng::new("shrink-minimizes");
+        let failing = loop {
+            let v = Strategy::generate(&strategy, &mut rng);
+            if check(&v).is_err() {
+                break v;
+            }
+        };
+        let (minimized, _, attempts) = crate::shrink_failure(
+            &strategy,
+            &check,
+            failing,
+            crate::TestCaseError::fail("seed"),
+        );
+        assert_eq!(minimized, vec![5], "greedy shrink reaches the minimum");
+        assert!(attempts > 0);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let strategy = (0u32..100, prop::collection::vec(0u32..100, 0..6));
+        let check = |v: &(u32, Vec<u32>)| {
+            if v.0 + v.1.iter().sum::<u32>() < 50 {
+                Ok(())
+            } else {
+                Err(crate::TestCaseError::fail("sum too large"))
+            }
+        };
+        let failing = (60u32, vec![70u32, 80]);
+        let a = crate::shrink_failure(
+            &strategy,
+            &check,
+            failing.clone(),
+            crate::TestCaseError::fail("x"),
+        );
+        let b = crate::shrink_failure(&strategy, &check, failing, crate::TestCaseError::fail("x"));
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.2, b.2);
     }
 }

@@ -8,11 +8,22 @@
 
 use proptest::prelude::*;
 use qss_bench::experiments::divider_net;
+use qss_bench::testgen::{build_random, random_net_strategy};
 use qss_core::{
     channel_bounds, find_schedule_with_stats, reference, ScheduleOptions, TerminationKind,
 };
 use qss_petri::{NetBuilder, PetriNet, TransitionId, TransitionKind};
 use qss_sim::{pfc_system, PfcParams};
+
+/// Number of random nets the generative suite runs, overridable with the
+/// `QSS_DIFFERENTIAL_NETS` environment variable (CI bumps it in the
+/// release-mode job; the default keeps debug runs quick but meaningful).
+fn differential_cases() -> u32 {
+    std::env::var("QSS_DIFFERENTIAL_NETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
 
 /// Runs both engines under `options` and asserts identical outcomes.
 fn assert_engines_agree(net: &PetriNet, source: TransitionId, options: &ScheduleOptions) {
@@ -151,57 +162,15 @@ fn engines_agree_under_tiny_node_budgets() {
     }
 }
 
-/// A random net description: a source feeding place 0, plus `arcs`
-/// transitions each consuming from one place and producing into another.
-#[derive(Debug, Clone)]
-struct RandomNet {
-    initial: Vec<u32>,
-    source_weight: u32,
-    arcs: Vec<(usize, usize, u32, u32)>,
-}
-
-fn random_net_strategy() -> impl Strategy<Value = RandomNet> {
-    (2usize..5, 1usize..6).prop_flat_map(|(num_places, num_transitions)| {
-        let initial = prop::collection::vec(0u32..2, num_places);
-        let arcs = prop::collection::vec(
-            (0..num_places, 0..num_places, 1u32..3, 1u32..3),
-            num_transitions,
-        );
-        (initial, arcs, 1u32..3).prop_map(|(initial, arcs, source_weight)| RandomNet {
-            initial,
-            source_weight,
-            arcs,
-        })
-    })
-}
-
-fn build_random(desc: &RandomNet) -> (PetriNet, TransitionId) {
-    let mut b = NetBuilder::new("random");
-    let places: Vec<_> = desc
-        .initial
-        .iter()
-        .enumerate()
-        .map(|(i, &tokens)| b.place(format!("p{i}"), tokens))
-        .collect();
-    let src = b.transition("src", TransitionKind::UncontrollableSource);
-    b.arc_t2p(src, places[0], desc.source_weight);
-    for (i, (from, to, consume, produce)) in desc.arcs.iter().enumerate() {
-        let t = b.transition(format!("t{i}"), TransitionKind::Internal);
-        b.arc_p2t(places[*from], t, *consume);
-        b.arc_t2p(t, places[*to], *produce);
-    }
-    let net = b.build().expect("random net builds");
-    let src = net.transition_by_name("src").unwrap();
-    (net, src)
-}
-
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases(differential_cases()))]
 
     /// Schedulable or not, both engines reach byte-identical outcomes on
     /// random nets under every option profile. A small node budget keeps
     /// degenerate explosions bounded while still exercising the
-    /// budget-exhaustion path differentially.
+    /// budget-exhaustion path differentially. Counterexamples shrink
+    /// through the generator's domain-aware strategy (see
+    /// `qss_bench::testgen`).
     #[test]
     fn engines_agree_on_random_nets(desc in random_net_strategy()) {
         let (net, source) = build_random(&desc);

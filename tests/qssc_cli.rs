@@ -45,11 +45,21 @@ fn build_emits_c_json_dot_and_the_golden_report() {
     let c = std::fs::read_to_string(out.join("collatz.task_source_trigger.c")).unwrap();
     assert!(c.contains("void task_source_trigger_run(void)"));
     assert!(c.contains("goto "));
+    // The DOT artifacts match their checked-in goldens byte for byte
+    // (CI re-checks both with `diff`), like the JSON report below.
     let net_dot = std::fs::read_to_string(out.join("collatz.net.dot")).unwrap();
-    assert!(net_dot.starts_with("digraph"));
+    let net_golden = std::fs::read_to_string(repo_file("samples/pipeline.net.golden.dot")).unwrap();
+    assert_eq!(net_dot, net_golden, "net dot drifted from the golden file");
     let schedule_dot =
         std::fs::read_to_string(out.join("collatz.source_trigger.schedule.dot")).unwrap();
-    assert!(schedule_dot.starts_with("digraph"));
+    let schedule_golden = std::fs::read_to_string(repo_file(
+        "samples/pipeline.source_trigger.schedule.golden.dot",
+    ))
+    .unwrap();
+    assert_eq!(
+        schedule_dot, schedule_golden,
+        "schedule dot drifted from the golden file"
+    );
     let pipeline_json = std::fs::read_to_string(out.join("collatz.pipeline.json")).unwrap();
     let task = qss::TaskArtifact::from_json(&pipeline_json).unwrap();
     assert_eq!(task.spec.name(), "collatz");
