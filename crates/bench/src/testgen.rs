@@ -26,23 +26,57 @@ pub struct RandomNet {
     pub arcs: Vec<(usize, usize, u32, u32)>,
 }
 
-/// Strategy generating [`RandomNet`]s: 2–4 places, 1–5 internal
-/// transitions, weights in 1–2, initial tokens in 0–1.
+/// The shape of net a [`RandomNetStrategy`] generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetProfile {
+    /// 2–4 places, 1–5 internal transitions, initial tokens in 0–1: the
+    /// small, densely connected nets the differential suite has always
+    /// run on.
+    #[default]
+    Dense,
+    /// 12–32 places with mostly empty initial markings and transitions
+    /// scattered over the whole place range: wide, sparsely marked rows
+    /// that stress the fixed-width marking slab (long strides, few marked
+    /// cells, many distinct rows per search).
+    Wide,
+}
+
+/// Strategy generating [`RandomNet`]s of a given [`NetProfile`].
 ///
 /// Implemented directly (not via `prop_flat_map`) so that
 /// [`Strategy::shrink`] can propose structurally smaller *nets* instead
 /// of being blocked by the opaque mapping.
 #[derive(Debug, Clone, Default)]
-pub struct RandomNetStrategy;
+pub struct RandomNetStrategy {
+    profile: NetProfile,
+}
 
 impl Strategy for RandomNetStrategy {
     type Value = RandomNet;
 
     fn generate(&self, rng: &mut TestRng) -> RandomNet {
-        let num_places = Strategy::generate(&(2usize..5), rng);
-        let num_transitions = Strategy::generate(&(1usize..6), rng);
+        let (num_places, num_transitions) = match self.profile {
+            NetProfile::Dense => (
+                Strategy::generate(&(2usize..5), rng),
+                Strategy::generate(&(1usize..6), rng),
+            ),
+            NetProfile::Wide => (
+                Strategy::generate(&(12usize..33), rng),
+                Strategy::generate(&(3usize..9), rng),
+            ),
+        };
         let initial: Vec<u32> = (0..num_places)
-            .map(|_| Strategy::generate(&(0u32..2), rng))
+            .map(|_| match self.profile {
+                NetProfile::Dense => Strategy::generate(&(0u32..2), rng),
+                // Sparse tokens: roughly one place in five is marked.
+                NetProfile::Wide => {
+                    if Strategy::generate(&(0u32..5), rng) == 0 {
+                        1
+                    } else {
+                        0
+                    }
+                }
+            })
             .collect();
         let arcs: Vec<(usize, usize, u32, u32)> = (0..num_transitions)
             .map(|_| {
@@ -100,9 +134,19 @@ impl Strategy for RandomNetStrategy {
     }
 }
 
-/// The strategy the differential suites use.
+/// The dense-profile strategy the differential suites have always used.
 pub fn random_net_strategy() -> RandomNetStrategy {
-    RandomNetStrategy
+    RandomNetStrategy {
+        profile: NetProfile::Dense,
+    }
+}
+
+/// The wide-profile strategy (many places, sparse tokens) that stresses
+/// the fixed-width marking slab.
+pub fn wide_net_strategy() -> RandomNetStrategy {
+    RandomNetStrategy {
+        profile: NetProfile::Wide,
+    }
 }
 
 /// Builds the Petri net described by `desc` and returns it together with
@@ -133,22 +177,38 @@ mod tests {
 
     #[test]
     fn generated_nets_build_and_shrink_within_the_domain() {
-        let strategy = random_net_strategy();
-        let mut rng = TestRng::new("testgen-domain");
-        for _ in 0..64 {
-            let desc = strategy.generate(&mut rng);
-            let (net, src) = build_random(&desc);
-            assert_eq!(net.num_places(), desc.initial.len());
-            assert_eq!(net.num_transitions(), desc.arcs.len() + 1);
-            assert!(net.uncontrollable_sources().contains(&src));
-            for cand in strategy.shrink(&desc) {
-                // Every shrink candidate stays buildable and is simpler
-                // in at least one dimension.
-                let (cnet, _) = build_random(&cand);
-                assert!(cnet.num_transitions() <= net.num_transitions());
-                assert_ne!(cand, desc);
+        for strategy in [random_net_strategy(), wide_net_strategy()] {
+            let mut rng = TestRng::new("testgen-domain");
+            for _ in 0..64 {
+                let desc = strategy.generate(&mut rng);
+                let (net, src) = build_random(&desc);
+                assert_eq!(net.num_places(), desc.initial.len());
+                assert_eq!(net.num_transitions(), desc.arcs.len() + 1);
+                assert!(net.uncontrollable_sources().contains(&src));
+                for cand in strategy.shrink(&desc) {
+                    // Every shrink candidate stays buildable and is simpler
+                    // in at least one dimension.
+                    let (cnet, _) = build_random(&cand);
+                    assert!(cnet.num_transitions() <= net.num_transitions());
+                    assert_ne!(cand, desc);
+                }
             }
         }
+    }
+
+    #[test]
+    fn wide_profile_is_wide_and_sparse() {
+        let strategy = wide_net_strategy();
+        let mut rng = TestRng::new("testgen-wide");
+        let (mut total_places, mut total_marked) = (0usize, 0usize);
+        for _ in 0..32 {
+            let desc = strategy.generate(&mut rng);
+            assert!(desc.initial.len() >= 12, "wide nets have many places");
+            total_places += desc.initial.len();
+            total_marked += desc.initial.iter().filter(|&&c| c > 0).count();
+        }
+        // Sparse: on average well under a third of the places start marked.
+        assert!(total_marked * 3 < total_places);
     }
 
     #[test]

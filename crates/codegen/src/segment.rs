@@ -217,11 +217,11 @@ impl<'a> GraphBuilder<'a> {
                     continue;
                 }
                 let outcome = if self.schedule.is_await_node(self.net, *target) {
-                    Outcome::Await(self.schedule.marking(*target).clone())
+                    Outcome::Await(self.schedule.marking_owned(*target))
                 } else {
                     Outcome::Next(
                         self.node_key[target].clone(),
-                        self.schedule.marking(*target).clone(),
+                        self.schedule.marking_owned(*target),
                     )
                 };
                 if !result.contains(&outcome) {
@@ -512,7 +512,7 @@ impl<'a> GraphBuilder<'a> {
                 }
                 for (_, target) in self.schedule.edges(node) {
                     if self.schedule.is_await_node(self.net, *target) {
-                        let m = self.schedule.marking(*target).clone();
+                        let m = self.schedule.marking_owned(*target);
                         if !ends.contains(&m) {
                             ends.push(m);
                         }
@@ -522,7 +522,7 @@ impl<'a> GraphBuilder<'a> {
                 }
             }
             threads.push(Thread {
-                start: self.schedule.marking(start).clone(),
+                start: self.schedule.marking_owned(start),
                 segments: segments_used,
                 ends,
             });

@@ -187,8 +187,8 @@ impl SearchContext {
     /// Computes the per-net analyses (ECS partition, T-invariant basis)
     /// and seeds the per-net marking store.
     pub fn new(net: &PetriNet) -> Self {
-        let mut base_store = MarkingStore::new();
-        base_store.intern_owned(net.initial_marking());
+        let mut base_store = MarkingStore::with_stride(net.num_places());
+        let _ = base_store.intern(net.initial_marking().as_slice());
         SearchContext {
             ecs: EcsInfo::compute(net),
             sorter: EcsSorter::new(net),
@@ -249,6 +249,8 @@ impl SearchContext {
                 sorter: &self.sorter,
                 nodes: Vec::new(),
                 budget_exhausted: false,
+                combo_buf: Vec::new(),
+                promising_buf: Vec::new(),
             };
             search.run()
         };
@@ -440,6 +442,10 @@ struct Search<'a> {
     sorter: &'a EcsSorter,
     nodes: Vec<TreeNode>,
     budget_exhausted: bool,
+    /// Scratch buffers of [`EcsSorter::promising_into`], reused across
+    /// nodes so the heuristic allocates nothing on the hot path.
+    combo_buf: Vec<u64>,
+    promising_buf: Vec<u64>,
 }
 
 impl<'a> Search<'a> {
@@ -499,11 +505,11 @@ impl<'a> Search<'a> {
     /// Enabled ECSs at the node currently carried by the tracker, filtered
     /// by the single-source constraint and ordered by the search
     /// heuristics.
-    fn candidate_ecs(&self) -> Vec<EcsId> {
-        let marking = self.tracker.marking();
+    fn candidate_ecs(&mut self) -> Vec<EcsId> {
+        let marking = self.tracker.marking().as_slice();
         let mut candidates: Vec<EcsId> = self
             .ecs
-            .enabled_ecs(self.net, marking)
+            .enabled_ecs_at(self.net, marking)
             .into_iter()
             .filter(|e| {
                 if !self.options.single_source {
@@ -516,9 +522,15 @@ impl<'a> Search<'a> {
                 })
             })
             .collect();
-        let promising = if self.options.use_invariant_heuristic {
-            // Cumulative on-path firing counts: a slice read, not a walk.
-            self.sorter.promising_vector(self.tracker.fired())
+        let promising: Option<&[u64]> = if self.options.use_invariant_heuristic
+            // Cumulative on-path firing counts: a slice read, not a walk;
+            // the promising vector lands in a reused scratch buffer.
+            && self.sorter.promising_into(
+                self.tracker.fired(),
+                &mut self.combo_buf,
+                &mut self.promising_buf,
+            ) {
+            Some(&self.promising_buf)
         } else {
             None
         };
@@ -694,7 +706,7 @@ impl<'a> Search<'a> {
     fn build_schedule(&self) -> Schedule {
         let mut map: BTreeMap<usize, usize> = BTreeMap::new();
         let mut build = ScheduleBuild {
-            store: MarkingStore::new(),
+            store: MarkingStore::with_stride(self.net.num_places()),
             nodes: Vec::new(),
         };
         let mut scratch = self.net.initial_marking();
@@ -715,7 +727,7 @@ impl<'a> Search<'a> {
         match self.nodes[v].chosen_ecs {
             Some(ecs) => {
                 let id = build.nodes.len();
-                let marking = build.store.intern(scratch);
+                let marking = build.store.intern(scratch.as_slice());
                 build.nodes.push((marking, Vec::new()));
                 map.insert(v, id);
                 let mut edges = Vec::new();

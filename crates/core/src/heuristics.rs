@@ -55,26 +55,42 @@ impl EcsSorter {
     /// transitions (the path cannot be part of any cycle assembled from the
     /// basis).
     pub fn promising_vector(&self, fired: &[u64]) -> Option<Vec<u64>> {
+        let mut combo = Vec::new();
+        let mut out = Vec::new();
+        self.promising_into(fired, &mut combo, &mut out)
+            .then_some(out)
+    }
+
+    /// Allocation-free form of [`EcsSorter::promising_vector`]: writes the
+    /// promising vector into `out` (using `combo` as a second scratch
+    /// buffer) and returns whether guidance is available. The incremental
+    /// EP engine runs this on every explored node with buffers reused
+    /// across the whole search, so the heuristic never allocates on the
+    /// hot path.
+    pub fn promising_into(&self, fired: &[u64], combo: &mut Vec<u64>, out: &mut Vec<u64>) -> bool {
         assert_eq!(fired.len(), self.num_transitions);
         if self.basis.is_empty() {
-            return None;
+            return false;
         }
-        let mut combo = vec![0u64; self.num_transitions];
+        combo.clear();
+        combo.resize(self.num_transitions, 0);
         let mut guard = 0usize;
-        // The deficit index set is recomputed per round but reuses one
-        // buffer; this runs on every explored search node, so avoiding a
-        // fresh allocation per round matters.
-        let mut deficit: Vec<usize> = Vec::with_capacity(self.num_transitions);
+        // `out` doubles as the per-round deficit index set until the final
+        // vector overwrites it.
         loop {
             guard += 1;
             if guard > 64 {
                 // The greedy cover keeps needing more multiples than is
                 // plausible for a schedule; give up on guidance.
-                return None;
+                return false;
             }
-            deficit.clear();
-            deficit.extend((0..self.num_transitions).filter(|&i| fired[i] > combo[i]));
-            if deficit.is_empty() {
+            out.clear();
+            out.extend(
+                (0..self.num_transitions)
+                    .filter(|&i| fired[i] > combo[i])
+                    .map(|i| i as u64),
+            );
+            if out.is_empty() {
                 break;
             }
             // Pick the base invariant that covers the most deficient
@@ -82,8 +98,15 @@ impl EcsSorter {
             let best = self
                 .basis
                 .iter()
-                .max_by_key(|inv| deficit.iter().filter(|&&i| inv.as_slice()[i] > 0).count())
-                .filter(|inv| deficit.iter().any(|&i| inv.as_slice()[i] > 0))?;
+                .max_by_key(|inv| {
+                    out.iter()
+                        .filter(|&&i| inv.as_slice()[i as usize] > 0)
+                        .count()
+                })
+                .filter(|inv| out.iter().any(|&i| inv.as_slice()[i as usize] > 0));
+            let Some(best) = best else {
+                return false;
+            };
             for (c, &b) in combo.iter_mut().zip(best.as_slice()) {
                 *c += b;
             }
@@ -94,16 +117,16 @@ impl EcsSorter {
             let first = self
                 .basis
                 .iter()
-                .min_by_key(|inv| inv.as_slice().iter().sum::<u64>())?;
-            combo = first.as_slice().to_vec();
+                .min_by_key(|inv| inv.as_slice().iter().sum::<u64>());
+            let Some(first) = first else {
+                return false;
+            };
+            combo.clear();
+            combo.extend_from_slice(first.as_slice());
         }
-        Some(
-            combo
-                .iter()
-                .zip(fired)
-                .map(|(c, f)| c.saturating_sub(*f))
-                .collect(),
-        )
+        out.clear();
+        out.extend(combo.iter().zip(fired).map(|(c, f)| c.saturating_sub(*f)));
+        true
     }
 
     /// Returns `true` if `t` still appears in the promising vector.

@@ -28,7 +28,8 @@ fn places_constant_at_awaits(
     awaits: &[NodeId],
 ) -> bool {
     places.iter().all(|p| {
-        let mut counts = awaits.iter().map(|v| other.marking(*v).tokens(*p));
+        // `Schedule::marking` hands out store rows: no per-probe cloning.
+        let mut counts = awaits.iter().map(|v| other.marking(*v)[p.index()]);
         match counts.next() {
             None => true,
             Some(first) => counts.all(|c| c == first),

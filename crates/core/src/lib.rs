@@ -2,7 +2,7 @@
 //! (DAC 2000), *Task Generation and Compile-Time Scheduling for Mixed
 //! Data-Control Embedded Software*.
 //!
-//! Given a Petri net produced by the FlowC front end ([`qss_flowc::link`]),
+//! Given a Petri net produced by the FlowC front end ([`qss_flowc::link()`]),
 //! the scheduler computes one *single-source schedule* (SSS) per
 //! uncontrollable environment input. A schedule is a cyclic graph whose
 //! nodes carry markings and whose edges carry transitions; it proves that

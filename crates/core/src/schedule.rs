@@ -14,7 +14,9 @@
 //! 5. every node lies on a cycle through `r`.
 
 use crate::error::{Result, ScheduleError};
-use qss_petri::{EcsInfo, Marking, MarkingId, MarkingStore, PetriNet, PlaceId, TransitionId};
+use qss_petri::{
+    format_marking, EcsInfo, Marking, MarkingId, MarkingStore, PetriNet, PlaceId, TransitionId,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -90,7 +92,7 @@ impl Serialize for Schedule {
             .node_ids()
             .map(|id| {
                 ScheduleNode {
-                    marking: self.marking(id).clone(),
+                    marking: self.marking_owned(id),
                     edges: self.edges(id).to_vec(),
                 }
                 .to_value()
@@ -107,6 +109,17 @@ impl<'de> Deserialize<'de> for Schedule {
     fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::Error> {
         let source: TransitionId = serde::derive::field(value, "Schedule", "source")?;
         let nodes: Vec<ScheduleNode> = serde::derive::field(value, "Schedule", "nodes")?;
+        // Wire input is untrusted: ragged marking widths must surface as
+        // a deserialization error, not as the marking store's fixed-
+        // stride panic inside `from_parts`.
+        if let Some(first) = nodes.first() {
+            let width = first.marking.len();
+            if nodes.iter().any(|n| n.marking.len() != width) {
+                return Err(serde::Error::custom(
+                    "Schedule nodes carry markings of different widths",
+                ));
+            }
+        }
         Ok(Schedule::from_parts(source, nodes))
     }
 }
@@ -121,7 +134,7 @@ impl Schedule {
         let slots = nodes
             .into_iter()
             .map(|n| Slot {
-                marking: store.intern_owned(n.marking),
+                marking: store.intern(n.marking.as_slice()),
                 edges: n.edges,
             })
             .collect();
@@ -180,9 +193,18 @@ impl Schedule {
         (0..self.slots.len()).map(|i| NodeId(i as u32))
     }
 
-    /// The marking of node `id`, resolved against the schedule's store.
-    pub fn marking(&self, id: NodeId) -> &Marking {
+    /// The marking of node `id` as a raw counts row (one count per place,
+    /// in place-id order), resolved against the schedule's store without
+    /// cloning.
+    pub fn marking(&self, id: NodeId) -> &[u32] {
         self.store.resolve(self.slots[id.index()].marking)
+    }
+
+    /// The marking of node `id` as an owned [`Marking`], for callers that
+    /// need to store or display it (code generation); prefer
+    /// [`Schedule::marking`] on query paths.
+    pub fn marking_owned(&self, id: NodeId) -> Marking {
+        Marking::from_counts(self.marking(id).iter().copied())
     }
 
     /// The interned marking handle of node `id`. Two nodes of this
@@ -255,7 +277,7 @@ impl Schedule {
     pub fn place_peak(&self, p: PlaceId) -> u32 {
         self.store
             .markings()
-            .map(|m| m.tokens(p))
+            .map(|m| m[p.index()])
             .max()
             .unwrap_or(0)
     }
@@ -273,7 +295,7 @@ impl Schedule {
         }
         // Property 1: r carries the initial marking and has out-degree 1.
         let root = &self.slots[0];
-        if self.store.resolve(root.marking) != &net.initial_marking() {
+        if self.store.resolve(root.marking) != net.initial_marking().as_slice() {
             return Err(ScheduleError::InvalidSchedule(
                 "the distinguished node does not carry the initial marking".into(),
             ));
@@ -291,6 +313,7 @@ impl Schedule {
             ));
         }
         let ecs = EcsInfo::compute(net);
+        let mut next: Vec<u32> = Vec::with_capacity(net.num_places());
         for (i, node) in self.slots.iter().enumerate() {
             let marking = self.store.resolve(node.marking);
             if node.edges.is_empty() {
@@ -309,14 +332,16 @@ impl Schedule {
                 )));
             }
             for (t, target) in &node.edges {
-                if !net.is_enabled(*t, marking) {
+                if !net.is_enabled_at(*t, marking) {
                     return Err(ScheduleError::InvalidSchedule(format!(
                         "transition {t} on an edge out of node {i} is not enabled at the node's marking"
                     )));
                 }
                 // Property 4: firing consistency. Interning makes the
                 // comparison an id check once the successor is looked up.
-                let next = net.fire_unchecked(*t, marking);
+                next.clear();
+                next.extend_from_slice(marking);
+                net.fire_into_slice(*t, &mut next);
                 if self.store.lookup(&next) != Some(self.slots[target.index()].marking) {
                     return Err(ScheduleError::InvalidSchedule(format!(
                         "edge {t} out of node {i} does not lead to the marking of its target node"
@@ -387,7 +412,7 @@ impl Schedule {
                 out,
                 "  n{} [shape={shape}, label=\"{}\"];",
                 id.0,
-                self.marking(id)
+                format_marking(self.marking(id))
             );
         }
         for id in self.node_ids() {
@@ -466,7 +491,7 @@ mod tests {
         let mut nodes: Vec<ScheduleNode> = good
             .node_ids()
             .map(|id| ScheduleNode {
-                marking: good.marking(id).clone(),
+                marking: good.marking_owned(id),
                 edges: good.edges(id).to_vec(),
             })
             .collect();
@@ -511,7 +536,7 @@ mod tests {
         assert_eq!(s.marking_id(NodeId(0)), s.marking_id(NodeId(2)));
         assert_eq!(s.marking_id(NodeId(1)), s.marking_id(NodeId(3)));
         assert_ne!(s.marking_id(NodeId(0)), s.marking_id(NodeId(1)));
-        assert_eq!(s.marking(NodeId(2)), &m0);
+        assert_eq!(s.marking(NodeId(2)), m0.as_slice());
     }
 
     #[test]

@@ -269,7 +269,7 @@ impl PathTracker {
             })
             .collect();
         let mut store = store;
-        let root_id = store.intern_hashed(hash, &marking);
+        let root_id = store.intern_hashed(hash, marking.as_slice());
         let mut entry_count_by_id = vec![0u32; store.len()];
         let mut first_entry_by_id = vec![0u32; store.len()];
         entry_count_by_id[root_id.index()] = 1;
@@ -444,7 +444,7 @@ impl PathTracker {
         // (the search always queries before pushing); intern otherwise.
         let id = match self.cached_lookup.take() {
             Some((hash, Some(id))) if hash == self.hash => id,
-            _ => self.store.intern_hashed(self.hash, &self.marking),
+            _ => self.store.intern_hashed(self.hash, self.marking.as_slice()),
         };
         self.entry_ids.push(id);
         if self.entry_count_by_id.len() < self.store.len() {
@@ -486,7 +486,7 @@ impl PathTracker {
         let id = match self.cached_lookup {
             Some((hash, id)) if hash == self.hash => id,
             _ => {
-                let id = self.store.lookup_hashed(self.hash, &self.marking);
+                let id = self.store.lookup_hashed(self.hash, self.marking.as_slice());
                 self.cached_lookup = Some((self.hash, id));
                 id
             }

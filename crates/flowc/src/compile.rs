@@ -62,7 +62,7 @@ pub struct CompiledProcess {
 /// Compiles a single process into its own Petri net.
 ///
 /// Port places are created with [`PlaceKind::EnvironmentPort`]; linking
-/// ([`crate::link`]) merges them with channel places.
+/// ([`crate::link()`]) merges them with channel places.
 ///
 /// # Errors
 /// Returns [`FlowCError`] if the process references undeclared ports or the

@@ -15,10 +15,10 @@
 //!   that reads multi-process source files with a `SYSTEM` manifest
 //!   block,
 //! * *compilation* of each process into a Petri-net fragment at the
-//!   leader-based granularity of the paper ([`compile`]),
+//!   leader-based granularity of the paper ([`compile()`]),
 //! * *linking* of the per-process nets into a single Unique-Choice Petri
 //!   net with channel places and environment source/sink transitions
-//!   ([`link`], [`LinkedSystem`]).
+//!   ([`link()`], [`LinkedSystem`]).
 //!
 //! # Example
 //!

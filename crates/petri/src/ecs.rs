@@ -124,11 +124,17 @@ impl EcsInfo {
     /// so it suffices to test one representative — this method still tests
     /// the first member for robustness against inconsistent nets.
     pub fn enabled_ecs(&self, net: &PetriNet, m: &Marking) -> Vec<EcsId> {
+        self.enabled_ecs_at(net, m.as_slice())
+    }
+
+    /// Slice counterpart of [`EcsInfo::enabled_ecs`] for callers working
+    /// on raw counts (the schedule search's scratch marking, store rows).
+    pub fn enabled_ecs_at(&self, net: &PetriNet, counts: &[u32]) -> Vec<EcsId> {
         self.ecs_ids()
             .filter(|e| {
                 self.members(*e)
                     .first()
-                    .map(|t| net.is_enabled(*t, m))
+                    .map(|t| net.is_enabled_at(*t, counts))
                     .unwrap_or(false)
             })
             .collect()
@@ -175,7 +181,7 @@ impl EcsInfo {
                     'markings: for m in graph.markings() {
                         let mut enabled_sets: BTreeSet<EcsId> = BTreeSet::new();
                         for &t in net.place_successors(p) {
-                            if net.is_enabled(t, m) {
+                            if net.is_enabled_at(t, m) {
                                 enabled_sets.insert(self.ecs_of(t));
                                 if enabled_sets.len() > 1 {
                                     unique = false;

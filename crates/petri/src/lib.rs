@@ -50,7 +50,7 @@ pub use ids::{PlaceId, TransitionId};
 pub use invariant::{
     incidence_matrix, t_invariant_basis, t_invariant_basis_dense, IncidenceMatrix, TInvariant,
 };
-pub use marking::{place_count_hash, Marking};
+pub use marking::{format_marking, marking_hash, place_count_hash, Marking};
 pub use net::{NetBuilder, PetriNet, Place, PlaceKind, Transition, TransitionKind};
 pub use reach::{ReachabilityGraph, ReachabilityLimits};
 pub use store::{MarkingId, MarkingStore};

@@ -89,11 +89,7 @@ impl Marking {
     /// Panics if `p` is out of range or the count leaves the `u32` range
     /// ("token count underflow"/"token count overflow").
     pub fn apply_delta(&mut self, p: PlaceId, delta: i64) {
-        let c = &mut self.counts[p.index()];
-        let next = *c as i64 + delta;
-        assert!(next >= 0, "token count underflow");
-        assert!(next <= u32::MAX as i64, "token count overflow");
-        *c = next as u32;
+        apply_delta(&mut self.counts, p, delta);
     }
 
     /// A 64-bit hash of the whole marking, defined as the wrapping sum of
@@ -101,10 +97,9 @@ impl Marking {
     /// addition, the hash can be maintained *incrementally* when one place
     /// changes: `h += place_count_hash(p, new) − place_count_hash(p, old)`.
     /// The schedule search uses this to index on-path ancestor markings.
+    /// Equal to [`marking_hash`] over [`Marking::as_slice`].
     pub fn path_hash(&self) -> u64 {
-        self.counts.iter().enumerate().fold(0u64, |h, (i, &c)| {
-            h.wrapping_add(place_count_hash(PlaceId::new(i), c))
-        })
+        marking_hash(&self.counts)
     }
 
     /// Total number of tokens over all places.
@@ -158,6 +153,11 @@ impl Marking {
         &self.counts
     }
 
+    /// Mutable raw counts slice, in place-identifier order.
+    pub fn as_mut_slice(&mut self) -> &mut [u32] {
+        &mut self.counts
+    }
+
     /// Iterator over `(place, tokens)` pairs for marked places only.
     pub fn iter_marked(&self) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
         self.counts
@@ -165,6 +165,51 @@ impl Marking {
             .enumerate()
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (PlaceId::new(i), c))
+    }
+}
+
+/// The [`Marking::path_hash`] of a raw counts slice, for callers working
+/// on [`MarkingStore`](crate::MarkingStore) rows or scratch buffers that
+/// never materialize a [`Marking`].
+pub fn marking_hash(counts: &[u32]) -> u64 {
+    counts.iter().enumerate().fold(0u64, |h, (i, &c)| {
+        h.wrapping_add(place_count_hash(PlaceId::new(i), c))
+    })
+}
+
+/// Applies a signed token delta to `counts[p]` — the slice counterpart of
+/// [`Marking::apply_delta`], with the same checked arithmetic.
+///
+/// # Panics
+/// Panics if `p` is out of range or the count leaves the `u32` range.
+pub fn apply_delta(counts: &mut [u32], p: PlaceId, delta: i64) {
+    let c = &mut counts[p.index()];
+    let next = *c as i64 + delta;
+    assert!(next >= 0, "token count underflow");
+    assert!(next <= u32::MAX as i64, "token count overflow");
+    *c = next as u32;
+}
+
+/// Formats a raw counts slice the way [`Marking`] displays (the multiset
+/// of marked places, `p1 p3^2`; the empty marking as `0`).
+pub fn format_marking(counts: &[u32]) -> String {
+    let marked: Vec<String> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let p = PlaceId::new(i);
+            if c == 1 {
+                p.to_string()
+            } else {
+                format!("{p}^{c}")
+            }
+        })
+        .collect();
+    if marked.is_empty() {
+        "0".to_owned()
+    } else {
+        marked.join(" ")
     }
 }
 
@@ -184,21 +229,7 @@ impl fmt::Display for Marking {
     /// Formats as the multiset of marked places, e.g. `p1 p3^2`; the empty
     /// marking is shown as `0` to match the paper's figures.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let marked: Vec<String> = self
-            .iter_marked()
-            .map(|(p, c)| {
-                if c == 1 {
-                    p.to_string()
-                } else {
-                    format!("{p}^{c}")
-                }
-            })
-            .collect();
-        if marked.is_empty() {
-            write!(f, "0")
-        } else {
-            write!(f, "{}", marked.join(" "))
-        }
+        write!(f, "{}", format_marking(&self.counts))
     }
 }
 

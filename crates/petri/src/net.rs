@@ -217,7 +217,15 @@ impl PetriNet {
 
     /// Returns `true` if `t` is enabled at marking `m`.
     pub fn is_enabled(&self, t: TransitionId, m: &Marking) -> bool {
-        self.pre[t.index()].iter().all(|(p, w)| m.tokens(*p) >= *w)
+        self.is_enabled_at(t, m.as_slice())
+    }
+
+    /// Returns `true` if `t` is enabled at the raw counts slice `counts`
+    /// (a [`MarkingStore`](crate::MarkingStore) row or scratch buffer).
+    pub fn is_enabled_at(&self, t: TransitionId, counts: &[u32]) -> bool {
+        self.pre[t.index()]
+            .iter()
+            .all(|(p, w)| counts[p.index()] >= *w)
     }
 
     /// All transitions enabled at `m`, in identifier order.
@@ -276,8 +284,17 @@ impl PetriNet {
     /// Panics if a net delta underflows a token count (a sufficient but
     /// not necessary symptom of `t` being disabled at `m`).
     pub fn fire_into(&self, t: TransitionId, m: &mut Marking) {
+        self.fire_into_slice(t, m.as_mut_slice());
+    }
+
+    /// Slice counterpart of [`PetriNet::fire_into`] for callers working on
+    /// raw count buffers. The same self-loop caveat applies.
+    ///
+    /// # Panics
+    /// Panics if a net delta underflows a token count.
+    pub fn fire_into_slice(&self, t: TransitionId, counts: &mut [u32]) {
         for &(p, delta) in &self.changed[t.index()] {
-            m.apply_delta(p, delta);
+            crate::marking::apply_delta(counts, p, delta);
         }
     }
 
@@ -288,8 +305,16 @@ impl PetriNet {
     /// Panics if a net delta underflows a token count (a sufficient but
     /// not necessary symptom of `m` not being a successor marking of `t`).
     pub fn unfire_into(&self, t: TransitionId, m: &mut Marking) {
+        self.unfire_into_slice(t, m.as_mut_slice());
+    }
+
+    /// Slice counterpart of [`PetriNet::unfire_into`].
+    ///
+    /// # Panics
+    /// Panics if a net delta underflows a token count.
+    pub fn unfire_into_slice(&self, t: TransitionId, counts: &mut [u32]) {
         for &(p, delta) in &self.changed[t.index()] {
-            m.apply_delta(p, -delta);
+            crate::marking::apply_delta(counts, p, -delta);
         }
     }
 

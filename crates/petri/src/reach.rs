@@ -9,7 +9,6 @@
 
 use crate::error::{NetError, Result};
 use crate::ids::TransitionId;
-use crate::marking::Marking;
 use crate::net::PetriNet;
 use crate::store::{MarkingId, MarkingStore};
 use std::collections::VecDeque;
@@ -33,19 +32,25 @@ impl Default for ReachabilityLimits {
     }
 }
 
-/// An explicit (bounded) reachability graph.
+/// An explicit (bounded) reachability graph on flat arenas.
 ///
 /// Node indices coincide with [`MarkingId`] indices: the graph is backed
 /// by a [`MarkingStore`] whose interning order *is* the BFS visit order,
 /// so the store doubles as both the marking slab and the dedup index —
 /// membership queries are hash probes and distinct markings are stored
-/// exactly once.
+/// exactly once. Successor lists live in one CSR (compressed sparse row)
+/// pair of arrays — `succ_offsets[v]..succ_offsets[v + 1]` indexes node
+/// `v`'s `(transition, target)` edges in `succ` — so the whole graph is
+/// two flat vectors plus the marking slab, with no per-node allocation.
 #[derive(Debug, Clone)]
 pub struct ReachabilityGraph {
     /// Visited markings, hash-consed; `MarkingId(i)` is node `i`.
     store: MarkingStore,
-    /// Edges as `(from-node, transition, to-node)` triples.
-    edges: Vec<(usize, TransitionId, usize)>,
+    /// CSR row offsets into `succ`, one entry per node plus a sentinel.
+    succ_offsets: Vec<u32>,
+    /// All edges as `(transition, target node)`, grouped by source node in
+    /// BFS order.
+    succ: Vec<(TransitionId, u32)>,
     /// Whether the exploration was truncated by the limits.
     truncated: bool,
 }
@@ -66,59 +71,68 @@ impl ReachabilityGraph {
                 )));
             }
         }
-        let mut store = MarkingStore::new();
-        store.intern_owned(m0);
-        let mut edges = Vec::new();
+        let mut store = MarkingStore::with_stride(net.num_places());
+        let _ = store.intern(m0.as_slice());
+        let mut succ_offsets: Vec<u32> = vec![0];
+        let mut succ: Vec<(TransitionId, u32)> = Vec::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
         queue.push_back(0);
         let mut truncated = false;
+        // The current node's counts, copied out of the slab because firing
+        // successors appends to it (one buffer reused for every node).
+        let mut current: Vec<u32> = Vec::with_capacity(net.num_places());
 
         while let Some(node) = queue.pop_front() {
-            let current = store.resolve(MarkingId(node as u32)).clone();
-            if let Some(cap) = limits.max_tokens_per_place {
-                if current.as_slice().iter().any(|&c| c > cap) {
-                    truncated = true;
-                    continue;
-                }
+            // BFS pops nodes in interning order, which keeps the CSR rows
+            // aligned with node indices as they are appended.
+            debug_assert_eq!(node + 1, succ_offsets.len());
+            let id = MarkingId(node as u32);
+            current.clear();
+            current.extend_from_slice(store.resolve(id));
+            let over_cap = limits
+                .max_tokens_per_place
+                .is_some_and(|cap| current.iter().any(|&c| c > cap));
+            if over_cap {
+                truncated = true;
+                succ_offsets.push(succ.len() as u32);
+                continue;
             }
             for t in net.transition_ids() {
-                if !net.is_enabled(t, &current) {
+                if !net.is_enabled_at(t, &current) {
                     continue;
                 }
-                let next = net.fire_unchecked(t, &current);
-                let next_node = match store.lookup(&next) {
-                    Some(id) => id.index(),
-                    None => {
-                        if store.len() >= limits.max_markings {
-                            truncated = true;
-                            continue;
+                match store.fire_bounded(net, t, id, limits.max_markings) {
+                    Some((next, newly_interned)) => {
+                        if newly_interned {
+                            queue.push_back(next.index());
                         }
-                        let i = store.intern_owned(next).index();
-                        queue.push_back(i);
-                        i
+                        succ.push((t, next.0));
                     }
-                };
-                edges.push((node, t, next_node));
+                    None => truncated = true,
+                }
             }
+            succ_offsets.push(succ.len() as u32);
         }
+        debug_assert_eq!(succ_offsets.len(), store.len() + 1);
         Ok(ReachabilityGraph {
             store,
-            edges,
+            succ_offsets,
+            succ,
             truncated,
         })
     }
 
-    /// The distinct markings visited, in visit order (the first is the
-    /// initial marking).
-    pub fn markings(&self) -> impl Iterator<Item = &Marking> {
+    /// The distinct markings visited as raw counts rows, in visit order
+    /// (the first is the initial marking).
+    pub fn markings(&self) -> impl Iterator<Item = &[u32]> {
         self.store.markings()
     }
 
-    /// The marking of node `node`.
+    /// The marking of node `node`, as a raw counts row.
     ///
     /// # Panics
     /// Panics if `node` is out of range.
-    pub fn marking(&self, node: usize) -> &Marking {
+    pub fn marking(&self, node: usize) -> &[u32] {
         self.store.resolve(MarkingId(node as u32))
     }
 
@@ -133,9 +147,30 @@ impl ReachabilityGraph {
         self.store.len()
     }
 
-    /// The explored edges as `(from, transition, to)` node-index triples.
-    pub fn edges(&self) -> &[(usize, TransitionId, usize)] {
-        &self.edges
+    /// Number of explored edges.
+    pub fn num_edges(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// The `(transition, target node)` successors of `node` — one CSR row
+    /// slice, no per-node storage.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    pub fn successors(&self, node: usize) -> &[(TransitionId, u32)] {
+        let lo = self.succ_offsets[node] as usize;
+        let hi = self.succ_offsets[node + 1] as usize;
+        &self.succ[lo..hi]
+    }
+
+    /// The explored edges as `(from, transition, to)` node-index triples,
+    /// in BFS order (an adapter over the CSR arrays).
+    pub fn edges(&self) -> impl Iterator<Item = (usize, TransitionId, usize)> + '_ {
+        (0..self.num_markings()).flat_map(move |v| {
+            self.successors(v)
+                .iter()
+                .map(move |&(t, w)| (v, t, w as usize))
+        })
     }
 
     /// Returns `true` if the exploration stopped because a limit was hit.
@@ -143,14 +178,15 @@ impl ReachabilityGraph {
         self.truncated
     }
 
-    /// Returns `true` if `m` was visited during the exploration
-    /// (an `O(1)` probe of the marking store).
-    pub fn contains(&self, m: &Marking) -> bool {
+    /// Returns `true` if the marking with counts `m` was visited during
+    /// the exploration (an `O(1)` probe of the marking store).
+    pub fn contains(&self, m: &[u32]) -> bool {
         self.store.lookup(m).is_some()
     }
 
-    /// Returns the node index of `m`, if it was visited.
-    pub fn node_of(&self, m: &Marking) -> Option<usize> {
+    /// Returns the node index of the marking with counts `m`, if it was
+    /// visited.
+    pub fn node_of(&self, m: &[u32]) -> Option<usize> {
         self.store.lookup(m).map(MarkingId::index)
     }
 
@@ -160,7 +196,7 @@ impl ReachabilityGraph {
         let mut peaks: Vec<u32> = Vec::new();
         for m in self.store.markings() {
             peaks.resize(m.len().max(peaks.len()), 0);
-            for (i, &c) in m.as_slice().iter().enumerate() {
+            for (i, &c) in m.iter().enumerate() {
                 peaks[i] = peaks[i].max(c);
             }
         }
@@ -191,12 +227,31 @@ mod tests {
         let net = cyclic_net();
         let g = ReachabilityGraph::explore(&net, &ReachabilityLimits::default()).unwrap();
         assert_eq!(g.num_markings(), 2);
-        assert_eq!(g.edges().len(), 2);
+        assert_eq!(g.num_edges(), 2);
         assert!(!g.is_truncated());
-        assert!(g.contains(&net.initial_marking()));
-        assert_eq!(g.node_of(&net.initial_marking()), Some(0));
-        assert!(!g.contains(&Marking::from_counts([7, 7])));
+        assert!(g.contains(net.initial_marking().as_slice()));
+        assert_eq!(g.node_of(net.initial_marking().as_slice()), Some(0));
+        assert!(!g.contains(&[7, 7]));
         assert_eq!(g.place_peaks(), vec![1, 1]);
+    }
+
+    #[test]
+    fn csr_successors_match_the_edge_list() {
+        let net = cyclic_net();
+        let g = ReachabilityGraph::explore(&net, &ReachabilityLimits::default()).unwrap();
+        let a = net.transition_by_name("a").unwrap();
+        let c = net.transition_by_name("c").unwrap();
+        assert_eq!(g.successors(0), &[(a, 1)]);
+        assert_eq!(g.successors(1), &[(c, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, a, 1), (1, c, 0)]);
+        // Firing the edge transition at the source marking reaches the
+        // target marking — the CSR rows are real successor lists.
+        for (v, t, w) in g.edges() {
+            let mut next = g.marking(v).to_vec();
+            net.fire_into_slice(t, &mut next);
+            assert_eq!(&next, g.marking(w));
+        }
     }
 
     #[test]

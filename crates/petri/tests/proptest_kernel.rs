@@ -90,7 +90,7 @@ proptest! {
         for e in ecs.ecs_ids() {
             let members = ecs.members(e);
             for m in graph.markings() {
-                let enabled: Vec<bool> = members.iter().map(|t| net.is_enabled(*t, m)).collect();
+                let enabled: Vec<bool> = members.iter().map(|t| net.is_enabled_at(*t, m)).collect();
                 prop_assert!(enabled.windows(2).all(|w| w[0] == w[1]),
                     "ECS members must enable together");
             }
@@ -151,7 +151,7 @@ proptest! {
         let net = build(&desc);
         let limits = ReachabilityLimits { max_markings: 100, max_tokens_per_place: Some(4) };
         if let Ok(graph) = ReachabilityGraph::explore(&net, &limits) {
-            prop_assert!(graph.contains(&net.initial_marking()));
+            prop_assert!(graph.contains(net.initial_marking().as_slice()));
             prop_assert!(graph.num_markings() <= 100);
             let max_produce = net
                 .transition_ids()
@@ -159,10 +159,18 @@ proptest! {
                 .max()
                 .unwrap_or(0);
             for m in graph.markings() {
-                for &c in m.as_slice() {
+                for &c in m {
                     prop_assert!(c <= 4 + max_produce.max(3));
                 }
             }
+            // The CSR successor rows are real: firing the edge transition
+            // at the source marking lands exactly on the target row.
+            for (v, t, w) in graph.edges() {
+                let mut next = graph.marking(v).to_vec();
+                net.fire_into_slice(t, &mut next);
+                prop_assert_eq!(&next[..], graph.marking(w));
+            }
+            prop_assert_eq!(graph.edges().count(), graph.num_edges());
         }
     }
 
@@ -190,12 +198,12 @@ proptest! {
     ) {
         let mut store = MarkingStore::new();
         let markings: Vec<Marking> = rows.iter().cloned().map(Marking::from_counts).collect();
-        let ids: Vec<_> = markings.iter().map(|m| store.intern(m)).collect();
+        let ids: Vec<_> = markings.iter().map(|m| store.intern(m.as_slice())).collect();
         for (m, &id) in markings.iter().zip(&ids) {
             // Round-trip: the id resolves back to an equal marking...
-            prop_assert_eq!(store.resolve(id), m);
+            prop_assert_eq!(store.resolve(id), m.as_slice());
             // ...and lookup finds the same id without inserting.
-            prop_assert_eq!(store.lookup(m), Some(id));
+            prop_assert_eq!(store.lookup(m.as_slice()), Some(id));
         }
         for (i, a) in markings.iter().enumerate() {
             for (j, b) in markings.iter().enumerate() {
@@ -212,14 +220,41 @@ proptest! {
         prop_assert_eq!(store.len(), distinct);
     }
 
-    /// Walking a net through `MarkingStore::fire`/`unfire` (delta
-    /// application on resolved markings) always lands on the same ids as
-    /// freshly interning independently computed successor markings.
+    /// The flat-slab store assigns exactly the same ids as a naive
+    /// `Vec<Marking>` interner that linearly scans owned markings — the
+    /// slab layout changes the storage, never the id assignment.
+    #[test]
+    fn flat_store_agrees_with_naive_interner_id_for_id(
+        rows in prop::collection::vec(prop::collection::vec(0u32..4, 4), 1..32)
+    ) {
+        let mut store = MarkingStore::new();
+        let mut naive: Vec<Marking> = Vec::new();
+        for row in &rows {
+            let m = Marking::from_counts(row.iter().copied());
+            let naive_id = match naive.iter().position(|n| *n == m) {
+                Some(i) => i,
+                None => {
+                    naive.push(m.clone());
+                    naive.len() - 1
+                }
+            };
+            let id = store.intern(m.as_slice());
+            prop_assert_eq!(id.index(), naive_id);
+        }
+        prop_assert_eq!(store.len(), naive.len());
+        for (i, m) in naive.iter().enumerate() {
+            prop_assert_eq!(store.resolve(qss_petri::MarkingId(i as u32)), m.as_slice());
+        }
+    }
+
+    /// Walking a net through `MarkingStore::fire`/`unfire` (reserve-then-
+    /// commit delta application in the slab tail) always lands on the same
+    /// ids as freshly interning independently computed successor markings.
     #[test]
     fn marking_store_fire_matches_fresh_interning(desc in random_net_strategy(), steps in 1usize..24) {
         let net = build(&desc);
         let mut store = MarkingStore::new();
-        let mut id = store.intern(&net.initial_marking());
+        let mut id = store.intern(net.initial_marking().as_slice());
         let mut marking = net.initial_marking();
         let mut trail = Vec::new();
         for _ in 0..steps {
@@ -228,17 +263,18 @@ proptest! {
             id = store.fire(&net, t, id);
             marking = net.fire(t, &marking).unwrap();
             // Delta application and fresh interning agree on the id.
-            prop_assert_eq!(id, store.intern(&marking));
-            prop_assert_eq!(store.resolve(id), &marking);
+            prop_assert_eq!(id, store.intern(marking.as_slice()));
+            prop_assert_eq!(store.resolve(id), marking.as_slice());
             trail.push(t);
         }
         // Unwinding through unfire retraces the same interned ids.
         for &t in trail.iter().rev() {
             id = store.unfire(&net, t, id);
             net.unfire_into(t, &mut marking);
-            prop_assert_eq!(store.lookup(&marking), Some(id));
+            prop_assert_eq!(store.lookup(marking.as_slice()), Some(id));
         }
-        prop_assert_eq!(store.resolve(id), &net.initial_marking());
+        let m0 = net.initial_marking();
+        prop_assert_eq!(store.resolve(id), m0.as_slice());
     }
 
     /// Marking display/round-trip helpers are consistent.

@@ -230,7 +230,7 @@ impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed length or a half-open
+    /// Length specification for [`vec()`]: a fixed length or a half-open
     /// range of lengths.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

@@ -1,6 +1,6 @@
 //! Offline shim for `serde_derive`: real `Serialize`/`Deserialize` derives.
 //!
-//! The derives target the shim `serde`'s [`Value`]-tree data model and
+//! The derives target the shim `serde`'s `Value`-tree data model and
 //! mirror real serde's default encodings: structs as objects, newtype
 //! structs transparent, tuple structs as arrays, enums externally tagged.
 //! The input is parsed directly from the token stream (no `syn`/`quote`

@@ -4,11 +4,13 @@
 //! (`qss_core::reference`) — same schedules (node for node, marking for
 //! marking), same search statistics, same channel bounds, same errors —
 //! across fixed paper fixtures, the divider family, the PFC case study
-//! and randomly generated nets.
+//! and randomly generated nets (both the dense default profile and the
+//! `wide` many-places/sparse-tokens profile that stresses the flat
+//! marking slab).
 
 use proptest::prelude::*;
 use qss_bench::experiments::divider_net;
-use qss_bench::testgen::{build_random, random_net_strategy};
+use qss_bench::testgen::{build_random, random_net_strategy, wide_net_strategy};
 use qss_core::{
     channel_bounds, find_schedule_with_stats, reference, ScheduleOptions, TerminationKind,
 };
@@ -173,6 +175,19 @@ proptest! {
     /// `qss_bench::testgen`).
     #[test]
     fn engines_agree_on_random_nets(desc in random_net_strategy()) {
+        let (net, source) = build_random(&desc);
+        for base in option_profiles() {
+            let opts = ScheduleOptions { max_nodes: 3_000, ..base };
+            assert_engines_agree(&net, source, &opts);
+        }
+    }
+
+    /// The `wide` testgen profile: many places, sparse tokens — long
+    /// fixed-width slab rows with few marked cells, which is exactly the
+    /// layout the flat marking arena has to get right (stride arithmetic,
+    /// reserve-then-commit rollbacks, incremental hashes over wide rows).
+    #[test]
+    fn engines_agree_on_wide_nets(desc in wide_net_strategy()) {
         let (net, source) = build_random(&desc);
         for base in option_profiles() {
             let opts = ScheduleOptions { max_nodes: 3_000, ..base };

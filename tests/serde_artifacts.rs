@@ -6,7 +6,8 @@ use qss::{
     CostProfile, EnvEvent, LinkedArtifact, Pipeline, PipelineConfig, QssError, ScheduleArtifact,
     ScheduleOptions, SimArtifact, SimReport, TaskArtifact,
 };
-use qss_core::{Schedule, SystemSchedules};
+use qss_core::{Schedule, ScheduleNode, SystemSchedules};
+use serde::{Deserialize, Serialize};
 
 const SOURCE: &str = include_str!("../samples/pipeline.flowc");
 
@@ -39,6 +40,47 @@ fn schedule_round_trips() {
     let json = serde_json::to_string(&task.schedules).unwrap();
     let back: SystemSchedules = serde_json::from_str(&json).unwrap();
     assert_eq!(back, task.schedules);
+}
+
+/// The naively derived serialization of a schedule's exchange
+/// representation — exactly what `Schedule` serialized as before markings
+/// were interned onto the flat slab. The manual `Serialize` impl promises
+/// to keep this wire format.
+#[derive(Serialize, Deserialize)]
+struct WireSchedule {
+    source: qss_petri::TransitionId,
+    nodes: Vec<ScheduleNode>,
+}
+
+#[test]
+fn schedule_wire_format_is_byte_identical_to_the_pre_slab_exchange_form() {
+    let task = task_artifact();
+    for schedule in &task.schedules.schedules {
+        let mirror = WireSchedule {
+            source: schedule.source(),
+            nodes: schedule
+                .node_ids()
+                .map(|id| ScheduleNode {
+                    marking: schedule.marking_owned(id),
+                    edges: schedule.edges(id).to_vec(),
+                })
+                .collect(),
+        };
+        // Byte-identical in both renderings: the flat-slab refactor (and
+        // interning before it) never touched the JSON wire format.
+        assert_eq!(
+            serde_json::to_string(schedule).unwrap(),
+            serde_json::to_string(&mirror).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string_pretty(schedule).unwrap(),
+            serde_json::to_string_pretty(&mirror).unwrap()
+        );
+        // And the derived mirror parses back into an equal Schedule.
+        let back: Schedule =
+            serde_json::from_str(&serde_json::to_string(&mirror).unwrap()).unwrap();
+        assert_eq!(&back, schedule);
+    }
 }
 
 #[test]
@@ -125,6 +167,23 @@ fn task_and_sim_artifacts_round_trip() {
     assert_eq!(back.single, sim.single);
     assert_eq!(back.events, sim.events);
     assert!(back.outputs_match);
+}
+
+#[test]
+fn ragged_marking_widths_are_a_deserialization_error_not_a_panic() {
+    // Corrupted wire input where two nodes disagree on the place count:
+    // the fixed-stride marking store can never hold this, so it must be
+    // rejected before interning (previously it deserialized and failed
+    // validate(); aborting the process is never acceptable for JSON).
+    let ragged = r#"{
+        "source": 0,
+        "nodes": [
+            {"marking": {"counts": [0, 0]}, "edges": [[0, 1]]},
+            {"marking": {"counts": [1, 0, 0]}, "edges": [[1, 0]]}
+        ]
+    }"#;
+    let result: Result<Schedule, _> = serde_json::from_str(ragged);
+    assert!(result.is_err());
 }
 
 #[test]
