@@ -15,7 +15,10 @@
 //! [`SearchContext`] built once per net with the EP search repeated on it,
 //! which is how `schedule_system` and a long-running scheduling service
 //! use the engine. The reference side re-derives everything per call, as
-//! the original engine did.
+//! the original engine did. The `server/schedule_warm_vs_cold` case
+//! closes the loop end-to-end: a real `qssd` over loopback TCP with its
+//! context cache enabled (warm) against one with the cache disabled
+//! (cold, the reference column).
 //!
 //! Run with `cargo run -p qss_bench --release --bin bench_json`.
 //! Set `QSS_BENCH_FAST=1` for a quick smoke run with fewer samples.
@@ -97,6 +100,42 @@ fn churn_step(scratch: &mut [u32], i: usize) {
     // the Vec-of-Markings shape, a slab append in the flat store. The
     // driver re-interns every eighth row to exercise dedup hits too.
     scratch[i % CHURN_WIDTH] = i as u32;
+}
+
+/// The `server/schedule_warm_vs_cold` workload: a two-stage hot path
+/// driven by the one uncontrollable input, inside a system with
+/// `ballast` further controllable-input processes. The ballast inflates
+/// the *net* (every process adds places, transitions and T-invariant
+/// rows, so `SearchContext::new` is expensive) while staying out of the
+/// single-source *schedule* (controllable inputs are only fired on
+/// request, so the reaction — and the returned artifact — stays small).
+/// That is the traffic shape where a context cache pays: big system,
+/// small per-request reaction.
+fn service_net_source(ballast: usize) -> String {
+    let mut src = String::from(
+        "SYSTEM warmcold {\n\
+         \x20   CHANNEL hot.snd -> relay.rcv;\n\
+         \x20   INPUT hot.rcv UNCONTROLLABLE;\n",
+    );
+    for i in 0..ballast {
+        let _ = writeln!(src, "    INPUT b{i}.rcv CONTROLLABLE;");
+    }
+    src.push_str("}\n");
+    for (name, body) in [("hot", "x + 1"), ("relay", "x * 2")] {
+        let _ = writeln!(
+            src,
+            "PROCESS {name} (In DPORT rcv, Out DPORT snd) {{\n    int x;\n    \
+             while (1) {{ READ_DATA(rcv, x, 1); WRITE_DATA(snd, {body}, 1); }}\n}}"
+        );
+    }
+    for i in 0..ballast {
+        let _ = writeln!(
+            src,
+            "PROCESS b{i} (In DPORT rcv, Out DPORT snd) {{\n    int x;\n    \
+             while (1) {{ READ_DATA(rcv, x, 1); WRITE_DATA(snd, x + {i}, 1); }}\n}}"
+        );
+    }
+    src
 }
 
 fn main() {
@@ -190,6 +229,52 @@ fn main() {
                 black_box(t_invariant_basis_dense(&csystem.net, 50_000));
             }),
         );
+    }
+
+    {
+        // The service case: one `schedule` request against a live `qssd`
+        // over loopback TCP, warm vs cold. The "warm" server holds its
+        // `SearchContext` cache (requests after the first reuse the
+        // per-net analyses); the "reference" server runs with the cache
+        // disabled (`cache_capacity: 0`), so every request re-derives the
+        // ECS partition and T-invariant basis — the per-request cost the
+        // ContextCache exists to amortise. Protocol and search work are
+        // identical on both sides; the delta is context reuse alone.
+        let source = service_net_source(48);
+        let spawn = |cache_capacity: usize| {
+            qss_server::Server::bind(qss_server::ServerConfig {
+                workers: 2,
+                queue_capacity: 16,
+                cache_capacity,
+                ..qss_server::ServerConfig::default()
+            })
+            .expect("bind loopback server")
+            .spawn()
+        };
+        let warm = spawn(16);
+        let cold = spawn(0);
+        let mut warm_client = qss_server::Client::connect(warm.addr()).expect("connect warm");
+        let mut cold_client = qss_server::Client::connect(cold.addr()).expect("connect cold");
+        let (warm_source, cold_source) = (source.clone(), source);
+        push_case(
+            "server/schedule_warm_vs_cold".to_string(),
+            Box::new(move || {
+                black_box(
+                    warm_client
+                        .schedule(&warm_source, None)
+                        .expect("warm schedule"),
+                );
+            }),
+            Box::new(move || {
+                black_box(
+                    cold_client
+                        .schedule(&cold_source, None)
+                        .expect("cold schedule"),
+                );
+            }),
+        );
+        warm.shutdown_and_join().expect("warm server drains");
+        cold.shutdown_and_join().expect("cold server drains");
     }
 
     {

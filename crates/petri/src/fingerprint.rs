@@ -1,0 +1,290 @@
+//! Content fingerprints of Petri nets, for caching per-net analyses.
+//!
+//! A long-running scheduling service wants to reuse the expensive per-net
+//! state (`SearchContext`: ECS partition + T-invariant basis) across
+//! requests that carry the same net. The cache key is
+//! [`net_fingerprint`]: an **order-independent** hash over the net's
+//! content — the multiset of places (name, kind, initial tokens, bound),
+//! transitions (name, kind, code, guard, branch, process, priority) and
+//! weighted arcs (endpoint *names*, direction, weight). Two nets built
+//! from the same elements fingerprint identically no matter in which
+//! order those elements were declared; the net's own display name is
+//! deliberately excluded (analyses never depend on it).
+//!
+//! Order-independence has one sharp edge: a permutation of same-named
+//! elements changes every [`PlaceId`](crate::PlaceId) /
+//! [`TransitionId`](crate::TransitionId) while preserving the fingerprint, and cached id-indexed analyses would then be *wrong*
+//! for the permuted net. [`net_ordered_digest`] is the companion
+//! **order-sensitive** hash caches store alongside each entry: equal
+//! fingerprint + equal digest means the id assignment matches too, so a
+//! cached context is safe to reuse; equal fingerprint with a different
+//! digest is treated as a miss (a detected collision), never silent reuse.
+
+use crate::fx::FxHasher;
+use crate::net::PetriNet;
+use std::hash::Hasher;
+
+/// Hashes one element (a tagged byte string) into a 64-bit lane.
+fn element_hash(parts: &[&[u8]]) -> u64 {
+    let mut h = FxHasher::default();
+    for part in parts {
+        h.write_usize(part.len());
+        h.write(part);
+    }
+    // Finish with a multiply-xorshift so structurally similar elements
+    // (e.g. `p1`/`p2`) land in well-separated lanes before the
+    // commutative combination below.
+    let mut x = h.finish();
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x
+}
+
+fn u32_bytes(v: u32) -> [u8; 4] {
+    v.to_le_bytes()
+}
+
+fn opt_u32_bytes(v: Option<u32>) -> [u8; 5] {
+    let mut out = [0u8; 5];
+    if let Some(v) = v {
+        out[0] = 1;
+        out[1..].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// The per-element lanes of a net, yielded in id order. Shared by the
+/// order-independent fingerprint (which combines them commutatively) and
+/// the order-sensitive digest (which chains them).
+fn element_lanes(net: &PetriNet) -> impl Iterator<Item = u64> + '_ {
+    let places = net.place_ids().map(move |p| {
+        let place = net.place(p);
+        element_hash(&[
+            b"place",
+            place.name.as_bytes(),
+            &[place.kind as u8],
+            &u32_bytes(place.initial),
+            &opt_u32_bytes(place.bound),
+        ])
+    });
+    let transitions = net.transition_ids().map(move |t| {
+        let tr = net.transition(t);
+        let code = tr.code.join("\n");
+        let kind = [tr.kind as u8];
+        let mut parts: Vec<&[u8]> = vec![b"transition", tr.name.as_bytes(), &kind];
+        parts.push(code.as_bytes());
+        let guard = tr.guard.as_deref().unwrap_or("\u{0}none");
+        parts.push(guard.as_bytes());
+        let branch = [match tr.branch {
+            None => 0u8,
+            Some(false) => 1,
+            Some(true) => 2,
+        }];
+        parts.push(&branch);
+        let process = tr.process.as_deref().unwrap_or("\u{0}none");
+        parts.push(process.as_bytes());
+        let priority = opt_u32_bytes(tr.priority);
+        parts.push(&priority);
+        element_hash(&parts)
+    });
+    let arcs = net.transition_ids().flat_map(move |t| {
+        let tr_name = net.transition(t).name.as_bytes();
+        let pre = net.preset(t).iter().map(move |&(p, w)| {
+            element_hash(&[
+                b"arc-p2t",
+                net.place(p).name.as_bytes(),
+                tr_name,
+                &u32_bytes(w),
+            ])
+        });
+        let post = net.postset(t).iter().map(move |&(p, w)| {
+            element_hash(&[
+                b"arc-t2p",
+                tr_name,
+                net.place(p).name.as_bytes(),
+                &u32_bytes(w),
+            ])
+        });
+        pre.chain(post)
+    });
+    places.chain(transitions).chain(arcs)
+}
+
+/// The order-independent content fingerprint of a net.
+///
+/// Stable under any reordering of place/transition declarations and arc
+/// insertions: per-element hashes are combined with commutative
+/// reductions (sum and xor-of-rotations), then mixed with the element
+/// counts. Suitable as a cache key for per-net derived state; pair it
+/// with [`net_ordered_digest`] to reject the (astronomically unlikely,
+/// but id-corrupting) same-content-different-order collisions.
+pub fn net_fingerprint(net: &PetriNet) -> u64 {
+    let mut sum: u64 = 0;
+    let mut xor: u64 = 0;
+    let mut count: u64 = 0;
+    for lane in element_lanes(net) {
+        sum = sum.wrapping_add(lane);
+        // Rotate by a lane-derived amount before xor so that pairs of
+        // identical elements don't cancel each other out of the xor lane.
+        xor ^= lane.rotate_left((lane & 63) as u32);
+        count += 1;
+    }
+    let mut h = FxHasher::default();
+    h.write_u64(sum);
+    h.write_u64(xor);
+    h.write_u64(count);
+    h.write_usize(net.num_places());
+    h.write_usize(net.num_transitions());
+    h.finish()
+}
+
+/// The order-**sensitive** companion digest of [`net_fingerprint`].
+///
+/// Chains the same per-element lanes in id order, so any permutation of
+/// places or transitions (which would re-number the
+/// [`PlaceId`](crate::PlaceId)s / [`TransitionId`](crate::TransitionId)s
+/// and invalidate id-indexed analyses) changes the digest. Caches keyed by fingerprint store this alongside each entry
+/// and treat a digest mismatch as a miss.
+pub fn net_ordered_digest(net: &PetriNet) -> u64 {
+    let mut h = FxHasher::default();
+    for lane in element_lanes(net) {
+        h.write_u64(lane);
+    }
+    h.write_usize(net.num_places());
+    h.write_usize(net.num_transitions());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, TransitionKind};
+
+    fn chain_net(order_swapped: bool) -> PetriNet {
+        let mut b = NetBuilder::new("chain");
+        if order_swapped {
+            let p1 = b.place("p1", 0);
+            let p0 = b.place("p0", 1);
+            let tb = b.transition("b", TransitionKind::Internal);
+            let ta = b.transition("a", TransitionKind::Internal);
+            b.arc_p2t(p1, tb, 1);
+            b.arc_t2p(tb, p0, 1);
+            b.arc_p2t(p0, ta, 1);
+            b.arc_t2p(ta, p1, 1);
+        } else {
+            let p0 = b.place("p0", 1);
+            let p1 = b.place("p1", 0);
+            let ta = b.transition("a", TransitionKind::Internal);
+            let tb = b.transition("b", TransitionKind::Internal);
+            b.arc_p2t(p0, ta, 1);
+            b.arc_t2p(ta, p1, 1);
+            b.arc_p2t(p1, tb, 1);
+            b.arc_t2p(tb, p0, 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_nets_fingerprint_identically() {
+        assert_eq!(
+            net_fingerprint(&chain_net(false)),
+            net_fingerprint(&chain_net(false))
+        );
+        assert_eq!(
+            net_ordered_digest(&chain_net(false)),
+            net_ordered_digest(&chain_net(false))
+        );
+    }
+
+    #[test]
+    fn declaration_order_does_not_change_the_fingerprint() {
+        assert_eq!(
+            net_fingerprint(&chain_net(false)),
+            net_fingerprint(&chain_net(true))
+        );
+    }
+
+    #[test]
+    fn declaration_order_does_change_the_ordered_digest() {
+        assert_ne!(
+            net_ordered_digest(&chain_net(false)),
+            net_ordered_digest(&chain_net(true))
+        );
+    }
+
+    #[test]
+    fn net_name_is_excluded() {
+        let build = |name: &str| {
+            let mut b = NetBuilder::new(name);
+            let p = b.place("p", 1);
+            let t = b.transition("t", TransitionKind::Internal);
+            b.arc_p2t(p, t, 1);
+            b.build().unwrap()
+        };
+        assert_eq!(net_fingerprint(&build("x")), net_fingerprint(&build("y")));
+    }
+
+    #[test]
+    fn content_changes_change_the_fingerprint() {
+        let base = chain_net(false);
+        // Different initial marking.
+        let mut b = NetBuilder::new("chain");
+        let p0 = b.place("p0", 2);
+        let p1 = b.place("p1", 0);
+        let ta = b.transition("a", TransitionKind::Internal);
+        let tb = b.transition("b", TransitionKind::Internal);
+        b.arc_p2t(p0, ta, 1);
+        b.arc_t2p(ta, p1, 1);
+        b.arc_p2t(p1, tb, 1);
+        b.arc_t2p(tb, p0, 1);
+        let marked = b.build().unwrap();
+        assert_ne!(net_fingerprint(&base), net_fingerprint(&marked));
+
+        // Different arc weight.
+        let mut b = NetBuilder::new("chain");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let ta = b.transition("a", TransitionKind::Internal);
+        let tb = b.transition("b", TransitionKind::Internal);
+        b.arc_p2t(p0, ta, 1);
+        b.arc_t2p(ta, p1, 2);
+        b.arc_p2t(p1, tb, 1);
+        b.arc_t2p(tb, p0, 1);
+        let weighted = b.build().unwrap();
+        assert_ne!(net_fingerprint(&base), net_fingerprint(&weighted));
+
+        // Different transition kind.
+        let mut b = NetBuilder::new("chain");
+        let p0 = b.place("p0", 1);
+        let p1 = b.place("p1", 0);
+        let ta = b.transition("a", TransitionKind::UncontrollableSource);
+        let tb = b.transition("b", TransitionKind::Internal);
+        b.arc_p2t(p0, ta, 1);
+        b.arc_t2p(ta, p1, 1);
+        b.arc_p2t(p1, tb, 1);
+        b.arc_t2p(tb, p0, 1);
+        let retyped = b.build().unwrap();
+        assert_ne!(net_fingerprint(&base), net_fingerprint(&retyped));
+    }
+
+    #[test]
+    fn adding_same_shaped_places_changes_the_fingerprint() {
+        // Every element lane is unique (names are unique, same-pair arcs
+        // merge), but lanes of same-shaped siblings are *similar*; a
+        // weak commutative combiner could let them collide.
+        let with_pair = |n: usize| {
+            let mut b = NetBuilder::new("dup");
+            let p = b.place("p", 1);
+            let t = b.transition("t", TransitionKind::Internal);
+            b.arc_p2t(p, t, 1);
+            for i in 0..n {
+                b.place(format!("twin{i}"), 3);
+            }
+            b.build().unwrap()
+        };
+        let zero = with_pair(0);
+        let two = with_pair(2);
+        assert_ne!(net_fingerprint(&zero), net_fingerprint(&two));
+    }
+}

@@ -34,6 +34,7 @@ pub mod analysis;
 pub mod dot;
 pub mod ecs;
 pub mod error;
+pub mod fingerprint;
 pub mod fx;
 pub mod ids;
 pub mod invariant;
@@ -45,6 +46,7 @@ pub mod store;
 pub use analysis::{place_degree, NetAnalysis};
 pub use ecs::{ChoiceClass, EcsId, EcsInfo};
 pub use error::{NetError, Result};
+pub use fingerprint::{net_fingerprint, net_ordered_digest};
 pub use fx::{FxHashMap, FxHashSet};
 pub use ids::{PlaceId, TransitionId};
 pub use invariant::{

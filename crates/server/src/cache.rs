@@ -1,0 +1,259 @@
+//! The fingerprint-keyed cache of per-net [`SearchContext`]s.
+//!
+//! The expensive per-net state of a schedule request — the ECS partition,
+//! the non-negative T-invariant basis and the seeded base
+//! [`qss::petri::MarkingStore`], bundled as a [`SearchContext`] — depends
+//! only on the net. A long-running service therefore keys it by
+//! [`qss::LinkedArtifact::fingerprint`] and shares one
+//! [`Arc<SearchContext>`] across every request that carries the same net,
+//! paying the analyses once per net instead of once per request.
+//!
+//! Each entry additionally stores the net's *ordered digest*
+//! ([`qss::petri::net_ordered_digest`]): the fingerprint is
+//! order-independent, so a same-content-different-id-order net would
+//! collide with an entry whose id-indexed analyses do not apply to it. A
+//! digest mismatch on an otherwise matching fingerprint is counted as a
+//! collision and served as a miss — never as silent reuse.
+
+use crate::util::lock;
+use qss::remote::CacheStats;
+use qss::SearchContext;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    digest: u64,
+    context: Arc<SearchContext>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// An LRU-bounded map from net fingerprint to shared [`SearchContext`],
+/// with hit/miss/eviction/collision counters.
+///
+/// All methods take `&self`; the cache is shared freely across the
+/// server's worker threads.
+pub struct ContextCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl ContextCache {
+    /// Creates a cache holding at most `capacity` contexts. A capacity of
+    /// zero disables caching entirely (every lookup misses) — the "cold"
+    /// configuration the benchmark compares against.
+    pub fn new(capacity: usize) -> Self {
+        ContextCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached context for `(fingerprint, digest)` or builds,
+    /// caches and returns a fresh one. The boolean reports whether this
+    /// was a hit.
+    ///
+    /// `build` runs outside the cache lock, so a slow analysis of one net
+    /// never blocks requests for other nets; if two threads race to build
+    /// the same context, the first one to finish wins and the loser
+    /// adopts the winner's copy (the in-flight coalescing layer upstream
+    /// makes this race rare for `schedule` traffic).
+    pub fn get_or_build(
+        &self,
+        fingerprint: u64,
+        digest: u64,
+        build: impl FnOnce() -> SearchContext,
+    ) -> (Arc<SearchContext>, bool) {
+        if let Some(context) = self.probe(fingerprint, digest) {
+            return (context, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let context = Arc::new(build());
+        (self.adopt_or_insert(fingerprint, digest, context), false)
+    }
+
+    /// Looks `(fingerprint, digest)` up, counting a hit or a collision.
+    fn probe(&self, fingerprint: u64, digest: u64) -> Option<Arc<SearchContext>> {
+        let mut inner = lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(&fingerprint) {
+            Some(entry) if entry.digest == digest => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.context))
+            }
+            Some(_) => {
+                // Same content-multiset, different id order: the cached
+                // id-indexed analyses do NOT apply. Count and miss.
+                self.collisions.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts a freshly built context, unless a racing thread already
+    /// published one for the same key (then that one is adopted).
+    fn adopt_or_insert(
+        &self,
+        fingerprint: u64,
+        digest: u64,
+        context: Arc<SearchContext>,
+    ) -> Arc<SearchContext> {
+        if self.capacity == 0 {
+            return context;
+        }
+        let mut inner = lock(&self.inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&fingerprint) {
+            if entry.digest == digest {
+                entry.last_used = tick;
+                return Arc::clone(&entry.context);
+            }
+            // A colliding fingerprint: the newer net wins the slot.
+            entry.digest = digest;
+            entry.context = Arc::clone(&context);
+            entry.last_used = tick;
+            return context;
+        }
+        if inner.entries.len() >= self.capacity {
+            if let Some(&victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                inner.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.entries.insert(
+            fingerprint,
+            Entry {
+                digest,
+                context: Arc::clone(&context),
+                last_used: tick,
+            },
+        );
+        context
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = lock(&self.inner).entries.len() as u64;
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qss::petri::{NetBuilder, PetriNet, TransitionKind};
+
+    fn tiny_net(tag: &str) -> PetriNet {
+        let mut b = NetBuilder::new("tiny");
+        let p = b.place(format!("p_{tag}"), 0);
+        let src = b.transition(format!("in_{tag}"), TransitionKind::UncontrollableSource);
+        let t = b.transition(format!("t_{tag}"), TransitionKind::Internal);
+        b.arc_t2p(src, p, 1);
+        b.arc_p2t(p, t, 1);
+        b.build().unwrap()
+    }
+
+    fn keyed(tag: &str) -> (u64, u64, PetriNet) {
+        let net = tiny_net(tag);
+        (
+            qss::petri::net_fingerprint(&net),
+            qss::petri::net_ordered_digest(&net),
+            net,
+        )
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_context() {
+        let cache = ContextCache::new(4);
+        let (fp, dg, net) = keyed("a");
+        let (first, hit) = cache.get_or_build(fp, dg, || SearchContext::new(&net));
+        assert!(!hit);
+        let (second, hit) = cache.get_or_build(fp, dg, || panic!("must not rebuild"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn digest_mismatch_is_a_counted_collision_not_a_hit() {
+        let cache = ContextCache::new(4);
+        let (fp, dg, net) = keyed("a");
+        cache.get_or_build(fp, dg, || SearchContext::new(&net));
+        // Forge a same-fingerprint different-digest key.
+        let (ctx, hit) = cache.get_or_build(fp, dg ^ 1, || SearchContext::new(&net));
+        assert!(!hit);
+        let stats = cache.stats();
+        assert_eq!(stats.collisions, 1);
+        assert_eq!(stats.misses, 2);
+        // The newer digest now owns the slot.
+        let (again, hit) = cache.get_or_build(fp, dg ^ 1, || panic!("cached"));
+        assert!(hit);
+        assert!(Arc::ptr_eq(&ctx, &again));
+    }
+
+    #[test]
+    fn capacity_is_enforced_lru_first() {
+        let cache = ContextCache::new(2);
+        let (fp_a, dg_a, net_a) = keyed("a");
+        let (fp_b, dg_b, net_b) = keyed("b");
+        let (fp_c, dg_c, net_c) = keyed("c");
+        cache.get_or_build(fp_a, dg_a, || SearchContext::new(&net_a));
+        cache.get_or_build(fp_b, dg_b, || SearchContext::new(&net_b));
+        // Touch `a` so `b` is the LRU entry.
+        cache.get_or_build(fp_a, dg_a, || panic!("cached"));
+        cache.get_or_build(fp_c, dg_c, || SearchContext::new(&net_c));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        // `a` survived, `b` was evicted.
+        let (_, hit) = cache.get_or_build(fp_a, dg_a, || panic!("a must be cached"));
+        assert!(hit);
+        let (_, hit) = cache.get_or_build(fp_b, dg_b, || SearchContext::new(&net_b));
+        assert!(!hit);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ContextCache::new(0);
+        let (fp, dg, net) = keyed("a");
+        let (_, hit) = cache.get_or_build(fp, dg, || SearchContext::new(&net));
+        assert!(!hit);
+        let (_, hit) = cache.get_or_build(fp, dg, || SearchContext::new(&net));
+        assert!(!hit);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! In-flight coalescing of schedule searches.
+//!
+//! When several concurrent requests ask to schedule the same net under
+//! the same configuration, running the EP search once is enough: the
+//! first request becomes the *leader* and runs the search, every
+//! concurrent duplicate becomes a *follower* that blocks on the leader's
+//! [`Flight`] and receives the shared result. The table key is
+//! `(fingerprint, ordered digest, canonical config JSON)` — exactly the
+//! inputs the search result depends on (the FlowC source text itself does
+//! *not* enter the key: requests whose sources link to the same net share
+//! the search and attach the shared [`SystemSchedules`] to their own
+//! artifacts).
+//!
+//! The leader holds a [`LeaderGuard`]; if it fails to publish a result —
+//! including by panicking — the guard's `Drop` publishes an internal
+//! error, so followers can never be stranded on a dead flight.
+
+use crate::util::lock;
+use qss::remote::{ErrorKind, WireError};
+use qss::{SearchContext, SystemSchedules};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The key a search is coalesced under.
+pub(crate) type SearchKey = (u64, u64, String);
+
+/// The shared result of one coalesced search: the schedules plus the
+/// context they were computed with (so followers can assemble full
+/// `ScheduleArtifact`s) and whether the leader's context came from the
+/// cache.
+#[derive(Clone, Debug)]
+pub(crate) struct SharedSearch {
+    pub schedules: Arc<SystemSchedules>,
+    pub context: Arc<SearchContext>,
+    pub cache_hit: bool,
+}
+
+pub(crate) type SearchOutcome = Result<SharedSearch, WireError>;
+
+/// One running search and its rendezvous point.
+pub(crate) struct Flight {
+    slot: Mutex<Option<SearchOutcome>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader publishes, then returns a copy of the
+    /// outcome.
+    pub fn wait(&self) -> SearchOutcome {
+        let mut slot = lock(&self.slot);
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self
+                .done
+                .wait(slot)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    fn publish(&self, outcome: SearchOutcome) {
+        let mut slot = lock(&self.slot);
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        self.done.notify_all();
+    }
+}
+
+/// What [`InFlightTable::join`] hands back: run the search, or wait for
+/// whoever is already running it.
+pub(crate) enum Ticket<'a> {
+    /// This request runs the search and must complete the guard.
+    Lead(LeaderGuard<'a>),
+    /// A leader is already searching; wait on its flight.
+    Wait(Arc<Flight>),
+}
+
+/// The table of currently running searches.
+#[derive(Default)]
+pub(crate) struct InFlightTable {
+    flights: Mutex<HashMap<SearchKey, Arc<Flight>>>,
+}
+
+impl InFlightTable {
+    pub fn new() -> Self {
+        InFlightTable::default()
+    }
+
+    /// Joins the search for `key`: the first caller leads, concurrent
+    /// duplicates wait.
+    pub fn join(&self, key: SearchKey) -> Ticket<'_> {
+        let mut flights = lock(&self.flights);
+        if let Some(flight) = flights.get(&key) {
+            return Ticket::Wait(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert(key.clone(), Arc::clone(&flight));
+        Ticket::Lead(LeaderGuard {
+            table: self,
+            key,
+            flight,
+            completed: false,
+        })
+    }
+
+    /// Removes a finished flight so later requests start fresh searches
+    /// (they will hit the context cache instead).
+    fn retire(&self, key: &SearchKey) {
+        lock(&self.flights).remove(key);
+    }
+}
+
+/// The leader's obligation to publish. Dropping the guard without calling
+/// [`LeaderGuard::complete`] — e.g. because the search panicked —
+/// publishes an internal error to the followers.
+pub(crate) struct LeaderGuard<'a> {
+    table: &'a InFlightTable,
+    key: SearchKey,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl LeaderGuard<'_> {
+    /// Publishes the outcome to every follower and retires the flight.
+    pub fn complete(mut self, outcome: SearchOutcome) {
+        self.completed = true;
+        self.table.retire(&self.key);
+        self.flight.publish(outcome);
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.table.retire(&self.key);
+            self.flight.publish(Err(WireError::new(
+                ErrorKind::Internal,
+                "the leading search of this coalesced request failed abruptly",
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qss::petri::{NetBuilder, TransitionKind};
+    use std::sync::mpsc;
+    use std::thread;
+
+    fn shared_search() -> SharedSearch {
+        let mut b = NetBuilder::new("t");
+        let p = b.place("p", 0);
+        let src = b.transition("in", TransitionKind::UncontrollableSource);
+        let t = b.transition("t", TransitionKind::Internal);
+        b.arc_t2p(src, p, 1);
+        b.arc_p2t(p, t, 1);
+        let net = b.build().unwrap();
+        let context = Arc::new(SearchContext::new(&net));
+        let source = net.transition_by_name("in").unwrap();
+        let schedule = context
+            .find_schedule(&net, source, &qss::ScheduleOptions::default())
+            .unwrap();
+        SharedSearch {
+            schedules: Arc::new(SystemSchedules {
+                schedules: vec![schedule],
+                channel_bounds: Default::default(),
+                stats: vec![],
+            }),
+            context,
+            cache_hit: false,
+        }
+    }
+
+    fn key(n: u64) -> SearchKey {
+        (n, n, "config".to_string())
+    }
+
+    #[test]
+    fn followers_receive_the_leaders_result_exactly_once_computed() {
+        let table = Arc::new(InFlightTable::new());
+        let Ticket::Lead(guard) = table.join(key(1)) else {
+            panic!("first join must lead");
+        };
+        // Concurrent duplicates become followers.
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let mut followers = Vec::new();
+        for _ in 0..4 {
+            let table = Arc::clone(&table);
+            let ready_tx = ready_tx.clone();
+            followers.push(thread::spawn(move || {
+                let Ticket::Wait(flight) = table.join(key(1)) else {
+                    panic!("duplicate join must wait");
+                };
+                ready_tx.send(()).unwrap();
+                flight.wait()
+            }));
+        }
+        for _ in 0..4 {
+            ready_rx.recv().unwrap();
+        }
+        let shared = shared_search();
+        guard.complete(Ok(shared.clone()));
+        for follower in followers {
+            let outcome = follower.join().unwrap().unwrap();
+            assert!(Arc::ptr_eq(&outcome.schedules, &shared.schedules));
+            assert!(Arc::ptr_eq(&outcome.context, &shared.context));
+        }
+        // The flight retired: the next join leads a fresh search.
+        assert!(matches!(table.join(key(1)), Ticket::Lead(_)));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let table = InFlightTable::new();
+        let _lead_a = table.join(key(1));
+        assert!(matches!(table.join(key(2)), Ticket::Lead(_)));
+        assert!(matches!(
+            table.join((1, 1, "other-config".into())),
+            Ticket::Lead(_)
+        ));
+    }
+
+    #[test]
+    fn dropped_leader_strands_no_followers() {
+        let table = Arc::new(InFlightTable::new());
+        let guard = match table.join(key(7)) {
+            Ticket::Lead(guard) => guard,
+            Ticket::Wait(_) => panic!("first join must lead"),
+        };
+        let follower = {
+            let table = Arc::clone(&table);
+            let Ticket::Wait(flight) = table.join(key(7)) else {
+                panic!("duplicate join must wait");
+            };
+            thread::spawn(move || flight.wait())
+        };
+        drop(guard); // leader "panicked"
+        let outcome = follower.join().unwrap();
+        assert_eq!(outcome.unwrap_err().kind, ErrorKind::Internal);
+        assert!(matches!(table.join(key(7)), Ticket::Lead(_)));
+    }
+}

@@ -1,0 +1,430 @@
+//! `qss_server` — the quasi-static scheduling pipeline as a long-running
+//! TCP service (`qssd`).
+//!
+//! The ROADMAP's north star is heavy concurrent scheduling traffic; a
+//! batch `qssc` invocation re-derives all per-net analyses on every run.
+//! `qssd` keeps them warm instead:
+//!
+//! * **Protocol** — newline-delimited JSON over TCP (see
+//!   [`qss::remote`] and `PROTOCOL.md`), request kinds `check` / `link`
+//!   / `schedule` / `generate` / `simulate` / `stats` / `shutdown`,
+//!   each pipeline kind returning byte-for-byte the artifact the local
+//!   [`qss::Pipeline`] stage serializes.
+//! * **Context cache** ([`ContextCache`]) — per-net
+//!   [`qss::SearchContext`]s keyed by the order-independent net
+//!   fingerprint (guarded by the ordered digest), LRU-bounded, with
+//!   hit/miss/eviction counters surfaced through `stats`.
+//! * **Coalescing** — concurrent `schedule`-bearing requests for the
+//!   same `(fingerprint, digest, config)` attach to one in-flight search
+//!   and all receive the shared result.
+//! * **Backpressure** — a fixed worker pool drains a bounded queue;
+//!   when the queue is full, requests fail fast with a typed `busy`
+//!   error instead of stalling the connection.
+//! * **Graceful shutdown** — a `shutdown` request stops the accept
+//!   loop, drains every queued job, then unblocks idle connections; the
+//!   process exits without leaking listeners (what the CI harness relies
+//!   on).
+//!
+//! ```no_run
+//! use qss_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default())?; // 127.0.0.1, ephemeral port
+//! println!("listening on {}", server.local_addr());
+//! server.run()?; // blocks until a `shutdown` request
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod coalesce;
+mod pool;
+mod service;
+mod util;
+
+pub use cache::ContextCache;
+/// The wire protocol and client, re-exported from the facade so server
+/// users need a single dependency.
+pub use qss::remote::{
+    Client, ClientError, ErrorKind, RemoteArtifact, Request, RequestKind, ServerStats, WireError,
+};
+
+use crate::pool::{JobQueue, SubmitError};
+use crate::service::{Counters, Engine};
+use crate::util::lock;
+use qss::remote::{
+    read_line_bounded, response_error, response_ok, LineRead, DEFAULT_MAX_LINE_BYTES,
+};
+use serde_json::Value;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (read it back via
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing pipeline requests.
+    pub workers: usize,
+    /// Bound of the job queue; submissions beyond it are answered with a
+    /// typed `busy` error.
+    pub queue_capacity: usize,
+    /// Capacity of the [`ContextCache`] (0 disables context caching).
+    pub cache_capacity: usize,
+    /// Per-request line limit in bytes; longer lines are drained and
+    /// answered with `too_large`.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism()
+            .map(|n| n.get().min(8))
+            .unwrap_or(2);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            queue_capacity: 4 * workers.max(1),
+            cache_capacity: 64,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// One queued unit of work: a parsed request plus the channel its
+/// response travels back on.
+struct Job {
+    request: Request,
+    reply: mpsc::Sender<Result<Value, WireError>>,
+}
+
+/// Everything the accept loop, connection threads and workers share.
+struct ServerState {
+    config: ServerConfig,
+    engine: Engine,
+    queue: JobQueue<Job>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    /// Live client sockets, shut down after the drain so blocked reads
+    /// unblock and connection threads exit.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_connection: AtomicU64,
+}
+
+impl ServerState {
+    /// Flags shutdown and wakes the accept loop (idempotent).
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // The accept loop blocks in `accept`; a throwaway connection
+            // wakes it so it can observe the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A bound, not-yet-running scheduling service.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and prepares the shared state.
+    ///
+    /// # Errors
+    /// Propagates bind errors (bad address, port in use).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            engine: Engine::new(config.cache_capacity),
+            queue: JobQueue::new(config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            addr,
+            connections: Mutex::new(HashMap::new()),
+            next_connection: AtomicU64::new(0),
+            config,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains: queued
+    /// jobs all execute, their responses are written, and only then are
+    /// idle connections severed.
+    ///
+    /// # Errors
+    /// Propagates fatal listener errors (per-connection errors are
+    /// contained).
+    pub fn run(self) -> io::Result<()> {
+        let state = self.state;
+        let mut workers = Vec::new();
+        for _ in 0..state.config.workers.max(1) {
+            let state = Arc::clone(&state);
+            workers.push(thread::spawn(move || worker_loop(&state)));
+        }
+        let mut connection_threads: Vec<JoinHandle<()>> = Vec::new();
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(accepted) => accepted,
+                Err(_) if state.shutdown.load(Ordering::SeqCst) => break,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            if state.shutdown.load(Ordering::SeqCst) {
+                break; // likely the wake-up connection itself
+            }
+            let id = state.next_connection.fetch_add(1, Ordering::Relaxed);
+            if let Ok(clone) = stream.try_clone() {
+                lock(&state.connections).insert(id, clone);
+            }
+            let state = Arc::clone(&state);
+            connection_threads.push(thread::spawn(move || {
+                serve_connection(&state, stream);
+                lock(&state.connections).remove(&id);
+            }));
+            // Reap finished connection threads as we go — a long-running
+            // daemon must not accumulate one JoinHandle per connection it
+            // ever served (dropping a finished handle just detaches it).
+            connection_threads.retain(|handle| !handle.is_finished());
+        }
+        // Drain: no new jobs are accepted, queued jobs finish and their
+        // responses are written by the connection threads that wait on
+        // them.
+        state.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        // Sever only the *read* half of every connection: threads blocked
+        // in `read` wake with EOF and exit, while a thread still writing
+        // a drained job's response keeps its write half until it
+        // finishes — the "responses are still delivered" guarantee.
+        for (_, stream) in lock(&state.connections).drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        for thread in connection_threads {
+            let _ = thread.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread; the handle exposes the
+    /// address and joins on shutdown. The in-process flavor used by
+    /// tests and benchmarks.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let thread = thread::spawn(move || self.run());
+        ServerHandle { addr, thread }
+    }
+}
+
+/// Handle of a [`Server::spawn`]ed background server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the server to exit (after some client sent `shutdown`).
+    ///
+    /// # Errors
+    /// Propagates the server's exit status.
+    pub fn join(self) -> io::Result<()> {
+        self.thread
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+
+    /// Sends a `shutdown` request and joins the server.
+    ///
+    /// # Errors
+    /// Propagates client and server errors.
+    pub fn shutdown_and_join(self) -> io::Result<()> {
+        let mut client = Client::connect(self.addr)?;
+        client
+            .shutdown()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        self.join()
+    }
+}
+
+/// The worker loop: execute queued jobs until the queue closes. Panics
+/// inside a request are contained — the client gets a typed `internal`
+/// error and the worker lives on.
+fn worker_loop(state: &ServerState) {
+    while let Some(job) = state.queue.next() {
+        let result = catch_unwind(AssertUnwindSafe(|| state.engine.handle(&job.request)))
+            .unwrap_or_else(|_| {
+                Err(WireError::new(
+                    ErrorKind::Internal,
+                    "request handler panicked",
+                ))
+            });
+        let _ = job.reply.send(result);
+    }
+}
+
+/// One connection: read request lines, answer each with exactly one
+/// response line, in order. Protocol errors answer and continue; only
+/// transport errors (or EOF) end the loop.
+fn serve_connection(state: &ServerState, stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let line = match read_line_bounded(&mut reader, state.config.max_line_bytes) {
+            Err(_) | Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLarge) => {
+                Counters::bump(&state.engine.counters.requests);
+                let error = WireError::new(
+                    ErrorKind::TooLarge,
+                    format!(
+                        "request line exceeds the {}-byte limit",
+                        state.config.max_line_bytes
+                    ),
+                );
+                if !write_line(&mut writer, &respond_error(state, None, error)) {
+                    break;
+                }
+                continue;
+            }
+            Ok(LineRead::Line(line)) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        Counters::bump(&state.engine.counters.requests);
+        let (id, result, is_shutdown) = process_line(state, &line);
+        let text = match result {
+            Ok(value) => response_ok(id, value),
+            Err(error) => respond_error(state, id, error),
+        };
+        if !write_line(&mut writer, &text) {
+            break;
+        }
+        if is_shutdown {
+            // The acknowledgement is on the wire; now start draining.
+            state.begin_shutdown();
+        }
+    }
+}
+
+/// Parses and executes one request line, routing pipeline work through
+/// the bounded queue. Returns `(echoed id, result, shutdown?)`.
+fn process_line(state: &ServerState, line: &str) -> (Option<u64>, Result<Value, WireError>, bool) {
+    let request = match Request::parse_line(line) {
+        Ok(request) => request,
+        Err(error) => return (None, Err(error), false),
+    };
+    let id = request.id;
+    match request.kind {
+        // Control requests bypass the queue: they must answer promptly
+        // even when the workers are saturated.
+        RequestKind::Stats => (id, Ok(stats_value(state)), false),
+        RequestKind::Shutdown => (
+            id,
+            Ok(Value::Object(vec![(
+                "stopping".to_string(),
+                Value::Bool(true),
+            )])),
+            true,
+        ),
+        _ => {
+            if state.shutdown.load(Ordering::SeqCst) {
+                return (
+                    id,
+                    Err(WireError::new(
+                        ErrorKind::ShuttingDown,
+                        "server is draining for shutdown",
+                    )),
+                    false,
+                );
+            }
+            let (reply, receiver) = mpsc::channel();
+            match state.queue.submit(Job { request, reply }) {
+                Err(SubmitError::Full) => {
+                    Counters::bump(&state.engine.counters.busy_rejections);
+                    (
+                        id,
+                        Err(WireError::new(
+                            ErrorKind::Busy,
+                            format!(
+                                "worker queue is full ({} jobs); retry later",
+                                state.config.queue_capacity
+                            ),
+                        )),
+                        false,
+                    )
+                }
+                Err(SubmitError::Closed) => (
+                    id,
+                    Err(WireError::new(
+                        ErrorKind::ShuttingDown,
+                        "server is draining for shutdown",
+                    )),
+                    false,
+                ),
+                Ok(()) => match receiver.recv() {
+                    Ok(result) => (id, result, false),
+                    Err(_) => (
+                        id,
+                        Err(WireError::new(
+                            ErrorKind::Internal,
+                            "worker dropped the request",
+                        )),
+                        false,
+                    ),
+                },
+            }
+        }
+    }
+}
+
+/// Serializes an error response, counting it.
+fn respond_error(state: &ServerState, id: Option<u64>, error: WireError) -> String {
+    Counters::bump(&state.engine.counters.errors);
+    response_error(id, &error)
+}
+
+/// Writes one response line; `false` signals a dead connection.
+fn write_line(writer: &mut TcpStream, text: &str) -> bool {
+    writer
+        .write_all(text.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush())
+        .is_ok()
+}
+
+/// The `stats` payload.
+fn stats_value(state: &ServerState) -> Value {
+    let counters = &state.engine.counters;
+    let stats = ServerStats {
+        requests: Counters::read(&counters.requests),
+        errors: Counters::read(&counters.errors),
+        busy_rejections: Counters::read(&counters.busy_rejections),
+        coalesced: Counters::read(&counters.coalesced),
+        workers: state.config.workers.max(1) as u64,
+        queue_capacity: state.config.queue_capacity as u64,
+        cache: state.engine.cache.stats(),
+    };
+    serde_json::to_value(&stats).expect("stats serialization is infallible")
+}

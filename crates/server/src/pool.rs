@@ -1,0 +1,135 @@
+//! The bounded job queue behind the fixed worker pool.
+//!
+//! Connection threads do only protocol work (framing, parsing, control
+//! requests); everything that runs the pipeline is submitted here and
+//! executed by a fixed number of worker threads. The queue is bounded:
+//! when it is full, [`JobQueue::submit`] fails *immediately* and the
+//! connection layer answers with a typed `busy` error instead of letting
+//! an overloaded server accumulate unbounded work — clients get explicit
+//! backpressure they can retry on.
+
+use crate::util::lock;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitError {
+    /// The queue is at capacity — backpressure, retry later.
+    Full,
+    /// The queue is closed — the server is shutting down.
+    Closed,
+}
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    open: bool,
+}
+
+/// A multi-producer multi-consumer FIFO with a hard capacity bound.
+pub(crate) struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `job`, failing fast when full or closed.
+    pub fn submit(&self, job: T) -> Result<(), SubmitError> {
+        let mut inner = lock(&self.inner);
+        if !inner.open {
+            return Err(SubmitError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        inner.jobs.push_back(job);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained (the workers' signal to exit — queued work is always
+    /// finished before shutdown completes).
+    pub fn next(&self) -> Option<T> {
+        let mut inner = lock(&self.inner);
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Closes the intake. Already-queued jobs still drain via
+    /// [`JobQueue::next`].
+    pub fn close(&self) {
+        lock(&self.inner).open = false;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let queue = JobQueue::new(2);
+        assert_eq!(queue.submit(1), Ok(()));
+        assert_eq!(queue.submit(2), Ok(()));
+        assert_eq!(queue.submit(3), Err(SubmitError::Full));
+        // Draining one slot re-opens the intake.
+        assert_eq!(queue.next(), Some(1));
+        assert_eq!(queue.submit(3), Ok(()));
+    }
+
+    #[test]
+    fn close_drains_queued_work_then_stops_workers() {
+        let queue = Arc::new(JobQueue::new(8));
+        queue.submit(10).unwrap();
+        queue.submit(11).unwrap();
+        queue.close();
+        assert_eq!(queue.submit(12), Err(SubmitError::Closed));
+        // Queued jobs still come out, then the queue reports exhaustion.
+        assert_eq!(queue.next(), Some(10));
+        assert_eq!(queue.next(), Some(11));
+        assert_eq!(queue.next(), None);
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_submit_and_on_close() {
+        let queue = Arc::new(JobQueue::<u32>::new(8));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.next())
+        };
+        queue.submit(5).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some(5));
+        let waiter = {
+            let queue = Arc::clone(&queue);
+            thread::spawn(move || queue.next())
+        };
+        queue.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

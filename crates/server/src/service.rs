@@ -1,0 +1,189 @@
+//! Request execution: every wire request mapped onto the [`qss`]
+//! pipeline, with the context cache and in-flight coalescing threaded
+//! through the `schedule`-bearing paths.
+
+use crate::cache::ContextCache;
+use crate::coalesce::{InFlightTable, SearchKey, SharedSearch, Ticket};
+use qss::remote::{fingerprint_hex, CheckSummary, ErrorKind, Request, RequestKind, WireError};
+use qss::{LinkedArtifact, Pipeline, QssError, ScheduleArtifact, SearchContext, SystemSchedules};
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The protocol-visible counters (cache counters live in the cache).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub requests: AtomicU64,
+    pub errors: AtomicU64,
+    pub busy_rejections: AtomicU64,
+    pub coalesced: AtomicU64,
+}
+
+impl Counters {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn read(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// The compute side of the server: everything workers need to execute a
+/// pipeline request. Shared immutably across worker threads.
+pub(crate) struct Engine {
+    pub cache: ContextCache,
+    pub inflight: InFlightTable,
+    pub counters: Counters,
+}
+
+impl Engine {
+    pub fn new(cache_capacity: usize) -> Self {
+        Engine {
+            cache: ContextCache::new(cache_capacity),
+            inflight: InFlightTable::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Executes one pipeline request (`check` / `link` / `schedule` /
+    /// `generate` / `simulate`). Control requests (`stats`, `shutdown`)
+    /// never reach the engine — the connection layer answers them without
+    /// queueing.
+    pub fn handle(&self, request: &Request) -> Result<Value, WireError> {
+        let source = request.source.as_deref().ok_or_else(|| {
+            WireError::protocol(format!("request kind `{}` needs `source`", request.kind))
+        })?;
+        let config = request.config.clone().unwrap_or_default();
+        let linked = Pipeline::from_source(source)
+            .map_err(WireError::from)?
+            .with_config(config)
+            .link()
+            .map_err(WireError::from)?;
+        let fingerprint = linked.fingerprint();
+        match request.kind {
+            RequestKind::Check => {
+                let analysis = linked.analysis();
+                let summary = CheckSummary {
+                    fingerprint: fingerprint_hex(fingerprint),
+                    system: linked.spec.name().to_string(),
+                    processes: linked.system.process_names.len() as u64,
+                    channels: linked.system.channels.len() as u64,
+                    places: analysis.num_places as u64,
+                    transitions: analysis.num_transitions as u64,
+                    uncontrollable_inputs: analysis.num_uncontrollable_sources as u64,
+                    choice_places: analysis.num_choice_places as u64,
+                };
+                Ok(to_value(&summary))
+            }
+            RequestKind::Link => Ok(artifact_result(fingerprint, None, to_value(&linked))),
+            RequestKind::Schedule => {
+                let (artifact, cache_hit) = self.scheduled(linked)?;
+                Ok(artifact_result(
+                    fingerprint,
+                    Some(cache_hit),
+                    to_value(&artifact),
+                ))
+            }
+            RequestKind::Generate => {
+                let (scheduled, cache_hit) = self.scheduled(linked)?;
+                let task = scheduled.generate().map_err(WireError::from)?;
+                Ok(artifact_result(
+                    fingerprint,
+                    Some(cache_hit),
+                    to_value(&task),
+                ))
+            }
+            RequestKind::Simulate => {
+                let (scheduled, cache_hit) = self.scheduled(linked)?;
+                let task = scheduled.generate().map_err(WireError::from)?;
+                let sim = task.simulate(&request.events).map_err(WireError::from)?;
+                let mut result = artifact_result(fingerprint, Some(cache_hit), to_value(&sim));
+                if request.include_task {
+                    // Embed the stage-3 artifact so `build --events`
+                    // callers need one request, not a second full
+                    // pipeline run for `generate`.
+                    if let Value::Object(pairs) = &mut result {
+                        pairs.push(("task".to_string(), to_value(&task)));
+                    }
+                }
+                Ok(result)
+            }
+            RequestKind::Stats | RequestKind::Shutdown => Err(WireError::new(
+                ErrorKind::Internal,
+                "control requests must not reach the worker pool",
+            )),
+        }
+    }
+
+    /// Stage 2 with the service optimizations: the per-net
+    /// [`SearchContext`] comes from the fingerprint-keyed cache, and
+    /// concurrent searches for the same `(fingerprint, digest, config)`
+    /// are coalesced into one. Returns the artifact plus whether the
+    /// context was a cache hit.
+    fn scheduled(&self, linked: LinkedArtifact) -> Result<(ScheduleArtifact, bool), WireError> {
+        let fingerprint = linked.fingerprint();
+        let digest = linked.ordered_digest();
+        let config_json =
+            serde_json::to_string(&linked.config).expect("config serialization is infallible");
+        let key: SearchKey = (fingerprint, digest, config_json);
+        let shared = match self.inflight.join(key) {
+            Ticket::Lead(guard) => {
+                let (context, cache_hit) = self.cache.get_or_build(fingerprint, digest, || {
+                    SearchContext::new(&linked.system.net)
+                });
+                let outcome = run_search(&linked, &context).map(|schedules| SharedSearch {
+                    schedules: Arc::new(schedules),
+                    context,
+                    cache_hit,
+                });
+                guard.complete(outcome.clone());
+                outcome?
+            }
+            Ticket::Wait(flight) => {
+                Counters::bump(&self.counters.coalesced);
+                flight.wait()?
+            }
+        };
+        let cache_hit = shared.cache_hit;
+        let artifact =
+            linked.attach_schedules((*shared.schedules).clone(), Arc::clone(&shared.context));
+        Ok((artifact, cache_hit))
+    }
+}
+
+/// Runs the schedule search exactly as `LinkedArtifact::schedule` would,
+/// but keeps the raw [`SystemSchedules`] so coalesced followers can
+/// attach them to their own artifacts.
+fn run_search(
+    linked: &LinkedArtifact,
+    context: &SearchContext,
+) -> Result<SystemSchedules, WireError> {
+    let result = if linked.config.parallel_schedule {
+        qss::core::schedule_system_parallel_with_context(
+            &linked.system,
+            context,
+            &linked.config.schedule,
+        )
+    } else {
+        qss::core::schedule_system_with_context(&linked.system, context, &linked.config.schedule)
+    };
+    result.map_err(|e| WireError::from(QssError::from(e)))
+}
+
+/// `{"fingerprint": ..., ["cached": ...,] "artifact": ...}`.
+fn artifact_result(fingerprint: u64, cached: Option<bool>, artifact: Value) -> Value {
+    let mut pairs = vec![(
+        "fingerprint".to_string(),
+        Value::String(fingerprint_hex(fingerprint)),
+    )];
+    if let Some(cached) = cached {
+        pairs.push(("cached".to_string(), Value::Bool(cached)));
+    }
+    pairs.push(("artifact".to_string(), artifact));
+    Value::Object(pairs)
+}
+
+fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    serde_json::to_value(value).expect("artifact serialization is infallible")
+}

@@ -1,0 +1,12 @@
+//! Small shared helpers.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, surviving poisoning: a panic in one request handler
+/// must not wedge the whole daemon, and every structure guarded here is
+/// valid after any partial update (counters, maps of `Arc`s, queues).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -1,0 +1,249 @@
+//! End-to-end determinism of the service: spawn the real `qssd` binary
+//! on an ephemeral port, storm it with concurrent clients over several
+//! distinct nets (some duplicated, to exercise the context cache and the
+//! in-flight coalescing), and require every returned artifact to be
+//! **byte-identical** to the corresponding local [`qss::Pipeline`] run.
+//! Ends with a graceful `shutdown`, so the harness leaks no listeners.
+
+use qss::remote::Client;
+use qss::{EnvEvent, Pipeline};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::Duration;
+
+/// A spawned `qssd` process plus its discovered address.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra_args: &[&str]) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_qssd"))
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn qssd");
+        let stdout = child.stdout.take().expect("qssd stdout is piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read the discovery line");
+        // "qssd: listening on 127.0.0.1:PORT"
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("discovery line carries the address")
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    /// Requires the daemon to exit cleanly within a few seconds.
+    fn assert_clean_exit(mut self) {
+        for _ in 0..400 {
+            if let Some(status) = self.child.try_wait().expect("poll qssd") {
+                assert!(status.success(), "qssd exited with {status}");
+                return;
+            }
+            thread::sleep(Duration::from_millis(25));
+        }
+        let _ = self.child.kill();
+        panic!("qssd did not exit within 10s of the shutdown request");
+    }
+}
+
+/// K structurally distinct single-process nets (the multiplier lands in
+/// transition code, so each variant has its own fingerprint).
+fn net_source(multiplier: u32) -> String {
+    format!(
+        "PROCESS echo (In DPORT a, Out DPORT b) {{\n\
+         \x20   int x;\n\
+         \x20   while (1) {{ READ_DATA(a, x, 1); WRITE_DATA(b, x * {multiplier}, 1); }}\n\
+         }}\n"
+    )
+}
+
+/// The local (in-process, default-config) ground truth for one source.
+struct Expected {
+    schedule_json: String,
+    task_json: String,
+    sim_json: String,
+}
+
+fn expected_for(source: &str, events: &[EnvEvent]) -> Expected {
+    let scheduled = Pipeline::from_source(source)
+        .expect("source parses")
+        .link()
+        .expect("source links")
+        .schedule()
+        .expect("source schedules");
+    let schedule_json = scheduled.to_json();
+    let task = scheduled.generate().expect("source generates");
+    let task_json = task.to_json();
+    let sim_json = task.simulate(events).expect("source simulates").to_json();
+    Expected {
+        schedule_json,
+        task_json,
+        sim_json,
+    }
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_artifacts_and_a_warm_cache() {
+    const DISTINCT_NETS: u32 = 3;
+    const CLIENTS: usize = 8;
+
+    let daemon = Daemon::spawn(&["--workers", "4", "--queue", "64", "--cache", "16"]);
+    let addr = daemon.addr.clone();
+
+    let events: Vec<EnvEvent> = (1..=3).map(|v| EnvEvent::new("echo", "a", v)).collect();
+    let sources: Vec<String> = (0..DISTINCT_NETS).map(|i| net_source(2 + i)).collect();
+    let expected: Vec<Expected> = sources.iter().map(|s| expected_for(s, &events)).collect();
+
+    // The storm: every client walks all nets, duplicating the work of
+    // its siblings — exactly the traffic shape the cache and the
+    // coalescer exist for. Each thread compares bytes on the spot.
+    let mut workers = Vec::new();
+    for client_index in 0..CLIENTS {
+        let addr = addr.clone();
+        let sources = sources.clone();
+        let events = events.clone();
+        let expected_schedules: Vec<String> =
+            expected.iter().map(|e| e.schedule_json.clone()).collect();
+        let expected_tasks: Vec<String> = expected.iter().map(|e| e.task_json.clone()).collect();
+        let expected_sims: Vec<String> = expected.iter().map(|e| e.sim_json.clone()).collect();
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(&*addr).expect("connect");
+            let mut fingerprints: HashMap<usize, String> = HashMap::new();
+            for step in 0..sources.len() {
+                let net = (client_index + step) % sources.len();
+                let source = &sources[net];
+                let reply = loop {
+                    match client.schedule(source, None) {
+                        Ok(reply) => break reply,
+                        // Backpressure is a legal answer under load.
+                        Err(qss::remote::ClientError::Server(e))
+                            if e.kind == qss::remote::ErrorKind::Busy =>
+                        {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(other) => panic!("schedule failed: {other}"),
+                    }
+                };
+                assert_eq!(
+                    reply.artifact_json(),
+                    expected_schedules[net],
+                    "schedule artifact for net {net} drifted from the local pipeline"
+                );
+                fingerprints.insert(net, reply.fingerprint.clone());
+
+                let reply = client.generate(source, None).expect("generate");
+                assert_eq!(reply.artifact_json(), expected_tasks[net]);
+                assert_eq!(reply.fingerprint, fingerprints[&net]);
+
+                let reply = client.simulate(source, None, &events).expect("simulate");
+                assert_eq!(reply.artifact_json(), expected_sims[net]);
+            }
+            fingerprints
+        }));
+    }
+    let mut all_fingerprints: Vec<HashMap<usize, String>> = Vec::new();
+    for worker in workers {
+        all_fingerprints.push(worker.join().expect("client thread"));
+    }
+    // Same net => same fingerprint across every client; distinct nets
+    // => distinct fingerprints.
+    let reference = &all_fingerprints[0];
+    assert_eq!(reference.len(), DISTINCT_NETS as usize);
+    for fingerprints in &all_fingerprints {
+        assert_eq!(fingerprints, reference);
+    }
+    let mut unique: Vec<&String> = reference.values().collect();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), DISTINCT_NETS as usize);
+
+    // Warm pass: nothing is in flight anymore, so every net must now be
+    // answered straight from the context cache.
+    let mut client = Client::connect(&*addr).expect("connect");
+    for source in &sources {
+        let reply = client.schedule(source, None).expect("warm schedule");
+        assert!(
+            reply.cached,
+            "post-storm request must hit the context cache"
+        );
+    }
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.cache.hits > 0,
+        "duplicated nets must produce cache hits: {stats:?}"
+    );
+    assert!(
+        stats.cache.misses >= u64::from(DISTINCT_NETS),
+        "each distinct net misses at least once: {stats:?}"
+    );
+    assert_eq!(stats.cache.collisions, 0);
+    assert!(stats.requests >= (CLIENTS * 3 * DISTINCT_NETS as usize) as u64);
+
+    client.shutdown().expect("shutdown");
+    daemon.assert_clean_exit();
+}
+
+#[test]
+fn scheduling_requests_coalesce_onto_one_in_flight_search() {
+    // One worker guarantees queued duplicates arrive while the first
+    // search is still running whenever they queue together; with the
+    // heavier divider-style net below the leader search is slow enough
+    // for followers from other connections to attach. Coalescing is
+    // opportunistic, so the hard assertion is correctness; the counter
+    // check tolerates zero only if the runs never overlapped — which the
+    // barrier-free storm plus queue ordering makes effectively
+    // impossible with 12 duplicates of one key.
+    let daemon = Daemon::spawn(&["--workers", "2", "--queue", "64", "--cache", "4"]);
+    let addr = daemon.addr.clone();
+    let source = net_source(7);
+    let expected = expected_for(&source, &[]);
+
+    let mut workers = Vec::new();
+    for _ in 0..12 {
+        let addr = addr.clone();
+        let source = source.clone();
+        let expected = expected.schedule_json.clone();
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(&*addr).expect("connect");
+            let reply = client.schedule(&source, None).expect("schedule");
+            assert_eq!(reply.artifact_json(), expected);
+        }));
+    }
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    let mut client = Client::connect(&*addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    // Every non-leading duplicate either overlapped the leader (it
+    // joined the in-flight search: `coalesced`) or arrived later (the
+    // leader had already published the context: a cache hit) — the two
+    // counters must cover all eleven.
+    assert!(
+        stats.coalesced + stats.cache.hits >= 11,
+        "12 duplicates must share the context or the search: {stats:?}"
+    );
+    client.shutdown().expect("shutdown");
+    daemon.assert_clean_exit();
+}
+
+#[test]
+fn qssd_rejects_bad_flags_with_usage_exit_code() {
+    let output = Command::new(env!("CARGO_BIN_EXE_qssd"))
+        .args(["--frobnicate"])
+        .output()
+        .expect("run qssd");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown option"), "stderr: {stderr}");
+}

@@ -1,0 +1,189 @@
+//! Protocol-layer robustness: malformed JSON lines, oversized requests,
+//! unknown request kinds and plain hostile bytes must all produce typed
+//! error responses while the connection — and the server — stay alive.
+//! A mini-fuzz in the spirit of `tests/parser_fuzz.rs` closes the suite.
+
+use qss::remote::{Client, ClientError, ErrorKind};
+use qss_server::{Server, ServerConfig};
+
+const ECHO: &str = r#"
+PROCESS echo (In DPORT a, Out DPORT b) {
+    int x;
+    while (1) { READ_DATA(a, x, 1); WRITE_DATA(b, x * 2, 1); }
+}
+"#;
+
+fn small_server() -> qss_server::ServerHandle {
+    Server::bind(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 4,
+        max_line_bytes: 4096,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+    .spawn()
+}
+
+/// Sends a raw line, asserts the response is an error of `kind`, and
+/// proves the same connection still serves a well-formed request.
+fn expect_error_then_recover(client: &mut Client, line: &str, kind: ErrorKind) {
+    let response = client.raw_line(line).expect("server must answer");
+    let (_, result) = qss::remote::parse_response(&response).expect("response must be JSON");
+    let error = result.expect_err("malformed input must fail");
+    assert_eq!(error.kind, kind, "for line {line:?}");
+    let summary = client.check(ECHO).expect("connection must stay usable");
+    assert_eq!(summary.system, "echo_system");
+    assert_eq!(summary.processes, 1);
+}
+
+#[test]
+fn malformed_lines_return_typed_errors_and_keep_the_connection() {
+    let server = small_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    expect_error_then_recover(&mut client, "not json at all", ErrorKind::Protocol);
+    expect_error_then_recover(&mut client, "{\"kind\": \"check\"", ErrorKind::Protocol);
+    expect_error_then_recover(&mut client, "[1, 2, 3]", ErrorKind::Protocol);
+    expect_error_then_recover(&mut client, "{}", ErrorKind::Protocol);
+    expect_error_then_recover(&mut client, "\"just a string\"", ErrorKind::Protocol);
+    expect_error_then_recover(
+        &mut client,
+        "{\"kind\": \"schedule\"}", // missing source
+        ErrorKind::Protocol,
+    );
+    expect_error_then_recover(
+        &mut client,
+        "{\"kind\": \"explode\", \"source\": \"x\"}",
+        ErrorKind::UnknownKind,
+    );
+    expect_error_then_recover(
+        &mut client,
+        "{\"kind\": \"check\", \"source\": \"x\", \"surprise\": true}",
+        ErrorKind::Protocol,
+    );
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn oversized_requests_are_rejected_without_dropping_the_connection() {
+    let server = small_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Far beyond the 4096-byte line limit of `small_server`.
+    let huge = format!(
+        "{{\"kind\": \"check\", \"source\": \"{}\"}}",
+        "x".repeat(64 * 1024)
+    );
+    expect_error_then_recover(&mut client, &huge, ErrorKind::TooLarge);
+    // Twice in a row — the drain must resync on the line boundary.
+    expect_error_then_recover(&mut client, &huge, ErrorKind::TooLarge);
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn pipeline_failures_carry_their_stage_as_the_error_kind() {
+    let server = small_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let err = client.check("PROCESS broken (In DPORT a { }").unwrap_err();
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.kind, ErrorKind::Parse);
+            assert!(e.message.contains("parse stage"), "message: {}", e.message);
+        }
+        other => panic!("expected a server error, got {other}"),
+    }
+    // An invalid embedded config is a `config` error.
+    let response = client
+        .raw_line("{\"kind\": \"schedule\", \"source\": \"x\", \"config\": {\"profile\": 42}}")
+        .unwrap();
+    let (_, result) = qss::remote::parse_response(&response).unwrap();
+    assert_eq!(result.unwrap_err().kind, ErrorKind::Config);
+    // The server survives all of it.
+    assert!(client.check(ECHO).is_ok());
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn blank_lines_are_ignored_and_ids_are_echoed() {
+    let server = small_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+    // A blank line produces no response; the next real request answers
+    // with its own id — if the server had answered the blank line, this
+    // response's id would not match.
+    let response = client
+        .raw_line("\n{\"id\": 42, \"kind\": \"check\", \"source\": \"PROCESS p () { int x; }\"}")
+        .unwrap();
+    let (id, _) = qss::remote::parse_response(&response).unwrap();
+    assert_eq!(id, Some(42));
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn mini_fuzz_mutated_requests_never_kill_the_server() {
+    let server = small_server();
+    let valid = format!(
+        "{{\"id\": 1, \"kind\": \"check\", \"source\": {}}}",
+        serde_json::to_string(&ECHO.to_string()).unwrap()
+    );
+    // Deterministic mutation battery: truncations, byte substitutions,
+    // insertions and duplications of a valid request line.
+    // (Blank lines are skipped: by design they elicit no response, so a
+    // lock-step send-then-read driver would wait forever on them.)
+    let mut lines: Vec<String> = Vec::new();
+    for i in (1..valid.len()).step_by(7) {
+        lines.push(valid[..i].to_string());
+    }
+    let substitutes = ["\"", "{", "}", "\\", "\0", "9", ",", "ß"];
+    for (n, i) in (0..valid.len()).step_by(5).enumerate() {
+        let mut mutated = valid.clone();
+        let replacement = substitutes[n % substitutes.len()];
+        // Only splice on a char boundary; skip otherwise.
+        if mutated.is_char_boundary(i) && mutated.is_char_boundary(i + 1) {
+            mutated.replace_range(i..i + 1, replacement);
+            lines.push(mutated);
+        }
+    }
+    for i in (0..valid.len()).step_by(11) {
+        let mut mutated = valid.clone();
+        if mutated.is_char_boundary(i) {
+            mutated.insert_str(i, "{\"junk\":");
+            lines.push(mutated);
+        }
+    }
+    lines.push(valid.repeat(2)); // two requests glued without newline
+    lines.push("\u{7f}\u{1b}[2J".to_string()); // terminal junk
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    for line in &lines {
+        // Every mutated line must produce exactly one parseable response
+        // (ok or a typed error) on a still-healthy connection.
+        let response = client
+            .raw_line(line)
+            .unwrap_or_else(|e| panic!("no response for {line:?}: {e}"));
+        let _ = qss::remote::parse_response(&response)
+            .unwrap_or_else(|e| panic!("unparseable response for {line:?}: {e}"));
+    }
+    // And the server still does real work afterwards.
+    let summary = client.check(ECHO).expect("server survived the fuzz");
+    assert_eq!(summary.system, "echo_system");
+    let stats = client.stats().unwrap();
+    assert!(stats.requests as usize >= lines.len());
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn shutdown_rejects_new_work_while_draining() {
+    let server = small_server();
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown().unwrap();
+    // On the still-open connection, new pipeline work is refused with a
+    // typed shutting_down error (or the socket is already severed —
+    // both are graceful).
+    match client.check(ECHO) {
+        Err(ClientError::Server(e)) => assert_eq!(e.kind, ErrorKind::ShuttingDown),
+        Err(ClientError::Io(_)) => {}
+        Ok(_) => panic!("pipeline work accepted after shutdown"),
+        Err(other) => panic!("unexpected error {other}"),
+    }
+    server.join().unwrap();
+}

@@ -323,15 +323,44 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
-                Some(_) => {
-                    // Consume one UTF-8 encoded char (input is a &str, so
-                    // the bytes are valid UTF-8).
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
-                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().expect("non-empty by peek");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(byte) => {
+                    // Bulk-copy the run up to the next quote, escape or
+                    // non-ASCII byte. (Validating from the *whole*
+                    // remaining input per character — the previous
+                    // implementation — made string-heavy documents
+                    // quadratic to parse; artifact-sized payloads on the
+                    // qssd hot path hit that hard.)
+                    if byte < 0x80 {
+                        let rest = &self.bytes[self.pos..];
+                        let run = rest
+                            .iter()
+                            .position(|&b| b == b'"' || b == b'\\' || b >= 0x80)
+                            .unwrap_or(rest.len());
+                        debug_assert!(run > 0, "peeked byte starts the run");
+                        out.push_str(
+                            std::str::from_utf8(&rest[..run]).expect("ASCII bytes are UTF-8"),
+                        );
+                        self.pos += run;
+                    } else {
+                        // One non-ASCII char: decode from a bounded
+                        // window (input is a &str, so the bytes are
+                        // valid UTF-8 and `pos` sits on a boundary).
+                        let end = (self.pos + 4).min(self.bytes.len());
+                        let window = &self.bytes[self.pos..end];
+                        let c = match std::str::from_utf8(window) {
+                            Ok(text) => text.chars().next(),
+                            Err(e) if e.valid_up_to() > 0 => {
+                                std::str::from_utf8(&window[..e.valid_up_to()])
+                                    .expect("validated prefix")
+                                    .chars()
+                                    .next()
+                            }
+                            Err(_) => None,
+                        }
+                        .ok_or_else(|| self.error("invalid UTF-8 in string"))?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
                 }
             }
         }

@@ -12,14 +12,19 @@
 //!
 //! * `--emit c` writes one `<system>.<task>.c` file per generated task,
 //! * `--emit json` writes `<system>.pipeline.json` (the serialized
-//!   [`TaskArtifact`](qss::TaskArtifact)) and, when events were given,
+//!   [`TaskArtifact`]) and, when events were given,
 //!   `<system>.sim.json`,
 //! * `--emit dot` writes `<system>.net.dot` plus one
 //!   `<system>.<port>.schedule.dot` per schedule,
 //! * `--report PATH` writes the deterministic run summary
 //!   ([`PipelineReport`](qss::PipelineReport)); `-` prints it to stdout.
 
-use qss::{CostProfile, EnvEvent, Pipeline, PipelineConfig, QssError, ScheduleOptions};
+use qss::remote::{Client, ClientError};
+use qss::{
+    CostProfile, EnvEvent, Pipeline, PipelineConfig, QssError, ScheduleOptions, SimArtifact,
+    TaskArtifact,
+};
+use std::io::Read as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -29,7 +34,11 @@ qssc — quasi-static scheduling compiler (Cortadella et al., DAC 2000)
 USAGE:
     qssc build <FILE> [OPTIONS]    run the pipeline and emit artifacts
     qssc check <FILE>              parse and link only, print a summary
+    qssc remote <ADDR> <COMMAND>   run against a running qssd service
     qssc --help                    show this help
+
+`<FILE>` may be `-` to read FlowC source from stdin (pipe parity with
+the service path).
 
 BUILD OPTIONS:
     --emit KINDS          comma-separated artifacts: c, json, dot (default: c)
@@ -43,6 +52,14 @@ BUILD OPTIONS:
                           irrelevant-marking criterion
     --no-heuristics       disable the search-ordering heuristics
     --parallel            schedule the uncontrollable inputs on threads
+
+REMOTE COMMANDS (driving a warm `qssd`, see PROTOCOL.md):
+    remote <ADDR> build <FILE> [BUILD OPTIONS]
+                          run the pipeline on the server (reusing its
+                          per-net context cache), emit artifacts locally
+    remote <ADDR> check <FILE>     parse and link on the server
+    remote <ADDR> stats            print the server's counters
+    remote <ADDR> shutdown         drain the server and stop it
 ";
 
 fn main() -> ExitCode {
@@ -58,6 +75,10 @@ fn main() -> ExitCode {
             eprintln!("qssc: {e}");
             ExitCode::FAILURE
         }
+        Err(Exit::Remote(e)) => {
+            eprintln!("qssc: remote {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -66,11 +87,20 @@ enum Exit {
     Usage(String),
     /// A pipeline or I/O failure (exit code 1).
     Pipeline(QssError),
+    /// A failure reported by (or while talking to) a qssd server
+    /// (exit code 1).
+    Remote(ClientError),
 }
 
 impl From<QssError> for Exit {
     fn from(e: QssError) -> Self {
         Exit::Pipeline(e)
+    }
+}
+
+impl From<ClientError> for Exit {
+    fn from(e: ClientError) -> Self {
+        Exit::Remote(e)
     }
 }
 
@@ -82,6 +112,7 @@ fn run(args: &[String]) -> Result<(), Exit> {
         }
         Some("build") => build(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("remote") => remote(&args[1..]),
         Some(other) => Err(Exit::Usage(format!("unknown command `{other}`"))),
         None => Err(Exit::Usage("missing command".into())),
     }
@@ -144,7 +175,8 @@ fn parse_build_args(args: &[String]) -> Result<BuildArgs, Exit> {
             }
             "--no-heuristics" => config.schedule = config.schedule.without_heuristics(),
             "--parallel" => config.parallel_schedule = true,
-            flag if flag.starts_with('-') => {
+            // A bare `-` is the stdin pseudo-path, not a flag.
+            flag if flag.starts_with('-') && flag != "-" => {
                 return Err(Exit::Usage(format!("unknown option `{flag}`")))
             }
             path if input.is_none() => input = Some(PathBuf::from(path)),
@@ -196,7 +228,19 @@ fn parse_events_spec(spec: &str) -> Result<(String, String, Vec<i64>), Exit> {
     Ok((process.to_string(), port.to_string(), values))
 }
 
+/// Reads FlowC source from `path`, or from stdin when `path` is `-` —
+/// service/pipe parity: `cat sys.flowc | qssc build - --emit c`.
 fn read_source(path: &Path) -> Result<String, QssError> {
+    if path == Path::new("-") {
+        let mut source = String::new();
+        return std::io::stdin()
+            .read_to_string(&mut source)
+            .map(|_| source)
+            .map_err(|e| QssError::Io {
+                path: "<stdin>".to_string(),
+                message: e.to_string(),
+            });
+    }
     std::fs::read_to_string(path).map_err(|e| QssError::Io {
         path: path.display().to_string(),
         message: e.to_string(),
@@ -210,50 +254,44 @@ fn write_file(path: &Path, contents: &str) -> Result<(), QssError> {
     })
 }
 
-fn build(args: &[String]) -> Result<(), Exit> {
-    let args = parse_build_args(args)?;
-    let source = read_source(&args.input)?;
-
-    let pipeline = Pipeline::from_source(&source)?.with_config(args.config.clone());
-    let system_name = pipeline.spec().name().to_string();
-    let linked = pipeline.link()?;
-    // The DOT texts are rendered only on request, but must be captured
-    // here: the later stages consume the artifacts they borrow from.
-    let net_dot = args.emit_dot.then(|| linked.net_dot());
-    let scheduled = linked.schedule()?;
-    let schedule_dots: Vec<(String, String)> = if args.emit_dot {
-        scheduled
-            .schedules
-            .schedules
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                (
-                    scheduled.source_port(s).replace('.', "_"),
-                    scheduled.schedule_dot(i),
-                )
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let task = scheduled.generate()?;
-
-    let events: Vec<EnvEvent> = args
-        .events
+/// Expands the parsed `--events` flags into the simulation workload.
+fn collect_events(args: &BuildArgs) -> Vec<EnvEvent> {
+    args.events
         .iter()
         .flat_map(|(process, port, values)| {
             values
                 .iter()
                 .map(|v| EnvEvent::new(process.clone(), port.clone(), *v))
         })
-        .collect();
+        .collect()
+}
+
+fn build(args: &[String]) -> Result<(), Exit> {
+    let args = parse_build_args(args)?;
+    let source = read_source(&args.input)?;
+
+    let pipeline = Pipeline::from_source(&source)?.with_config(args.config.clone());
+    let task = pipeline.link()?.schedule()?.generate()?;
+    let events = collect_events(&args);
     let sim = if events.is_empty() {
         None
     } else {
         Some(task.simulate(&events)?)
     };
+    emit_outputs(&args, &task, sim.as_ref())
+}
 
+/// Writes every requested artifact of a finished pipeline run. The
+/// [`TaskArtifact`] carries the linked system and the schedules, so both
+/// the local `build` and `remote build` paths (which receives the
+/// artifact over the wire) emit through this one function and can never
+/// drift apart.
+fn emit_outputs(
+    args: &BuildArgs,
+    task: &TaskArtifact,
+    sim: Option<&SimArtifact>,
+) -> Result<(), Exit> {
+    let system_name = task.spec.name().to_string();
     if args.emit_c || args.emit_json || args.emit_dot {
         std::fs::create_dir_all(&args.out_dir).map_err(|e| QssError::Io {
             path: args.out_dir.display().to_string(),
@@ -272,24 +310,25 @@ fn build(args: &[String]) -> Result<(), Exit> {
         let path = out(format!("{system_name}.pipeline.json"));
         write_file(&path, &task.to_json_pretty())?;
         eprintln!("qssc: wrote {}", path.display());
-        if let Some(sim) = &sim {
+        if let Some(sim) = sim {
             let path = out(format!("{system_name}.sim.json"));
             write_file(&path, &sim.to_json_pretty())?;
             eprintln!("qssc: wrote {}", path.display());
         }
     }
-    if let Some(net_dot) = &net_dot {
+    if args.emit_dot {
         let path = out(format!("{system_name}.net.dot"));
-        write_file(&path, net_dot)?;
+        write_file(&path, &qss::net_to_dot(&task.system.net))?;
         eprintln!("qssc: wrote {}", path.display());
-        for (port, dot) in &schedule_dots {
+        for schedule in &task.schedules.schedules {
+            let port = task.source_port(schedule).replace('.', "_");
             let path = out(format!("{system_name}.{port}.schedule.dot"));
-            write_file(&path, dot)?;
+            write_file(&path, &schedule.to_dot(&task.system.net))?;
             eprintln!("qssc: wrote {}", path.display());
         }
     }
 
-    let report = task.report(sim.as_ref()).to_json_pretty();
+    let report = task.report(sim).to_json_pretty();
     match args.report.as_deref() {
         Some("-") => print!("{report}"),
         Some(path) => {
@@ -305,6 +344,105 @@ fn build(args: &[String]) -> Result<(), Exit> {
         }
         None => {}
     }
+    Ok(())
+}
+
+/// `qssc remote <ADDR> <COMMAND> ...` — the same pipeline, served by a
+/// warm `qssd` whose per-net analyses are cached across requests.
+fn remote(args: &[String]) -> Result<(), Exit> {
+    let Some((addr, rest)) = args.split_first() else {
+        return Err(Exit::Usage("`remote` needs a server address".into()));
+    };
+    match rest.first().map(String::as_str) {
+        Some("build") => remote_build(addr, &rest[1..]),
+        Some("check") => remote_check(addr, &rest[1..]),
+        Some("stats") => remote_stats(addr),
+        Some("shutdown") => remote_shutdown(addr),
+        Some(other) => Err(Exit::Usage(format!("unknown remote command `{other}`"))),
+        None => Err(Exit::Usage("missing remote command".into())),
+    }
+}
+
+fn connect(addr: &str) -> Result<Client, Exit> {
+    Client::connect(addr)
+        .map_err(|e| Exit::Remote(ClientError::Io(format!("cannot connect to {addr}: {e}"))))
+}
+
+/// Runs `build` on the server: the artifacts come back over the wire
+/// byte-identical to a local run, and are emitted through the same
+/// [`emit_outputs`] as `qssc build`.
+fn remote_build(addr: &str, args: &[String]) -> Result<(), Exit> {
+    let args = parse_build_args(args)?;
+    let source = read_source(&args.input)?;
+    let mut client = connect(addr)?;
+
+    let events = collect_events(&args);
+    // One request either way: with events, `simulate` embeds the
+    // TaskArtifact (`include_task`) so the server runs the pipeline
+    // once instead of once for `generate` and again for `simulate`.
+    // The reply Values are decoded in place — no clones, no
+    // JSON-string round-trips of the largest payloads in the program.
+    let decode_error = |what: &str, e: serde::Error| {
+        Exit::Remote(ClientError::Protocol(format!("malformed {what}: {e}")))
+    };
+    let (fingerprint, cached, task_value, sim) = if events.is_empty() {
+        let reply = client.generate(&source, Some(&args.config))?;
+        (reply.fingerprint, reply.cached, reply.artifact, None)
+    } else {
+        let reply = client.simulate_with_task(&source, Some(&args.config), &events)?;
+        let task_value = reply
+            .task
+            .expect("simulate_with_task guarantees the task payload");
+        let sim: SimArtifact =
+            serde_json::from_value(reply.artifact).map_err(|e| decode_error("SimArtifact", e))?;
+        (reply.fingerprint, reply.cached, task_value, Some(sim))
+    };
+    let task: TaskArtifact =
+        serde_json::from_value(task_value).map_err(|e| decode_error("TaskArtifact", e))?;
+    eprintln!(
+        "qssc: remote build of net {fingerprint} ({})",
+        if cached {
+            "warm context cache"
+        } else {
+            "cold context cache"
+        }
+    );
+    emit_outputs(&args, &task, sim.as_ref())
+}
+
+fn remote_check(addr: &str, args: &[String]) -> Result<(), Exit> {
+    let [path] = args else {
+        return Err(Exit::Usage(
+            "`remote ADDR check` takes exactly one input file".into(),
+        ));
+    };
+    let source = read_source(Path::new(path))?;
+    let summary = connect(addr)?.check(&source)?;
+    println!(
+        "{}: {} process(es), {} channel(s), net of {} places / {} transitions, \
+         {} uncontrollable input(s), {} choice place(s), fingerprint {}",
+        summary.system,
+        summary.processes,
+        summary.channels,
+        summary.places,
+        summary.transitions,
+        summary.uncontrollable_inputs,
+        summary.choice_places,
+        summary.fingerprint,
+    );
+    Ok(())
+}
+
+fn remote_stats(addr: &str) -> Result<(), Exit> {
+    let stats = connect(addr)?.stats()?;
+    let text = serde_json::to_string_pretty(&stats).expect("stats serialization is infallible");
+    println!("{text}");
+    Ok(())
+}
+
+fn remote_shutdown(addr: &str) -> Result<(), Exit> {
+    connect(addr)?.shutdown()?;
+    eprintln!("qssc: server at {addr} is draining and will exit");
     Ok(())
 }
 

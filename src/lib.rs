@@ -25,7 +25,9 @@
 //! ```
 //!
 //! The same flow is available from the command line through the `qssc`
-//! binary (`qssc build system.flowc --emit c,json,dot --report -`).
+//! binary (`qssc build system.flowc --emit c,json,dot --report -`), and
+//! as a long-running service through `qssd` (crate `qss_server`), whose
+//! newline-delimited JSON wire protocol and client live in [`remote`].
 //!
 //! The sub-crates remain reachable as modules for power users:
 //!
@@ -46,6 +48,7 @@ pub use qss_sim as sim;
 
 mod error;
 mod pipeline;
+pub mod remote;
 
 pub use error::{QssError, Stage};
 pub use pipeline::{

@@ -36,6 +36,7 @@ use qss_sim::{
 };
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
+use std::sync::Arc;
 
 pub use qss_codegen::TaskOptions;
 pub use qss_core::ScheduleOptions;
@@ -245,6 +246,25 @@ impl LinkedArtifact {
         NetAnalysis::of(&self.system.net)
     }
 
+    /// The stable, order-independent content fingerprint of the linked
+    /// net (see [`qss_petri::net_fingerprint`]): the cache key a
+    /// scheduling service uses to share one [`SearchContext`] across all
+    /// requests that carry the same net. Pair it with
+    /// [`LinkedArtifact::ordered_digest`] before actually reusing
+    /// id-indexed derived state.
+    pub fn fingerprint(&self) -> u64 {
+        qss_petri::net_fingerprint(&self.system.net)
+    }
+
+    /// The order-*sensitive* companion digest of
+    /// [`LinkedArtifact::fingerprint`] (see
+    /// [`qss_petri::net_ordered_digest`]): equal fingerprint + equal
+    /// digest means the net's id assignment matches too, so cached
+    /// id-indexed analyses ([`SearchContext`]) are safe to reuse.
+    pub fn ordered_digest(&self) -> u64 {
+        qss_petri::net_ordered_digest(&self.system.net)
+    }
+
     /// The linked net as Graphviz DOT.
     pub fn net_dot(&self) -> String {
         qss_petri::dot::to_dot(&self.system.net)
@@ -277,19 +297,55 @@ impl LinkedArtifact {
     /// Returns a schedule-stage [`QssError`] if some input has no
     /// single-source schedule (or the search budget runs out).
     pub fn schedule(self) -> Result<ScheduleArtifact, QssError> {
-        let context = SearchContext::new(&self.system.net);
+        let context = Arc::new(SearchContext::new(&self.system.net));
+        self.schedule_with_context(context)
+    }
+
+    /// Stage 2 with a caller-provided [`SearchContext`] — the warm path
+    /// of a scheduling service whose context cache (keyed by
+    /// [`LinkedArtifact::fingerprint`], guarded by
+    /// [`LinkedArtifact::ordered_digest`]) already holds the per-net
+    /// analyses. `context` **must** have been computed from a net equal
+    /// to `self.system.net` id-for-id; the result is identical to
+    /// [`LinkedArtifact::schedule`], just without re-deriving the ECS
+    /// partition and T-invariant basis.
+    ///
+    /// # Errors
+    /// Same contract as [`LinkedArtifact::schedule`].
+    pub fn schedule_with_context(
+        self,
+        context: Arc<SearchContext>,
+    ) -> Result<ScheduleArtifact, QssError> {
         let schedules = if self.config.parallel_schedule {
             schedule_system_parallel_with_context(&self.system, &context, &self.config.schedule)?
         } else {
             schedule_system_with_context(&self.system, &context, &self.config.schedule)?
         };
-        Ok(ScheduleArtifact {
+        Ok(self.attach_schedules(schedules, context))
+    }
+
+    /// Builds the stage-2 artifact from schedules computed elsewhere —
+    /// how `qssd` attaches the result of a *coalesced* search (one search
+    /// shared by every concurrent request for the same net and config) to
+    /// each request's own artifact.
+    ///
+    /// The caller is responsible for consistency: `schedules` must be the
+    /// result of scheduling `self.system` under `self.config.schedule`,
+    /// and `context` must stem from a net equal to `self.system.net`
+    /// id-for-id. Artifacts assembled from mismatched parts serialize
+    /// fine but are semantically meaningless.
+    pub fn attach_schedules(
+        self,
+        schedules: SystemSchedules,
+        context: Arc<SearchContext>,
+    ) -> ScheduleArtifact {
+        ScheduleArtifact {
             spec: self.spec,
             system: self.system,
             config: self.config,
             schedules,
             context,
-        })
+        }
     }
 }
 
@@ -318,14 +374,22 @@ pub struct ScheduleArtifact {
     /// One schedule per uncontrollable input, with bounds and stats.
     pub schedules: SystemSchedules,
     /// The per-net analyses, reusable for further scheduling requests
-    /// against the same net (rebuilt on deserialization).
-    context: SearchContext,
+    /// against the same net (rebuilt on deserialization). Behind an
+    /// [`Arc`] so a service can share one context between its cache and
+    /// any number of artifacts without cloning the analyses.
+    context: Arc<SearchContext>,
 }
 
 impl ScheduleArtifact {
     /// The reusable per-net search context.
     pub fn context(&self) -> &SearchContext {
         &self.context
+    }
+
+    /// The search context as a shareable handle (what a scheduling
+    /// service stores in its fingerprint-keyed cache).
+    pub fn shared_context(&self) -> Arc<SearchContext> {
+        Arc::clone(&self.context)
     }
 
     /// The environment port name (`process.port`) a schedule serves.
@@ -408,7 +472,7 @@ impl Serialize for ScheduleArtifact {
 impl<'de> Deserialize<'de> for ScheduleArtifact {
     fn from_value(value: &Value) -> Result<Self, serde::Error> {
         let system: LinkedSystem = serde::derive::field(value, "ScheduleArtifact", "system")?;
-        let context = SearchContext::new(&system.net);
+        let context = Arc::new(SearchContext::new(&system.net));
         Ok(ScheduleArtifact {
             spec: serde::derive::field(value, "ScheduleArtifact", "spec")?,
             config: serde::derive::field(value, "ScheduleArtifact", "config")?,
@@ -435,6 +499,12 @@ pub struct TaskArtifact {
 }
 
 impl TaskArtifact {
+    /// The environment port name (`process.port`) a schedule serves —
+    /// the same naming the report and the CLI's artifact files use.
+    pub fn source_port(&self, schedule: &qss_core::Schedule) -> String {
+        source_port_name(&self.system, schedule)
+    }
+
     /// The emitted C source of every task, concatenated.
     pub fn c_code(&self) -> String {
         let mut out = String::new();

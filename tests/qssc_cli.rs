@@ -105,11 +105,133 @@ fn check_prints_a_summary_and_rejects_malformed_input() {
 }
 
 #[test]
+fn build_reads_flowc_from_stdin_when_the_path_is_dash() {
+    use std::io::Write as _;
+    let out = temp_dir("stdin");
+    let report_path = out.join("report.json");
+    let source = std::fs::read(repo_file("samples/pipeline.flowc")).unwrap();
+    let mut child = qssc()
+        .args([
+            "build",
+            "-",
+            "--emit",
+            "c",
+            "--out",
+            out.to_str().unwrap(),
+            "--events",
+            "source.trigger=6,7,8,9",
+            "--report",
+            report_path.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(&source).unwrap();
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    // Identical artifacts to the file-path run: the same C task and the
+    // same golden report, so `-` is true pipe parity.
+    let c = std::fs::read_to_string(out.join("collatz.task_source_trigger.c")).unwrap();
+    assert!(c.contains("void task_source_trigger_run(void)"));
+    let report = std::fs::read_to_string(&report_path).unwrap();
+    let golden = std::fs::read_to_string(repo_file("samples/pipeline.report.golden.json")).unwrap();
+    assert_eq!(report, golden, "stdin build drifted from the golden report");
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn remote_build_against_a_warm_server_matches_the_goldens() {
+    let server = qss_server::Server::bind(qss_server::ServerConfig::default())
+        .expect("bind in-process qssd")
+        .spawn();
+    let addr = server.addr().to_string();
+
+    let out = temp_dir("remote");
+    let report_path = out.join("report.json");
+    let run = |tag: &str| {
+        let report = out.join(format!("report-{tag}.json"));
+        let status = qssc()
+            .args([
+                "remote",
+                &addr,
+                "build",
+                repo_file("samples/pipeline.flowc").to_str().unwrap(),
+                "--emit",
+                "c,dot",
+                "--out",
+                out.to_str().unwrap(),
+                "--events",
+                "source.trigger=6,7,8,9",
+                "--report",
+                report.to_str().unwrap(),
+            ])
+            .status()
+            .unwrap();
+        assert!(status.success());
+        report
+    };
+    let first = run("cold");
+    let second = run("warm"); // second run hits the server's context cache
+
+    // The remote artifacts match the same goldens the local build is
+    // diffed against — the wire adds nothing and loses nothing.
+    let golden = std::fs::read_to_string(repo_file("samples/pipeline.report.golden.json")).unwrap();
+    assert_eq!(std::fs::read_to_string(&first).unwrap(), golden);
+    assert_eq!(std::fs::read_to_string(&second).unwrap(), golden);
+    let net_dot = std::fs::read_to_string(out.join("collatz.net.dot")).unwrap();
+    let net_golden = std::fs::read_to_string(repo_file("samples/pipeline.net.golden.dot")).unwrap();
+    assert_eq!(net_dot, net_golden);
+    let c = std::fs::read_to_string(out.join("collatz.task_source_trigger.c")).unwrap();
+    assert!(c.contains("void task_source_trigger_run(void)"));
+
+    // `remote check` prints the summary plus the net fingerprint.
+    let output = qssc()
+        .args([
+            "remote",
+            &addr,
+            "check",
+            repo_file("samples/pipeline.flowc").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("collatz"), "stdout: {stdout}");
+    assert!(stdout.contains("fingerprint"), "stdout: {stdout}");
+
+    // `remote stats` reports the cache hit of the warm run.
+    let output = qssc().args(["remote", &addr, "stats"]).output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let stats: qss::remote::ServerStats = serde_json::from_str(&stdout).unwrap();
+    assert!(stats.cache.hits > 0, "stats: {stdout}");
+
+    // `remote shutdown` drains the in-process server; join proves it.
+    let status = qssc().args(["remote", &addr, "shutdown"]).status().unwrap();
+    assert!(status.success());
+    server.join().unwrap();
+
+    // Against a dead server, remote commands fail with exit code 1.
+    let output = qssc().args(["remote", &addr, "stats"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let _ = report_path; // naming parity with the local build test
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
 fn usage_errors_exit_with_code_two() {
     let output = qssc().args(["frobnicate"]).output().unwrap();
     assert_eq!(output.status.code(), Some(2));
     let output = qssc()
         .args(["build", "nope.flowc", "--emit", "pdf"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    // Remote usage problems are also exit code 2.
+    let output = qssc().args(["remote"]).output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let output = qssc()
+        .args(["remote", "127.0.0.1:1", "frobnicate"])
         .output()
         .unwrap();
     assert_eq!(output.status.code(), Some(2));
