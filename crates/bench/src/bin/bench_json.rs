@@ -24,12 +24,14 @@
 //! Set `QSS_BENCH_FAST=1` for a quick smoke run with fewer samples.
 
 use qss_bench::experiments::divider_net;
-use qss_core::{reference, ScheduleOptions, SearchContext, TerminationKind};
+use qss_core::{reference, ScheduleOptions, SearchBudget, SearchContext, TerminationKind};
 use qss_petri::{t_invariant_basis, t_invariant_basis_dense, FxHashMap, Marking, MarkingStore};
 use qss_sim::{pfc_system, PfcParams};
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One measured case: the incremental engine against the oracle.
 struct CaseResult {
@@ -227,6 +229,63 @@ fn main() {
             }),
             Box::new(move || {
                 black_box(t_invariant_basis_dense(&csystem.net, 50_000));
+            }),
+        );
+    }
+
+    {
+        // The budget-overhead cases: the same searches with a fully armed
+        // budget (deadline + cancellation flag, both unreachable) against
+        // the plain unbudgeted call on the same context. The delta is the
+        // whole cost of cooperative cancellation on the search hot path —
+        // one step-counter increment per node expansion plus an amortised
+        // clock/flag consultation every `CHECK_INTERVAL` steps — which the
+        // budget layer promises is negligible.
+        let far_deadline = Instant::now() + Duration::from_secs(3600);
+        let armed = SearchBudget::unlimited()
+            .with_deadline(far_deadline)
+            .with_cancel(Arc::new(AtomicBool::new(false)));
+
+        let (net, source) = divider_net(12);
+        let context = SearchContext::new(&net);
+        let options = ScheduleOptions::default();
+        let (pnet, pcontext, poptions) = (net.clone(), SearchContext::new(&net), options.clone());
+        let budget = armed.clone();
+        push_case(
+            "schedule_search/budget_overhead/divider_irrelevance_12".to_string(),
+            Box::new(move || {
+                black_box(
+                    context
+                        .find_schedule_with_stats_budgeted(&net, source, &options, &budget)
+                        .unwrap(),
+                );
+            }),
+            Box::new(move || {
+                black_box(pcontext.find_schedule(&pnet, source, &poptions).unwrap());
+            }),
+        );
+
+        let system = pfc_system(&PfcParams::tiny()).expect("PFC links");
+        let source = system.uncontrollable_sources()[0];
+        let context = SearchContext::new(&system.net);
+        let options = ScheduleOptions::default();
+        let (psystem, poptions) = (system.clone(), options.clone());
+        let pcontext = SearchContext::new(&psystem.net);
+        push_case(
+            "schedule_search/budget_overhead/pfc_with_heuristics".to_string(),
+            Box::new(move || {
+                black_box(
+                    context
+                        .find_schedule_with_stats_budgeted(&system.net, source, &options, &armed)
+                        .unwrap(),
+                );
+            }),
+            Box::new(move || {
+                black_box(
+                    pcontext
+                        .find_schedule(&psystem.net, source, &poptions)
+                        .unwrap(),
+                );
             }),
         );
     }

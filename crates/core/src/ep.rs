@@ -40,6 +40,7 @@
 //! [`crate::reference`] as the differential-testing oracle; the two
 //! engines produce identical trees, schedules and statistics.
 
+use crate::budget::{BudgetChecker, BudgetStop, SearchBudget};
 use crate::error::{Result, ScheduleError};
 use crate::heuristics::EcsSorter;
 use crate::independence::{channel_bounds, is_independent_set};
@@ -52,6 +53,18 @@ use qss_petri::{
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Stack size for threads that run the EP search.
+///
+/// The search recurses once per on-path node, so its stack depth is the
+/// current path length — on a pathological net (a divider chain, where
+/// one schedule needs `k^depth` source firings) that is tens of
+/// thousands of frames before a deadline budget trips, far past the
+/// 2 MiB Rust gives a spawned thread by default. Threads created with
+/// this size only *reserve* the address space; pages are committed as
+/// the search actually deepens. The parallel system scheduler uses it
+/// for its fan-out threads, and `qssd` uses it for its worker threads.
+pub const SEARCH_THREAD_STACK_BYTES: usize = 64 * 1024 * 1024;
 
 /// Options controlling the schedule search.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -233,13 +246,39 @@ impl SearchContext {
         source: TransitionId,
         options: &ScheduleOptions,
     ) -> Result<(Schedule, SearchStats)> {
+        self.find_schedule_with_stats_budgeted(net, source, options, &SearchBudget::unlimited())
+    }
+
+    /// Like [`SearchContext::find_schedule_with_stats`], but under a
+    /// cooperative [`SearchBudget`]: the search charges one budget step
+    /// per tree-node expansion and stops with
+    /// [`ScheduleError::BudgetExhausted`] when the step cap runs out,
+    /// the deadline passes, or the budget's cancellation flag is raised.
+    /// One budget state spans the whole call, including the automatic
+    /// greedy→exhaustive retry, so the retry cannot reset the allowance.
+    /// An [unlimited](SearchBudget::is_unlimited) budget adds no
+    /// observable work: results are identical to the unbudgeted call.
+    ///
+    /// # Errors
+    /// The contract of [`find_schedule_with_stats`] plus
+    /// [`ScheduleError::BudgetExhausted`].
+    pub fn find_schedule_with_stats_budgeted(
+        &self,
+        net: &PetriNet,
+        source: TransitionId,
+        options: &ScheduleOptions,
+        budget: &SearchBudget,
+    ) -> Result<(Schedule, SearchStats)> {
         if net.transition(source).kind != TransitionKind::UncontrollableSource {
             return Err(ScheduleError::NotUncontrollableSource(source));
         }
         if self.sorter.has_no_invariants() && net.num_transitions() > 0 {
             return Err(ScheduleError::NoTInvariants);
         }
-        let run_once = |opts: &ScheduleOptions| {
+        // One checker for the whole call: the greedy→exhaustive retry
+        // below continues charging the same allowance.
+        let mut checker = budget.checker();
+        let run_once = |opts: &ScheduleOptions, checker: &mut Option<BudgetChecker>| {
             let mut search = Search {
                 net,
                 ecs: &self.ecs,
@@ -249,22 +288,35 @@ impl SearchContext {
                 sorter: &self.sorter,
                 nodes: Vec::new(),
                 budget_exhausted: false,
+                budget: checker.as_mut(),
+                budget_stop: None,
                 combo_buf: Vec::new(),
                 promising_buf: Vec::new(),
             };
             search.run()
         };
-        match run_once(options) {
+        match run_once(options, &mut checker) {
             Ok(result) => Ok(result),
-            Err(first_error) if options.greedy_entering_point => {
+            Err(first_error)
+                if options.greedy_entering_point
+                    && !matches!(first_error, ScheduleError::BudgetExhausted { .. }) =>
+            {
                 // The greedy pass is incomplete; fall back to the
                 // exhaustive minimum-entering-point search of the paper
-                // before giving up.
+                // before giving up. (A budget-exhausted greedy pass skips
+                // the retry — the allowance is spent; and if the budget
+                // runs out mid-retry, the budget error wins below.)
                 let exhaustive = ScheduleOptions {
                     greedy_entering_point: false,
                     ..options.clone()
                 };
-                run_once(&exhaustive).map_err(|_| first_error)
+                run_once(&exhaustive, &mut checker).map_err(|retry_error| {
+                    if matches!(retry_error, ScheduleError::BudgetExhausted { .. }) {
+                        retry_error
+                    } else {
+                        first_error
+                    }
+                })
             }
             Err(e) => Err(e),
         }
@@ -325,11 +377,29 @@ pub fn schedule_system_with_context(
     context: &SearchContext,
     options: &ScheduleOptions,
 ) -> Result<SystemSchedules> {
+    schedule_system_with_context_budgeted(system, context, options, &SearchBudget::unlimited())
+}
+
+/// Like [`schedule_system_with_context`], but every per-source search
+/// runs under the given cooperative [`SearchBudget`]. The deadline (an
+/// absolute instant) bounds the *combined* wall clock of all sources;
+/// the step cap is charged per source.
+///
+/// # Errors
+/// The contract of [`schedule_system`] plus
+/// [`ScheduleError::BudgetExhausted`].
+pub fn schedule_system_with_context_budgeted(
+    system: &LinkedSystem,
+    context: &SearchContext,
+    options: &ScheduleOptions,
+    budget: &SearchBudget,
+) -> Result<SystemSchedules> {
     let sources = system.uncontrollable_sources();
     let mut schedules = Vec::new();
     let mut stats = Vec::new();
     for source in sources {
-        let (s, st) = context.find_schedule_with_stats(&system.net, source, options)?;
+        let (s, st) =
+            context.find_schedule_with_stats_budgeted(&system.net, source, options, budget)?;
         schedules.push(s);
         stats.push(st);
     }
@@ -366,18 +436,46 @@ pub fn schedule_system_parallel_with_context(
     context: &SearchContext,
     options: &ScheduleOptions,
 ) -> Result<SystemSchedules> {
+    schedule_system_parallel_with_context_budgeted(
+        system,
+        context,
+        options,
+        &SearchBudget::unlimited(),
+    )
+}
+
+/// Like [`schedule_system_parallel_with_context`], but every per-source
+/// search runs under the given cooperative [`SearchBudget`] (see
+/// [`schedule_system_with_context_budgeted`] for the deadline/step-cap
+/// semantics; the absolute deadline naturally spans the fanned-out
+/// searches too).
+///
+/// # Errors
+/// The contract of [`schedule_system`] plus
+/// [`ScheduleError::BudgetExhausted`].
+pub fn schedule_system_parallel_with_context_budgeted(
+    system: &LinkedSystem,
+    context: &SearchContext,
+    options: &ScheduleOptions,
+    budget: &SearchBudget,
+) -> Result<SystemSchedules> {
     let sources = system.uncontrollable_sources();
     if sources.len() <= 1 {
-        return schedule_system_with_context(system, context, options);
+        return schedule_system_with_context_budgeted(system, context, options, budget);
     }
     let net = &system.net;
     let mut results: Vec<Option<Result<(Schedule, SearchStats)>>> = Vec::new();
     results.resize_with(sources.len(), || None);
     std::thread::scope(|scope| {
         for (slot, &source) in results.iter_mut().zip(&sources) {
-            scope.spawn(move || {
-                *slot = Some(context.find_schedule_with_stats(net, source, options));
-            });
+            std::thread::Builder::new()
+                .stack_size(SEARCH_THREAD_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    *slot = Some(
+                        context.find_schedule_with_stats_budgeted(net, source, options, budget),
+                    );
+                })
+                .expect("spawn a scheduling thread");
         }
     });
     let mut schedules = Vec::new();
@@ -442,6 +540,12 @@ struct Search<'a> {
     sorter: &'a EcsSorter,
     nodes: Vec<TreeNode>,
     budget_exhausted: bool,
+    /// The cooperative budget's charging state (`None` when unlimited,
+    /// which keeps the hot path free of clock reads). Borrowed from the
+    /// caller so the greedy→exhaustive retry shares one allowance.
+    budget: Option<&'a mut BudgetChecker>,
+    /// Why the cooperative budget stopped the search, when it did.
+    budget_stop: Option<BudgetStop>,
     /// Scratch buffers of [`EcsSorter::promising_into`], reused across
     /// nodes so the heuristic allocates nothing on the hot path.
     combo_buf: Vec<u64>,
@@ -472,6 +576,13 @@ impl<'a> Search<'a> {
 
         let result = self.ep(1, 0);
         if self.budget_exhausted {
+            if let Some(stop) = self.budget_stop {
+                return Err(ScheduleError::BudgetExhausted {
+                    source: self.source,
+                    stop,
+                    steps: self.budget.as_ref().map_or(0, |c| c.steps()),
+                });
+            }
             return Err(ScheduleError::SearchBudgetExhausted {
                 source: self.source,
                 max_nodes: self.options.max_nodes,
@@ -610,6 +721,13 @@ impl<'a> Search<'a> {
             .expect("ep is never called on the root");
         self.tracker.push_entry(self.net, t_in, v);
         let result = self.ep_candidates(v, target);
+        if self.budget_exhausted {
+            // The whole search is being abandoned and its tracker dies
+            // with it, so restoring per-frame tracker state is pure
+            // unwind cost — on a deep path it would dwarf the budget
+            // itself (hash-removing every on-path marking). Skip it.
+            return None;
+        }
         self.tracker.pop_entry(self.net, t_in);
         result
     }
@@ -659,6 +777,15 @@ impl<'a> Search<'a> {
                 self.budget_exhausted = true;
                 return None;
             }
+            // The cooperative budget charges one step per node expansion
+            // (clock and cancellation flag amortized inside the checker).
+            if let Some(checker) = self.budget.as_deref_mut() {
+                if let Some(stop) = checker.step() {
+                    self.budget_stop = Some(stop);
+                    self.budget_exhausted = true;
+                    return None;
+                }
+            }
             self.tracker.fire(self.net, t);
             let w = self.nodes.len();
             let depth = self.nodes[v].depth + 1;
@@ -671,6 +798,10 @@ impl<'a> Search<'a> {
             });
             self.nodes[v].children.push((t, w));
             let ep = self.ep(w, current_target);
+            if self.budget_exhausted {
+                // Abandoned search: skip the marking restore (see `ep`).
+                return None;
+            }
             self.tracker.unfire(self.net, t);
             match ep {
                 // The child's entering point must be `v` itself or an
@@ -944,5 +1075,121 @@ mod tests {
             find_schedule(&net, a, &opts),
             Err(ScheduleError::SearchBudgetExhausted { .. })
         ));
+    }
+
+    /// A divider chain: each stage consumes `k` tokens of the previous
+    /// one, so reaching the last internal transition takes k^depth source
+    /// firings — plenty of expansion steps for budget tests.
+    fn divider_chain(depth: u32, k: u32) -> PetriNet {
+        let mut bl = NetBuilder::new("chain");
+        let a = bl.transition("a", TransitionKind::UncontrollableSource);
+        let mut prev = bl.place("p0", 0);
+        bl.arc_t2p(a, prev, 1);
+        for i in 0..depth {
+            let t = bl.transition(format!("t{i}"), TransitionKind::Internal);
+            let next = bl.place(format!("p{}", i + 1), 0);
+            bl.arc_p2t(prev, t, k);
+            bl.arc_t2p(t, next, 1);
+            prev = next;
+        }
+        let sink = bl.transition("sink", TransitionKind::Internal);
+        bl.arc_p2t(prev, sink, 1);
+        bl.build().unwrap()
+    }
+
+    #[test]
+    fn step_budget_stops_the_search_with_a_typed_error() {
+        let net = divider_chain(4, 4);
+        let a = net.transition_by_name("a").unwrap();
+        let opts = ScheduleOptions::default();
+        let budget = SearchBudget::unlimited().with_max_steps(20);
+        let err = SearchContext::new(&net)
+            .find_schedule_with_stats_budgeted(&net, a, &opts, &budget)
+            .unwrap_err();
+        match err {
+            ScheduleError::BudgetExhausted {
+                source,
+                stop,
+                steps,
+            } => {
+                assert_eq!(source, a);
+                assert_eq!(stop, crate::budget::BudgetStop::Steps);
+                assert_eq!(steps, 21);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_search() {
+        let net = divider_chain(4, 4);
+        let a = net.transition_by_name("a").unwrap();
+        let opts = ScheduleOptions::default();
+        let budget = SearchBudget::unlimited().with_deadline(std::time::Instant::now());
+        let err = SearchContext::new(&net)
+            .find_schedule_with_stats_budgeted(&net, a, &opts, &budget)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::BudgetExhausted {
+                stop: crate::budget::BudgetStop::Deadline,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn raised_cancel_flag_stops_the_search() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let net = divider_chain(4, 4);
+        let a = net.transition_by_name("a").unwrap();
+        let flag = Arc::new(AtomicBool::new(false));
+        flag.store(true, Ordering::Relaxed);
+        let budget = SearchBudget::unlimited().with_cancel(flag);
+        let err = SearchContext::new(&net)
+            .find_schedule_with_stats_budgeted(&net, a, &ScheduleOptions::default(), &budget)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::BudgetExhausted {
+                stop: crate::budget::BudgetStop::Cancelled,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unarmed_budget_changes_nothing() {
+        // The same searches, with and without an (unlimited) budget, must
+        // produce identical schedules and statistics.
+        for net in [figure8(), divider_chain(2, 3)] {
+            let a = net.transition_by_name("a").unwrap();
+            let opts = ScheduleOptions::default();
+            let context = SearchContext::new(&net);
+            let plain = context.find_schedule_with_stats(&net, a, &opts).unwrap();
+            let budgeted = context
+                .find_schedule_with_stats_budgeted(&net, a, &opts, &SearchBudget::unlimited())
+                .unwrap();
+            assert_eq!(plain.1, budgeted.1);
+            assert_eq!(
+                plain.0.involved_transitions(),
+                budgeted.0.involved_transitions()
+            );
+            assert_eq!(plain.0.num_nodes(), budgeted.0.num_nodes());
+        }
+    }
+
+    #[test]
+    fn generous_budget_still_finds_the_schedule() {
+        let net = figure8();
+        let a = net.transition_by_name("a").unwrap();
+        let budget = SearchBudget::unlimited()
+            .with_max_steps(1_000_000)
+            .with_deadline(std::time::Instant::now() + std::time::Duration::from_secs(60));
+        let (s, _) = SearchContext::new(&net)
+            .find_schedule_with_stats_budgeted(&net, a, &ScheduleOptions::default(), &budget)
+            .unwrap();
+        s.validate(&net).unwrap();
     }
 }

@@ -1,5 +1,6 @@
 //! Error types for the scheduler.
 
+use crate::budget::BudgetStop;
 use qss_petri::TransitionId;
 use std::fmt;
 
@@ -25,6 +26,17 @@ pub enum ScheduleError {
         source: TransitionId,
         /// The node budget that was exhausted.
         max_nodes: usize,
+    },
+    /// A caller-imposed cooperative budget (step cap, wall-clock
+    /// deadline or cancellation flag — see [`crate::SearchBudget`])
+    /// stopped the search before it completed.
+    BudgetExhausted {
+        /// The source transition a schedule was requested for.
+        source: TransitionId,
+        /// What ran out.
+        stop: BudgetStop,
+        /// Expansion steps charged before stopping.
+        steps: u64,
     },
     /// The net has no base of T-invariants, hence no cyclic schedule
     /// exists (Sec. 5.5.2).
@@ -60,6 +72,14 @@ impl fmt::Display for ScheduleError {
                 f,
                 "schedule search for {source} exhausted its budget of {max_nodes} nodes"
             ),
+            ScheduleError::BudgetExhausted {
+                source,
+                stop,
+                steps,
+            } => write!(
+                f,
+                "schedule search for {source} stopped after {steps} steps: {stop}"
+            ),
             ScheduleError::NoTInvariants => {
                 write!(f, "the net has no T-invariants, so no cyclic schedule exists")
             }
@@ -90,6 +110,11 @@ mod tests {
             ScheduleError::SearchBudgetExhausted {
                 source: TransitionId::new(0),
                 max_nodes: 100,
+            },
+            ScheduleError::BudgetExhausted {
+                source: TransitionId::new(0),
+                stop: BudgetStop::Deadline,
+                steps: 4096,
             },
             ScheduleError::NoTInvariants,
             ScheduleError::NotIndependent {

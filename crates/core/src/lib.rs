@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod ep;
 pub mod error;
 pub mod heuristics;
@@ -52,10 +53,12 @@ pub mod run;
 pub mod schedule;
 pub mod termination;
 
+pub use budget::{BudgetChecker, BudgetConfig, BudgetStop, SearchBudget, CHECK_INTERVAL};
 pub use ep::{
     find_schedule, find_schedule_with_stats, schedule_system, schedule_system_parallel,
-    schedule_system_parallel_with_context, schedule_system_with_context, ScheduleOptions,
-    SearchContext, SearchStats, SystemSchedules,
+    schedule_system_parallel_with_context, schedule_system_parallel_with_context_budgeted,
+    schedule_system_with_context, schedule_system_with_context_budgeted, ScheduleOptions,
+    SearchContext, SearchStats, SystemSchedules, SEARCH_THREAD_STACK_BYTES,
 };
 pub use error::{Result, ScheduleError};
 pub use independence::{are_independent, channel_bounds, is_independent_set};

@@ -29,6 +29,17 @@ OPTIONS:
     --cache N           SearchContext cache capacity, 0 disables
                         (default: 64)
     --max-line BYTES    per-request line limit (default: 1048576)
+    --request-timeout MS
+                        deadline per pipeline request: bounds queue wait,
+                        the schedule search (cancelled cooperatively) and
+                        coalesced waits, answering a typed `timeout`
+                        error; 0 disables (default: 0)
+    --idle-timeout MS   close connections with no request in progress for
+                        this long; 0 disables (default: 0)
+    --write-timeout MS  socket write timeout for response lines;
+                        0 disables (default: 0)
+    --max-connections N reject connections beyond N with a typed `busy`
+                        line; 0 = unlimited (default: 0)
     --help              show this help
 
 Stop the daemon with a `{\"kind\": \"shutdown\"}` request (e.g.
@@ -83,6 +94,17 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, Exit> {
             .parse::<usize>()
             .map_err(|_| Exit::Usage(format!("invalid `{flag}` value `{value}`")))
     };
+    // Timeouts are flat milliseconds; 0 keeps the feature off.
+    let parse_timeout = |flag: &str, value: &str| {
+        let ms = value
+            .parse::<u64>()
+            .map_err(|_| Exit::Usage(format!("invalid `{flag}` value `{value}`")))?;
+        Ok(if ms == 0 {
+            None
+        } else {
+            Some(std::time::Duration::from_millis(ms))
+        })
+    };
     while i < args.len() {
         match args[i].as_str() {
             "--help" | "-h" => {
@@ -106,6 +128,22 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, Exit> {
             "--max-line" => {
                 let value = next_value(args, &mut i, "--max-line")?;
                 config.max_line_bytes = parse_number("--max-line", &value)?.max(64);
+            }
+            "--request-timeout" => {
+                let value = next_value(args, &mut i, "--request-timeout")?;
+                config.request_timeout = parse_timeout("--request-timeout", &value)?;
+            }
+            "--idle-timeout" => {
+                let value = next_value(args, &mut i, "--idle-timeout")?;
+                config.idle_timeout = parse_timeout("--idle-timeout", &value)?;
+            }
+            "--write-timeout" => {
+                let value = next_value(args, &mut i, "--write-timeout")?;
+                config.write_timeout = parse_timeout("--write-timeout", &value)?;
+            }
+            "--max-connections" => {
+                let value = next_value(args, &mut i, "--max-connections")?;
+                config.max_connections = parse_number("--max-connections", &value)?;
             }
             other => return Err(Exit::Usage(format!("unknown option `{other}`"))),
         }

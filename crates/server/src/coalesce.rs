@@ -20,6 +20,7 @@ use qss::remote::{ErrorKind, WireError};
 use qss::{SearchContext, SystemSchedules};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// The key a search is coalesced under.
 pub(crate) type SearchKey = (u64, u64, String);
@@ -52,17 +53,45 @@ impl Flight {
     }
 
     /// Blocks until the leader publishes, then returns a copy of the
-    /// outcome.
+    /// outcome. (The service always waits with a deadline slot — this
+    /// plain form keeps the unit tests honest about the no-deadline
+    /// path.)
+    #[cfg(test)]
     pub fn wait(&self) -> SearchOutcome {
+        self.wait_deadline(None)
+    }
+
+    /// Like [`Flight::wait`], but gives up at `deadline` with a typed
+    /// `timeout` error — a follower whose own request deadline is
+    /// tighter than the leader's must not outwait it.
+    pub fn wait_deadline(&self, deadline: Option<Instant>) -> SearchOutcome {
         let mut slot = lock(&self.slot);
         loop {
             if let Some(outcome) = slot.as_ref() {
                 return outcome.clone();
             }
-            slot = self
-                .done
-                .wait(slot)
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            match deadline {
+                None => {
+                    slot = self
+                        .done
+                        .wait(slot)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(WireError::new(
+                            ErrorKind::Timeout,
+                            "coalesced schedule search exceeded the request deadline",
+                        ));
+                    }
+                    slot = self
+                        .done
+                        .wait_timeout(slot, deadline - now)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .0;
+                }
+            }
         }
     }
 
@@ -248,5 +277,20 @@ mod tests {
         let outcome = follower.join().unwrap();
         assert_eq!(outcome.unwrap_err().kind, ErrorKind::Internal);
         assert!(matches!(table.join(key(7)), Ticket::Lead(_)));
+    }
+
+    #[test]
+    fn follower_deadline_times_out_the_wait() {
+        let table = InFlightTable::new();
+        let _guard = match table.join(key(9)) {
+            Ticket::Lead(guard) => guard,
+            Ticket::Wait(_) => panic!("first join must lead"),
+        };
+        let Ticket::Wait(flight) = table.join(key(9)) else {
+            panic!("duplicate join must wait");
+        };
+        let deadline = Instant::now() + std::time::Duration::from_millis(20);
+        let outcome = flight.wait_deadline(Some(deadline));
+        assert_eq!(outcome.unwrap_err().kind, ErrorKind::Timeout);
     }
 }

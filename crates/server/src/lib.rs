@@ -54,7 +54,8 @@ use crate::pool::{JobQueue, SubmitError};
 use crate::service::{Counters, Engine};
 use crate::util::lock;
 use qss::remote::{
-    read_line_bounded, response_error, response_ok, LineRead, DEFAULT_MAX_LINE_BYTES,
+    read_line_bounded, read_line_bounded_with_tick, response_error, response_ok, LineRead,
+    DEFAULT_MAX_LINE_BYTES,
 };
 use serde_json::Value;
 use std::collections::HashMap;
@@ -64,6 +65,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -81,6 +83,23 @@ pub struct ServerConfig {
     /// Per-request line limit in bytes; longer lines are drained and
     /// answered with `too_large`.
     pub max_line_bytes: usize,
+    /// Deadline per pipeline request, measured from the moment the
+    /// request line is parsed: it bounds queue wait, the schedule search
+    /// (cancelled cooperatively mid-flight) and coalesced waits, each
+    /// expiry answering a typed `timeout` error. It also caps how long
+    /// one request line may dribble in. `None` = unbounded.
+    pub request_timeout: Option<Duration>,
+    /// Idle-connection reaper: a connection with no request line in
+    /// progress for this long is closed. `None` = connections idle
+    /// forever.
+    pub idle_timeout: Option<Duration>,
+    /// Socket write timeout for response lines, ending dead-peer hangs
+    /// mid-write. `None` = blocking writes.
+    pub write_timeout: Option<Duration>,
+    /// Cap on concurrently served connections; excess connections are
+    /// answered with one typed `busy` error line and closed. `0` =
+    /// unlimited.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,14 +113,20 @@ impl Default for ServerConfig {
             queue_capacity: 4 * workers.max(1),
             cache_capacity: 64,
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            request_timeout: None,
+            idle_timeout: None,
+            write_timeout: None,
+            max_connections: 0,
         }
     }
 }
 
-/// One queued unit of work: a parsed request plus the channel its
-/// response travels back on.
+/// One queued unit of work: a parsed request, its deadline (when the
+/// server runs with `--request-timeout`) and the channel its response
+/// travels back on.
 struct Job {
     request: Request,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<Value, WireError>>,
 }
 
@@ -172,18 +197,55 @@ impl Server {
         let mut workers = Vec::new();
         for _ in 0..state.config.workers.max(1) {
             let state = Arc::clone(&state);
-            workers.push(thread::spawn(move || worker_loop(&state)));
+            // Workers run the recursive EP search, whose stack depth is
+            // the explored path length — give them search-sized stacks
+            // instead of the 2 MiB default.
+            workers.push(
+                thread::Builder::new()
+                    .stack_size(qss::core::SEARCH_THREAD_STACK_BYTES)
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn a worker thread"),
+            );
         }
         let mut connection_threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut accept_backoff = Duration::from_millis(10);
         loop {
             let (stream, _) = match self.listener.accept() {
-                Ok(accepted) => accepted,
+                Ok(accepted) => {
+                    accept_backoff = Duration::from_millis(10);
+                    accepted
+                }
                 Err(_) if state.shutdown.load(Ordering::SeqCst) => break,
                 Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
-                Err(e) => return Err(e),
+                Err(_) => {
+                    // Transient accept failures — EMFILE/ENFILE when the
+                    // fd table is full, ECONNRESET races, memory pressure
+                    // — heal with time. Backing off keeps the daemon
+                    // alive and un-pegs the CPU; existing connections are
+                    // unaffected. (Before: any such error killed the
+                    // accept loop and with it the whole server.)
+                    thread::sleep(accept_backoff);
+                    accept_backoff = (accept_backoff * 2).min(Duration::from_secs(1));
+                    continue;
+                }
             };
             if state.shutdown.load(Ordering::SeqCst) {
                 break; // likely the wake-up connection itself
+            }
+            let max = state.config.max_connections;
+            if max > 0 && lock(&state.connections).len() >= max {
+                Counters::bump(&state.engine.counters.requests);
+                Counters::bump(&state.engine.counters.busy_rejections);
+                let error = WireError::new(
+                    ErrorKind::Busy,
+                    format!("connection limit reached ({max}); retry later"),
+                );
+                // Best effort, bounded: never let a rejected peer that
+                // won't read stall the accept loop.
+                stream.set_write_timeout(Some(Duration::from_secs(1))).ok();
+                let mut stream = stream;
+                let _ = write_line(&mut stream, &respond_error(&state, None, error));
+                continue;
             }
             let id = state.next_connection.fetch_add(1, Ordering::Relaxed);
             if let Ok(clone) = stream.try_clone() {
@@ -269,30 +331,87 @@ impl ServerHandle {
 /// error and the worker lives on.
 fn worker_loop(state: &ServerState) {
     while let Some(job) = state.queue.next() {
-        let result = catch_unwind(AssertUnwindSafe(|| state.engine.handle(&job.request)))
-            .unwrap_or_else(|_| {
-                Err(WireError::new(
-                    ErrorKind::Internal,
-                    "request handler panicked",
-                ))
-            });
+        // A job whose deadline passed while it sat in the queue is
+        // answered without running: the worker slot goes to live work.
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            let _ = job.reply.send(Err(WireError::new(
+                ErrorKind::Timeout,
+                "request deadline expired before a worker picked it up",
+            )));
+            continue;
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            state.engine.handle(&job.request, job.deadline)
+        }))
+        .unwrap_or_else(|_| {
+            Err(WireError::new(
+                ErrorKind::Internal,
+                "request handler panicked",
+            ))
+        });
         let _ = job.reply.send(result);
     }
 }
 
 /// One connection: read request lines, answer each with exactly one
 /// response line, in order. Protocol errors answer and continue; only
-/// transport errors (or EOF) end the loop.
+/// transport errors, EOF or an expired idle/line deadline end the loop.
+///
+/// The deadlines need no timer thread: when any timeout is configured,
+/// the socket gets a short read timeout (the *tick*), and every tick the
+/// reader's callback decides between "keep waiting" and "reap". A tick
+/// with no line in progress checks the idle deadline; a tick mid-line
+/// checks the line deadline — which is what stops a slowloris client
+/// dribbling one byte per tick.
 fn serve_connection(state: &ServerState, stream: TcpStream) {
     stream.set_nodelay(true).ok();
+    stream.set_write_timeout(state.config.write_timeout).ok();
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // One line may dribble for at most the request timeout (or, failing
+    // that, the idle timeout): a request that cannot finish arriving
+    // before its processing deadline would expire is not worth waiting
+    // for.
+    let line_limit = state.config.request_timeout.or(state.config.idle_timeout);
+    let tick_period = [state.config.request_timeout, state.config.idle_timeout]
+        .into_iter()
+        .flatten()
+        .min()
+        .map(|shortest| (shortest / 8).clamp(Duration::from_millis(5), Duration::from_millis(100)));
+    if let Some(period) = tick_period {
+        read_half.set_read_timeout(Some(period)).ok();
+    }
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     loop {
-        let line = match read_line_bounded(&mut reader, state.config.max_line_bytes) {
+        let read = match tick_period {
+            None => read_line_bounded(&mut reader, state.config.max_line_bytes),
+            Some(_) => {
+                let idle_deadline = state.config.idle_timeout.map(|t| Instant::now() + t);
+                let mut line_deadline: Option<Instant> = None;
+                let mut tick = |started: bool| {
+                    let now = Instant::now();
+                    if started {
+                        match line_limit {
+                            // The deadline is armed at the first tick
+                            // that observes the line in progress.
+                            Some(limit) => now < *line_deadline.get_or_insert(now + limit),
+                            None => true,
+                        }
+                    } else {
+                        idle_deadline.is_none_or(|deadline| now < deadline)
+                    }
+                };
+                read_line_bounded_with_tick(&mut reader, state.config.max_line_bytes, &mut tick)
+            }
+        };
+        let line = match read {
             Err(_) | Ok(LineRead::Eof) => break,
+            // An idle connection was reaped or a line dribbled past its
+            // deadline; either way the peer gets a clean close, and a
+            // retrying client reconnects.
+            Ok(LineRead::TimedOut) => break,
             Ok(LineRead::TooLarge) => {
                 Counters::bump(&state.engine.counters.requests);
                 let error = WireError::new(
@@ -359,8 +478,15 @@ fn process_line(state: &ServerState, line: &str) -> (Option<u64>, Result<Value, 
                     false,
                 );
             }
+            // The deadline clock starts when the request is accepted, so
+            // it covers queue wait as well as the search itself.
+            let deadline = state.config.request_timeout.map(|t| Instant::now() + t);
             let (reply, receiver) = mpsc::channel();
-            match state.queue.submit(Job { request, reply }) {
+            match state.queue.submit(Job {
+                request,
+                deadline,
+                reply,
+            }) {
                 Err(SubmitError::Full) => {
                     Counters::bump(&state.engine.counters.busy_rejections);
                     (
@@ -399,9 +525,13 @@ fn process_line(state: &ServerState, line: &str) -> (Option<u64>, Result<Value, 
     }
 }
 
-/// Serializes an error response, counting it.
+/// Serializes an error response, counting it (and `timeout` responses in
+/// their own counter, whatever path produced them).
 fn respond_error(state: &ServerState, id: Option<u64>, error: WireError) -> String {
     Counters::bump(&state.engine.counters.errors);
+    if error.kind == ErrorKind::Timeout {
+        Counters::bump(&state.engine.counters.timeouts);
+    }
     response_error(id, &error)
 }
 
@@ -422,6 +552,8 @@ fn stats_value(state: &ServerState) -> Value {
         errors: Counters::read(&counters.errors),
         busy_rejections: Counters::read(&counters.busy_rejections),
         coalesced: Counters::read(&counters.coalesced),
+        timeouts: Counters::read(&counters.timeouts),
+        cancelled: Counters::read(&counters.cancelled),
         workers: state.config.workers.max(1) as u64,
         queue_capacity: state.config.queue_capacity as u64,
         cache: state.engine.cache.stats(),

@@ -9,6 +9,7 @@ use qss::{LinkedArtifact, Pipeline, QssError, ScheduleArtifact, SearchContext, S
 use serde_json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The protocol-visible counters (cache counters live in the cache).
 #[derive(Default)]
@@ -17,6 +18,8 @@ pub(crate) struct Counters {
     pub errors: AtomicU64,
     pub busy_rejections: AtomicU64,
     pub coalesced: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub cancelled: AtomicU64,
 }
 
 impl Counters {
@@ -47,10 +50,11 @@ impl Engine {
     }
 
     /// Executes one pipeline request (`check` / `link` / `schedule` /
-    /// `generate` / `simulate`). Control requests (`stats`, `shutdown`)
-    /// never reach the engine — the connection layer answers them without
-    /// queueing.
-    pub fn handle(&self, request: &Request) -> Result<Value, WireError> {
+    /// `generate` / `simulate`), bounded by the request's deadline when
+    /// the server runs with `--request-timeout`. Control requests
+    /// (`stats`, `shutdown`) never reach the engine — the connection
+    /// layer answers them without queueing.
+    pub fn handle(&self, request: &Request, deadline: Option<Instant>) -> Result<Value, WireError> {
         let source = request.source.as_deref().ok_or_else(|| {
             WireError::protocol(format!("request kind `{}` needs `source`", request.kind))
         })?;
@@ -78,7 +82,7 @@ impl Engine {
             }
             RequestKind::Link => Ok(artifact_result(fingerprint, None, to_value(&linked))),
             RequestKind::Schedule => {
-                let (artifact, cache_hit) = self.scheduled(linked)?;
+                let (artifact, cache_hit) = self.scheduled(linked, deadline)?;
                 Ok(artifact_result(
                     fingerprint,
                     Some(cache_hit),
@@ -86,7 +90,7 @@ impl Engine {
                 ))
             }
             RequestKind::Generate => {
-                let (scheduled, cache_hit) = self.scheduled(linked)?;
+                let (scheduled, cache_hit) = self.scheduled(linked, deadline)?;
                 let task = scheduled.generate().map_err(WireError::from)?;
                 Ok(artifact_result(
                     fingerprint,
@@ -95,7 +99,7 @@ impl Engine {
                 ))
             }
             RequestKind::Simulate => {
-                let (scheduled, cache_hit) = self.scheduled(linked)?;
+                let (scheduled, cache_hit) = self.scheduled(linked, deadline)?;
                 let task = scheduled.generate().map_err(WireError::from)?;
                 let sim = task.simulate(&request.events).map_err(WireError::from)?;
                 let mut result = artifact_result(fingerprint, Some(cache_hit), to_value(&sim));
@@ -121,7 +125,11 @@ impl Engine {
     /// concurrent searches for the same `(fingerprint, digest, config)`
     /// are coalesced into one. Returns the artifact plus whether the
     /// context was a cache hit.
-    fn scheduled(&self, linked: LinkedArtifact) -> Result<(ScheduleArtifact, bool), WireError> {
+    fn scheduled(
+        &self,
+        linked: LinkedArtifact,
+        deadline: Option<Instant>,
+    ) -> Result<(ScheduleArtifact, bool), WireError> {
         let fingerprint = linked.fingerprint();
         let digest = linked.ordered_digest();
         let config_json =
@@ -132,17 +140,23 @@ impl Engine {
                 let (context, cache_hit) = self.cache.get_or_build(fingerprint, digest, || {
                     SearchContext::new(&linked.system.net)
                 });
-                let outcome = run_search(&linked, &context).map(|schedules| SharedSearch {
-                    schedules: Arc::new(schedules),
-                    context,
-                    cache_hit,
-                });
+                let outcome =
+                    run_search(&linked, &context, deadline).map(|schedules| SharedSearch {
+                        schedules: Arc::new(schedules),
+                        context,
+                        cache_hit,
+                    });
+                if matches!(&outcome, Err(e) if e.kind == ErrorKind::Timeout) {
+                    // The search itself was cancelled mid-flight (as
+                    // opposed to a response merely classified `timeout`).
+                    Counters::bump(&self.counters.cancelled);
+                }
                 guard.complete(outcome.clone());
                 outcome?
             }
             Ticket::Wait(flight) => {
                 Counters::bump(&self.counters.coalesced);
-                flight.wait()?
+                flight.wait_deadline(deadline)?
             }
         };
         let cache_hit = shared.cache_hit;
@@ -154,19 +168,29 @@ impl Engine {
 
 /// Runs the schedule search exactly as `LinkedArtifact::schedule` would,
 /// but keeps the raw [`SystemSchedules`] so coalesced followers can
-/// attach them to their own artifacts.
+/// attach them to their own artifacts. The request deadline tightens the
+/// configuration's own budget; a blown budget surfaces as a `timeout`
+/// wire error via `QssError::BudgetExhausted`.
 fn run_search(
     linked: &LinkedArtifact,
     context: &SearchContext,
+    deadline: Option<Instant>,
 ) -> Result<SystemSchedules, WireError> {
+    let budget = linked.config.budget.to_budget().and_deadline(deadline);
     let result = if linked.config.parallel_schedule {
-        qss::core::schedule_system_parallel_with_context(
+        qss::core::schedule_system_parallel_with_context_budgeted(
             &linked.system,
             context,
             &linked.config.schedule,
+            &budget,
         )
     } else {
-        qss::core::schedule_system_with_context(&linked.system, context, &linked.config.schedule)
+        qss::core::schedule_system_with_context_budgeted(
+            &linked.system,
+            context,
+            &linked.config.schedule,
+            &budget,
+        )
     };
     result.map_err(|e| WireError::from(QssError::from(e)))
 }

@@ -238,6 +238,133 @@ fn scheduling_requests_coalesce_onto_one_in_flight_search() {
 }
 
 #[test]
+fn busy_rejections_are_ridden_out_by_the_deterministic_retry_policy() {
+    use qss::remote::{with_retry, RetryPolicy};
+
+    // One worker, a one-slot queue: two slow searches saturate the
+    // server completely, so a third request *must* see `busy`.
+    let daemon = Daemon::spawn(&["--workers", "1", "--queue", "1"]);
+    let addr = daemon.addr.clone();
+
+    // A divider chain whose full search runs for ~k^depth source
+    // firings; an 800 ms budget turns each into a slow, self-cancelling
+    // occupant of the worker (and of the queue slot behind it). The two
+    // deadlines differ so the requests do not coalesce.
+    let slow_source = pathological_source(8, 8);
+    let mut saturators = Vec::new();
+    for deadline_ms in [800u64, 801] {
+        let addr = addr.clone();
+        let source = slow_source.clone();
+        saturators.push(thread::spawn(move || {
+            let mut config = qss::PipelineConfig::default();
+            config.schedule.max_nodes = 500_000_000;
+            config.budget.deadline_ms = Some(deadline_ms);
+            let mut client = Client::connect(&*addr).expect("connect");
+            // The request itself times out — that is the point: it holds
+            // the worker for its whole budget first. (The two saturators
+            // race each other into the one-slot queue, so one may bounce
+            // off `busy` before it gets in.)
+            loop {
+                let error = client
+                    .schedule(&source, Some(&config))
+                    .expect_err("the saturating search must exhaust its budget");
+                match error {
+                    qss::remote::ClientError::Server(e)
+                        if e.kind == qss::remote::ErrorKind::Busy =>
+                    {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    qss::remote::ClientError::Server(e) => {
+                        assert_eq!(e.kind, qss::remote::ErrorKind::Timeout);
+                        break;
+                    }
+                    other => panic!("saturator failed oddly: {other}"),
+                }
+            }
+        }));
+    }
+    // Let both saturators reach the server before the retrying client.
+    thread::sleep(Duration::from_millis(150));
+
+    // The backoff schedule is a pure function of the seed: two policies
+    // with the same seed must plan identical sleeps...
+    let policy = RetryPolicy {
+        max_attempts: 10,
+        base_delay: Duration::from_millis(50),
+        max_delay: Duration::from_millis(400),
+        seed: 42,
+        overall_deadline: Some(Duration::from_secs(20)),
+    };
+    let replay: Vec<_> = {
+        let mut a = policy.backoff();
+        let mut b = policy.backoff();
+        let mut delays = Vec::new();
+        while let (Some(x), Some(y)) = (a.next_delay(), b.next_delay()) {
+            assert_eq!(x, y, "same seed, same schedule");
+            delays.push(x);
+        }
+        delays
+    };
+    assert_eq!(replay.len(), policy.max_attempts as usize - 1);
+
+    // ...and riding that schedule through the saturated window must end
+    // in success, after at least one observed `busy`.
+    let mut attempts = 0u32;
+    let reply = with_retry(&*addr, &policy, |client| {
+        attempts += 1;
+        client.schedule(&net_source(5), None)
+    })
+    .expect("the retry policy must outlast the backpressure window");
+    assert!(!reply.fingerprint.is_empty());
+    assert!(
+        attempts > 1,
+        "the saturated server should have answered `busy` at least once"
+    );
+
+    for saturator in saturators {
+        saturator.join().expect("saturator thread");
+    }
+    let mut client = Client::connect(&*addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.busy_rejections >= 1,
+        "the full queue must have rejected at least one request: {stats:?}"
+    );
+    assert!(
+        stats.timeouts >= 2,
+        "both saturating searches must have timed out: {stats:?}"
+    );
+    client.shutdown().expect("shutdown");
+    daemon.assert_clean_exit();
+}
+
+/// A divider chain: stage `i` consumes `k` items per firing, so the
+/// environment input must fire `k^depth` times per schedule — a search
+/// that outlives any sane deadline (the chaos suite shares this shape).
+fn pathological_source(depth: usize, k: u32) -> String {
+    let mut out = String::from("SYSTEM chain {\n");
+    for i in 0..depth {
+        out.push_str(&format!("    CHANNEL s{i}.out -> s{}.inp;\n", i + 1));
+    }
+    out.push_str("}\n");
+    out.push_str(
+        "PROCESS s0 (In DPORT go, Out DPORT out) {\n\
+         \x20   int x;\n\
+         \x20   while (1) { READ_DATA(go, x, 1); WRITE_DATA(out, x, 1); }\n\
+         }\n",
+    );
+    for i in 1..=depth {
+        out.push_str(&format!(
+            "PROCESS s{i} (In DPORT inp, Out DPORT out) {{\n\
+             \x20   int x;\n\
+             \x20   while (1) {{ READ_DATA(inp, x, {k}); WRITE_DATA(out, x, 1); }}\n\
+             }}\n"
+        ));
+    }
+    out
+}
+
+#[test]
 fn qssd_rejects_bad_flags_with_usage_exit_code() {
     let output = Command::new(env!("CARGO_BIN_EXE_qssd"))
         .args(["--frobnicate"])

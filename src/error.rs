@@ -50,6 +50,11 @@ pub enum QssError {
     Net(qss_petri::NetError),
     /// A scheduling error.
     Schedule(qss_core::ScheduleError),
+    /// A cooperative search budget (step cap, deadline or cancellation —
+    /// see [`qss_core::SearchBudget`]) stopped the schedule search.
+    /// Split out from [`QssError::Schedule`] so callers can map it to a
+    /// retryable/timeout condition without inspecting the inner error.
+    BudgetExhausted(qss_core::ScheduleError),
     /// A code-generation error.
     Codegen(qss_codegen::CodegenError),
     /// A simulation error.
@@ -73,7 +78,7 @@ impl QssError {
                 qss_flowc::FlowCError::Lex { .. } | qss_flowc::FlowCError::Parse { .. },
             ) => Stage::Parse,
             QssError::Flowc(_) | QssError::Net(_) => Stage::Link,
-            QssError::Schedule(_) => Stage::Schedule,
+            QssError::Schedule(_) | QssError::BudgetExhausted(_) => Stage::Schedule,
             QssError::Codegen(_) => Stage::Generate,
             QssError::Sim(_) => Stage::Simulate,
             QssError::Config(_) => Stage::Config,
@@ -99,7 +104,7 @@ impl fmt::Display for QssError {
         match self {
             QssError::Flowc(e) => e.fmt(f),
             QssError::Net(e) => e.fmt(f),
-            QssError::Schedule(e) => e.fmt(f),
+            QssError::Schedule(e) | QssError::BudgetExhausted(e) => e.fmt(f),
             QssError::Codegen(e) => e.fmt(f),
             QssError::Sim(e) => e.fmt(f),
             QssError::Config(msg) => f.write_str(msg),
@@ -113,7 +118,7 @@ impl std::error::Error for QssError {
         match self {
             QssError::Flowc(e) => Some(e),
             QssError::Net(e) => Some(e),
-            QssError::Schedule(e) => Some(e),
+            QssError::Schedule(e) | QssError::BudgetExhausted(e) => Some(e),
             QssError::Codegen(e) => Some(e),
             QssError::Sim(e) => Some(e),
             QssError::Config(_) | QssError::Io { .. } => None,
@@ -135,7 +140,11 @@ impl From<qss_petri::NetError> for QssError {
 
 impl From<qss_core::ScheduleError> for QssError {
     fn from(e: qss_core::ScheduleError) -> Self {
-        QssError::Schedule(e)
+        if matches!(e, qss_core::ScheduleError::BudgetExhausted { .. }) {
+            QssError::BudgetExhausted(e)
+        } else {
+            QssError::Schedule(e)
+        }
     }
 }
 
@@ -174,5 +183,18 @@ mod tests {
         let e: QssError = qss_core::ScheduleError::NoTInvariants.into();
         assert_eq!(e.stage(), Stage::Schedule);
         assert!(e.to_string().starts_with("schedule stage:"));
+    }
+
+    #[test]
+    fn budget_exhaustion_gets_its_own_variant() {
+        let inner = qss_core::ScheduleError::BudgetExhausted {
+            source: qss_petri::TransitionId::new(0),
+            stop: qss_core::BudgetStop::Deadline,
+            steps: 512,
+        };
+        let e: QssError = inner.into();
+        assert!(matches!(e, QssError::BudgetExhausted(_)));
+        assert_eq!(e.stage(), Stage::Schedule);
+        assert!(e.to_string().contains("deadline exceeded"));
     }
 }

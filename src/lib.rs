@@ -60,8 +60,8 @@ pub use pipeline::{
 // import covers a full pipeline run and the common escape hatches.
 pub use qss_codegen::{generate_task, GeneratedTask, TaskOptions, TaskStats};
 pub use qss_core::{
-    find_schedule, schedule_system, schedule_system_parallel, Schedule, ScheduleError,
-    ScheduleOptions, SearchContext, SystemSchedules,
+    find_schedule, schedule_system, schedule_system_parallel, BudgetConfig, BudgetStop, Schedule,
+    ScheduleError, ScheduleOptions, SearchBudget, SearchContext, SystemSchedules,
 };
 pub use qss_flowc::{
     link, parse_process, parse_system, FlowCError, LinkedSystem, PortClass, SystemSpec,

@@ -25,8 +25,8 @@
 use crate::error::QssError;
 use qss_codegen::{generate_task, CodeCostModel, GeneratedTask};
 use qss_core::{
-    schedule_system_parallel_with_context, schedule_system_with_context, SearchContext,
-    SystemSchedules,
+    schedule_system_parallel_with_context_budgeted, schedule_system_with_context_budgeted,
+    BudgetConfig, SearchBudget, SearchContext, SystemSchedules,
 };
 use qss_flowc::{parse_system, LinkedSystem, SystemSpec};
 use qss_petri::NetAnalysis;
@@ -95,8 +95,9 @@ impl CostProfile {
 
 /// Configuration of a whole pipeline run: one value subsumes the
 /// scheduler's [`ScheduleOptions`], the code generator's [`TaskOptions`],
-/// the executors' configs and the cost-model profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// the executors' configs, the cost-model profile and the cooperative
+/// schedule-search [`BudgetConfig`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
     /// Schedule-search options.
     pub schedule: ScheduleOptions,
@@ -112,6 +113,9 @@ pub struct PipelineConfig {
     /// Fan the per-source schedule searches out across threads
     /// (identical results, one thread per uncontrollable input).
     pub parallel_schedule: bool,
+    /// Cooperative budget for the schedule search (step cap and/or
+    /// wall-clock deadline; empty = unlimited, today's behavior).
+    pub budget: BudgetConfig,
 }
 
 impl Default for PipelineConfig {
@@ -123,7 +127,53 @@ impl Default for PipelineConfig {
             multitask_buffer_size: 4,
             max_sim_steps: 200_000_000,
             parallel_schedule: false,
+            budget: BudgetConfig::default(),
         }
+    }
+}
+
+/// Hand-written so that configurations serialized before the `budget`
+/// field existed (archived artifacts, older clients of a `qssd` service)
+/// still deserialize: a missing `budget` means unlimited, which is
+/// exactly the pre-budget behavior.
+impl Serialize for PipelineConfig {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("schedule".into(), self.schedule.to_value()),
+            ("task".into(), self.task.to_value()),
+            ("profile".into(), self.profile.to_value()),
+            (
+                "multitask_buffer_size".into(),
+                self.multitask_buffer_size.to_value(),
+            ),
+            ("max_sim_steps".into(), self.max_sim_steps.to_value()),
+            (
+                "parallel_schedule".into(),
+                self.parallel_schedule.to_value(),
+            ),
+            ("budget".into(), self.budget.to_value()),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for PipelineConfig {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        Ok(PipelineConfig {
+            schedule: serde::derive::field(value, "PipelineConfig", "schedule")?,
+            task: serde::derive::field(value, "PipelineConfig", "task")?,
+            profile: serde::derive::field(value, "PipelineConfig", "profile")?,
+            multitask_buffer_size: serde::derive::field(
+                value,
+                "PipelineConfig",
+                "multitask_buffer_size",
+            )?,
+            max_sim_steps: serde::derive::field(value, "PipelineConfig", "max_sim_steps")?,
+            parallel_schedule: serde::derive::field(value, "PipelineConfig", "parallel_schedule")?,
+            budget: match value.get("budget") {
+                Some(_) => serde::derive::field(value, "PipelineConfig", "budget")?,
+                None => BudgetConfig::default(),
+            },
+        })
     }
 }
 
@@ -316,10 +366,39 @@ impl LinkedArtifact {
         self,
         context: Arc<SearchContext>,
     ) -> Result<ScheduleArtifact, QssError> {
+        let budget = self.config.budget.to_budget();
+        self.schedule_with_context_budgeted(context, &budget)
+    }
+
+    /// Stage 2 under an explicit runtime [`SearchBudget`] — how a service
+    /// combines the configuration's own [`BudgetConfig`] with a
+    /// per-request deadline or cancellation flag (see
+    /// [`SearchBudget::and_deadline`]). The budget passed here *replaces*
+    /// the one implied by `config.budget`; arm it with
+    /// `config.budget.to_budget()` first to combine both.
+    ///
+    /// # Errors
+    /// The contract of [`LinkedArtifact::schedule`] plus
+    /// [`QssError::BudgetExhausted`] when the budget runs out.
+    pub fn schedule_with_context_budgeted(
+        self,
+        context: Arc<SearchContext>,
+        budget: &SearchBudget,
+    ) -> Result<ScheduleArtifact, QssError> {
         let schedules = if self.config.parallel_schedule {
-            schedule_system_parallel_with_context(&self.system, &context, &self.config.schedule)?
+            schedule_system_parallel_with_context_budgeted(
+                &self.system,
+                &context,
+                &self.config.schedule,
+                budget,
+            )?
         } else {
-            schedule_system_with_context(&self.system, &context, &self.config.schedule)?
+            schedule_system_with_context_budgeted(
+                &self.system,
+                &context,
+                &self.config.schedule,
+                budget,
+            )?
         };
         Ok(self.attach_schedules(schedules, context))
     }

@@ -31,6 +31,7 @@ use serde_json::Value;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Default cap on one *request* line, enforced by the server. Oversized
 /// lines are drained and answered with an [`ErrorKind::TooLarge`] error
@@ -59,6 +60,10 @@ pub enum ErrorKind {
     UnknownKind,
     /// The worker queue was full — back off and retry.
     Busy,
+    /// A deadline ran out: the request's schedule-search budget expired,
+    /// the request waited in the queue past its deadline, or a coalesced
+    /// follower's wait timed out.
+    Timeout,
     /// The server is draining for shutdown and accepts no new work.
     ShuttingDown,
     /// An unexpected server-side failure (a bug, not a bad request).
@@ -87,6 +92,7 @@ impl ErrorKind {
             ErrorKind::TooLarge => "too_large",
             ErrorKind::UnknownKind => "unknown_kind",
             ErrorKind::Busy => "busy",
+            ErrorKind::Timeout => "timeout",
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::Internal => "internal",
             ErrorKind::Parse => "parse",
@@ -106,6 +112,7 @@ impl ErrorKind {
             "too_large" => ErrorKind::TooLarge,
             "unknown_kind" => ErrorKind::UnknownKind,
             "busy" => ErrorKind::Busy,
+            "timeout" => ErrorKind::Timeout,
             "shutting_down" => ErrorKind::ShuttingDown,
             "internal" => ErrorKind::Internal,
             "parse" => ErrorKind::Parse,
@@ -161,6 +168,11 @@ impl std::error::Error for WireError {}
 
 impl From<QssError> for WireError {
     fn from(e: QssError) -> Self {
+        // A blown search budget is a deadline condition, not a property
+        // of the net — it maps to `timeout`, never `schedule`.
+        if matches!(e, QssError::BudgetExhausted(_)) {
+            return WireError::new(ErrorKind::Timeout, e.to_string());
+        }
         let kind = match e.stage() {
             Stage::Parse => ErrorKind::Parse,
             Stage::Link => ErrorKind::Link,
@@ -470,6 +482,10 @@ pub enum LineRead {
     TooLarge,
     /// End of stream before any byte of a new line.
     Eof,
+    /// A deadline expired while waiting for (the rest of) the line —
+    /// only produced by [`read_line_bounded_with_tick`] when its tick
+    /// callback gives up.
+    TimedOut,
 }
 
 /// Reads one `\n`-terminated line of at most `max` bytes.
@@ -482,11 +498,57 @@ pub enum LineRead {
 /// # Errors
 /// Propagates transport errors from the underlying reader.
 pub fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> io::Result<LineRead> {
+    read_line_inner(reader, max, None)
+}
+
+/// Like [`read_line_bounded`], on a reader whose `fill_buf` can time out
+/// (a `TcpStream` with a read timeout). Every time the underlying read
+/// times out, `tick` is called with whether a line is in progress (some
+/// bytes arrived but no `\n` yet); returning `false` abandons the read
+/// as [`LineRead::TimedOut`], returning `true` keeps waiting.
+///
+/// This is how the server implements both its idle reaper (no line in
+/// progress for too long) and its slowloris guard (a line dribbling in
+/// for too long) with one blocking thread and no timer wheel.
+///
+/// # Errors
+/// Propagates transport errors other than the timeout kinds.
+pub fn read_line_bounded_with_tick(
+    reader: &mut impl BufRead,
+    max: usize,
+    tick: &mut dyn FnMut(bool) -> bool,
+) -> io::Result<LineRead> {
+    read_line_inner(reader, max, Some(tick))
+}
+
+fn read_line_inner(
+    reader: &mut impl BufRead,
+    max: usize,
+    mut tick: Option<&mut dyn FnMut(bool) -> bool>,
+) -> io::Result<LineRead> {
     let mut line: Vec<u8> = Vec::new();
     let mut oversized = false;
     loop {
         let (consumed, terminated, at_eof) = {
-            let available = reader.fill_buf()?;
+            let available = match reader.fill_buf() {
+                Ok(available) => available,
+                // A read timeout surfaces as `WouldBlock` or `TimedOut`
+                // depending on the platform.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) && tick.is_some() =>
+                {
+                    let started = !line.is_empty() || oversized;
+                    let keep_waiting = tick.as_mut().map(|tick| tick(started)).unwrap_or(false);
+                    if keep_waiting {
+                        continue;
+                    }
+                    return Ok(LineRead::TimedOut);
+                }
+                Err(e) => return Err(e),
+            };
             if available.is_empty() {
                 (0, false, true)
             } else {
@@ -563,6 +625,12 @@ pub struct ServerStats {
     /// Schedule searches that attached to another request's in-flight
     /// search instead of running their own.
     pub coalesced: u64,
+    /// `timeout` responses written (expired deadlines, blown search
+    /// budgets, coalesced waits that timed out).
+    pub timeouts: u64,
+    /// Schedule searches a leader gave up on because a deadline or
+    /// budget cancelled them mid-search.
+    pub cancelled: u64,
     /// Worker threads.
     pub workers: u64,
     /// Bound of the job queue.
@@ -695,20 +763,46 @@ pub struct Client {
     next_id: u64,
 }
 
+/// Default bound on how long [`Client::connect`] waits for one address —
+/// long enough for any healthy network, short enough that a blackholed
+/// server fails the caller fast instead of pinning it for minutes.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+
 impl Client {
-    /// Connects to a `qssd` at `addr`.
+    /// Connects to a `qssd` at `addr`, bounded by
+    /// [`DEFAULT_CONNECT_TIMEOUT`].
     ///
     /// # Errors
     /// Propagates connection errors.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client {
-            reader,
-            writer: stream,
-            next_id: 1,
-        })
+        Client::connect_with_timeout(addr, DEFAULT_CONNECT_TIMEOUT)
+    }
+
+    /// Connects to a `qssd` at `addr`, waiting at most `timeout` per
+    /// resolved address.
+    ///
+    /// # Errors
+    /// Propagates connection errors; if `addr` resolves to several
+    /// addresses the error of the last attempt is reported.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let mut last_error = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    let reader = BufReader::new(stream.try_clone()?);
+                    return Ok(Client {
+                        reader,
+                        writer: stream,
+                        next_id: 1,
+                    });
+                }
+                Err(e) => last_error = Some(e),
+            }
+        }
+        Err(last_error.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
     }
 
     /// Sends one raw line (newline appended if missing) and returns the
@@ -732,6 +826,12 @@ impl Client {
             LineRead::Eof => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
+            )),
+            // The client reads without a tick callback, so a timeout can
+            // only come from a read timeout the caller set on the socket.
+            LineRead::TimedOut => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "timed out waiting for the response",
             )),
         }
     }
@@ -904,6 +1004,168 @@ impl Client {
     }
 }
 
+// ----------------------------------------------------------------- retry
+
+impl ClientError {
+    /// Whether retrying the same request against the same server can
+    /// plausibly succeed: `busy` (the queue was momentarily full) and
+    /// transport failures (connection refused during a restart, a broken
+    /// pipe from a server that died mid-request). Typed server errors
+    /// other than `busy` are deterministic — the same request will fail
+    /// the same way — and protocol decode failures mean the peer is not
+    /// speaking our protocol at all.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Server(e) => e.kind == ErrorKind::Busy,
+            ClientError::Protocol(_) => false,
+        }
+    }
+}
+
+/// Retry schedule for [`with_retry`]: truncated exponential backoff with
+/// deterministic jitter. The jitter stream is a pure function of `seed`,
+/// so a fleet of clients spreads its retries while every individual run
+/// replays exactly (the property the e2e suite pins down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, the first one included (`0` is treated as `1`).
+    pub max_attempts: u32,
+    /// Delay budget of the first retry (before jitter).
+    pub base_delay: Duration,
+    /// Cap on the per-retry delay budget.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+    /// Overall wall-clock bound across all attempts and sleeps; `None`
+    /// bounds the run by `max_attempts` alone.
+    pub overall_deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            seed: 0,
+            overall_deadline: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff state machine of this policy.
+    pub fn backoff(&self) -> Backoff {
+        Backoff {
+            policy: *self,
+            attempt: 0,
+            rng: self.seed,
+        }
+    }
+}
+
+/// Iterator-like backoff state: one [`Backoff::next_delay`] call per
+/// failed attempt.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// The sleep before the next attempt, or `None` once the policy's
+    /// attempts are used up. The delay before retry *k* (1-based) is
+    /// drawn from `[budget/2, budget]` where
+    /// `budget = min(base_delay · 2^(k-1), max_delay)` — "equal jitter",
+    /// which decorrelates clients without ever collapsing to zero sleep.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        self.attempt += 1;
+        if self.attempt >= self.policy.max_attempts.max(1) {
+            return None;
+        }
+        let exp = self.attempt.saturating_sub(1).min(32);
+        let budget = self
+            .policy
+            .base_delay
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.policy.max_delay);
+        let budget_ms = budget.as_millis() as u64;
+        let half = budget_ms / 2;
+        let jitter = if budget_ms > half {
+            splitmix64(&mut self.rng) % (budget_ms - half + 1)
+        } else {
+            0
+        };
+        Some(Duration::from_millis(half + jitter))
+    }
+
+    /// Attempts consumed so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+/// The splitmix64 step: passes through every 64-bit state exactly once,
+/// good enough jitter, zero dependencies.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `op` against a [`Client`] for `addr`, retrying per `policy` on
+/// [retryable](ClientError::is_retryable) failures. The connection is
+/// established lazily and re-established after any transport error (the
+/// old stream may hold a half-written request). Non-retryable errors,
+/// exhausted attempts and the overall deadline all surface the *last*
+/// error.
+///
+/// # Errors
+/// The last [`ClientError`] once the policy gives up.
+pub fn with_retry<T>(
+    addr: impl ToSocketAddrs,
+    policy: &RetryPolicy,
+    mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    let started = Instant::now();
+    let mut backoff = policy.backoff();
+    let mut client: Option<Client> = None;
+    loop {
+        let result = match &mut client {
+            Some(c) => op(c),
+            None => match Client::connect_with_timeout(&addr, DEFAULT_CONNECT_TIMEOUT) {
+                Ok(c) => op(client.insert(c)),
+                Err(e) => Err(ClientError::from(e)),
+            },
+        };
+        let error = match result {
+            Ok(value) => return Ok(value),
+            Err(e) => e,
+        };
+        if matches!(error, ClientError::Io(_)) {
+            // The stream state is unknown after a transport error;
+            // reconnect rather than desynchronize the protocol.
+            client = None;
+        }
+        if !error.is_retryable() {
+            return Err(error);
+        }
+        let Some(delay) = backoff.next_delay() else {
+            return Err(error);
+        };
+        if let Some(overall) = policy.overall_deadline {
+            if started.elapsed() + delay > overall {
+                return Err(error);
+            }
+        }
+        std::thread::sleep(delay);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -999,5 +1261,132 @@ mod tests {
             read_line_bounded(&mut reader, 32).unwrap(),
             LineRead::Line(l) if l.len() == 32
         ));
+    }
+
+    #[test]
+    fn timeout_kind_has_a_wire_name() {
+        assert_eq!(ErrorKind::Timeout.name(), "timeout");
+        assert_eq!(ErrorKind::from_name("timeout"), Some(ErrorKind::Timeout));
+    }
+
+    #[test]
+    fn budget_exhaustion_crosses_the_wire_as_timeout() {
+        let inner = crate::core::ScheduleError::BudgetExhausted {
+            source: crate::petri::TransitionId::new(0),
+            stop: crate::BudgetStop::Deadline,
+            steps: 1024,
+        };
+        let wire = WireError::from(QssError::from(inner));
+        assert_eq!(wire.kind, ErrorKind::Timeout);
+        assert!(wire.message.contains("deadline exceeded"));
+    }
+
+    /// A reader that yields `WouldBlock` before each chunk, like a socket
+    /// with a read timeout and a dribbling peer.
+    struct ChunkyReader {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        ready: bool,
+        consumed_in_chunk: usize,
+    }
+
+    impl ChunkyReader {
+        fn new(chunks: &[&[u8]]) -> Self {
+            ChunkyReader {
+                chunks: chunks.iter().map(|c| c.to_vec()).collect(),
+                next: 0,
+                ready: false,
+                consumed_in_chunk: 0,
+            }
+        }
+    }
+
+    impl std::io::Read for ChunkyReader {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            unreachable!("read_line_inner uses fill_buf/consume only")
+        }
+    }
+
+    impl BufRead for ChunkyReader {
+        fn fill_buf(&mut self) -> io::Result<&[u8]> {
+            if self.next >= self.chunks.len() {
+                return Ok(&[]);
+            }
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timed out"));
+            }
+            Ok(&self.chunks[self.next][self.consumed_in_chunk..])
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.consumed_in_chunk += amt;
+            if self.consumed_in_chunk >= self.chunks[self.next].len() {
+                self.next += 1;
+                self.consumed_in_chunk = 0;
+                self.ready = false;
+            }
+        }
+    }
+
+    #[test]
+    fn tick_reader_reports_line_progress_and_gives_up_on_demand() {
+        // Patient tick: observes one not-started tick, then in-progress
+        // ticks once bytes arrived.
+        let mut reader = ChunkyReader::new(&[b"par", b"tial\n"]);
+        let mut observed = Vec::new();
+        let mut tick = |started: bool| {
+            observed.push(started);
+            true
+        };
+        let read = read_line_bounded_with_tick(&mut reader, 64, &mut tick).unwrap();
+        assert!(matches!(read, LineRead::Line(l) if l == "partial"));
+        assert_eq!(observed, vec![false, true]);
+
+        // Impatient tick: gives up immediately.
+        let mut reader = ChunkyReader::new(&[b"never\n"]);
+        let mut give_up = |_started: bool| false;
+        assert!(matches!(
+            read_line_bounded_with_tick(&mut reader, 64, &mut give_up).unwrap(),
+            LineRead::TimedOut
+        ));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(40),
+            max_delay: Duration::from_millis(200),
+            seed: 42,
+            overall_deadline: None,
+        };
+        let mut a = policy.backoff();
+        let mut b = policy.backoff();
+        let seq_a: Vec<_> = std::iter::from_fn(|| a.next_delay()).collect();
+        let seq_b: Vec<_> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same schedule");
+        assert_eq!(seq_a.len(), 5, "max_attempts - 1 sleeps");
+        for (k, delay) in seq_a.iter().enumerate() {
+            let budget = Duration::from_millis(40)
+                .saturating_mul(1 << k as u32)
+                .min(Duration::from_millis(200));
+            assert!(
+                *delay >= budget / 2 && *delay <= budget,
+                "attempt {k}: {delay:?}"
+            );
+        }
+        let mut other = RetryPolicy { seed: 43, ..policy }.backoff();
+        let seq_c: Vec<_> = std::iter::from_fn(|| other.next_delay()).collect();
+        assert_ne!(seq_a, seq_c, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn retryability_is_typed() {
+        assert!(ClientError::Io("broken pipe".into()).is_retryable());
+        assert!(ClientError::Server(WireError::new(ErrorKind::Busy, "full")).is_retryable());
+        assert!(!ClientError::Server(WireError::new(ErrorKind::Timeout, "late")).is_retryable());
+        assert!(!ClientError::Server(WireError::protocol("bad")).is_retryable());
+        assert!(!ClientError::Protocol("not json".into()).is_retryable());
     }
 }
