@@ -25,7 +25,10 @@
 
 use qss_bench::experiments::divider_net;
 use qss_core::{reference, ScheduleOptions, SearchBudget, SearchContext, TerminationKind};
-use qss_petri::{t_invariant_basis, t_invariant_basis_dense, FxHashMap, Marking, MarkingStore};
+use qss_petri::{
+    p_invariant_basis, p_invariant_basis_dense, structural_report, structural_report_dense,
+    t_invariant_basis, t_invariant_basis_dense, FxHashMap, Marking, MarkingStore, StructuralLimits,
+};
 use qss_sim::{pfc_system, PfcParams};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -203,6 +206,8 @@ fn main() {
         let options = ScheduleOptions::default();
         let (rsystem, roptions) = (system.clone(), options.clone());
         let (bsystem, csystem) = (system.clone(), system.clone());
+        let (dsystem, esystem) = (system.clone(), system.clone());
+        let (fsystem, gsystem) = (system.clone(), system.clone());
         push_case(
             "schedule_search/pfc_with_heuristics".to_string(),
             Box::new(move || {
@@ -229,6 +234,35 @@ fn main() {
             }),
             Box::new(move || {
                 black_box(t_invariant_basis_dense(&csystem.net, 50_000));
+            }),
+        );
+
+        // The Farkas dual: the P-invariant basis over the same net with
+        // the same row cap, sparse elimination against the dense oracle.
+        // This is the other half of the analyzer's cold-start cost.
+        push_case(
+            "analysis/p_invariant_basis_pfc".to_string(),
+            Box::new(move || {
+                black_box(p_invariant_basis(&dsystem.net, 50_000));
+            }),
+            Box::new(move || {
+                black_box(p_invariant_basis_dense(&esystem.net, 50_000));
+            }),
+        );
+
+        // The full structural pre-pass `qssc analyze` and the `analyze`
+        // server kind run per net: P-invariants, sur-invariant place
+        // bounds, siphon/trap enumeration and the place/transition facts,
+        // sparse against the dense-elimination oracle.
+        let limits = StructuralLimits::default();
+        let rlimits = limits.clone();
+        push_case(
+            "analysis/structural_report".to_string(),
+            Box::new(move || {
+                black_box(structural_report(&fsystem.net, &limits));
+            }),
+            Box::new(move || {
+                black_box(structural_report_dense(&gsystem.net, &rlimits));
             }),
         );
     }

@@ -48,8 +48,8 @@ use crate::schedule::{NodeId, Schedule};
 use crate::termination::{PathTracker, TerminationKind};
 use qss_flowc::LinkedSystem;
 use qss_petri::{
-    EcsId, EcsInfo, Marking, MarkingId, MarkingStore, PetriNet, PlaceId, TransitionId,
-    TransitionKind,
+    EcsId, EcsInfo, Marking, MarkingId, MarkingStore, PetriNet, PlaceId, StructuralReport,
+    TransitionId, TransitionKind,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -194,6 +194,24 @@ pub struct SearchContext {
     /// clones it so the path tracker's interning starts from the shared
     /// base instead of re-hashing the initial marking per call.
     base_store: MarkingStore,
+    /// Facts adopted from a structural pre-pass ([`SearchContext::with_structural`]);
+    /// `None` for contexts built with [`SearchContext::new`], which keeps
+    /// the analysis-off search byte-identical to the pre-analyzer engine.
+    structural: Option<StructuralGate>,
+}
+
+/// The slice of a [`StructuralReport`] the search engine consumes.
+#[derive(Debug, Clone)]
+struct StructuralGate {
+    /// First place proven unbounded under internal transitions alone;
+    /// its presence fast-rejects every search on this net.
+    unbounded: Option<PlaceId>,
+    /// Per-transition "provably dead" flags; a search for a dead source
+    /// is fast-rejected.
+    dead: Vec<bool>,
+    /// The maximum proven place bound, present only when every place has
+    /// one (see [`StructuralReport::max_marking_bound`]).
+    max_marking_bound: Option<u32>,
 }
 
 impl SearchContext {
@@ -206,7 +224,56 @@ impl SearchContext {
             ecs: EcsInfo::compute(net),
             sorter: EcsSorter::new(net),
             base_store,
+            structural: None,
         }
+    }
+
+    /// Like [`SearchContext::new`], but additionally adopts the proofs of
+    /// a structural pre-pass over the same net:
+    ///
+    /// * nets with a provably (internally) unbounded place or a provably
+    ///   dead source transition are rejected with a typed error
+    ///   *before* any search runs
+    ///   ([`ScheduleError::StructurallyUnbounded`] /
+    ///   [`ScheduleError::StructurallyDead`]),
+    /// * proven place bounds pre-arm
+    ///   [`TerminationKind::PlaceBounds`] via
+    ///   [`SearchContext::pre_armed_place_bounds`], and the per-net
+    ///   maximum bound is recorded
+    ///   ([`SearchContext::structural_max_bound`]) so a narrow-cell
+    ///   marking slab can later pick u8/u16 cells.
+    ///
+    /// `report` must come from the net this context is built for.
+    pub fn with_structural(net: &PetriNet, report: &StructuralReport) -> Self {
+        let mut context = SearchContext::new(net);
+        let mut dead = vec![false; net.num_transitions()];
+        for t in &report.dead_transitions {
+            dead[t.index()] = true;
+        }
+        context.structural = Some(StructuralGate {
+            unbounded: report.unbounded_places().first().copied(),
+            dead,
+            max_marking_bound: report.max_marking_bound,
+        });
+        context
+    }
+
+    /// The maximum proven structural place bound, if the adopted report
+    /// proved one for *every* place. `None` for contexts without a
+    /// structural report.
+    pub fn structural_max_bound(&self) -> Option<u32> {
+        self.structural.as_ref().and_then(|g| g.max_marking_bound)
+    }
+
+    /// Schedule options pre-armed with the proven place bounds: when the
+    /// adopted report bounds every place, returns
+    /// [`ScheduleOptions::with_place_bounds`] seeded with the proven
+    /// maximum (no reachable marking violates it, so the bound check can
+    /// replace the irrelevance machinery without losing any schedule the
+    /// bounds admit). `None` when no full cover was proven.
+    pub fn pre_armed_place_bounds(&self) -> Option<ScheduleOptions> {
+        self.structural_max_bound()
+            .map(ScheduleOptions::with_place_bounds)
     }
 
     /// The ECS partition of the net.
@@ -271,6 +338,18 @@ impl SearchContext {
     ) -> Result<(Schedule, SearchStats)> {
         if net.transition(source).kind != TransitionKind::UncontrollableSource {
             return Err(ScheduleError::NotUncontrollableSource(source));
+        }
+        // Structural fast-reject: proofs adopted via `with_structural`
+        // make the search fail in O(1) instead of burning its budget on a
+        // net that cannot have a schedule. Contexts without a report skip
+        // this entirely (analysis-off behavior is byte-identical).
+        if let Some(gate) = &self.structural {
+            if let Some(p) = gate.unbounded {
+                return Err(ScheduleError::StructurallyUnbounded(p));
+            }
+            if gate.dead[source.index()] {
+                return Err(ScheduleError::StructurallyDead(source));
+            }
         }
         if self.sorter.has_no_invariants() && net.num_transitions() > 0 {
             return Err(ScheduleError::NoTInvariants);

@@ -1,7 +1,7 @@
 //! Error types for the scheduler.
 
 use crate::budget::BudgetStop;
-use qss_petri::TransitionId;
+use qss_petri::{PlaceId, TransitionId};
 use std::fmt;
 
 /// Convenient result alias used throughout the crate.
@@ -41,6 +41,14 @@ pub enum ScheduleError {
     /// The net has no base of T-invariants, hence no cyclic schedule
     /// exists (Sec. 5.5.2).
     NoTInvariants,
+    /// The structural pre-pass proved a place unbounded under the
+    /// internal transitions alone, so the search was rejected before it
+    /// started (a [`SearchContext`](crate::SearchContext) built with a
+    /// structural report fast-rejects such nets).
+    StructurallyUnbounded(PlaceId),
+    /// The structural pre-pass proved the requested source transition can
+    /// never fire, so no schedule for it can exist.
+    StructurallyDead(TransitionId),
     /// A computed set of schedules is not independent, so it cannot be
     /// executed with statically known buffer bounds.
     NotIndependent {
@@ -83,6 +91,16 @@ impl fmt::Display for ScheduleError {
             ScheduleError::NoTInvariants => {
                 write!(f, "the net has no T-invariants, so no cyclic schedule exists")
             }
+            ScheduleError::StructurallyUnbounded(p) => write!(
+                f,
+                "place {p} is structurally unbounded under internal transitions alone; \
+                 the net was rejected before search"
+            ),
+            ScheduleError::StructurallyDead(t) => write!(
+                f,
+                "source transition {t} is structurally dead (it can never fire), \
+                 so no schedule for it exists"
+            ),
             ScheduleError::NotIndependent { first, second } => write!(
                 f,
                 "the schedules for {first} and {second} are not mutually independent"
@@ -117,6 +135,8 @@ mod tests {
                 steps: 4096,
             },
             ScheduleError::NoTInvariants,
+            ScheduleError::StructurallyUnbounded(PlaceId::new(2)),
+            ScheduleError::StructurallyDead(TransitionId::new(3)),
             ScheduleError::NotIndependent {
                 first: TransitionId::new(0),
                 second: TransitionId::new(1),

@@ -29,7 +29,11 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+            self.add_to_hash(u64::from_le_bytes(
+                chunk
+                    .try_into()
+                    .expect("chunks_exact(8) yields 8-byte chunks"),
+            ));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {

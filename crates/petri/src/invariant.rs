@@ -1,4 +1,4 @@
-//! Incidence matrices and non-negative T-invariant bases.
+//! Incidence matrices and non-negative T- and P-invariant bases.
 //!
 //! A T-invariant is a non-negative integer vector `x` with `C·x = 0`, where
 //! `C` is the incidence matrix. Firing any sequence containing each
@@ -7,9 +7,15 @@
 //! T-invariants both as a quick non-schedulability test (no basis ⇒ no
 //! schedule) and to sort ECSs during the search (Sec. 5.5.2 of the paper).
 //!
-//! The basis is computed with the classical Farkas / Fourier–Motzkin
-//! elimination on the matrix `[Cᵀ | I]`, producing the minimal-support
-//! semiflows of the net.
+//! A P-invariant (place semiflow) is the dual: a non-negative vector `y`
+//! with `yᵀ·C = 0`, so the weighted token count `y·M` is conserved by
+//! every firing. Covering P-invariants prove structural place bounds
+//! (`M[p] ≤ (y·M0)/y[p]`), which the structural analyzer
+//! ([`crate::structural`]) turns into diagnostics and termination bounds.
+//!
+//! Both bases are computed with the classical Farkas / Fourier–Motzkin
+//! elimination — on `[Cᵀ | I]` for T-invariants and on `[C | I]` for
+//! P-invariants — producing the minimal-support semiflows of the net.
 
 use crate::ids::{PlaceId, TransitionId};
 use crate::net::PetriNet;
@@ -143,6 +149,80 @@ impl TInvariant {
     }
 }
 
+/// A non-negative P-invariant (place semiflow): weights per place with
+/// `yᵀ·C = 0`.
+///
+/// For every reachable marking `M`, the weighted token count
+/// `Σ_p y[p]·M[p]` equals the one of the initial marking, so every place
+/// in the invariant's support is structurally bounded by
+/// `(y·M0) / y[p]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PInvariant {
+    weights: Vec<u64>,
+}
+
+impl PInvariant {
+    /// Creates an invariant from explicit place weights.
+    pub fn from_weights(weights: Vec<u64>) -> Self {
+        PInvariant { weights }
+    }
+
+    /// Weight of place `p` in this invariant.
+    pub fn weight(&self, p: PlaceId) -> u64 {
+        self.weights[p.index()]
+    }
+
+    /// Raw weights, indexed by place.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Places with a non-zero weight (the *support*).
+    pub fn support(&self) -> Vec<PlaceId> {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w > 0)
+            .map(|(i, _)| PlaceId::new(i))
+            .collect()
+    }
+
+    /// Returns `true` if place `p` appears in the invariant.
+    pub fn contains(&self, p: PlaceId) -> bool {
+        self.weights[p.index()] > 0
+    }
+
+    /// Returns `true` if the invariant is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.weights.iter().all(|&w| w == 0)
+    }
+
+    /// The conserved quantity `Σ_p y[p]·m[p]` for a marking given as raw
+    /// token counts.
+    ///
+    /// # Panics
+    /// Panics if `marking.len()` differs from the number of places.
+    pub fn weighted_tokens(&self, marking: &[u32]) -> u64 {
+        assert_eq!(marking.len(), self.weights.len());
+        self.weights
+            .iter()
+            .zip(marking)
+            .map(|(&w, &m)| w * m as u64)
+            .sum()
+    }
+
+    /// Verifies `yᵀ·C = 0` against a net.
+    pub fn is_valid_for(&self, net: &PetriNet) -> bool {
+        let c = incidence_matrix(net);
+        net.transition_ids().all(|t| {
+            net.place_ids()
+                .map(|p| self.weights[p.index()] as i64 * c.entry(p, t))
+                .sum::<i64>()
+                == 0
+        })
+    }
+}
+
 fn gcd(a: u64, b: u64) -> u64 {
     if b == 0 {
         a
@@ -174,7 +254,7 @@ fn normalize(row: &mut [i64]) {
 /// counterpart — and every elimination step (lookup, combine, dedup)
 /// scales with the non-zero count instead of the net size.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct SparseRow {
+pub(crate) struct SparseRow {
     entries: Vec<(u32, i64)>,
 }
 
@@ -279,53 +359,35 @@ impl RowSet {
     }
 }
 
-/// Computes a non-negative basis of T-invariants (minimal-support
-/// semiflows) of `net` using Farkas elimination over sparse rows.
-///
-/// The result may be empty, which the scheduler interprets as "no cyclic
-/// schedule can exist". The number of intermediate rows is capped at
-/// `row_cap` to guard against the (exponential) worst case; nets produced
-/// from FlowC specifications stay far below the cap.
-///
-/// The elimination pivots, combination order and dedup-by-content are
-/// identical to the retained dense implementation
-/// ([`t_invariant_basis_dense`]), so both produce the same basis in the
-/// same order; the property suite asserts this on random nets.
-pub fn t_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
-    let np = net.num_places();
-    let nt = net.num_transitions();
+/// The rows surviving one Farkas elimination run, plus whether the run
+/// eliminated every column or bailed at the row cap.
+pub(crate) struct Elimination {
+    pub(crate) rows: Vec<SparseRow>,
+    /// `false` when the run hit `row_cap` and returned the partial row set
+    /// of the round in progress. The surviving finished rows still yield
+    /// valid invariants, but the set is no longer exhaustive — callers
+    /// proving *negative* facts (no invariant covers place `p`) must treat
+    /// an incomplete run as "unknown".
+    pub(crate) complete: bool,
+}
 
-    // One sparse row per transition: the incidence column plus a unit
-    // firing-count entry.
-    let mut rows: Vec<SparseRow> = Vec::with_capacity(nt);
-    for t in net.transition_ids() {
-        let mut delta: std::collections::BTreeMap<u32, i64> = std::collections::BTreeMap::new();
-        for (p, w) in net.preset(t) {
-            *delta.entry(p.index() as u32).or_insert(0) -= *w as i64;
-        }
-        for (p, w) in net.postset(t) {
-            *delta.entry(p.index() as u32).or_insert(0) += *w as i64;
-        }
-        let mut entries: Vec<(u32, i64)> = delta.into_iter().filter(|&(_, v)| v != 0).collect();
-        entries.push(((np + t.index()) as u32, 1));
-        rows.push(SparseRow { entries });
-    }
-
-    // Eliminate places one at a time, always picking the place that
-    // produces the fewest new combinations (a standard heuristic that
-    // keeps the intermediate row count small). The per-place sign counts
-    // are gathered in one pass over the rows' non-zeros instead of one
-    // full row scan per candidate place.
-    let mut remaining: Vec<usize> = (0..np).collect();
-    let mut pos = vec![0usize; np];
-    let mut neg = vec![0usize; np];
+/// Eliminates columns `0..ncols` from `rows`, one column at a time, always
+/// picking the column that produces the fewest new combinations (a
+/// standard heuristic that keeps the intermediate row count small). The
+/// per-column sign counts are gathered in one pass over the rows'
+/// non-zeros instead of one full row scan per candidate column. The
+/// number of intermediate rows is capped at `row_cap`.
+pub(crate) fn eliminate(mut rows: Vec<SparseRow>, ncols: usize, row_cap: usize) -> Elimination {
+    let mut remaining: Vec<usize> = (0..ncols).collect();
+    let mut pos = vec![0usize; ncols];
+    let mut neg = vec![0usize; ncols];
     while !remaining.is_empty() {
         pos.iter_mut().for_each(|c| *c = 0);
         neg.iter_mut().for_each(|c| *c = 0);
         for row in &rows {
             for &(c, v) in &row.entries {
                 let c = c as usize;
-                if c >= np {
+                if c >= ncols {
                     break;
                 }
                 if v > 0 {
@@ -373,15 +435,228 @@ pub fn t_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
                 combined.normalize();
                 next.insert(combined);
                 if next.len() > row_cap {
-                    // Bail out conservatively: return what is already a
-                    // valid set of invariants among the finished rows.
-                    return collect_invariants(&next.rows, np, nt, net);
+                    // Bail out conservatively: the finished rows of the
+                    // partial set are still valid invariants.
+                    return Elimination {
+                        rows: next.rows,
+                        complete: false,
+                    };
                 }
             }
         }
         rows = next.rows;
     }
-    collect_invariants(&rows, np, nt, net)
+    Elimination {
+        rows,
+        complete: true,
+    }
+}
+
+/// Computes a non-negative basis of T-invariants (minimal-support
+/// semiflows) of `net` using Farkas elimination over sparse rows.
+///
+/// The result may be empty, which the scheduler interprets as "no cyclic
+/// schedule can exist". The number of intermediate rows is capped at
+/// `row_cap` to guard against the (exponential) worst case; nets produced
+/// from FlowC specifications stay far below the cap.
+///
+/// The elimination pivots, combination order and dedup-by-content are
+/// identical to the retained dense implementation
+/// ([`t_invariant_basis_dense`]), so both produce the same basis in the
+/// same order; the property suite asserts this on random nets.
+pub fn t_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<TInvariant> {
+    let np = net.num_places();
+    let nt = net.num_transitions();
+
+    // One sparse row per transition: the incidence column plus a unit
+    // firing-count entry.
+    let mut rows: Vec<SparseRow> = Vec::with_capacity(nt);
+    for t in net.transition_ids() {
+        let mut delta: std::collections::BTreeMap<u32, i64> = std::collections::BTreeMap::new();
+        for (p, w) in net.preset(t) {
+            *delta.entry(p.index() as u32).or_insert(0) -= *w as i64;
+        }
+        for (p, w) in net.postset(t) {
+            *delta.entry(p.index() as u32).or_insert(0) += *w as i64;
+        }
+        let mut entries: Vec<(u32, i64)> = delta.into_iter().filter(|&(_, v)| v != 0).collect();
+        entries.push(((np + t.index()) as u32, 1));
+        rows.push(SparseRow { entries });
+    }
+
+    let elim = eliminate(rows, np, row_cap);
+    collect_invariants(&elim.rows, np, nt, net)
+}
+
+/// Computes a non-negative basis of P-invariants (minimal-support place
+/// semiflows) of `net` — the Farkas dual of [`t_invariant_basis`], run on
+/// the transposed incidence matrix `[C | I]` with the same sparse rows,
+/// pivot heuristic and `row_cap` bail-out discipline.
+///
+/// Every returned invariant satisfies `yᵀ·C = 0` (verified before it is
+/// admitted); the result may be empty, e.g. for nets whose sources pump
+/// tokens into every conservative component.
+pub fn p_invariant_basis(net: &PetriNet, row_cap: usize) -> Vec<PInvariant> {
+    p_invariant_elimination(net, row_cap).0
+}
+
+/// [`p_invariant_basis`] plus the completeness of the underlying
+/// elimination: `true` means the returned basis contains *every*
+/// minimal-support semiflow, so "no invariant covers `p`" is a proof.
+pub fn p_invariant_elimination(net: &PetriNet, row_cap: usize) -> (Vec<PInvariant>, bool) {
+    let np = net.num_places();
+    let nt = net.num_transitions();
+
+    // One sparse row per place: the incidence row plus a unit weight
+    // entry. Transition columns come first so the elimination removes
+    // exactly them.
+    let mut deltas: Vec<std::collections::BTreeMap<u32, i64>> = vec![Default::default(); np];
+    for t in net.transition_ids() {
+        for (p, w) in net.preset(t) {
+            *deltas[p.index()].entry(t.index() as u32).or_insert(0) -= *w as i64;
+        }
+        for (p, w) in net.postset(t) {
+            *deltas[p.index()].entry(t.index() as u32).or_insert(0) += *w as i64;
+        }
+    }
+    let mut rows: Vec<SparseRow> = Vec::with_capacity(np);
+    for (p, delta) in deltas.into_iter().enumerate() {
+        let mut entries: Vec<(u32, i64)> = delta.into_iter().filter(|&(_, v)| v != 0).collect();
+        entries.push(((nt + p) as u32, 1));
+        rows.push(SparseRow { entries });
+    }
+
+    let elim = eliminate(rows, nt, row_cap);
+    (collect_p_invariants(&elim.rows, np, nt, net), elim.complete)
+}
+
+fn collect_p_invariants(
+    rows: &[SparseRow],
+    np: usize,
+    nt: usize,
+    net: &PetriNet,
+) -> Vec<PInvariant> {
+    let mut result: Vec<PInvariant> = Vec::new();
+    for row in rows {
+        // Only rows whose residual transition part vanished are invariants.
+        if row.entries.iter().any(|&(c, _)| (c as usize) < nt) {
+            continue;
+        }
+        if row.entries.is_empty() {
+            continue;
+        }
+        if row.entries.iter().any(|&(_, v)| v < 0) {
+            continue;
+        }
+        let mut weights = vec![0u64; np];
+        for &(c, v) in &row.entries {
+            weights[c as usize - nt] = v as u64;
+        }
+        let inv = PInvariant::from_weights(weights);
+        if inv.is_valid_for(net) && !result.contains(&inv) {
+            result.push(inv);
+        }
+    }
+    minimal_support_p(result)
+}
+
+/// Keeps only minimal-support P-invariants to obtain a clean basis.
+fn minimal_support_p(result: Vec<PInvariant>) -> Vec<PInvariant> {
+    let mut minimal: Vec<PInvariant> = Vec::new();
+    for (i, inv) in result.iter().enumerate() {
+        let sup: Vec<bool> = inv.as_slice().iter().map(|&w| w > 0).collect();
+        let dominated = result.iter().enumerate().any(|(j, other)| {
+            if i == j {
+                return false;
+            }
+            let osup: Vec<bool> = other.as_slice().iter().map(|&w| w > 0).collect();
+            osup.iter().zip(&sup).all(|(o, s)| !o || *s)
+                && osup.iter().zip(&sup).any(|(o, s)| !o && *s)
+        });
+        if !dominated {
+            minimal.push(inv.clone());
+        }
+    }
+    minimal
+}
+
+/// Computes generators of the cone `{ y ≥ 0 : yᵀ·C' ≤ 0 }`, where `C'` is
+/// the incidence matrix restricted to the transition `columns` — the
+/// *sur-invariants* of the restricted net. A place covered by a generator
+/// can never gain tokens through those transitions beyond `(y·M0)/y[p]`;
+/// when the returned flag is `true` the generator set is exhaustive, so a
+/// place covered by *no* generator is provably structurally unbounded
+/// under the restricted transitions (Memmi–Roucairol).
+///
+/// Implemented as a semiflow computation with one slack unknown per
+/// column: `yᵀC' + s = 0, (y, s) ≥ 0`.
+pub(crate) fn surinvariant_cover(
+    net: &PetriNet,
+    columns: &[TransitionId],
+    row_cap: usize,
+) -> (Vec<Vec<u64>>, bool) {
+    let np = net.num_places();
+    let nc = columns.len();
+    let mut deltas: Vec<std::collections::BTreeMap<u32, i64>> = vec![Default::default(); np];
+    for (j, &t) in columns.iter().enumerate() {
+        for (p, w) in net.preset(t) {
+            *deltas[p.index()].entry(j as u32).or_insert(0) -= *w as i64;
+        }
+        for (p, w) in net.postset(t) {
+            *deltas[p.index()].entry(j as u32).or_insert(0) += *w as i64;
+        }
+    }
+    // Rows for the place unknowns y_p …
+    let mut rows: Vec<SparseRow> = Vec::with_capacity(np + nc);
+    for (p, delta) in deltas.into_iter().enumerate() {
+        let mut entries: Vec<(u32, i64)> = delta.into_iter().filter(|&(_, v)| v != 0).collect();
+        entries.push(((nc + p) as u32, 1));
+        rows.push(SparseRow { entries });
+    }
+    // … and for the slack unknowns s_j (one per eliminated column).
+    for j in 0..nc {
+        rows.push(SparseRow {
+            entries: vec![(j as u32, 1), ((nc + np + j) as u32, 1)],
+        });
+    }
+
+    let elim = eliminate(rows, nc, row_cap);
+    let mut result: Vec<Vec<u64>> = Vec::new();
+    for row in &elim.rows {
+        if row.entries.iter().any(|&(c, _)| (c as usize) < nc) {
+            continue;
+        }
+        if row.entries.iter().any(|&(_, v)| v < 0) {
+            continue;
+        }
+        let mut weights = vec![0u64; np];
+        let mut has_place = false;
+        for &(c, v) in &row.entries {
+            let c = c as usize;
+            if c < nc + np {
+                weights[c - nc] = v as u64;
+                has_place = true;
+            }
+        }
+        if !has_place {
+            continue;
+        }
+        // Soundness check mirroring `is_valid_for`: yᵀ·C' ≤ 0 per column.
+        let sound = columns.iter().all(|&t| {
+            let mut sum = 0i64;
+            for (p, w) in net.preset(t) {
+                sum -= weights[p.index()] as i64 * *w as i64;
+            }
+            for (p, w) in net.postset(t) {
+                sum += weights[p.index()] as i64 * *w as i64;
+            }
+            sum <= 0
+        });
+        if sound && !result.contains(&weights) {
+            result.push(weights);
+        }
+    }
+    (result, elim.complete)
 }
 
 fn collect_invariants(rows: &[SparseRow], np: usize, nt: usize, net: &PetriNet) -> Vec<TInvariant> {
@@ -528,6 +803,102 @@ fn collect_invariants_dense(
     minimal_support(result)
 }
 
+/// Dense-row Farkas elimination for the P-invariant basis, the
+/// differential-testing oracle for [`p_invariant_basis`] (and the baseline
+/// the benchmark suite measures the sparse dual against). Do not use it in
+/// production paths.
+pub fn p_invariant_basis_dense(net: &PetriNet, row_cap: usize) -> Vec<PInvariant> {
+    let np = net.num_places();
+    let nt = net.num_transitions();
+    let c = incidence_matrix(net);
+
+    // Each working row is [a | b]: a has one entry per transition (the
+    // residual yᵀ·C restricted to that combination), b one entry per place
+    // (the weights accumulated so far).
+    let mut rows: Vec<Vec<i64>> = Vec::with_capacity(np);
+    for p in 0..np {
+        let mut row = vec![0i64; nt + np];
+        row[..nt].copy_from_slice(&c.rows[p]);
+        row[nt + p] = 1;
+        rows.push(row);
+    }
+
+    let mut remaining: Vec<usize> = (0..nt).collect();
+    while !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let pos = rows.iter().filter(|r| r[t] > 0).count();
+                let neg = rows.iter().filter(|r| r[t] < 0).count();
+                (i, pos * neg + pos + neg)
+            })
+            .min_by_key(|(_, cost)| *cost)
+            .expect("remaining is non-empty");
+        let t = remaining.swap_remove(best_idx);
+
+        let mut seen: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+        let mut next: Vec<Vec<i64>> = Vec::new();
+        let (zeros, nonzeros): (Vec<_>, Vec<_>) = rows.into_iter().partition(|r| r[t] == 0);
+        for row in zeros {
+            if seen.insert(row.clone()) {
+                next.push(row);
+            }
+        }
+        let positives: Vec<&Vec<i64>> = nonzeros.iter().filter(|r| r[t] > 0).collect();
+        let negatives: Vec<&Vec<i64>> = nonzeros.iter().filter(|r| r[t] < 0).collect();
+        for rp in &positives {
+            for rn in &negatives {
+                let a = rp[t];
+                let b = -rn[t];
+                let l = (a / gcd(a as u64, b as u64) as i64) * b;
+                let fa = l / a;
+                let fb = l / b;
+                let mut combined: Vec<i64> = rp
+                    .iter()
+                    .zip(rn.iter())
+                    .map(|(x, y)| fa * x + fb * y)
+                    .collect();
+                normalize(&mut combined);
+                if seen.insert(combined.clone()) {
+                    next.push(combined);
+                }
+                if next.len() > row_cap {
+                    return collect_p_invariants_dense(&next, np, nt, net);
+                }
+            }
+        }
+        rows = next;
+    }
+    collect_p_invariants_dense(&rows, np, nt, net)
+}
+
+fn collect_p_invariants_dense(
+    rows: &[Vec<i64>],
+    np: usize,
+    nt: usize,
+    net: &PetriNet,
+) -> Vec<PInvariant> {
+    let mut result: Vec<PInvariant> = Vec::new();
+    for row in rows {
+        if row[..nt].iter().any(|&v| v != 0) {
+            continue;
+        }
+        if row[nt..].iter().all(|&v| v == 0) {
+            continue;
+        }
+        if row[nt..].iter().any(|&v| v < 0) {
+            continue;
+        }
+        let inv = PInvariant::from_weights(row[nt..].iter().map(|&v| v as u64).collect());
+        debug_assert_eq!(inv.as_slice().len(), np);
+        if inv.is_valid_for(net) && !result.contains(&inv) {
+            result.push(inv);
+        }
+    }
+    minimal_support_p(result)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,6 +986,131 @@ mod tests {
         let sum = inv.sum(&TInvariant::from_counts(vec![1, 0, 0]));
         assert_eq!(sum.as_slice(), &[1, 2, 1]);
         assert!(TInvariant::from_counts(vec![0, 0]).is_zero());
+    }
+
+    fn choice_net() -> PetriNet {
+        let mut bld = NetBuilder::new("choice");
+        let idle = bld.place("idle", 1);
+        let mid = bld.place("mid", 0);
+        let start = bld.transition("start", TransitionKind::Internal);
+        let left = bld.transition("left", TransitionKind::Internal);
+        let right = bld.transition("right", TransitionKind::Internal);
+        bld.arc_p2t(idle, start, 1);
+        bld.arc_t2p(start, mid, 1);
+        bld.arc_p2t(mid, left, 1);
+        bld.arc_p2t(mid, right, 1);
+        bld.arc_t2p(left, idle, 1);
+        bld.arc_t2p(right, idle, 1);
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn p_invariant_basis_of_pipeline() {
+        // The source pumps `buf`, so only the conservative `idle` place is
+        // covered by a semiflow.
+        let net = producer_consumer();
+        let basis = p_invariant_basis(&net, 10_000);
+        assert_eq!(basis.len(), 1);
+        let inv = &basis[0];
+        assert!(inv.is_valid_for(&net));
+        let idle = net.place_by_name("idle").unwrap();
+        let buf = net.place_by_name("buf").unwrap();
+        assert_eq!(inv.weight(idle), 1);
+        assert!(!inv.contains(buf));
+        assert_eq!(inv.support(), vec![idle]);
+        assert_eq!(inv.weighted_tokens(net.initial_marking().as_slice()), 1);
+    }
+
+    #[test]
+    fn p_invariant_of_choice_net_covers_both_places() {
+        // idle + mid is conserved: one token circulates through the choice.
+        let net = choice_net();
+        let (basis, complete) = p_invariant_elimination(&net, 10_000);
+        assert!(complete);
+        assert_eq!(basis.len(), 1);
+        let idle = net.place_by_name("idle").unwrap();
+        let mid = net.place_by_name("mid").unwrap();
+        assert_eq!(basis[0].weight(idle), 1);
+        assert_eq!(basis[0].weight(mid), 1);
+        assert!(basis[0].is_valid_for(&net));
+    }
+
+    #[test]
+    fn weighted_p_invariant_weights() {
+        // t moves tokens 2-from-a, 3-into-b: conservation needs 3·a + 2·b.
+        let mut bld = NetBuilder::new("pweights");
+        let a = bld.place("a", 6);
+        let b = bld.place("b", 0);
+        let t = bld.transition("t", TransitionKind::Internal);
+        bld.arc_p2t(a, t, 2);
+        bld.arc_t2p(t, b, 3);
+        let net = bld.build().unwrap();
+        let basis = p_invariant_basis(&net, 10_000);
+        assert_eq!(basis.len(), 1);
+        let a = net.place_by_name("a").unwrap();
+        let b = net.place_by_name("b").unwrap();
+        assert_eq!(basis[0].weight(a), 3);
+        assert_eq!(basis[0].weight(b), 2);
+        assert_eq!(
+            basis[0].weighted_tokens(net.initial_marking().as_slice()),
+            18
+        );
+    }
+
+    #[test]
+    fn p_invariant_dense_oracle_agrees_on_fixtures() {
+        for net in [producer_consumer(), choice_net()] {
+            assert_eq!(
+                p_invariant_basis(&net, 10_000),
+                p_invariant_basis_dense(&net, 10_000),
+                "sparse and dense P-bases differ on {}",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn p_invariant_helpers() {
+        let inv = PInvariant::from_weights(vec![0, 2, 1]);
+        assert!(!inv.is_zero());
+        assert!(inv.contains(PlaceId::new(1)));
+        assert!(!inv.contains(PlaceId::new(0)));
+        assert_eq!(inv.as_slice(), &[0, 2, 1]);
+        assert_eq!(inv.weighted_tokens(&[5, 1, 3]), 5);
+        assert!(PInvariant::from_weights(vec![0, 0]).is_zero());
+    }
+
+    #[test]
+    fn surinvariant_cover_of_choice_net_is_total() {
+        // No sources: every place is covered by a sur-invariant, which is
+        // exactly the structural-boundedness certificate.
+        let net = choice_net();
+        let (cover, complete) =
+            surinvariant_cover(&net, &net.transition_ids().collect::<Vec<_>>(), 10_000);
+        assert!(complete);
+        for p in net.place_ids() {
+            assert!(
+                cover.iter().any(|y| y[p.index()] > 0),
+                "place {p} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn surinvariant_cover_misses_accumulator_place() {
+        // An internal transition strictly grows `p`: no y ≥ 0 with
+        // yᵀC ≤ 0 can cover it, and the complete elimination proves it.
+        let mut bld = NetBuilder::new("pump");
+        let p = bld.place("p", 1);
+        let t = bld.transition("t", TransitionKind::Internal);
+        bld.arc_p2t(p, t, 1);
+        bld.arc_t2p(t, p, 2);
+        let net = bld.build().unwrap();
+        let (cover, complete) =
+            surinvariant_cover(&net, &net.transition_ids().collect::<Vec<_>>(), 10_000);
+        assert!(complete);
+        let p = net.place_by_name("p").unwrap();
+        assert!(cover.iter().all(|y| y[p.index()] == 0));
     }
 
     #[test]

@@ -29,6 +29,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod analysis;
 pub mod dot;
@@ -42,6 +44,7 @@ pub mod marking;
 pub mod net;
 pub mod reach;
 pub mod store;
+pub mod structural;
 
 pub use analysis::{place_degree, NetAnalysis};
 pub use ecs::{ChoiceClass, EcsId, EcsInfo};
@@ -50,9 +53,14 @@ pub use fingerprint::{net_fingerprint, net_ordered_digest};
 pub use fx::{FxHashMap, FxHashSet};
 pub use ids::{PlaceId, TransitionId};
 pub use invariant::{
-    incidence_matrix, t_invariant_basis, t_invariant_basis_dense, IncidenceMatrix, TInvariant,
+    incidence_matrix, p_invariant_basis, p_invariant_basis_dense, p_invariant_elimination,
+    t_invariant_basis, t_invariant_basis_dense, IncidenceMatrix, PInvariant, TInvariant,
 };
 pub use marking::{format_marking, marking_hash, place_count_hash, Marking};
 pub use net::{NetBuilder, PetriNet, Place, PlaceKind, Transition, TransitionKind};
 pub use reach::{ReachabilityGraph, ReachabilityLimits};
 pub use store::{MarkingId, MarkingStore};
+pub use structural::{
+    structural_report, structural_report_dense, ComponentEnumeration, EnumerationStatus,
+    PlaceFacts, PlaceSet, StructuralLimits, StructuralReport,
+};

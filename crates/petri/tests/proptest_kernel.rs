@@ -5,9 +5,9 @@
 
 use proptest::prelude::*;
 use qss_petri::{
-    incidence_matrix, place_degree, t_invariant_basis, t_invariant_basis_dense, EcsInfo, Marking,
-    MarkingStore, NetBuilder, PetriNet, PlaceId, ReachabilityGraph, ReachabilityLimits,
-    TransitionKind,
+    incidence_matrix, p_invariant_basis, p_invariant_basis_dense, place_degree, t_invariant_basis,
+    t_invariant_basis_dense, EcsInfo, Marking, MarkingStore, NetBuilder, PetriNet, PlaceId,
+    ReachabilityGraph, ReachabilityLimits, TransitionKind,
 };
 
 /// A random connected net description: `places[p]` is the initial token
@@ -187,6 +187,25 @@ proptest! {
         prop_assert_eq!(
             t_invariant_basis(&net, row_cap),
             t_invariant_basis_dense(&net, row_cap)
+        );
+    }
+
+    /// Every P-invariant of the computed basis is a left annuller of the
+    /// incidence matrix (`yᵀ·C = 0`), non-zero, and the sparse Farkas
+    /// dual agrees with the retained dense oracle — same invariants, same
+    /// order, including under aggressive row caps.
+    #[test]
+    fn p_invariant_sparse_matches_dense_oracle(desc in random_net_strategy(), row_cap in 4usize..64) {
+        let net = build(&desc);
+        let basis = p_invariant_basis(&net, 5_000);
+        for inv in &basis {
+            prop_assert!(inv.is_valid_for(&net));
+            prop_assert!(!inv.is_zero());
+        }
+        prop_assert_eq!(basis, p_invariant_basis_dense(&net, 5_000));
+        prop_assert_eq!(
+            p_invariant_basis(&net, row_cap),
+            p_invariant_basis_dense(&net, row_cap)
         );
     }
 

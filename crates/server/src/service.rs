@@ -7,8 +7,9 @@ use crate::coalesce::{InFlightTable, SearchKey, SharedSearch, Ticket};
 use qss::remote::{fingerprint_hex, CheckSummary, ErrorKind, Request, RequestKind, WireError};
 use qss::{LinkedArtifact, Pipeline, QssError, ScheduleArtifact, SearchContext, SystemSchedules};
 use serde_json::Value;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The protocol-visible counters (cache counters live in the cache).
@@ -32,10 +33,54 @@ impl Counters {
     }
 }
 
+/// Bounded FIFO cache of serialized `AnalysisReport`s, keyed by
+/// `(fingerprint, ordered_digest)` — the same double guard the context
+/// cache uses, since the report embeds id-indexed facts. Analysis is
+/// pure and deterministic, so a hit returns bytes identical to a fresh
+/// run; the `cached` flag in the response is the only difference.
+pub(crate) struct ReportCache {
+    entries: Mutex<VecDeque<(u64, u64, Value)>>,
+    capacity: usize,
+}
+
+impl ReportCache {
+    fn new(capacity: usize) -> Self {
+        ReportCache {
+            entries: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn get(&self, fingerprint: u64, digest: u64) -> Option<Value> {
+        let entries = self.entries.lock().ok()?;
+        entries
+            .iter()
+            .find(|(f, d, _)| *f == fingerprint && *d == digest)
+            .map(|(_, _, v)| v.clone())
+    }
+
+    fn insert(&self, fingerprint: u64, digest: u64, report: Value) {
+        let Ok(mut entries) = self.entries.lock() else {
+            return;
+        };
+        if entries
+            .iter()
+            .any(|(f, d, _)| *f == fingerprint && *d == digest)
+        {
+            return;
+        }
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back((fingerprint, digest, report));
+    }
+}
+
 /// The compute side of the server: everything workers need to execute a
 /// pipeline request. Shared immutably across worker threads.
 pub(crate) struct Engine {
     pub cache: ContextCache,
+    pub reports: ReportCache,
     pub inflight: InFlightTable,
     pub counters: Counters,
 }
@@ -44,6 +89,7 @@ impl Engine {
     pub fn new(cache_capacity: usize) -> Self {
         Engine {
             cache: ContextCache::new(cache_capacity),
+            reports: ReportCache::new(cache_capacity),
             inflight: InFlightTable::new(),
             counters: Counters::default(),
         }
@@ -79,6 +125,15 @@ impl Engine {
                     choice_places: analysis.num_choice_places as u64,
                 };
                 Ok(to_value(&summary))
+            }
+            RequestKind::Analyze => {
+                let digest = linked.ordered_digest();
+                if let Some(report) = self.reports.get(fingerprint, digest) {
+                    return Ok(artifact_result(fingerprint, Some(true), report));
+                }
+                let report = to_value(&linked.analyze());
+                self.reports.insert(fingerprint, digest, report.clone());
+                Ok(artifact_result(fingerprint, Some(false), report))
             }
             RequestKind::Link => Ok(artifact_result(fingerprint, None, to_value(&linked))),
             RequestKind::Schedule => {

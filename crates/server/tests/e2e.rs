@@ -238,6 +238,36 @@ fn scheduling_requests_coalesce_onto_one_in_flight_search() {
 }
 
 #[test]
+fn analyze_is_byte_identical_to_local_and_report_cached_by_fingerprint() {
+    let daemon = Daemon::spawn(&["--workers", "2", "--queue", "16", "--cache", "8"]);
+    let source = net_source(3);
+    let local = Pipeline::from_source(&source)
+        .expect("source parses")
+        .link()
+        .expect("source links")
+        .analyze()
+        .to_json();
+
+    let mut client = Client::connect(&*daemon.addr).expect("connect");
+    let cold = client.analyze(&source).expect("cold analyze");
+    assert!(!cold.cached, "first analyze must miss the report cache");
+    assert_eq!(
+        cold.artifact_json(),
+        local,
+        "remote analysis differs from the local run"
+    );
+    let warm = client.analyze(&source).expect("warm analyze");
+    assert!(warm.cached, "second analyze must hit the report cache");
+    assert_eq!(
+        warm.artifact_json(),
+        local,
+        "cached analysis differs from the cold one"
+    );
+    client.shutdown().expect("shutdown");
+    daemon.assert_clean_exit();
+}
+
+#[test]
 fn busy_rejections_are_ridden_out_by_the_deterministic_retry_policy() {
     use qss::remote::{with_retry, RetryPolicy};
 

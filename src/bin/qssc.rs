@@ -21,8 +21,8 @@
 
 use qss::remote::{Client, ClientError};
 use qss::{
-    CostProfile, EnvEvent, Pipeline, PipelineConfig, QssError, ScheduleOptions, SimArtifact,
-    TaskArtifact,
+    AnalysisReport, CostProfile, EnvEvent, Pipeline, PipelineConfig, QssError, ScheduleOptions,
+    SimArtifact, TaskArtifact,
 };
 use std::io::Read as _;
 use std::path::{Path, PathBuf};
@@ -33,9 +33,17 @@ qssc — quasi-static scheduling compiler (Cortadella et al., DAC 2000)
 
 USAGE:
     qssc build <FILE> [OPTIONS]    run the pipeline and emit artifacts
-    qssc check <FILE>              parse and link only, print a summary
+    qssc check <FILE> [--deny warnings]
+                                   parse, link and analyze; print a summary
+    qssc analyze <FILE> [--deny warnings]
+                                   structural static analysis: JSON report on
+                                   stdout, compiler-style diagnostics on stderr
     qssc remote <ADDR> <COMMAND>   run against a running qssd service
     qssc --help                    show this help
+
+`check` and `analyze` exit 1 when the analyzer reports an error
+(QSS-Exxx), or any diagnostic at all under `--deny warnings`. The
+diagnostic codes are documented in the README (\"Static analysis\").
 
 `<FILE>` may be `-` to read FlowC source from stdin (pipe parity with
 the service path).
@@ -58,6 +66,9 @@ REMOTE COMMANDS (driving a warm `qssd`, see PROTOCOL.md):
                           run the pipeline on the server (reusing its
                           per-net context cache), emit artifacts locally
     remote <ADDR> check <FILE>     parse and link on the server
+    remote <ADDR> analyze <FILE> [--deny warnings]
+                          structural analysis on the server (cached by net
+                          fingerprint); output byte-identical to `qssc analyze`
     remote <ADDR> stats            print the server's counters
     remote <ADDR> shutdown         drain the server and stop it
 ";
@@ -79,6 +90,10 @@ fn main() -> ExitCode {
             eprintln!("qssc: remote {e}");
             ExitCode::FAILURE
         }
+        Err(Exit::Analysis(message)) => {
+            eprintln!("qssc: {message}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -90,6 +105,10 @@ enum Exit {
     /// A failure reported by (or while talking to) a qssd server
     /// (exit code 1).
     Remote(ClientError),
+    /// The structural analyzer rejected the net — errors present, or
+    /// warnings present under `--deny warnings` (exit code 1; the
+    /// diagnostics themselves were already printed to stderr).
+    Analysis(String),
 }
 
 impl From<QssError> for Exit {
@@ -112,6 +131,7 @@ fn run(args: &[String]) -> Result<(), Exit> {
         }
         Some("build") => build(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some("remote") => remote(&args[1..]),
         Some(other) => Err(Exit::Usage(format!("unknown command `{other}`"))),
         None => Err(Exit::Usage("missing command".into())),
@@ -356,6 +376,7 @@ fn remote(args: &[String]) -> Result<(), Exit> {
     match rest.first().map(String::as_str) {
         Some("build") => remote_build(addr, &rest[1..]),
         Some("check") => remote_check(addr, &rest[1..]),
+        Some("analyze") => remote_analyze(addr, &rest[1..]),
         Some("stats") => remote_stats(addr),
         Some("shutdown") => remote_shutdown(addr),
         Some(other) => Err(Exit::Usage(format!("unknown remote command `{other}`"))),
@@ -433,6 +454,23 @@ fn remote_check(addr: &str, args: &[String]) -> Result<(), Exit> {
     Ok(())
 }
 
+/// `qssc remote ADDR analyze` — the analyzer runs on the server (cached
+/// by net fingerprint), but stdout/stderr and the exit status are
+/// byte-identical to a local `qssc analyze`.
+fn remote_analyze(addr: &str, args: &[String]) -> Result<(), Exit> {
+    let (path, deny_warnings) = parse_analysis_args(args, "remote ADDR analyze")?;
+    let source = read_source(&path)?;
+    let reply = connect(addr)?.analyze(&source)?;
+    let report: AnalysisReport = serde_json::from_value(reply.artifact).map_err(|e| {
+        Exit::Remote(ClientError::Protocol(format!(
+            "malformed AnalysisReport: {e}"
+        )))
+    })?;
+    print!("{}", report.to_json_pretty());
+    eprint!("{}", report.render_human());
+    finish_analysis(&report, deny_warnings)
+}
+
 fn remote_stats(addr: &str) -> Result<(), Exit> {
     let stats = connect(addr)?.stats()?;
     let text = serde_json::to_string_pretty(&stats).expect("stats serialization is infallible");
@@ -446,12 +484,61 @@ fn remote_shutdown(addr: &str) -> Result<(), Exit> {
     Ok(())
 }
 
+/// Parses `<FILE> [--deny warnings]` — the shared argument shape of
+/// `check` and `analyze`.
+fn parse_analysis_args(args: &[String], command: &str) -> Result<(PathBuf, bool), Exit> {
+    let mut input: Option<PathBuf> = None;
+    let mut deny_warnings = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("warnings") => deny_warnings = true,
+                    Some(other) => {
+                        return Err(Exit::Usage(format!(
+                            "unknown `--deny` lint class `{other}` (only `warnings` is supported)"
+                        )))
+                    }
+                    None => return Err(Exit::Usage("`--deny` needs a value".into())),
+                }
+            }
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(Exit::Usage(format!("unknown option `{flag}`")))
+            }
+            path if input.is_none() => input = Some(PathBuf::from(path)),
+            extra => return Err(Exit::Usage(format!("unexpected argument `{extra}`"))),
+        }
+        i += 1;
+    }
+    let input = input.ok_or_else(|| Exit::Usage(format!("`{command}` needs an input file")))?;
+    Ok((input, deny_warnings))
+}
+
+/// Turns an [`AnalysisReport`] into the command's exit status: clean
+/// (under the deny policy) is success, anything else is exit 1.
+fn finish_analysis(report: &AnalysisReport, deny_warnings: bool) -> Result<(), Exit> {
+    if report.passes(deny_warnings) {
+        return Ok(());
+    }
+    let denied = deny_warnings && !report.has_errors();
+    Err(Exit::Analysis(format!(
+        "analysis of `{}` failed{}: {} error(s), {} warning(s)",
+        report.system,
+        if denied {
+            " under `--deny warnings`"
+        } else {
+            ""
+        },
+        report.error_count(),
+        report.warning_count(),
+    )))
+}
+
 fn check(args: &[String]) -> Result<(), Exit> {
-    let [path] = args else {
-        return Err(Exit::Usage("`check` takes exactly one input file".into()));
-    };
-    let path = Path::new(path);
-    let source = read_source(path)?;
+    let (path, deny_warnings) = parse_analysis_args(args, "check")?;
+    let source = read_source(&path)?;
     let linked = Pipeline::from_source(&source)?.link()?;
     let analysis = linked.analysis();
     println!(
@@ -465,5 +552,16 @@ fn check(args: &[String]) -> Result<(), Exit> {
         analysis.num_uncontrollable_sources,
         analysis.num_choice_places,
     );
-    Ok(())
+    let report = linked.analyze();
+    eprint!("{}", report.render_human());
+    finish_analysis(&report, deny_warnings)
+}
+
+fn analyze(args: &[String]) -> Result<(), Exit> {
+    let (path, deny_warnings) = parse_analysis_args(args, "analyze")?;
+    let source = read_source(&path)?;
+    let report = Pipeline::from_source(&source)?.link()?.analyze();
+    print!("{}", report.to_json_pretty());
+    eprint!("{}", report.render_human());
+    finish_analysis(&report, deny_warnings)
 }

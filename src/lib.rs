@@ -46,10 +46,12 @@ pub use qss_flowc as flowc;
 pub use qss_petri as petri;
 pub use qss_sim as sim;
 
+pub mod diagnostics;
 mod error;
 mod pipeline;
 pub mod remote;
 
+pub use diagnostics::{AnalysisReport, Diagnostic, Severity, Subject};
 pub use error::{QssError, Stage};
 pub use pipeline::{
     CostProfile, LinkedArtifact, Pipeline, PipelineConfig, PipelineReport, ScheduleArtifact,

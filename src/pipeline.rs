@@ -22,6 +22,7 @@
 //! [`ScheduleArtifact`] keeps the per-net [`SearchContext`] so follow-up
 //! scheduling requests against the same net skip the structural analyses.
 
+use crate::diagnostics::AnalysisReport;
 use crate::error::QssError;
 use qss_codegen::{generate_task, CodeCostModel, GeneratedTask};
 use qss_core::{
@@ -29,7 +30,7 @@ use qss_core::{
     BudgetConfig, SearchBudget, SearchContext, SystemSchedules,
 };
 use qss_flowc::{parse_system, LinkedSystem, SystemSpec};
-use qss_petri::NetAnalysis;
+use qss_petri::{NetAnalysis, StructuralLimits};
 use qss_sim::{
     run_multitask, run_singletask, CycleCostModel, EnvEvent, MultiTaskConfig, SimReport,
     SingleTaskConfig,
@@ -318,6 +319,29 @@ impl LinkedArtifact {
     /// The linked net as Graphviz DOT.
     pub fn net_dot(&self) -> String {
         qss_petri::dot::to_dot(&self.system.net)
+    }
+
+    /// Runs the structural static analyzer over the linked net and
+    /// renders its findings as compiler-style diagnostics (see
+    /// [`crate::diagnostics`] for the code table). The report is
+    /// deterministic for a given net and does not consume the artifact —
+    /// it is a side analysis, not a stage transition.
+    pub fn analyze(&self) -> AnalysisReport {
+        let net = &self.system.net;
+        let limits = StructuralLimits::default();
+        let structural = qss_petri::structural_report(net, &limits);
+        let has_t = !qss_petri::t_invariant_basis(net, limits.row_cap).is_empty();
+        AnalysisReport::build(net, structural, has_t)
+    }
+
+    /// A [`SearchContext`] armed with the structural facts of `report`:
+    /// provably unbounded or dead nets fast-reject with a typed
+    /// [`ScheduleError`](qss_core::ScheduleError) before any search, and
+    /// proven place bounds pre-arm the marking-slab sizing. Pass it to
+    /// [`LinkedArtifact::schedule_with_context`]; the plain
+    /// [`LinkedArtifact::schedule`] stays analysis-free.
+    pub fn analyzed_context(&self, report: &AnalysisReport) -> SearchContext {
+        SearchContext::with_structural(&self.system.net, &report.structural)
     }
 
     /// Compact JSON rendering of the artifact.

@@ -194,6 +194,9 @@ impl From<QssError> for WireError {
 pub enum RequestKind {
     /// Parse and link only; returns the summary `qssc check` prints.
     Check,
+    /// Parse, link and run the structural static analyzer; returns the
+    /// `AnalysisReport` (cached server-side by net fingerprint).
+    Analyze,
     /// Run stage 1 and return the `LinkedArtifact` with its fingerprint.
     Link,
     /// Run through stage 2 and return the `ScheduleArtifact`.
@@ -215,6 +218,7 @@ impl RequestKind {
     pub fn name(self) -> &'static str {
         match self {
             RequestKind::Check => "check",
+            RequestKind::Analyze => "analyze",
             RequestKind::Link => "link",
             RequestKind::Schedule => "schedule",
             RequestKind::Generate => "generate",
@@ -228,6 +232,7 @@ impl RequestKind {
     pub fn from_name(name: &str) -> Option<Self> {
         Some(match name {
             "check" => RequestKind::Check,
+            "analyze" => RequestKind::Analyze,
             "link" => RequestKind::Link,
             "schedule" => RequestKind::Schedule,
             "generate" => RequestKind::Generate,
@@ -889,6 +894,18 @@ impl Client {
         let result = self.pipeline_request(RequestKind::Check, source, None, &[], false)?;
         serde_json::from_value(result)
             .map_err(|e| ClientError::Protocol(format!("malformed check summary: {e}")))
+    }
+
+    /// Runs the structural static analyzer remotely; the artifact is an
+    /// `AnalysisReport`, byte-identical to the one `qssc analyze`
+    /// computes locally (the server caches it by net fingerprint —
+    /// [`RemoteArtifact::cached`] reports a hit).
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] carries the typed wire error.
+    pub fn analyze(&mut self, source: &str) -> Result<RemoteArtifact, ClientError> {
+        let result = self.pipeline_request(RequestKind::Analyze, source, None, &[], false)?;
+        RemoteArtifact::from_result(result)
     }
 
     /// Runs stage 1 remotely; the artifact is a `LinkedArtifact`.

@@ -12,9 +12,12 @@ use proptest::prelude::*;
 use qss_bench::experiments::divider_net;
 use qss_bench::testgen::{build_random, random_net_strategy, wide_net_strategy};
 use qss_core::{
-    channel_bounds, find_schedule_with_stats, reference, ScheduleOptions, TerminationKind,
+    channel_bounds, find_schedule_with_stats, reference, ScheduleError, ScheduleOptions,
+    SearchContext, TerminationKind,
 };
-use qss_petri::{NetBuilder, PetriNet, TransitionId, TransitionKind};
+use qss_petri::{
+    structural_report, NetBuilder, PetriNet, StructuralLimits, TransitionId, TransitionKind,
+};
 use qss_sim::{pfc_system, PfcParams};
 
 /// Number of random nets the generative suite runs, overridable with the
@@ -194,4 +197,126 @@ proptest! {
             assert_engines_agree(&net, source, &opts);
         }
     }
+
+    /// The analysis-on/analysis-off pin: a context that adopted a
+    /// structural report behaves **byte-identically** to a plain context
+    /// unless the report's proofs fire — and when they do, the rejection
+    /// is the typed error the proof justifies, never a different search
+    /// outcome.
+    #[test]
+    fn structural_context_agrees_or_fast_rejects(desc in random_net_strategy()) {
+        let (net, source) = build_random(&desc);
+        let report = structural_report(&net, &StructuralLimits::default());
+        let plain = SearchContext::new(&net);
+        let gated = SearchContext::with_structural(&net, &report);
+        let opts = ScheduleOptions { max_nodes: 3_000, ..Default::default() };
+        let plain_result = plain.find_schedule_with_stats(&net, source, &opts);
+        let gated_result = gated.find_schedule_with_stats(&net, source, &opts);
+        match &gated_result {
+            Err(ScheduleError::StructurallyUnbounded(p)) => {
+                prop_assert!(
+                    report.unbounded_places().contains(p),
+                    "gate rejected on {p} without an unboundedness proof"
+                );
+            }
+            Err(ScheduleError::StructurallyDead(t)) => {
+                prop_assert!(
+                    report.is_dead(*t),
+                    "gate rejected on {t} without a deadness proof"
+                );
+            }
+            _ => prop_assert!(
+                gated_result == plain_result,
+                "structural context diverged from the plain context on {}",
+                net.name()
+            ),
+        }
+    }
+}
+
+/// A source whose preset place can never be marked: the dead fixpoint
+/// proves the source dead, and a structural-report context rejects the
+/// search with the typed error before expanding a single node. (The
+/// search engine itself assumes uncontrollable sources are always
+/// fireable — FlowC never gates a source behind a place — so this is a
+/// net only the structural gate can reject gracefully.)
+#[test]
+fn structural_gate_fast_rejects_dead_sources() {
+    let mut bl = NetBuilder::new("deadsource");
+    let gate = bl.place("gate", 0);
+    let out = bl.place("out", 0);
+    let a = bl.transition("a", TransitionKind::UncontrollableSource);
+    let b = bl.transition("b", TransitionKind::Internal);
+    bl.arc_p2t(gate, a, 1);
+    bl.arc_t2p(a, out, 1);
+    bl.arc_p2t(out, b, 1);
+    bl.arc_t2p(b, gate, 1);
+    let net = bl.build().unwrap();
+    let a = net.transition_by_name("a").unwrap();
+
+    let report = structural_report(&net, &StructuralLimits::default());
+    assert!(report.is_dead(a), "fixture source should be provably dead");
+
+    let gated = SearchContext::with_structural(&net, &report);
+    let opts = ScheduleOptions::default();
+    assert_eq!(
+        gated.find_schedule_with_stats(&net, a, &opts).unwrap_err(),
+        ScheduleError::StructurallyDead(a)
+    );
+}
+
+/// A token pump (`p → t → 2·p`) behind an uncontrollable source: the
+/// internal sur-invariant cover proves `p` unbounded, and the gated
+/// context rejects with the typed error instead of burning the node
+/// budget discovering the divergence dynamically.
+#[test]
+fn structural_gate_fast_rejects_unbounded_nets() {
+    let mut bl = NetBuilder::new("pump");
+    let p = bl.place("p", 0);
+    let s = bl.transition("s", TransitionKind::UncontrollableSource);
+    let t = bl.transition("t", TransitionKind::Internal);
+    bl.arc_t2p(s, p, 1);
+    bl.arc_p2t(p, t, 1);
+    bl.arc_t2p(t, p, 2);
+    let net = bl.build().unwrap();
+    let s = net.transition_by_name("s").unwrap();
+
+    let report = structural_report(&net, &StructuralLimits::default());
+    assert_eq!(report.unbounded_places(), vec![p]);
+
+    let gated = SearchContext::with_structural(&net, &report);
+    assert_eq!(
+        gated
+            .find_schedule_with_stats(&net, s, &ScheduleOptions::default())
+            .unwrap_err(),
+        ScheduleError::StructurallyUnbounded(p)
+    );
+}
+
+/// When the report proves a bound for every place, the context pre-arms
+/// `TerminationKind::PlaceBounds` with the proven maximum.
+#[test]
+fn structural_context_pre_arms_proven_place_bounds() {
+    let mut bl = NetBuilder::new("ring");
+    let p1 = bl.place("p1", 1);
+    let p2 = bl.place("p2", 0);
+    let t1 = bl.transition("t1", TransitionKind::Internal);
+    let t2 = bl.transition("t2", TransitionKind::Internal);
+    bl.arc_p2t(p1, t1, 1);
+    bl.arc_t2p(t1, p2, 1);
+    bl.arc_p2t(p2, t2, 1);
+    bl.arc_t2p(t2, p1, 1);
+    let net = bl.build().unwrap();
+
+    let report = structural_report(&net, &StructuralLimits::default());
+    assert_eq!(report.max_marking_bound, Some(1));
+
+    let gated = SearchContext::with_structural(&net, &report);
+    assert_eq!(gated.structural_max_bound(), Some(1));
+    let armed = gated.pre_armed_place_bounds().expect("full cover pre-arms");
+    assert_eq!(
+        armed.termination,
+        TerminationKind::PlaceBounds { default: 1 }
+    );
+    assert_eq!(SearchContext::new(&net).pre_armed_place_bounds(), None);
 }

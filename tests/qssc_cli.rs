@@ -105,6 +105,113 @@ fn check_prints_a_summary_and_rejects_malformed_input() {
 }
 
 #[test]
+fn analyze_matches_the_golden_report_and_deny_warnings_gates() {
+    // Clean sample: valid JSON on stdout, no diagnostics on stderr,
+    // exit 0 even under `--deny warnings`.
+    let output = qssc()
+        .args([
+            "analyze",
+            repo_file("samples/pipeline.flowc").to_str().unwrap(),
+            "--deny",
+            "warnings",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let report = qss::AnalysisReport::from_json(&stdout).unwrap();
+    assert!(report.diagnostics.is_empty(), "clean sample has findings");
+    assert!(output.stderr.is_empty());
+
+    // Deadlocked cycle: the JSON report matches the golden file byte
+    // for byte, diagnostics go to stderr, and warnings alone still
+    // exit 0.
+    let output = qssc()
+        .args([
+            "analyze",
+            repo_file("samples/deadcycle.flowc").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let golden =
+        std::fs::read_to_string(repo_file("samples/deadcycle.analysis.golden.json")).unwrap();
+    assert_eq!(stdout, golden, "analysis drifted from the golden file");
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("warning[QSS-W001]"), "stderr: {stderr}");
+    assert!(stderr.contains("warning[QSS-W003]"), "stderr: {stderr}");
+
+    // `--deny warnings` turns those warnings into exit 1.
+    let output = qssc()
+        .args([
+            "analyze",
+            repo_file("samples/deadcycle.flowc").to_str().unwrap(),
+            "--deny",
+            "warnings",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("--deny warnings"), "stderr: {stderr}");
+
+    // Unknown deny classes are usage errors.
+    let output = qssc()
+        .args([
+            "analyze",
+            repo_file("samples/deadcycle.flowc").to_str().unwrap(),
+            "--deny",
+            "everything",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2));
+}
+
+#[test]
+fn check_emits_diagnostics_and_deny_warnings_fails_dead_nets() {
+    // `check` on a net with dead transitions prints the warnings but
+    // still exits 0 — the summary path stays usable in scripts.
+    let output = qssc()
+        .args([
+            "check",
+            repo_file("samples/deadcycle.flowc").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("deadcycle"), "stdout: {stdout}");
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("warning[QSS-W001]"), "stderr: {stderr}");
+
+    // Under `--deny warnings` the same net is exit 1.
+    let output = qssc()
+        .args([
+            "check",
+            repo_file("samples/deadcycle.flowc").to_str().unwrap(),
+            "--deny",
+            "warnings",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(1));
+
+    // The clean sample passes `--deny warnings`.
+    let output = qssc()
+        .args([
+            "check",
+            repo_file("samples/pipeline.flowc").to_str().unwrap(),
+            "--deny",
+            "warnings",
+        ])
+        .output()
+        .unwrap();
+    assert!(output.status.success());
+}
+
+#[test]
 fn build_reads_flowc_from_stdin_when_the_path_is_dash() {
     use std::io::Write as _;
     let out = temp_dir("stdin");
@@ -198,6 +305,26 @@ fn remote_build_against_a_warm_server_matches_the_goldens() {
     let stdout = String::from_utf8(output.stdout).unwrap();
     assert!(stdout.contains("collatz"), "stdout: {stdout}");
     assert!(stdout.contains("fingerprint"), "stdout: {stdout}");
+
+    // `remote analyze` (cold, then warm from the server's report
+    // cache) is byte-identical to the golden file local `analyze` is
+    // diffed against.
+    let analysis_golden =
+        std::fs::read_to_string(repo_file("samples/deadcycle.analysis.golden.json")).unwrap();
+    for _pass in 0..2 {
+        let output = qssc()
+            .args([
+                "remote",
+                &addr,
+                "analyze",
+                repo_file("samples/deadcycle.flowc").to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(output.status.success());
+        let stdout = String::from_utf8(output.stdout).unwrap();
+        assert_eq!(stdout, analysis_golden, "remote analyze drifted");
+    }
 
     // `remote stats` reports the cache hit of the warm run.
     let output = qssc().args(["remote", &addr, "stats"]).output().unwrap();

@@ -1,0 +1,110 @@
+//! Property-based soundness of the structural static analyzer: on small
+//! random nets (the same `testgen` families the differential suite
+//! uses), every claim the [`qss_petri::structural`] pre-pass makes is
+//! checked against exhaustive (bounded) reachability and the incidence
+//! matrix:
+//!
+//! * a proven place bound is never exceeded by any reachable marking,
+//! * every reported P-invariant satisfies `yᵀ·C = 0` exactly,
+//! * no transition that actually fires somewhere in the reachability
+//!   graph is ever reported dead,
+//! * a place reported never-marked never carries a token.
+//!
+//! The case count follows `QSS_DIFFERENTIAL_NETS` (default 256), the
+//! same knob the differential suite uses, so CI can pin both together.
+
+use proptest::prelude::*;
+use qss_bench::testgen::{build_random, random_net_strategy, wide_net_strategy};
+use qss_petri::{
+    incidence_matrix, structural_report, PetriNet, PlaceId, ReachabilityGraph, ReachabilityLimits,
+    StructuralLimits, TransitionId,
+};
+use std::collections::HashSet;
+
+fn soundness_cases() -> u32 {
+    std::env::var("QSS_DIFFERENTIAL_NETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Checks every analyzer claim about `net` against ground truth.
+fn assert_report_is_sound(net: &PetriNet) {
+    let report = structural_report(net, &StructuralLimits::default());
+
+    // P-invariants are exact left annullers of the incidence matrix.
+    let c = incidence_matrix(net);
+    for inv in &report.p_invariants {
+        assert!(
+            inv.is_valid_for(net),
+            "reported P-invariant {:?} is not a semiflow of {}",
+            inv.as_slice(),
+            net.name()
+        );
+        for t in net.transition_ids() {
+            let dot: i64 = net
+                .place_ids()
+                .map(|p| inv.weight(p) as i64 * c.entry(p, t))
+                .sum();
+            assert_eq!(dot, 0, "yᵀ·C ≠ 0 at column {t} on {}", net.name());
+        }
+    }
+
+    // Reachability ground truth. The exploration is bounded, which only
+    // *under*-approximates peaks and fired transitions — both checks
+    // below stay sound under truncation.
+    let graph = ReachabilityGraph::explore(net, &ReachabilityLimits::default())
+        .expect("exploration succeeds");
+    let peaks = graph.place_peaks();
+
+    for p in net.place_ids() {
+        if let Some(bound) = report.bound(p) {
+            assert!(
+                peaks[p.index()] <= bound,
+                "place {p} of {} reached {} tokens, above its proven bound {bound}",
+                net.name(),
+                peaks[p.index()],
+            );
+        }
+    }
+
+    let fired: HashSet<TransitionId> = graph.edges().map(|(_, t, _)| t).collect();
+    for &t in &report.dead_transitions {
+        assert!(
+            !fired.contains(&t),
+            "transition {t} of {} fires in the reachability graph but was reported dead",
+            net.name()
+        );
+    }
+
+    let marked: HashSet<PlaceId> = net.place_ids().filter(|p| peaks[p.index()] > 0).collect();
+    for &p in &report.never_marked_places {
+        assert!(
+            !marked.contains(&p),
+            "place {p} of {} carries a token somewhere but was reported never-marked",
+            net.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(soundness_cases()))]
+
+    #[test]
+    fn analyzer_claims_hold_on_random_nets(desc in random_net_strategy()) {
+        let (net, _source) = build_random(&desc);
+        assert_report_is_sound(&net);
+    }
+
+    #[test]
+    fn analyzer_claims_hold_on_wide_nets(desc in wide_net_strategy()) {
+        let (net, _source) = build_random(&desc);
+        assert_report_is_sound(&net);
+    }
+}
+
+#[test]
+fn analyzer_claims_hold_on_the_pfc_case_study() {
+    let system = qss_sim::pfc_system(&qss_sim::PfcParams::tiny()).expect("PFC system links");
+    assert_report_is_sound(&system.net);
+}
