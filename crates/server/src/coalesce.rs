@@ -3,13 +3,21 @@
 //! When several concurrent requests ask to schedule the same net under
 //! the same configuration, running the EP search once is enough: the
 //! first request becomes the *leader* and runs the search, every
-//! concurrent duplicate becomes a *follower* that blocks on the leader's
-//! [`Flight`] and receives the shared result. The table key is
+//! concurrent duplicate becomes a *follower* that subscribes to the
+//! leader's [`Flight`] and receives the shared result. The table key is
 //! `(fingerprint, ordered digest, canonical config JSON)` — exactly the
 //! inputs the search result depends on (the FlowC source text itself does
 //! *not* enter the key: requests whose sources link to the same net share
 //! the search and attach the shared [`SystemSchedules`] to their own
 //! artifacts).
+//!
+//! Completion is **callback-style**, not blocking: a follower leaves a
+//! continuation via [`Flight::subscribe`] and holds no thread while it
+//! waits — which is what lets the server park coalesced followers on the
+//! event loop instead of burning worker-pool slots on them. When the
+//! leader publishes, every parked continuation runs on the publishing
+//! thread (each contained by `catch_unwind`, so one panicking follower
+//! cannot strand its siblings).
 //!
 //! The leader holds a [`LeaderGuard`]; if it fails to publish a result —
 //! including by panicking — the guard's `Drop` publishes an internal
@@ -19,8 +27,8 @@ use crate::util::lock;
 use qss::remote::{ErrorKind, WireError};
 use qss::{SearchContext, SystemSchedules};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 
 /// The key a search is coalesced under.
 pub(crate) type SearchKey = (u64, u64, String);
@@ -38,82 +46,82 @@ pub(crate) struct SharedSearch {
 
 pub(crate) type SearchOutcome = Result<SharedSearch, WireError>;
 
+/// A follower's parked continuation.
+type Waiter = Box<dyn FnOnce(&SearchOutcome) + Send>;
+
+struct FlightState {
+    outcome: Option<SearchOutcome>,
+    waiters: Vec<Waiter>,
+}
+
 /// One running search and its rendezvous point.
 pub(crate) struct Flight {
-    slot: Mutex<Option<SearchOutcome>>,
-    done: Condvar,
+    state: Mutex<FlightState>,
 }
 
 impl Flight {
     fn new() -> Self {
         Flight {
-            slot: Mutex::new(None),
-            done: Condvar::new(),
+            state: Mutex::new(FlightState {
+                outcome: None,
+                waiters: Vec::new(),
+            }),
         }
     }
 
-    /// Blocks until the leader publishes, then returns a copy of the
-    /// outcome. (The service always waits with a deadline slot — this
-    /// plain form keeps the unit tests honest about the no-deadline
-    /// path.)
-    #[cfg(test)]
-    pub fn wait(&self) -> SearchOutcome {
-        self.wait_deadline(None)
-    }
-
-    /// Like [`Flight::wait`], but gives up at `deadline` with a typed
-    /// `timeout` error — a follower whose own request deadline is
-    /// tighter than the leader's must not outwait it.
-    pub fn wait_deadline(&self, deadline: Option<Instant>) -> SearchOutcome {
-        let mut slot = lock(&self.slot);
-        loop {
-            if let Some(outcome) = slot.as_ref() {
-                return outcome.clone();
-            }
-            match deadline {
+    /// Leaves a continuation to run when the leader publishes. If the
+    /// outcome is already in, the continuation runs immediately on the
+    /// calling thread; otherwise it runs later on the publishing thread.
+    /// Either way it runs exactly once.
+    pub fn subscribe(&self, waiter: Waiter) {
+        let ready = {
+            let mut state = lock(&self.state);
+            match &state.outcome {
+                Some(outcome) => Some(outcome.clone()),
                 None => {
-                    slot = self
-                        .done
-                        .wait(slot)
-                        .unwrap_or_else(|poisoned| poisoned.into_inner());
-                }
-                Some(deadline) => {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        return Err(WireError::new(
-                            ErrorKind::Timeout,
-                            "coalesced schedule search exceeded the request deadline",
-                        ));
-                    }
-                    slot = self
-                        .done
-                        .wait_timeout(slot, deadline - now)
-                        .unwrap_or_else(|poisoned| poisoned.into_inner())
-                        .0;
+                    state.waiters.push(waiter);
+                    return;
                 }
             }
+        };
+        if let Some(outcome) = ready {
+            run_waiter(waiter, &outcome);
         }
     }
 
     fn publish(&self, outcome: SearchOutcome) {
-        let mut slot = lock(&self.slot);
-        if slot.is_none() {
-            *slot = Some(outcome);
+        let waiters = {
+            let mut state = lock(&self.state);
+            if state.outcome.is_none() {
+                state.outcome = Some(outcome.clone());
+            }
+            std::mem::take(&mut state.waiters)
+        };
+        for waiter in waiters {
+            run_waiter(waiter, &outcome);
         }
-        self.done.notify_all();
     }
 }
 
-/// What [`InFlightTable::join`] hands back: run the search, or wait for
-/// whoever is already running it.
-pub(crate) enum Ticket<'a> {
+/// Runs one continuation, containing its panics: a follower that blows
+/// up while assembling its artifact must not take the publishing thread
+/// (and every later sibling) down with it.
+fn run_waiter(waiter: Waiter, outcome: &SearchOutcome) {
+    let _ = catch_unwind(AssertUnwindSafe(|| waiter(outcome)));
+}
+
+/// What [`InFlightTable::join`] hands back: run the search, or subscribe
+/// to whoever is already running it.
+pub(crate) enum Ticket {
     /// This request runs the search and must complete the guard.
-    Lead(LeaderGuard<'a>),
-    /// A leader is already searching; wait on its flight.
+    Lead(LeaderGuard),
+    /// A leader is already searching; subscribe to its flight.
     Wait(Arc<Flight>),
 }
 
-/// The table of currently running searches.
+/// The table of currently running searches. `join` takes an `Arc`ed
+/// table so the leader's guard can move onto its dedicated search
+/// thread.
 #[derive(Default)]
 pub(crate) struct InFlightTable {
     flights: Mutex<HashMap<SearchKey, Arc<Flight>>>,
@@ -126,7 +134,7 @@ impl InFlightTable {
 
     /// Joins the search for `key`: the first caller leads, concurrent
     /// duplicates wait.
-    pub fn join(&self, key: SearchKey) -> Ticket<'_> {
+    pub fn join(self: &Arc<Self>, key: SearchKey) -> Ticket {
         let mut flights = lock(&self.flights);
         if let Some(flight) = flights.get(&key) {
             return Ticket::Wait(Arc::clone(flight));
@@ -134,7 +142,7 @@ impl InFlightTable {
         let flight = Arc::new(Flight::new());
         flights.insert(key.clone(), Arc::clone(&flight));
         Ticket::Lead(LeaderGuard {
-            table: self,
+            table: Arc::clone(self),
             key,
             flight,
             completed: false,
@@ -151,15 +159,16 @@ impl InFlightTable {
 /// The leader's obligation to publish. Dropping the guard without calling
 /// [`LeaderGuard::complete`] — e.g. because the search panicked —
 /// publishes an internal error to the followers.
-pub(crate) struct LeaderGuard<'a> {
-    table: &'a InFlightTable,
+pub(crate) struct LeaderGuard {
+    table: Arc<InFlightTable>,
     key: SearchKey,
     flight: Arc<Flight>,
     completed: bool,
 }
 
-impl LeaderGuard<'_> {
-    /// Publishes the outcome to every follower and retires the flight.
+impl LeaderGuard {
+    /// Publishes the outcome to every follower (their continuations run
+    /// on this thread) and retires the flight.
     pub fn complete(mut self, outcome: SearchOutcome) {
         self.completed = true;
         self.table.retire(&self.key);
@@ -167,7 +176,7 @@ impl LeaderGuard<'_> {
     }
 }
 
-impl Drop for LeaderGuard<'_> {
+impl Drop for LeaderGuard {
     fn drop(&mut self) {
         if !self.completed {
             self.table.retire(&self.key);
@@ -184,7 +193,6 @@ mod tests {
     use super::*;
     use qss::petri::{NetBuilder, TransitionKind};
     use std::sync::mpsc;
-    use std::thread;
 
     fn shared_search() -> SharedSearch {
         let mut b = NetBuilder::new("t");
@@ -214,33 +222,43 @@ mod tests {
         (n, n, "config".to_string())
     }
 
+    /// Subscribes a channel-backed waiter and returns its receiver.
+    fn subscribe_channel(flight: &Flight) -> mpsc::Receiver<SearchOutcome> {
+        let (tx, rx) = mpsc::channel();
+        flight.subscribe(Box::new(move |outcome| {
+            let _ = tx.send(outcome.clone());
+        }));
+        rx
+    }
+
     #[test]
-    fn followers_receive_the_leaders_result_exactly_once_computed() {
+    fn parked_followers_receive_the_leaders_result_without_threads() {
         let table = Arc::new(InFlightTable::new());
         let Ticket::Lead(guard) = table.join(key(1)) else {
             panic!("first join must lead");
         };
-        // Concurrent duplicates become followers.
-        let (ready_tx, ready_rx) = mpsc::channel();
-        let mut followers = Vec::new();
-        for _ in 0..4 {
-            let table = Arc::clone(&table);
-            let ready_tx = ready_tx.clone();
-            followers.push(thread::spawn(move || {
+        // Concurrent duplicates park continuations — no waiting threads.
+        let receivers: Vec<_> = (0..4)
+            .map(|_| {
                 let Ticket::Wait(flight) = table.join(key(1)) else {
                     panic!("duplicate join must wait");
                 };
-                ready_tx.send(()).unwrap();
-                flight.wait()
-            }));
-        }
-        for _ in 0..4 {
-            ready_rx.recv().unwrap();
+                subscribe_channel(&flight)
+            })
+            .collect();
+        for rx in &receivers {
+            assert!(
+                rx.try_recv().is_err(),
+                "no continuation may run before the leader publishes"
+            );
         }
         let shared = shared_search();
         guard.complete(Ok(shared.clone()));
-        for follower in followers {
-            let outcome = follower.join().unwrap().unwrap();
+        for rx in receivers {
+            let outcome = rx
+                .try_recv()
+                .expect("publish ran the continuation")
+                .unwrap();
             assert!(Arc::ptr_eq(&outcome.schedules, &shared.schedules));
             assert!(Arc::ptr_eq(&outcome.context, &shared.context));
         }
@@ -249,8 +267,23 @@ mod tests {
     }
 
     #[test]
+    fn late_subscribers_run_immediately_on_a_completed_flight() {
+        let table = Arc::new(InFlightTable::new());
+        let Ticket::Lead(guard) = table.join(key(3)) else {
+            panic!("first join must lead");
+        };
+        let Ticket::Wait(flight) = table.join(key(3)) else {
+            panic!("duplicate join must wait");
+        };
+        guard.complete(Ok(shared_search()));
+        // The flight already published: the continuation runs inline.
+        let rx = subscribe_channel(&flight);
+        assert!(rx.try_recv().expect("inline run").is_ok());
+    }
+
+    #[test]
     fn distinct_keys_do_not_coalesce() {
-        let table = InFlightTable::new();
+        let table = Arc::new(InFlightTable::new());
         let _lead_a = table.join(key(1));
         assert!(matches!(table.join(key(2)), Ticket::Lead(_)));
         assert!(matches!(
@@ -266,31 +299,31 @@ mod tests {
             Ticket::Lead(guard) => guard,
             Ticket::Wait(_) => panic!("first join must lead"),
         };
-        let follower = {
-            let table = Arc::clone(&table);
-            let Ticket::Wait(flight) = table.join(key(7)) else {
-                panic!("duplicate join must wait");
-            };
-            thread::spawn(move || flight.wait())
+        let Ticket::Wait(flight) = table.join(key(7)) else {
+            panic!("duplicate join must wait");
         };
+        let rx = subscribe_channel(&flight);
         drop(guard); // leader "panicked"
-        let outcome = follower.join().unwrap();
+        let outcome = rx.try_recv().expect("drop published");
         assert_eq!(outcome.unwrap_err().kind, ErrorKind::Internal);
         assert!(matches!(table.join(key(7)), Ticket::Lead(_)));
     }
 
     #[test]
-    fn follower_deadline_times_out_the_wait() {
-        let table = InFlightTable::new();
-        let _guard = match table.join(key(9)) {
-            Ticket::Lead(guard) => guard,
-            Ticket::Wait(_) => panic!("first join must lead"),
+    fn a_panicking_follower_does_not_strand_its_siblings() {
+        let table = Arc::new(InFlightTable::new());
+        let Ticket::Lead(guard) = table.join(key(9)) else {
+            panic!("first join must lead");
         };
         let Ticket::Wait(flight) = table.join(key(9)) else {
             panic!("duplicate join must wait");
         };
-        let deadline = Instant::now() + std::time::Duration::from_millis(20);
-        let outcome = flight.wait_deadline(Some(deadline));
-        assert_eq!(outcome.unwrap_err().kind, ErrorKind::Timeout);
+        flight.subscribe(Box::new(|_| panic!("hostile continuation")));
+        let rx = subscribe_channel(&flight);
+        guard.complete(Ok(shared_search()));
+        assert!(
+            rx.try_recv().expect("sibling still ran").is_ok(),
+            "the panicking waiter must not stop the publish loop"
+        );
     }
 }

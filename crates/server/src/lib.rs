@@ -9,7 +9,18 @@
 //!   [`qss::remote`] and `PROTOCOL.md`), request kinds `check` / `link`
 //!   / `schedule` / `generate` / `simulate` / `stats` / `shutdown`,
 //!   each pipeline kind returning byte-for-byte the artifact the local
-//!   [`qss::Pipeline`] stage serializes.
+//!   [`qss::Pipeline`] stage serializes. Protocol v2 (`"version": 2`)
+//!   lets responses complete **out of order**, correlated by `id`; v1
+//!   clients keep strict in-order delivery.
+//! * **Connection core** — one readiness-driven event loop (`poll(2)`
+//!   over nonblocking sockets) owns every connection: it reads, parses
+//!   and writes incrementally, so a slow `schedule` on one connection
+//!   never head-of-line-blocks a fast `check` pipelined behind it.
+//! * **Compute split** — a fixed worker pool does fast admission
+//!   (parse, link, analyze); the EP searches themselves run on
+//!   dedicated search threads gated by a slot semaphore, and coalesced
+//!   followers park a continuation on the event loop — neither holds a
+//!   worker while waiting.
 //! * **Context cache** ([`ContextCache`]) — per-net
 //!   [`qss::SearchContext`]s keyed by the order-independent net
 //!   fingerprint (guarded by the ordered digest), LRU-bounded, with
@@ -17,13 +28,13 @@
 //! * **Coalescing** — concurrent `schedule`-bearing requests for the
 //!   same `(fingerprint, digest, config)` attach to one in-flight search
 //!   and all receive the shared result.
-//! * **Backpressure** — a fixed worker pool drains a bounded queue;
-//!   when the queue is full, requests fail fast with a typed `busy`
-//!   error instead of stalling the connection.
-//! * **Graceful shutdown** — a `shutdown` request stops the accept
-//!   loop, drains every queued job, then unblocks idle connections; the
-//!   process exits without leaking listeners (what the CI harness relies
-//!   on).
+//! * **Backpressure** — a bounded job queue and a bounded search-slot
+//!   semaphore; both shed load with a typed `busy` error instead of
+//!   stalling the connection.
+//! * **Graceful shutdown** — a `shutdown` request acknowledges, stops
+//!   the accept loop, drains every outstanding request, writes every
+//!   response, then exits without leaking listeners (what the CI
+//!   harness relies on).
 //!
 //! ```no_run
 //! use qss_server::{Server, ServerConfig};
@@ -34,13 +45,14 @@
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod cache;
 mod coalesce;
+mod poll;
 mod pool;
 mod service;
 mod util;
@@ -52,21 +64,20 @@ pub use qss::remote::{
     Client, ClientError, ErrorKind, RemoteArtifact, Request, RequestKind, ServerStats, WireError,
 };
 
+use crate::poll::PollFd;
 use crate::pool::{JobQueue, SubmitError};
-use crate::service::{Counters, Engine};
+use crate::service::{Counters, Engine, Reply};
 use crate::util::lock;
-use qss::remote::{
-    read_line_bounded, read_line_bounded_with_tick, response_error, response_ok, LineRead,
-    DEFAULT_MAX_LINE_BYTES,
-};
+use qss::remote::{response_error, response_ok, DEFAULT_MAX_LINE_BYTES};
 use serde_json::Value;
-use std::collections::HashMap;
-use std::io::{self, BufReader, Write};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::{self, JoinHandle};
+use std::sync::{Arc, Mutex};
+use std::thread;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`Server`].
@@ -75,7 +86,9 @@ pub struct ServerConfig {
     /// Listen address; port 0 picks an ephemeral port (read it back via
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Worker threads executing pipeline requests.
+    /// Worker threads doing request admission (parse / link / analyze).
+    /// Also the bound on concurrently running schedule searches, which
+    /// execute on their own threads gated by a slot semaphore.
     pub workers: usize,
     /// Bound of the job queue; submissions beyond it are answered with a
     /// typed `busy` error.
@@ -91,12 +104,12 @@ pub struct ServerConfig {
     /// expiry answering a typed `timeout` error. It also caps how long
     /// one request line may dribble in. `None` = unbounded.
     pub request_timeout: Option<Duration>,
-    /// Idle-connection reaper: a connection with no request line in
-    /// progress for this long is closed. `None` = connections idle
-    /// forever.
+    /// Idle-connection reaper: a connection with no request in flight
+    /// and no line in progress for this long is closed. `None` =
+    /// connections idle forever.
     pub idle_timeout: Option<Duration>,
-    /// Socket write timeout for response lines, ending dead-peer hangs
-    /// mid-write. `None` = blocking writes.
+    /// Bound on write stalls: a connection whose outbound buffer makes
+    /// no progress for this long is closed. `None` = wait forever.
     pub write_timeout: Option<Duration>,
     /// Cap on concurrently served connections; excess connections are
     /// answered with one typed `busy` error line and closed. `0` =
@@ -123,42 +136,52 @@ impl Default for ServerConfig {
     }
 }
 
-/// One queued unit of work: a parsed request, its deadline (when the
-/// server runs with `--request-timeout`) and the channel its response
-/// travels back on.
+/// One queued unit of work: a parsed request, the connection and
+/// per-connection sequence number its response must be posted back to,
+/// and its deadline (when the server runs with `--request-timeout`).
 struct Job {
     request: Request,
+    conn: u64,
+    seq: u64,
     deadline: Option<Instant>,
-    reply: mpsc::Sender<Result<Value, WireError>>,
 }
 
-/// Everything the accept loop, connection threads and workers share.
+/// One finished response traveling from a worker / search thread back to
+/// the event loop.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    result: Result<Value, WireError>,
+}
+
+/// Everything the event loop, workers and search threads share.
 struct ServerState {
     config: ServerConfig,
-    engine: Engine,
+    engine: Arc<Engine>,
     queue: JobQueue<Job>,
-    shutdown: AtomicBool,
+    /// Finished responses waiting for the event loop to pick them up.
+    completions: Mutex<Vec<Completion>>,
+    /// Write end of the self-pipe; one byte here wakes the event loop
+    /// out of `poll`.
+    wake: UnixStream,
     addr: SocketAddr,
-    /// Live client sockets, shut down after the drain so blocked reads
-    /// unblock and connection threads exit.
-    connections: Mutex<HashMap<u64, TcpStream>>,
-    next_connection: AtomicU64,
 }
 
 impl ServerState {
-    /// Flags shutdown and wakes the accept loop (idempotent).
-    fn begin_shutdown(&self) {
-        if !self.shutdown.swap(true, Ordering::SeqCst) {
-            // The accept loop blocks in `accept`; a throwaway connection
-            // wakes it so it can observe the flag.
-            let _ = TcpStream::connect(self.addr);
-        }
+    /// Posts a finished response and wakes the event loop. Safe to call
+    /// more than once for the same `(conn, seq)` — the event loop drops
+    /// completions for sequences it has already answered.
+    fn post(&self, conn: u64, seq: u64, result: Result<Value, WireError>) {
+        lock(&self.completions).push(Completion { conn, seq, result });
+        // A full pipe buffer means wake-ups are already pending.
+        let _ = (&self.wake).write(&[1u8]);
     }
 }
 
 /// A bound, not-yet-running scheduling service.
 pub struct Server {
     listener: TcpListener,
+    wake_rx: UnixStream,
     state: Arc<ServerState>,
 }
 
@@ -170,16 +193,20 @@ impl Server {
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
         let state = Arc::new(ServerState {
-            engine: Engine::new(config.cache_capacity),
+            engine: Arc::new(Engine::new(config.cache_capacity, config.workers.max(1))),
             queue: JobQueue::new(config.queue_capacity),
-            shutdown: AtomicBool::new(false),
+            completions: Mutex::new(Vec::new()),
+            wake: wake_tx,
             addr,
-            connections: Mutex::new(HashMap::new()),
-            next_connection: AtomicU64::new(0),
             config,
         });
-        Ok(Server { listener, state })
+        Ok(Server {
+            listener,
+            wake_rx,
+            state,
+        })
     }
 
     /// The bound address (resolves ephemeral ports).
@@ -187,21 +214,30 @@ impl Server {
         self.state.addr
     }
 
-    /// Serves until a `shutdown` request arrives, then drains: queued
-    /// jobs all execute, their responses are written, and only then are
-    /// idle connections severed.
+    /// Serves until a `shutdown` request arrives, then drains: every
+    /// outstanding request finishes, its response is written, and only
+    /// then do connections close and the process move on.
     ///
     /// # Errors
-    /// Propagates fatal listener errors (per-connection errors are
-    /// contained).
+    /// Propagates fatal listener / poll errors (per-connection errors
+    /// are contained).
     pub fn run(self) -> io::Result<()> {
-        let state = self.state;
+        let Server {
+            listener,
+            wake_rx,
+            state,
+        } = self;
+        listener.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        // The write end must not block workers posting completions when
+        // the event loop is slow to drain the pipe.
+        state.wake.set_nonblocking(true)?;
         let mut workers = Vec::new();
         for _ in 0..state.config.workers.max(1) {
             let state = Arc::clone(&state);
-            // Workers run the recursive EP search, whose stack depth is
-            // the explored path length — give them search-sized stacks
-            // instead of the 2 MiB default.
+            // Admission work (linking, analysis) recurses over net
+            // structure; give workers search-sized stacks so deep nets
+            // never overflow them (virtual memory — cheap).
             workers.push(
                 thread::Builder::new()
                     .stack_size(qss::core::SEARCH_THREAD_STACK_BYTES)
@@ -209,78 +245,26 @@ impl Server {
                     .expect("spawn a worker thread"),
             );
         }
-        let mut connection_threads: Vec<JoinHandle<()>> = Vec::new();
-        let mut accept_backoff = Duration::from_millis(10);
-        loop {
-            let (stream, _) = match self.listener.accept() {
-                Ok(accepted) => {
-                    accept_backoff = Duration::from_millis(10);
-                    accepted
-                }
-                Err(_) if state.shutdown.load(Ordering::SeqCst) => break,
-                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
-                Err(_) => {
-                    // Transient accept failures — EMFILE/ENFILE when the
-                    // fd table is full, ECONNRESET races, memory pressure
-                    // — heal with time. Backing off keeps the daemon
-                    // alive and un-pegs the CPU; existing connections are
-                    // unaffected. (Before: any such error killed the
-                    // accept loop and with it the whole server.)
-                    thread::sleep(accept_backoff);
-                    accept_backoff = (accept_backoff * 2).min(Duration::from_secs(1));
-                    continue;
-                }
-            };
-            if state.shutdown.load(Ordering::SeqCst) {
-                break; // likely the wake-up connection itself
-            }
-            let max = state.config.max_connections;
-            if max > 0 && lock(&state.connections).len() >= max {
-                Counters::bump(&state.engine.counters.requests);
-                Counters::bump(&state.engine.counters.busy_rejections);
-                let error = WireError::new(
-                    ErrorKind::Busy,
-                    format!("connection limit reached ({max}); retry later"),
-                );
-                // Best effort, bounded: never let a rejected peer that
-                // won't read stall the accept loop.
-                stream.set_write_timeout(Some(Duration::from_secs(1))).ok();
-                let mut stream = stream;
-                let _ = write_line(&mut stream, &respond_error(&state, None, error));
-                continue;
-            }
-            let id = state.next_connection.fetch_add(1, Ordering::Relaxed);
-            if let Ok(clone) = stream.try_clone() {
-                lock(&state.connections).insert(id, clone);
-            }
-            let state = Arc::clone(&state);
-            connection_threads.push(thread::spawn(move || {
-                serve_connection(&state, stream);
-                lock(&state.connections).remove(&id);
-            }));
-            // Reap finished connection threads as we go — a long-running
-            // daemon must not accumulate one JoinHandle per connection it
-            // ever served (dropping a finished handle just detaches it).
-            connection_threads.retain(|handle| !handle.is_finished());
-        }
-        // Drain: no new jobs are accepted, queued jobs finish and their
-        // responses are written by the connection threads that wait on
-        // them.
+        let mut event_loop = EventLoop {
+            state: Arc::clone(&state),
+            listener: Some(listener),
+            wake_rx,
+            conns: HashMap::new(),
+            next_conn: 0,
+            draining: false,
+            accept_backoff: Duration::from_millis(10),
+            accept_retry_at: None,
+        };
+        let result = event_loop.run();
+        drop(event_loop);
+        // Normally closed when the drain began; on a fatal loop error
+        // this is what lets the workers exit.
         state.queue.close();
         for worker in workers {
             let _ = worker.join();
         }
-        // Sever only the *read* half of every connection: threads blocked
-        // in `read` wake with EOF and exit, while a thread still writing
-        // a drained job's response keeps its write half until it
-        // finishes — the "responses are still delivered" guarantee.
-        for (_, stream) in lock(&state.connections).drain() {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
-        }
-        for thread in connection_threads {
-            let _ = thread.join();
-        }
-        Ok(())
+        state.engine.join_searches();
+        result
     }
 
     /// Runs the server on a background thread; the handle exposes the
@@ -296,7 +280,7 @@ impl Server {
 /// Handle of a [`Server::spawn`]ed background server.
 pub struct ServerHandle {
     addr: SocketAddr,
-    thread: JoinHandle<io::Result<()>>,
+    thread: thread::JoinHandle<io::Result<()>>,
 }
 
 impl ServerHandle {
@@ -328,203 +312,648 @@ impl ServerHandle {
     }
 }
 
-/// The worker loop: execute queued jobs until the queue closes. Panics
-/// inside a request are contained — the client gets a typed `internal`
-/// error and the worker lives on.
-fn worker_loop(state: &ServerState) {
+/// The worker loop: admit queued jobs until the queue closes. The
+/// engine's reply callback posts the finished response back to the event
+/// loop; panics inside a request are contained — the client gets a typed
+/// `internal` error and the worker lives on.
+fn worker_loop(state: &Arc<ServerState>) {
     while let Some(job) = state.queue.next() {
+        let Job {
+            request,
+            conn,
+            seq,
+            deadline,
+        } = job;
         // A job whose deadline passed while it sat in the queue is
         // answered without running: the worker slot goes to live work.
-        if job.deadline.is_some_and(|d| Instant::now() >= d) {
-            let _ = job.reply.send(Err(WireError::new(
-                ErrorKind::Timeout,
-                "request deadline expired before a worker picked it up",
-            )));
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            state.post(
+                conn,
+                seq,
+                Err(WireError::new(
+                    ErrorKind::Timeout,
+                    "request deadline expired before a worker picked it up",
+                )),
+            );
             continue;
         }
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            state.engine.handle(&job.request, job.deadline)
-        }))
-        .unwrap_or_else(|_| {
-            Err(WireError::new(
-                ErrorKind::Internal,
-                "request handler panicked",
-            ))
-        });
-        let _ = job.reply.send(result);
+        let reply_state = Arc::clone(state);
+        let reply: Reply = Box::new(move |result| reply_state.post(conn, seq, result));
+        let engine = Arc::clone(&state.engine);
+        if catch_unwind(AssertUnwindSafe(|| engine.handle(request, deadline, reply))).is_err() {
+            // The reply callback may or may not have fired before the
+            // panic; a second post for an answered sequence is dropped.
+            state.post(
+                conn,
+                seq,
+                Err(WireError::new(
+                    ErrorKind::Internal,
+                    "request handler panicked",
+                )),
+            );
+        }
     }
 }
 
-/// One connection: read request lines, answer each with exactly one
-/// response line, in order. Protocol errors answer and continue; only
-/// transport errors, EOF or an expired idle/line deadline end the loop.
-///
-/// The deadlines need no timer thread: when any timeout is configured,
-/// the socket gets a short read timeout (the *tick*), and every tick the
-/// reader's callback decides between "keep waiting" and "reap". A tick
-/// with no line in progress checks the idle deadline; a tick mid-line
-/// checks the line deadline — which is what stops a slowloris client
-/// dribbling one byte per tick.
-fn serve_connection(state: &ServerState, stream: TcpStream) {
-    stream.set_nodelay(true).ok();
-    stream.set_write_timeout(state.config.write_timeout).ok();
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    // One line may dribble for at most the request timeout (or, failing
-    // that, the idle timeout): a request that cannot finish arriving
-    // before its processing deadline would expire is not worth waiting
-    // for.
-    let line_limit = state.config.request_timeout.or(state.config.idle_timeout);
-    let tick_period = [state.config.request_timeout, state.config.idle_timeout]
-        .into_iter()
-        .flatten()
-        .min()
-        .map(|shortest| (shortest / 8).clamp(Duration::from_millis(5), Duration::from_millis(100)));
-    if let Some(period) = tick_period {
-        read_half.set_read_timeout(Some(period)).ok();
+/// A request admitted to the queue, awaiting its completion.
+struct PendingRequest {
+    id: Option<u64>,
+    deadline: Option<Instant>,
+}
+
+/// A completed response a v1 connection is holding until every earlier
+/// sequence has been released (in-order delivery).
+struct HeldResponse {
+    text: String,
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    /// Bytes read but not yet split into a full line.
+    read_buf: Vec<u8>,
+    /// A line blew past `max_line_bytes`; its bytes are being discarded
+    /// until the newline, which answers `too_large`.
+    oversized: bool,
+    /// Outbound bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Protocol version, sticky per connection: starts at 1 (strict
+    /// in-order responses); the first request carrying `"version": 2`
+    /// switches to out-of-order delivery for good.
+    version: u32,
+    /// Sequence number assigned to the next response-bearing line.
+    next_seq: u64,
+    /// v1 ordering: the next sequence allowed onto the wire.
+    next_release: u64,
+    /// Requests in flight (queued, searching, or parked on a flight).
+    pending: HashMap<u64, PendingRequest>,
+    /// v1 ordering: completed responses blocked behind an earlier one.
+    held: BTreeMap<u64, HeldResponse>,
+    /// The peer closed its write half; we still answer what's in
+    /// flight.
+    read_closed: bool,
+    last_activity: Instant,
+    /// When the currently dribbling request line started arriving.
+    line_started_at: Option<Instant>,
+    last_write_progress: Instant,
+}
+
+impl Conn {
+    fn new(id: u64, stream: TcpStream) -> Conn {
+        let now = Instant::now();
+        Conn {
+            id,
+            stream,
+            read_buf: Vec::new(),
+            oversized: false,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            version: 1,
+            next_seq: 0,
+            next_release: 0,
+            pending: HashMap::new(),
+            held: BTreeMap::new(),
+            read_closed: false,
+            last_activity: now,
+            line_started_at: None,
+            last_write_progress: now,
+        }
     }
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    loop {
-        let read = match tick_period {
-            None => read_line_bounded(&mut reader, state.config.max_line_bytes),
-            Some(_) => {
-                let idle_deadline = state.config.idle_timeout.map(|t| Instant::now() + t);
-                let mut line_deadline: Option<Instant> = None;
-                let mut tick = |started: bool| {
-                    let now = Instant::now();
-                    if started {
-                        match line_limit {
-                            // The deadline is armed at the first tick
-                            // that observes the line in progress.
-                            Some(limit) => now < *line_deadline.get_or_insert(now + limit),
-                            None => true,
-                        }
-                    } else {
-                        idle_deadline.is_none_or(|deadline| now < deadline)
-                    }
-                };
-                read_line_bounded_with_tick(&mut reader, state.config.max_line_bytes, &mut tick)
+
+    fn has_unwritten(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// A partial request line is in progress (dribbling or oversized).
+    fn line_in_progress(&self) -> bool {
+        self.oversized || !self.read_buf.is_empty()
+    }
+
+    /// Nothing in flight, nothing buffered: eligible for idle reaping.
+    fn is_quiet(&self) -> bool {
+        self.pending.is_empty() && self.held.is_empty() && !self.has_unwritten()
+    }
+
+    /// The peer is gone and every outstanding response was delivered.
+    fn should_close(&self) -> bool {
+        self.read_closed && self.is_quiet() && !self.line_in_progress()
+    }
+}
+
+/// The readiness-driven connection core: one thread, one `poll` set,
+/// every connection.
+struct EventLoop {
+    state: Arc<ServerState>,
+    /// `None` once draining — closing the listener is what stops new
+    /// connections.
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    draining: bool,
+    accept_backoff: Duration,
+    /// Transient accept failure (EMFILE etc.): leave the listener out of
+    /// the poll set until this instant instead of spinning.
+    accept_retry_at: Option<Instant>,
+}
+
+/// Poll-set bookkeeping: what each pollfd slot stands for.
+enum Token {
+    Listener,
+    Wake,
+    Conn(u64),
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        loop {
+            self.apply_completions();
+            if self.draining && self.drained() {
+                return Ok(());
             }
-        };
-        let line = match read {
-            Err(_) | Ok(LineRead::Eof) => break,
-            // An idle connection was reaped or a line dribbled past its
-            // deadline; either way the peer gets a clean close, and a
-            // retrying client reconnects.
-            Ok(LineRead::TimedOut) => break,
-            Ok(LineRead::TooLarge) => {
-                Counters::bump(&state.engine.counters.requests);
-                let error = WireError::new(
-                    ErrorKind::TooLarge,
-                    format!(
-                        "request line exceeds the {}-byte limit",
-                        state.config.max_line_bytes
-                    ),
-                );
-                if !write_line(&mut writer, &respond_error(state, None, error)) {
-                    break;
+            let now = Instant::now();
+            let mut fds: Vec<PollFd> = Vec::with_capacity(self.conns.len() + 2);
+            let mut tokens: Vec<Token> = Vec::with_capacity(self.conns.len() + 2);
+            if let Some(listener) = &self.listener {
+                if self.accept_retry_at.is_none_or(|at| now >= at) {
+                    self.accept_retry_at = None;
+                    fds.push(PollFd::new(listener.as_raw_fd(), poll::POLLIN));
+                    tokens.push(Token::Listener);
                 }
+            }
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), poll::POLLIN));
+            tokens.push(Token::Wake);
+            for (&id, conn) in &self.conns {
+                let mut events = 0i16;
+                if !conn.read_closed {
+                    events |= poll::POLLIN;
+                }
+                if conn.has_unwritten() {
+                    events |= poll::POLLOUT;
+                }
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                tokens.push(Token::Conn(id));
+            }
+            let timeout = self
+                .next_deadline(now)
+                .map(|deadline| deadline.saturating_duration_since(now));
+            poll::poll_fds(&mut fds, timeout)?;
+            for (fd, token) in fds.iter().zip(&tokens) {
+                if fd.revents == 0 {
+                    continue;
+                }
+                match token {
+                    Token::Wake => drain_wake(&self.wake_rx),
+                    Token::Listener => self.accept_all(),
+                    Token::Conn(id) => self.service_conn(*id, *fd),
+                }
+            }
+            self.expire_timers();
+        }
+    }
+
+    /// Moves finished responses from workers / search threads onto their
+    /// connections. Completions for already-answered (or vanished)
+    /// sequences are dropped — which is what makes double-posting after
+    /// a panic, and late results after a deadline expiry, harmless.
+    fn apply_completions(&mut self) {
+        let batch: Vec<Completion> = std::mem::take(&mut *lock(&self.state.completions));
+        let state = Arc::clone(&self.state);
+        for completion in batch {
+            if let Some(conn) = self.conns.get_mut(&completion.conn) {
+                if let Some(pending) = conn.pending.remove(&completion.seq) {
+                    complete(&state, conn, completion.seq, pending.id, completion.result);
+                }
+            }
+        }
+    }
+
+    /// Whether the drain is finished: every admitted request answered
+    /// and every response byte handed to its socket.
+    fn drained(&self) -> bool {
+        self.conns
+            .values()
+            .all(|c| c.pending.is_empty() && c.held.is_empty() && !c.has_unwritten())
+            && lock(&self.state.completions).is_empty()
+    }
+
+    /// Stops accepting, closes the queue; called once the `shutdown`
+    /// acknowledgement is on its way out.
+    fn begin_drain(&mut self) {
+        if !self.draining {
+            self.draining = true;
+            self.listener = None;
+            self.state.queue.close();
+        }
+    }
+
+    /// The earliest instant any timer fires; `None` = sleep until I/O.
+    fn next_deadline(&self, _now: Instant) -> Option<Instant> {
+        let cfg = &self.state.config;
+        let line_limit = cfg.request_timeout.or(cfg.idle_timeout);
+        let mut earliest: Option<Instant> = self.accept_retry_at;
+        let mut merge = |candidate: Instant| {
+            earliest = Some(match earliest {
+                Some(current) => current.min(candidate),
+                None => candidate,
+            });
+        };
+        for conn in self.conns.values() {
+            if conn.line_in_progress() {
+                if let (Some(limit), Some(started)) = (line_limit, conn.line_started_at) {
+                    merge(started + limit);
+                }
+            } else if conn.is_quiet() && !conn.read_closed {
+                if let Some(idle) = cfg.idle_timeout {
+                    merge(conn.last_activity + idle);
+                }
+            }
+            if conn.has_unwritten() {
+                if let Some(stall) = cfg.write_timeout {
+                    merge(conn.last_write_progress + stall);
+                }
+            }
+            for pending in conn.pending.values() {
+                if let Some(deadline) = pending.deadline {
+                    merge(deadline);
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Accepts until the listener would block. Transient failures put
+    /// the listener on an exponential-backoff cooldown instead of
+    /// killing the server.
+    fn accept_all(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = Duration::from_millis(10);
+                    let max = self.state.config.max_connections;
+                    if max > 0 && self.conns.len() >= max {
+                        let counters = &self.state.engine.counters;
+                        Counters::bump(&counters.requests);
+                        Counters::bump(&counters.busy_rejections);
+                        let error = WireError::new(
+                            ErrorKind::Busy,
+                            format!("connection limit reached ({max}); retry later"),
+                        );
+                        // One best-effort nonblocking write; never let a
+                        // rejected peer stall the event loop.
+                        let mut line = respond_error(&self.state, None, error);
+                        line.push('\n');
+                        let mut stream = stream;
+                        stream.set_nonblocking(true).ok();
+                        let _ = stream.write(line.as_bytes());
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.insert(id, Conn::new(id, stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(_) => {
+                    // EMFILE/ENFILE, memory pressure: heal with time.
+                    self.accept_retry_at = Some(Instant::now() + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(Duration::from_secs(1));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Handles one connection's readiness: read and parse what arrived,
+    /// flush what fits, drop the connection on transport errors.
+    fn service_conn(&mut self, id: u64, fd: PollFd) {
+        let state = Arc::clone(&self.state);
+        let draining = self.draining;
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        let mut dead = fd.has(poll::POLLNVAL);
+        let mut begin_drain = false;
+        if !dead && fd.has(poll::POLLIN | poll::POLLHUP | poll::POLLERR) && !conn.read_closed {
+            let (alive, drain) = read_conn(&state, conn, draining);
+            dead = !alive;
+            begin_drain = drain;
+        }
+        if !dead && conn.has_unwritten() && flush_conn(conn).is_err() {
+            dead = true;
+        }
+        if !dead && conn.should_close() {
+            dead = true;
+        }
+        if dead {
+            self.conns.remove(&id);
+        }
+        if begin_drain {
+            self.begin_drain();
+        }
+    }
+
+    /// Fires expired timers: request deadlines answer `timeout`,
+    /// dribbling lines and idle connections are reaped, stalled writers
+    /// are cut.
+    fn expire_timers(&mut self) {
+        let state = Arc::clone(&self.state);
+        let cfg = &state.config;
+        let line_limit = cfg.request_timeout.or(cfg.idle_timeout);
+        let now = Instant::now();
+        let mut dead: Vec<u64> = Vec::new();
+        for (&id, conn) in self.conns.iter_mut() {
+            let expired: Vec<(u64, Option<u64>)> = conn
+                .pending
+                .iter()
+                .filter(|(_, p)| p.deadline.is_some_and(|d| now >= d))
+                .map(|(&seq, p)| (seq, p.id))
+                .collect();
+            for (seq, request_id) in expired {
+                conn.pending.remove(&seq);
+                complete(
+                    &state,
+                    conn,
+                    seq,
+                    request_id,
+                    Err(WireError::new(
+                        ErrorKind::Timeout,
+                        "request deadline expired",
+                    )),
+                );
+            }
+            if conn.has_unwritten() && flush_conn(conn).is_err() {
+                dead.push(id);
                 continue;
             }
-            Ok(LineRead::Line(line)) => line,
-        };
-        if line.trim().is_empty() {
-            continue;
+            if conn.line_in_progress() {
+                if let (Some(limit), Some(started)) = (line_limit, conn.line_started_at) {
+                    if now >= started + limit {
+                        // A slowloris line (or one the peer abandoned).
+                        dead.push(id);
+                        continue;
+                    }
+                }
+            } else if conn.is_quiet() && !conn.read_closed {
+                if let Some(idle) = cfg.idle_timeout {
+                    if now >= conn.last_activity + idle {
+                        dead.push(id);
+                        continue;
+                    }
+                }
+            }
+            if conn.has_unwritten() {
+                if let Some(stall) = cfg.write_timeout {
+                    if now >= conn.last_write_progress + stall {
+                        dead.push(id);
+                        continue;
+                    }
+                }
+            }
+            if conn.should_close() {
+                dead.push(id);
+            }
         }
-        Counters::bump(&state.engine.counters.requests);
-        let (id, result, is_shutdown) = process_line(state, &line);
-        let text = match result {
-            Ok(value) => response_ok(id, value),
-            Err(error) => respond_error(state, id, error),
-        };
-        if !write_line(&mut writer, &text) {
-            break;
-        }
-        if is_shutdown {
-            // The acknowledgement is on the wire; now start draining.
-            state.begin_shutdown();
+        for id in dead {
+            self.conns.remove(&id);
         }
     }
 }
 
-/// Parses and executes one request line, routing pipeline work through
-/// the bounded queue. Returns `(echoed id, result, shutdown?)`.
-fn process_line(state: &ServerState, line: &str) -> (Option<u64>, Result<Value, WireError>, bool) {
+/// Swallows pending wake bytes so the next `poll` sleeps.
+fn drain_wake(mut wake_rx: &UnixStream) {
+    let mut sink = [0u8; 64];
+    loop {
+        match wake_rx.read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads until the socket would block, splitting and dispatching full
+/// lines as they arrive. Returns `(connection still alive, begin
+/// drain?)`.
+fn read_conn(state: &ServerState, conn: &mut Conn, draining: bool) -> (bool, bool) {
+    let mut begin_drain = false;
+    let mut scratch = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut scratch) {
+            Ok(0) => {
+                // Peer closed its write half; outstanding responses are
+                // still delivered before the connection goes away.
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                conn.read_buf.extend_from_slice(&scratch[..n]);
+                begin_drain |= process_buffer(state, conn, draining);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return (false, begin_drain),
+        }
+    }
+    (true, begin_drain)
+}
+
+/// Splits the read buffer into lines and dispatches each; enforces the
+/// line-size limit and tracks the dribbling-line deadline.
+fn process_buffer(state: &ServerState, conn: &mut Conn, draining: bool) -> bool {
+    let mut begin_drain = false;
+    while let Some(pos) = conn.read_buf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = conn.read_buf.drain(..=pos).collect();
+        let oversized = std::mem::take(&mut conn.oversized)
+            || line.len().saturating_sub(1) > state.config.max_line_bytes;
+        if oversized {
+            Counters::bump(&state.engine.counters.requests);
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            let error = WireError::new(
+                ErrorKind::TooLarge,
+                format!(
+                    "request line exceeds the {}-byte limit",
+                    state.config.max_line_bytes
+                ),
+            );
+            complete(state, conn, seq, None, Err(error));
+        } else {
+            begin_drain |= handle_line(state, conn, &line[..line.len() - 1], draining);
+        }
+    }
+    if !conn.oversized && conn.read_buf.len() > state.config.max_line_bytes {
+        // Discard the oversized line as it arrives; the eventual newline
+        // answers `too_large`.
+        conn.oversized = true;
+        conn.read_buf.clear();
+    }
+    if conn.line_in_progress() {
+        conn.line_started_at.get_or_insert_with(Instant::now);
+    } else {
+        conn.line_started_at = None;
+    }
+    begin_drain
+}
+
+/// Parses and dispatches one request line. Control requests answer
+/// inline; pipeline requests go to the worker queue and complete later
+/// through the completion channel.
+fn handle_line(state: &ServerState, conn: &mut Conn, raw: &[u8], draining: bool) -> bool {
+    let text = String::from_utf8_lossy(raw);
+    let line = text.trim();
+    if line.is_empty() {
+        return false;
+    }
+    Counters::bump(&state.engine.counters.requests);
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
     let request = match Request::parse_line(line) {
         Ok(request) => request,
-        Err(error) => return (None, Err(error), false),
+        Err(error) => {
+            complete(state, conn, seq, None, Err(error));
+            return false;
+        }
     };
+    if request.version.unwrap_or(1) >= 2 && conn.version < 2 {
+        switch_to_v2(conn);
+    }
+    let mut begin_drain = false;
     let id = request.id;
     match request.kind {
         // Control requests bypass the queue: they must answer promptly
         // even when the workers are saturated.
-        RequestKind::Stats => (id, Ok(stats_value(state)), false),
-        RequestKind::Shutdown => (
-            id,
-            Ok(Value::Object(vec![(
-                "stopping".to_string(),
-                Value::Bool(true),
-            )])),
-            true,
-        ),
+        RequestKind::Stats => {
+            complete(state, conn, seq, id, Ok(stats_value(state)));
+        }
+        RequestKind::Shutdown => {
+            // Acknowledge, then drain: the ack is queued (held for v1
+            // ordering if needed) and the drain guarantees it — like
+            // every outstanding response — still reaches the wire.
+            let ack = Value::Object(vec![("stopping".to_string(), Value::Bool(true))]);
+            complete(state, conn, seq, id, Ok(ack));
+            begin_drain = true;
+        }
+        _ if draining => {
+            let error = WireError::new(ErrorKind::ShuttingDown, "server is draining for shutdown");
+            complete(state, conn, seq, id, Err(error));
+        }
         _ => {
-            if state.shutdown.load(Ordering::SeqCst) {
-                return (
-                    id,
-                    Err(WireError::new(
-                        ErrorKind::ShuttingDown,
-                        "server is draining for shutdown",
-                    )),
-                    false,
-                );
-            }
             // The deadline clock starts when the request is accepted, so
             // it covers queue wait as well as the search itself.
             let deadline = state.config.request_timeout.map(|t| Instant::now() + t);
-            let (reply, receiver) = mpsc::channel();
-            match state.queue.submit(Job {
+            conn.pending.insert(seq, PendingRequest { id, deadline });
+            let submitted = state.queue.submit(Job {
                 request,
+                conn: conn.id,
+                seq,
                 deadline,
-                reply,
-            }) {
+            });
+            match submitted {
+                Ok(()) => {}
                 Err(SubmitError::Full) => {
+                    conn.pending.remove(&seq);
                     Counters::bump(&state.engine.counters.busy_rejections);
-                    (
-                        id,
-                        Err(WireError::new(
-                            ErrorKind::Busy,
-                            format!(
-                                "worker queue is full ({} jobs); retry later",
-                                state.config.queue_capacity
-                            ),
-                        )),
-                        false,
-                    )
+                    let error = WireError::new(
+                        ErrorKind::Busy,
+                        format!(
+                            "worker queue is full ({} jobs); retry later",
+                            state.config.queue_capacity
+                        ),
+                    );
+                    complete(state, conn, seq, id, Err(error));
                 }
-                Err(SubmitError::Closed) => (
-                    id,
-                    Err(WireError::new(
-                        ErrorKind::ShuttingDown,
-                        "server is draining for shutdown",
-                    )),
-                    false,
-                ),
-                Ok(()) => match receiver.recv() {
-                    Ok(result) => (id, result, false),
-                    Err(_) => (
-                        id,
-                        Err(WireError::new(
-                            ErrorKind::Internal,
-                            "worker dropped the request",
-                        )),
-                        false,
-                    ),
-                },
+                Err(SubmitError::Closed) => {
+                    conn.pending.remove(&seq);
+                    let error =
+                        WireError::new(ErrorKind::ShuttingDown, "server is draining for shutdown");
+                    complete(state, conn, seq, id, Err(error));
+                }
             }
         }
     }
+    begin_drain
+}
+
+/// Upgrades a connection to v2 (out-of-order delivery). Responses held
+/// for v1 ordering are flushed in sequence order — from here on,
+/// completion order is wire order.
+fn switch_to_v2(conn: &mut Conn) {
+    conn.version = 2;
+    for (_, held) in std::mem::take(&mut conn.held) {
+        push_response(conn, &held.text);
+    }
+}
+
+/// Finishes sequence `seq` with `result`: formats the response line and
+/// either writes it now (v2) or releases it in order (v1).
+fn complete(
+    state: &ServerState,
+    conn: &mut Conn,
+    seq: u64,
+    id: Option<u64>,
+    result: Result<Value, WireError>,
+) {
+    let text = match result {
+        Ok(value) => response_ok(id, value),
+        Err(error) => respond_error(state, id, error),
+    };
+    if conn.version >= 2 {
+        push_response(conn, &text);
+        return;
+    }
+    conn.held.insert(seq, HeldResponse { text });
+    while let Some(held) = conn.held.remove(&conn.next_release) {
+        push_response(conn, &held.text);
+        conn.next_release += 1;
+    }
+}
+
+/// Appends one response line to the connection's outbound buffer.
+fn push_response(conn: &mut Conn, text: &str) {
+    if !conn.has_unwritten() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        conn.last_write_progress = Instant::now();
+    }
+    conn.write_buf.extend_from_slice(text.as_bytes());
+    conn.write_buf.push(b'\n');
+}
+
+/// Writes as much buffered output as the socket accepts.
+///
+/// # Errors
+/// A transport error (the caller drops the connection).
+fn flush_conn(conn: &mut Conn) -> io::Result<()> {
+    while conn.has_unwritten() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
+            Ok(n) => {
+                conn.write_pos += n;
+                let now = Instant::now();
+                conn.last_write_progress = now;
+                conn.last_activity = now;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if !conn.has_unwritten() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+    }
+    Ok(())
 }
 
 /// Serializes an error response, counting it (and `timeout` responses in
@@ -537,15 +966,6 @@ fn respond_error(state: &ServerState, id: Option<u64>, error: WireError) -> Stri
     response_error(id, &error)
 }
 
-/// Writes one response line; `false` signals a dead connection.
-fn write_line(writer: &mut TcpStream, text: &str) -> bool {
-    writer
-        .write_all(text.as_bytes())
-        .and_then(|()| writer.write_all(b"\n"))
-        .and_then(|()| writer.flush())
-        .is_ok()
-}
-
 /// The `stats` payload.
 fn stats_value(state: &ServerState) -> Value {
     let counters = &state.engine.counters;
@@ -556,6 +976,7 @@ fn stats_value(state: &ServerState) -> Value {
         coalesced: Counters::read(&counters.coalesced),
         timeouts: Counters::read(&counters.timeouts),
         cancelled: Counters::read(&counters.cancelled),
+        searches: Counters::read(&counters.searches),
         workers: state.config.workers.max(1) as u64,
         queue_capacity: state.config.queue_capacity as u64,
         cache: state.engine.cache.stats(),

@@ -1,0 +1,141 @@
+//! A minimal safe wrapper over `poll(2)`.
+//!
+//! The event loop multiplexes the listener, the wake pipe and every
+//! client socket on one thread; `poll` is the one readiness primitive
+//! that is in POSIX, needs no registration state (unlike epoll), and has
+//! no fd-count ceiling (unlike `select`). The libc declarations are
+//! written out by hand — std already links libc on every Unix target, so
+//! declaring the symbol is enough and the workspace stays free of
+//! external dependencies.
+//!
+//! This is the only module in the crate allowed to use `unsafe`; the
+//! wrapper's contract keeps it sound: `poll` writes nothing but the
+//! `revents` fields inside the caller's slice, which stays alive and
+//! exclusive for the whole call.
+#![allow(unsafe_code)]
+
+use std::ffi::{c_int, c_short, c_ulong};
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// The fd wants readable-readiness (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// The fd wants writable-readiness (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (always reported, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always reported, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The fd was not open (a harness bug if it ever appears).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One `struct pollfd`, laid out exactly as `poll(2)` expects.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (a negative fd is ignored by the
+    /// kernel — the idiomatic way to keep slice indices stable).
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT`).
+    pub events: c_short,
+    /// Returned events, written by the kernel.
+    pub revents: c_short,
+}
+
+impl PollFd {
+    /// A pollfd watching `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether any of `mask` came back in `revents`.
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Waits until at least one fd in `fds` is ready or `timeout` elapses
+/// (`None` waits indefinitely). Returns how many entries have non-zero
+/// `revents`; `EINTR` surfaces as `Ok(0)` — a spurious wake-up the event
+/// loop absorbs by recomputing its timers.
+///
+/// # Errors
+/// Propagates `poll(2)` failures other than `EINTR`.
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: c_int = match timeout {
+        None => -1,
+        Some(t) => {
+            // Round up so a 100 µs deadline does not busy-spin at 0 ms.
+            let ms = t
+                .as_millis()
+                .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0));
+            ms.min(c_int::MAX as u128) as c_int
+        }
+    };
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of `PollFd`,
+    // which is `#[repr(C)]`-identical to `struct pollfd`; the kernel
+    // writes only within its bounds (the `revents` fields).
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readiness_is_reported_and_timeouts_expire() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        // Nothing to read yet: the timeout expires with zero ready fds.
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(10))).expect("poll");
+        assert_eq!(n, 0);
+        assert!(!fds[0].has(POLLIN));
+        // One byte on the peer makes the watched end readable.
+        (&b).write_all(&[1]).expect("write wake byte");
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(1000))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLIN));
+    }
+
+    #[test]
+    fn hangup_is_reported_without_being_requested() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(1000))).expect("poll");
+        assert_eq!(n, 1);
+        // A closed peer surfaces as POLLIN (EOF read) and/or POLLHUP.
+        assert!(fds[0].has(POLLIN | POLLHUP));
+    }
+
+    #[test]
+    fn negative_fds_are_ignored() {
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        (&b).write_all(&[1]).expect("write");
+        let mut fds = [PollFd::new(-1, POLLIN), PollFd::new(a.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(Duration::from_millis(1000))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(!fds[0].has(POLLIN));
+        assert!(fds[1].has(POLLIN));
+    }
+}

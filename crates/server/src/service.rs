@@ -1,16 +1,34 @@
 //! Request execution: every wire request mapped onto the [`qss`]
 //! pipeline, with the context cache and in-flight coalescing threaded
 //! through the `schedule`-bearing paths.
+//!
+//! The engine is **completion-based**: [`Engine::handle`] takes a reply
+//! callback instead of returning a value, because schedule-bearing
+//! requests finish on a different thread than they start on. A worker
+//! does only fast admission work (parse, link, cache lookups); the EP
+//! search itself runs on a dedicated search thread gated by a slot
+//! semaphore sized to the worker count, and coalesced followers park a
+//! continuation on the leader's flight — neither holds a worker while it
+//! waits. The reply callback posts the finished response back to the
+//! connection core's event loop.
 
 use crate::cache::ContextCache;
-use crate::coalesce::{InFlightTable, SearchKey, SharedSearch, Ticket};
+use crate::coalesce::{InFlightTable, SearchKey, SearchOutcome, SharedSearch, Ticket};
+use crate::util::lock;
 use qss::remote::{fingerprint_hex, CheckSummary, ErrorKind, Request, RequestKind, WireError};
-use qss::{LinkedArtifact, Pipeline, QssError, ScheduleArtifact, SearchContext, SystemSchedules};
+use qss::{LinkedArtifact, Pipeline, QssError, SearchContext, SystemSchedules};
 use serde_json::Value;
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
 use std::time::Instant;
+
+/// How a finished response travels back to the connection core. Called
+/// exactly once, possibly from a worker, a search thread, or (for
+/// coalesced followers) the leader's search thread.
+pub(crate) type Reply = Box<dyn FnOnce(Result<Value, WireError>) + Send>;
 
 /// The protocol-visible counters (cache counters live in the cache).
 #[derive(Default)]
@@ -21,6 +39,10 @@ pub(crate) struct Counters {
     pub coalesced: AtomicU64,
     pub timeouts: AtomicU64,
     pub cancelled: AtomicU64,
+    /// Schedule searches actually spawned; coalesced followers share
+    /// their leader's search, so this lags `requests` under duplicate
+    /// load — the service's whole point.
+    pub searches: AtomicU64,
 }
 
 impl Counters {
@@ -33,83 +55,166 @@ impl Counters {
     }
 }
 
-/// Bounded FIFO cache of serialized `AnalysisReport`s, keyed by
+/// Bounded LRU cache of serialized `AnalysisReport`s, keyed by
 /// `(fingerprint, ordered_digest)` — the same double guard the context
 /// cache uses, since the report embeds id-indexed facts. Analysis is
 /// pure and deterministic, so a hit returns bytes identical to a fresh
 /// run; the `cached` flag in the response is the only difference.
+///
+/// Recency is tracked with a monotonic tick stamped on every `get` and
+/// `insert` (the same scheme [`ContextCache`] uses): a hit refreshes the
+/// entry, eviction removes the smallest tick. Locking goes through
+/// [`crate::util::lock`], which shrugs off poisoning — a panic elsewhere
+/// must degrade one request, not silently turn the cache into a
+/// permanent miss.
 pub(crate) struct ReportCache {
-    entries: Mutex<VecDeque<(u64, u64, Value)>>,
+    state: Mutex<ReportCacheState>,
     capacity: usize,
+}
+
+struct ReportCacheState {
+    entries: HashMap<(u64, u64), (Value, u64)>,
+    tick: u64,
 }
 
 impl ReportCache {
     fn new(capacity: usize) -> Self {
         ReportCache {
-            entries: Mutex::new(VecDeque::new()),
+            state: Mutex::new(ReportCacheState {
+                entries: HashMap::new(),
+                tick: 0,
+            }),
             capacity: capacity.max(1),
         }
     }
 
     fn get(&self, fingerprint: u64, digest: u64) -> Option<Value> {
-        let entries = self.entries.lock().ok()?;
-        entries
-            .iter()
-            .find(|(f, d, _)| *f == fingerprint && *d == digest)
-            .map(|(_, _, v)| v.clone())
+        let mut state = lock(&self.state);
+        state.tick += 1;
+        let tick = state.tick;
+        let (report, stamp) = state.entries.get_mut(&(fingerprint, digest))?;
+        *stamp = tick;
+        Some(report.clone())
     }
 
     fn insert(&self, fingerprint: u64, digest: u64, report: Value) {
-        let Ok(mut entries) = self.entries.lock() else {
-            return;
-        };
-        if entries
-            .iter()
-            .any(|(f, d, _)| *f == fingerprint && *d == digest)
-        {
+        let mut state = lock(&self.state);
+        state.tick += 1;
+        let tick = state.tick;
+        if state.entries.contains_key(&(fingerprint, digest)) {
             return;
         }
-        if entries.len() >= self.capacity {
-            entries.pop_front();
+        if state.entries.len() >= self.capacity {
+            let oldest = state
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(key, _)| *key);
+            if let Some(key) = oldest {
+                state.entries.remove(&key);
+            }
         }
-        entries.push_back((fingerprint, digest, report));
+        state.entries.insert((fingerprint, digest), (report, tick));
+    }
+}
+
+/// A counting semaphore bounding concurrently running schedule searches
+/// to the worker count: admission stays responsive (workers are never
+/// consumed by searches), while search parallelism keeps the same bound
+/// it had when searches ran *on* the workers.
+struct SearchSlots {
+    capacity: usize,
+    available: AtomicUsize,
+}
+
+impl SearchSlots {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(SearchSlots {
+            capacity,
+            available: AtomicUsize::new(capacity),
+        })
+    }
+
+    /// Takes a slot if one is free; never blocks. The permit returns the
+    /// slot when dropped.
+    fn try_acquire(self: &Arc<Self>) -> Option<SlotPermit> {
+        let mut current = self.available.load(Ordering::Relaxed);
+        loop {
+            if current == 0 {
+                return None;
+            }
+            match self.available.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(SlotPermit(Arc::clone(self))),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+struct SlotPermit(Arc<SearchSlots>);
+
+impl Drop for SlotPermit {
+    fn drop(&mut self) {
+        self.0.available.fetch_add(1, Ordering::Release);
     }
 }
 
 /// The compute side of the server: everything workers need to execute a
-/// pipeline request. Shared immutably across worker threads.
+/// pipeline request. Shared behind an [`Arc`] across worker and search
+/// threads.
 pub(crate) struct Engine {
     pub cache: ContextCache,
     pub reports: ReportCache,
-    pub inflight: InFlightTable,
+    pub inflight: Arc<InFlightTable>,
     pub counters: Counters,
+    slots: Arc<SearchSlots>,
+    /// Live search threads, pruned opportunistically and joined at
+    /// shutdown so a drain never abandons a running search.
+    search_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Engine {
-    pub fn new(cache_capacity: usize) -> Self {
+    pub fn new(cache_capacity: usize, workers: usize) -> Self {
         Engine {
             cache: ContextCache::new(cache_capacity),
             reports: ReportCache::new(cache_capacity),
-            inflight: InFlightTable::new(),
+            inflight: Arc::new(InFlightTable::new()),
             counters: Counters::default(),
+            slots: SearchSlots::new(workers.max(1)),
+            search_threads: Mutex::new(Vec::new()),
         }
     }
 
-    /// Executes one pipeline request (`check` / `link` / `schedule` /
-    /// `generate` / `simulate`), bounded by the request's deadline when
-    /// the server runs with `--request-timeout`. Control requests
-    /// (`stats`, `shutdown`) never reach the engine — the connection
-    /// layer answers them without queueing.
-    pub fn handle(&self, request: &Request, deadline: Option<Instant>) -> Result<Value, WireError> {
-        let source = request.source.as_deref().ok_or_else(|| {
-            WireError::protocol(format!("request kind `{}` needs `source`", request.kind))
-        })?;
+    /// Executes one pipeline request (`check` / `analyze` / `link` /
+    /// `schedule` / `generate` / `simulate`), bounded by the request's
+    /// deadline when the server runs with `--request-timeout`, and
+    /// delivers the result through `reply` — inline for the fast kinds,
+    /// from a search thread for the schedule-bearing ones. Control
+    /// requests (`stats`, `shutdown`) never reach the engine — the
+    /// connection layer answers them without queueing.
+    pub fn handle(self: &Arc<Self>, request: Request, deadline: Option<Instant>, reply: Reply) {
+        let source = match request.source.as_deref() {
+            Some(source) => source,
+            None => {
+                return reply(Err(WireError::protocol(format!(
+                    "request kind `{}` needs `source`",
+                    request.kind
+                ))))
+            }
+        };
         let config = request.config.clone().unwrap_or_default();
-        let linked = Pipeline::from_source(source)
-            .map_err(WireError::from)?
-            .with_config(config)
-            .link()
-            .map_err(WireError::from)?;
+        let linked = match Pipeline::from_source(source)
+            .map_err(WireError::from)
+            .and_then(|p| p.with_config(config).link().map_err(WireError::from))
+        {
+            Ok(linked) => linked,
+            Err(error) => return reply(Err(error)),
+        };
         let fingerprint = linked.fingerprint();
         match request.kind {
             RequestKind::Check => {
@@ -124,100 +229,222 @@ impl Engine {
                     uncontrollable_inputs: analysis.num_uncontrollable_sources as u64,
                     choice_places: analysis.num_choice_places as u64,
                 };
-                Ok(to_value(&summary))
+                reply(Ok(to_value(&summary)));
             }
             RequestKind::Analyze => {
                 let digest = linked.ordered_digest();
                 if let Some(report) = self.reports.get(fingerprint, digest) {
-                    return Ok(artifact_result(fingerprint, Some(true), report));
+                    return reply(Ok(artifact_result(fingerprint, Some(true), report)));
                 }
                 let report = to_value(&linked.analyze());
                 self.reports.insert(fingerprint, digest, report.clone());
-                Ok(artifact_result(fingerprint, Some(false), report))
+                reply(Ok(artifact_result(fingerprint, Some(false), report)));
             }
-            RequestKind::Link => Ok(artifact_result(fingerprint, None, to_value(&linked))),
-            RequestKind::Schedule => {
-                let (artifact, cache_hit) = self.scheduled(linked, deadline)?;
-                Ok(artifact_result(
-                    fingerprint,
-                    Some(cache_hit),
-                    to_value(&artifact),
-                ))
+            RequestKind::Link => {
+                reply(Ok(artifact_result(fingerprint, None, to_value(&linked))));
             }
-            RequestKind::Generate => {
-                let (scheduled, cache_hit) = self.scheduled(linked, deadline)?;
-                let task = scheduled.generate().map_err(WireError::from)?;
-                Ok(artifact_result(
-                    fingerprint,
-                    Some(cache_hit),
-                    to_value(&task),
-                ))
+            RequestKind::Schedule | RequestKind::Generate | RequestKind::Simulate => {
+                self.scheduled(linked, request, deadline, reply);
             }
-            RequestKind::Simulate => {
-                let (scheduled, cache_hit) = self.scheduled(linked, deadline)?;
-                let task = scheduled.generate().map_err(WireError::from)?;
-                let sim = task.simulate(&request.events).map_err(WireError::from)?;
-                let mut result = artifact_result(fingerprint, Some(cache_hit), to_value(&sim));
-                if request.include_task {
-                    // Embed the stage-3 artifact so `build --events`
-                    // callers need one request, not a second full
-                    // pipeline run for `generate`.
-                    if let Value::Object(pairs) = &mut result {
-                        pairs.push(("task".to_string(), to_value(&task)));
-                    }
-                }
-                Ok(result)
-            }
-            RequestKind::Stats | RequestKind::Shutdown => Err(WireError::new(
+            RequestKind::Stats | RequestKind::Shutdown => reply(Err(WireError::new(
                 ErrorKind::Internal,
                 "control requests must not reach the worker pool",
-            )),
+            ))),
         }
     }
 
     /// Stage 2 with the service optimizations: the per-net
-    /// [`SearchContext`] comes from the fingerprint-keyed cache, and
+    /// [`SearchContext`] comes from the fingerprint-keyed cache,
     /// concurrent searches for the same `(fingerprint, digest, config)`
-    /// are coalesced into one. Returns the artifact plus whether the
-    /// context was a cache hit.
+    /// are coalesced into one, and the search itself runs on a dedicated
+    /// thread — the calling worker returns immediately.
     fn scheduled(
-        &self,
+        self: &Arc<Self>,
         linked: LinkedArtifact,
+        request: Request,
         deadline: Option<Instant>,
-    ) -> Result<(ScheduleArtifact, bool), WireError> {
+        reply: Reply,
+    ) {
         let fingerprint = linked.fingerprint();
         let digest = linked.ordered_digest();
         let config_json =
             serde_json::to_string(&linked.config).expect("config serialization is infallible");
         let key: SearchKey = (fingerprint, digest, config_json);
-        let shared = match self.inflight.join(key) {
-            Ticket::Lead(guard) => {
-                let (context, cache_hit) = self.cache.get_or_build(fingerprint, digest, || {
-                    SearchContext::new(&linked.system.net)
-                });
-                let outcome =
-                    run_search(&linked, &context, deadline).map(|schedules| SharedSearch {
-                        schedules: Arc::new(schedules),
-                        context,
-                        cache_hit,
-                    });
-                if matches!(&outcome, Err(e) if e.kind == ErrorKind::Timeout) {
-                    // The search itself was cancelled mid-flight (as
-                    // opposed to a response merely classified `timeout`).
-                    Counters::bump(&self.counters.cancelled);
-                }
-                guard.complete(outcome.clone());
-                outcome?
-            }
+        match self.inflight.join(key) {
             Ticket::Wait(flight) => {
+                // A leader is already searching: park the continuation on
+                // its flight. No thread, no worker slot, no search slot —
+                // the whole wait lives in this closure.
                 Counters::bump(&self.counters.coalesced);
-                flight.wait_deadline(deadline)?
+                flight.subscribe(Box::new(move |outcome| {
+                    reply(finish(linked, &request, outcome.clone()));
+                }));
             }
-        };
-        let cache_hit = shared.cache_hit;
-        let artifact =
-            linked.attach_schedules((*shared.schedules).clone(), Arc::clone(&shared.context));
-        Ok((artifact, cache_hit))
+            Ticket::Lead(guard) => {
+                let Some(permit) = self.slots.try_acquire() else {
+                    // Every search slot is taken by a *different* search
+                    // (duplicates would have coalesced above): shed load
+                    // with the same typed `busy` the full queue uses.
+                    Counters::bump(&self.counters.busy_rejections);
+                    let busy = WireError::new(
+                        ErrorKind::Busy,
+                        format!(
+                            "all {} schedule-search slots are busy; retry later",
+                            self.slots.capacity
+                        ),
+                    );
+                    guard.complete(Err(busy.clone()));
+                    return reply(Err(busy));
+                };
+                Counters::bump(&self.counters.searches);
+                self.spawn_search(guard, permit, linked, request, deadline, reply);
+            }
+        }
+    }
+
+    /// Runs the leader's search on a dedicated thread: searches must not
+    /// occupy workers (admission stays live while every slot is
+    /// searching), and the recursive EP search needs a search-sized
+    /// stack. Publishes to the flight, then assembles the leader's own
+    /// response.
+    fn spawn_search(
+        self: &Arc<Self>,
+        guard: crate::coalesce::LeaderGuard,
+        permit: SlotPermit,
+        linked: LinkedArtifact,
+        request: Request,
+        deadline: Option<Instant>,
+        reply: Reply,
+    ) {
+        let engine = Arc::clone(self);
+        // Keep one handle on the reply so a failed thread spawn can still
+        // answer the request instead of stranding the connection.
+        let shared_reply = Arc::new(Mutex::new(Some(reply)));
+        let thread_reply = Arc::clone(&shared_reply);
+        let spawned = thread::Builder::new()
+            .name("qssd-search".to_string())
+            .stack_size(qss::core::SEARCH_THREAD_STACK_BYTES)
+            .spawn(move || {
+                // A panicking search must still answer: the guard (moved
+                // into the closure) publishes an internal error to the
+                // followers on unwind, and the fallback below answers the
+                // leader.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let (context, cache_hit) = engine.cache.get_or_build(
+                        linked.fingerprint(),
+                        linked.ordered_digest(),
+                        || SearchContext::new(&linked.system.net),
+                    );
+                    let outcome =
+                        run_search(&linked, &context, deadline).map(|schedules| SharedSearch {
+                            schedules: Arc::new(schedules),
+                            context,
+                            cache_hit,
+                        });
+                    if matches!(&outcome, Err(e) if e.kind == ErrorKind::Timeout) {
+                        // The search itself was cancelled mid-flight (as
+                        // opposed to a response merely classified
+                        // `timeout`).
+                        Counters::bump(&engine.counters.cancelled);
+                    }
+                    guard.complete(outcome.clone());
+                    // The slot frees the moment the search is decided:
+                    // assembling the response (the generate/simulate
+                    // stages) must not make the next schedule see
+                    // `busy`, nor may the gap between this thread's
+                    // reply and its exit.
+                    drop(permit);
+                    finish(linked, &request, outcome)
+                }))
+                .unwrap_or_else(|_| {
+                    Err(WireError::new(
+                        ErrorKind::Internal,
+                        "the schedule search panicked",
+                    ))
+                });
+                if let Some(reply) = lock(&thread_reply).take() {
+                    reply(result);
+                }
+            });
+        match spawned {
+            Ok(handle) => self.track_search(handle),
+            Err(_) => {
+                // Spawn failure dropped the closure, and with it the
+                // guard (followers got their internal error); answer the
+                // leader through the retained reply handle.
+                if let Some(reply) = lock(&shared_reply).take() {
+                    reply(Err(WireError::new(
+                        ErrorKind::Internal,
+                        "could not spawn a search thread",
+                    )));
+                }
+            }
+        }
+    }
+
+    fn track_search(&self, handle: JoinHandle<()>) {
+        let mut threads = lock(&self.search_threads);
+        threads.retain(|t| !t.is_finished());
+        threads.push(handle);
+    }
+
+    /// Joins every live search thread; the shutdown drain calls this so
+    /// in-flight searches publish their results (and those results are
+    /// written) before the process exits.
+    pub fn join_searches(&self) {
+        let threads: Vec<_> = lock(&self.search_threads).drain(..).collect();
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Assembles a schedule-bearing response from the shared search outcome:
+/// attach the schedules to this request's own linked artifact, then run
+/// the remaining stages the request kind asks for. Runs on the leader's
+/// search thread — for the leader itself and for every parked follower.
+fn finish(
+    linked: LinkedArtifact,
+    request: &Request,
+    outcome: SearchOutcome,
+) -> Result<Value, WireError> {
+    let shared = outcome?;
+    let fingerprint = linked.fingerprint();
+    let cache_hit = shared.cache_hit;
+    let artifact =
+        linked.attach_schedules((*shared.schedules).clone(), Arc::clone(&shared.context));
+    match request.kind {
+        RequestKind::Schedule => Ok(artifact_result(
+            fingerprint,
+            Some(cache_hit),
+            to_value(&artifact),
+        )),
+        RequestKind::Generate => {
+            let task = artifact.generate().map_err(WireError::from)?;
+            Ok(artifact_result(
+                fingerprint,
+                Some(cache_hit),
+                to_value(&task),
+            ))
+        }
+        RequestKind::Simulate => {
+            let task = artifact.generate().map_err(WireError::from)?;
+            let sim = task.simulate(&request.events).map_err(WireError::from)?;
+            let mut result = artifact_result(fingerprint, Some(cache_hit), to_value(&sim));
+            if request.include_task {
+                // Embed the stage-3 artifact so `build --events` callers
+                // need one request, not a second full pipeline run for
+                // `generate`.
+                if let Value::Object(pairs) = &mut result {
+                    pairs.push(("task".to_string(), to_value(&task)));
+                }
+            }
+            Ok(result)
+        }
+        _ => Err(WireError::new(
+            ErrorKind::Internal,
+            "finish invoked on a non-schedule request kind",
+        )),
     }
 }
 
@@ -265,4 +492,68 @@ fn artifact_result(fingerprint: u64, cached: Option<bool>, artifact: Value) -> V
 
 fn to_value<T: serde::Serialize>(value: &T) -> Value {
     serde_json::to_value(value).expect("artifact serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u64) -> Value {
+        Value::String(format!("report-{n}"))
+    }
+
+    #[test]
+    fn report_cache_hits_refresh_recency() {
+        let cache = ReportCache::new(2);
+        cache.insert(1, 1, entry(1));
+        cache.insert(2, 2, entry(2));
+        // Touch the older entry: it becomes the most recent.
+        assert_eq!(cache.get(1, 1), Some(entry(1)));
+        // Inserting over capacity now evicts (2, 2), not (1, 1).
+        cache.insert(3, 3, entry(3));
+        assert_eq!(cache.get(1, 1), Some(entry(1)));
+        assert_eq!(cache.get(2, 2), None);
+        assert_eq!(cache.get(3, 3), Some(entry(3)));
+    }
+
+    #[test]
+    fn report_cache_keys_on_both_fingerprint_and_digest() {
+        let cache = ReportCache::new(4);
+        cache.insert(1, 1, entry(1));
+        assert_eq!(cache.get(1, 2), None);
+        assert_eq!(cache.get(2, 1), None);
+        assert_eq!(cache.get(1, 1), Some(entry(1)));
+    }
+
+    #[test]
+    fn a_poisoned_lock_is_not_a_permanent_cache_miss() {
+        let cache = Arc::new(ReportCache::new(2));
+        cache.insert(1, 1, entry(1));
+        // Poison the mutex: a thread panics while holding the lock.
+        let poisoner = Arc::clone(&cache);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.state.lock();
+            panic!("poison the report cache lock");
+        })
+        .join();
+        // The cache shrugs it off: hits still hit, inserts still land.
+        // (This was a real bug: `lock().ok()?` silently disabled the
+        // cache forever after any such panic.)
+        assert_eq!(cache.get(1, 1), Some(entry(1)));
+        cache.insert(2, 2, entry(2));
+        assert_eq!(cache.get(2, 2), Some(entry(2)));
+    }
+
+    #[test]
+    fn search_slots_are_a_counting_semaphore() {
+        let slots = SearchSlots::new(2);
+        let a = slots.try_acquire().expect("slot 1");
+        let b = slots.try_acquire().expect("slot 2");
+        assert!(slots.try_acquire().is_none(), "capacity 2 means 2 permits");
+        drop(a);
+        let c = slots.try_acquire().expect("released slot is reusable");
+        drop(b);
+        drop(c);
+        assert_eq!(slots.available.load(Ordering::Relaxed), 2);
+    }
 }

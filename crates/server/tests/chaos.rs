@@ -134,6 +134,7 @@ const ECHO_SOURCE: &str = "PROCESS echo (In DPORT a, Out DPORT b) {\n\
 
 fn schedule_request_line(source: &str, config: Option<&PipelineConfig>) -> String {
     let request = qss::remote::Request {
+        version: None,
         id: Some(1),
         kind: qss::remote::RequestKind::Schedule,
         source: Some(source.to_string()),
@@ -603,6 +604,89 @@ fn tiny_budget_timeout_frees_the_worker_and_reaches_followers() {
         stats.cache.hits + stats.coalesced >= CLIENTS as u64 - 1,
         "duplicates must share the context or the in-flight search: {stats:?}"
     );
+    shutdown_cleanly(daemon);
+}
+
+/// Scenario 12: a pipelined connection is cut while responses are still
+/// parked inside the server — out-of-order (v2) rounds park a slow
+/// schedule's completion behind already-delivered checks, in-order (v1)
+/// rounds hold the checks' finished responses hostage behind the slow
+/// schedule — and the seeded cut lands at a random point in between.
+/// Either way the daemon must discard the orphaned responses and serve
+/// the next client as if nothing happened.
+#[test]
+fn cut_connection_with_parked_responses_is_cleaned_up() {
+    // Two workers: the slow flights coalesce onto at most one search
+    // slot at a time, so the closing clean check always finds the other.
+    let daemon = Daemon::spawn(&["--workers", "2", "--queue", "32"]);
+    let mut rng = Rng::for_scenario("cut_with_parked_responses");
+    let slow = pathological_source(8, 8);
+    for round in 0..4 {
+        let version = if round % 2 == 0 { 2 } else { 1 };
+        let mut stream = TcpStream::connect(&daemon.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(400)))
+            .expect("read timeout");
+        // One slow schedule whose budget outlives this whole round, then
+        // a burst of instant checks behind it on the same connection.
+        let request = qss::remote::Request {
+            version: Some(version),
+            id: Some(100),
+            kind: qss::remote::RequestKind::Schedule,
+            source: Some(slow.clone()),
+            config: Some(tight_budget_config(1200)),
+            events: Vec::new(),
+            include_task: false,
+        };
+        let mut batch = serde_json::to_string(&request.to_value()).expect("serialize");
+        batch.push('\n');
+        let checks = 1 + rng.below(3);
+        for id in 0..checks {
+            let check = qss::remote::Request {
+                version: None,
+                id: Some(101 + id),
+                kind: qss::remote::RequestKind::Check,
+                source: Some(ECHO_SOURCE.to_string()),
+                config: None,
+                events: Vec::new(),
+                include_task: false,
+            };
+            batch.push_str(&serde_json::to_string(&check.to_value()).expect("serialize"));
+            batch.push('\n');
+        }
+        stream.write_all(batch.as_bytes()).expect("write the batch");
+        // On v2 the checks answer immediately (drain a random number of
+        // them); on v1 they are held behind the parked schedule, so every
+        // read just runs out the clock. Then cut with everything still
+        // in flight.
+        let drain = rng.below(checks + 1);
+        let mut reader = BufReader::new(&mut stream);
+        for _ in 0..drain {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(n) if n > 0 => {
+                    let (id, result) = parse_response(line.trim()).expect("typed response");
+                    if version == 2 {
+                        assert!(
+                            matches!(id, Some(i) if i >= 101),
+                            "v2 checks must overtake the parked schedule, got {id:?}"
+                        );
+                        assert!(result.is_ok(), "check failed: {result:?}");
+                    } else {
+                        panic!("v1 must hold responses behind the schedule, got {id:?}");
+                    }
+                }
+                // v1 rounds (or an unlucky v2 race) time out — fine.
+                _ => break,
+            }
+        }
+        thread::sleep(Duration::from_millis(rng.below(200)));
+        drop(reader);
+        drop(stream); // the parked schedule response now has no home
+    }
+    // The orphaned completions are discarded, not delivered, not leaked:
+    // the daemon still schedules and drains cleanly.
+    assert_clean_schedule(&daemon.addr);
     shutdown_cleanly(daemon);
 }
 

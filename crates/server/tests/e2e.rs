@@ -394,6 +394,313 @@ fn pathological_source(depth: usize, k: u32) -> String {
     out
 }
 
+/// The acceptance test for the out-of-order connection core: on ONE
+/// pipelined v2 connection, every fast `link` queued behind a slow,
+/// budget-bound `schedule` completes before it — matched by id, with
+/// artifacts byte-identical to local [`Pipeline`] runs.
+#[test]
+fn pipelined_links_overtake_a_slow_schedule_with_byte_identical_artifacts() {
+    const FAST: usize = 4;
+
+    let daemon = Daemon::spawn(&["--workers", "2", "--queue", "64"]);
+    let sources: Vec<String> = (0..FAST as u32).map(|i| net_source(2 + i)).collect();
+    let expected: Vec<String> = sources
+        .iter()
+        .map(|s| {
+            Pipeline::from_source(s)
+                .expect("source parses")
+                .link()
+                .expect("source links")
+                .to_json()
+        })
+        .collect();
+
+    let mut client = Client::connect(&*daemon.addr).expect("connect");
+    let mut slow_config = qss::PipelineConfig::default();
+    slow_config.schedule.max_nodes = 500_000_000;
+    slow_config.budget.deadline_ms = Some(900);
+    let slow_id = client
+        .send(&qss::remote::Request {
+            version: None,
+            id: None,
+            kind: qss::remote::RequestKind::Schedule,
+            source: Some(pathological_source(8, 8)),
+            config: Some(slow_config),
+            events: Vec::new(),
+            include_task: false,
+        })
+        .expect("send the slow schedule");
+    let mut link_ids = HashMap::new();
+    for (net, source) in sources.iter().enumerate() {
+        let id = client
+            .send(&qss::remote::Request {
+                version: None,
+                id: None,
+                kind: qss::remote::RequestKind::Link,
+                source: Some(source.clone()),
+                config: None,
+                events: Vec::new(),
+                include_task: false,
+            })
+            .expect("send a fast link");
+        link_ids.insert(id, net);
+    }
+
+    let mut arrival = Vec::new();
+    for _ in 0..=FAST {
+        let (id, result) = client.recv().expect("pipelined response");
+        if id == slow_id {
+            let error = result.expect_err("the budget-bound schedule must time out");
+            assert_eq!(error.kind, qss::remote::ErrorKind::Timeout);
+        } else {
+            let net = link_ids[&id];
+            let result = result.expect("link must succeed");
+            let artifact = result
+                .get("artifact")
+                .expect("link result carries the artifact");
+            assert_eq!(
+                serde_json::to_string(artifact).expect("serialize"),
+                expected[net],
+                "link artifact for net {net} drifted from the local pipeline"
+            );
+        }
+        arrival.push(id);
+    }
+    assert_eq!(
+        arrival.last(),
+        Some(&slow_id),
+        "every link must complete before the slow schedule: {arrival:?}"
+    );
+    let mut client = Client::connect(&*daemon.addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    daemon.assert_clean_exit();
+}
+
+/// Coalesced followers must wait on the event loop, not on worker
+/// threads: with ONE worker, eight followers parked behind a slow
+/// leader, the daemon still answers pipeline work for a distinct net
+/// promptly. A ninth follower joins through a raw socket whose config
+/// JSON spells the same configuration with its keys in reverse order —
+/// canonicalization must coalesce it onto the same flight.
+#[test]
+fn parked_followers_hold_no_worker_while_a_single_worker_serves_others() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let daemon = Daemon::spawn(&["--workers", "1", "--queue", "64", "--cache", "4"]);
+    let addr = daemon.addr.clone();
+    let source = pathological_source(8, 8);
+    let mut config = qss::PipelineConfig::default();
+    config.schedule.max_nodes = 500_000_000;
+    config.budget.deadline_ms = Some(1500);
+
+    let started = std::time::Instant::now();
+    let mut followers = Vec::new();
+    for _ in 0..9 {
+        let addr = addr.clone();
+        let source = source.clone();
+        let config = config.clone();
+        followers.push(thread::spawn(move || {
+            let mut client = Client::connect(&*addr).expect("connect");
+            let error = client
+                .schedule(&source, Some(&config))
+                .expect_err("the coalesced search must exhaust its budget");
+            match error {
+                qss::remote::ClientError::Server(e) => {
+                    assert_eq!(
+                        e.kind,
+                        qss::remote::ErrorKind::Timeout,
+                        "a parked follower must share the leader's timeout, \
+                         not bounce off `busy`: {e:?}"
+                    );
+                }
+                other => panic!("follower failed oddly: {other}"),
+            }
+        }));
+    }
+    // The tenth duplicate arrives as raw bytes with the identical config
+    // spelled in reverse key order — the server's canonical re-encoding
+    // must still coalesce it.
+    let reversed_config = {
+        let canonical = serde_json::to_string(&config).expect("serialize config");
+        let serde_json::Value::Object(mut pairs) =
+            serde_json::from_str::<serde_json::Value>(&canonical).expect("reparse config")
+        else {
+            panic!("config serializes as an object");
+        };
+        pairs.reverse();
+        serde_json::to_string(&serde_json::Value::Object(pairs)).expect("serialize")
+    };
+    let raw_follower = {
+        let addr = addr.clone();
+        let line = format!(
+            "{{\"kind\": \"schedule\", \"source\": {}, \"config\": {}}}\n",
+            serde_json::to_string(&source).expect("serialize source"),
+            reversed_config
+        );
+        thread::spawn(move || {
+            let mut stream = std::net::TcpStream::connect(&*addr).expect("connect");
+            stream.write_all(line.as_bytes()).expect("send");
+            let mut response = String::new();
+            BufReader::new(&mut stream)
+                .read_line(&mut response)
+                .expect("read");
+            let (_, result) = qss::remote::parse_response(&response).expect("parse");
+            assert_eq!(
+                result.expect_err("shares the leader's timeout").kind,
+                qss::remote::ErrorKind::Timeout
+            );
+        })
+    };
+
+    // Let every follower reach the daemon, then demand service for a
+    // *distinct* net while all ten are parked. With the old
+    // thread-per-request waiting this would block for the leader's whole
+    // budget; on the event loop the lone worker is free.
+    thread::sleep(Duration::from_millis(400));
+    let other = net_source(3);
+    let local = Pipeline::from_source(&other)
+        .expect("source parses")
+        .link()
+        .expect("source links")
+        .analyze()
+        .to_json();
+    let mut client = Client::connect(&*addr).expect("connect");
+    let summary = client.check(&other).expect("check while followers park");
+    assert_eq!(summary.processes, 1);
+    let report = client
+        .analyze(&other)
+        .expect("analyze while followers park");
+    assert_eq!(report.artifact_json(), local);
+    assert!(
+        started.elapsed() < Duration::from_millis(1300),
+        "the distinct net had to be served while the searches were still \
+         parked, not after their budget ({:?} elapsed)",
+        started.elapsed()
+    );
+
+    for follower in followers {
+        follower.join().expect("follower thread");
+    }
+    raw_follower.join().expect("raw follower thread");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.searches, 1,
+        "ten duplicates must spawn exactly one search: {stats:?}"
+    );
+    assert!(
+        stats.coalesced >= 9,
+        "every follower must have joined the leader's flight: {stats:?}"
+    );
+    assert_eq!(
+        stats.busy_rejections, 0,
+        "parked followers must not consume queue or worker slots: {stats:?}"
+    );
+    client.shutdown().expect("shutdown");
+    daemon.assert_clean_exit();
+}
+
+/// Open file descriptors of a process, by its `/proc` fd table.
+fn fd_count(pid: u32) -> usize {
+    std::fs::read_dir(format!("/proc/{pid}/fd"))
+        .expect("read the daemon's fd table")
+        .count()
+}
+
+/// The scaled connection smoke test: one daemon holds 1024+ idle
+/// connections on its poll set, still serves the very first one,
+/// enforces `--max-connections` on the next, and — once the storm
+/// disconnects — returns to its baseline fd count (no descriptor leaks).
+/// A second short-lived daemon proves idle reaping still works.
+#[test]
+fn a_thousand_idle_connections_are_held_capped_and_reaped_without_fd_leaks() {
+    use std::io::{BufRead, BufReader, Write};
+    const CONNS: usize = 1024;
+
+    let daemon = Daemon::spawn(&[
+        "--workers",
+        "1",
+        "--max-connections",
+        &CONNS.to_string(),
+        "--idle-timeout",
+        "30000",
+    ]);
+    let pid = daemon.child.id();
+    let baseline = fd_count(pid);
+
+    let mut conns = Vec::with_capacity(CONNS);
+    for i in 0..CONNS {
+        let stream = std::net::TcpStream::connect(&*daemon.addr)
+            .unwrap_or_else(|e| panic!("connection {i} refused: {e}"));
+        conns.push(stream);
+    }
+    // Give the accept loop a moment to register the whole storm, then
+    // the connection over the cap must be answered with a typed `busy`
+    // line and closed.
+    thread::sleep(Duration::from_millis(300));
+    let mut over_cap = std::net::TcpStream::connect(&*daemon.addr).expect("connect over cap");
+    over_cap
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(&mut over_cap)
+        .read_line(&mut line)
+        .expect("read the rejection line");
+    let (_, result) = qss::remote::parse_response(&line).expect("rejection is a response");
+    assert_eq!(
+        result.expect_err("over-cap connection is rejected").kind,
+        qss::remote::ErrorKind::Busy
+    );
+    drop(over_cap);
+
+    // The very first connection of the storm still gets service.
+    let first = &mut conns[0];
+    first
+        .write_all(b"{\"id\": 7, \"kind\": \"check\", \"source\": \"PROCESS p () { int x; }\"}\n")
+        .expect("send on the oldest connection");
+    let mut response = String::new();
+    BufReader::new(&mut *first)
+        .read_line(&mut response)
+        .expect("read on the oldest connection");
+    let (id, result) = qss::remote::parse_response(&response).expect("response");
+    assert_eq!(id, Some(7));
+    assert!(result.is_ok(), "oldest connection must still serve");
+
+    // Disconnect the storm; the daemon must release every descriptor.
+    drop(conns);
+    let mut settled = baseline;
+    for _ in 0..200 {
+        settled = fd_count(pid);
+        if settled <= baseline {
+            break;
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    assert!(
+        settled <= baseline,
+        "daemon leaks fds: {settled} open after the storm, {baseline} before"
+    );
+    let mut client = Client::connect(&*daemon.addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    daemon.assert_clean_exit();
+
+    // Idle reaping: a daemon with a 300 ms idle timeout severs a quiet
+    // connection on its own.
+    let daemon = Daemon::spawn(&["--workers", "1", "--idle-timeout", "300"]);
+    let mut idle = std::net::TcpStream::connect(&*daemon.addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    let reaped = std::io::Read::read(&mut idle, &mut buf).expect("read EOF from the reaper");
+    assert_eq!(
+        reaped, 0,
+        "the idle connection must be closed by the daemon"
+    );
+    let mut client = Client::connect(&*daemon.addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    daemon.assert_clean_exit();
+}
+
 #[test]
 fn qssd_rejects_bad_flags_with_usage_exit_code() {
     let output = Command::new(env!("CARGO_BIN_EXE_qssd"))

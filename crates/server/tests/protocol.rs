@@ -3,7 +3,7 @@
 //! error responses while the connection — and the server — stay alive.
 //! A mini-fuzz in the spirit of `tests/parser_fuzz.rs` closes the suite.
 
-use qss::remote::{Client, ClientError, ErrorKind};
+use qss::remote::{Client, ClientError, ErrorKind, Request, RequestKind};
 use qss_server::{Server, ServerConfig};
 
 const ECHO: &str = r#"
@@ -167,6 +167,139 @@ fn mini_fuzz_mutated_requests_never_kill_the_server() {
     assert_eq!(summary.system, "echo_system");
     let stats = client.stats().unwrap();
     assert!(stats.requests as usize >= lines.len());
+    server.shutdown_and_join().unwrap();
+}
+
+/// A divider chain whose full search fires the source `k^depth` times —
+/// with a millisecond budget it becomes a slow, self-cancelling request
+/// (the e2e and chaos suites share this shape).
+fn pathological_source(depth: usize, k: u32) -> String {
+    let mut out = String::from("SYSTEM chain {\n");
+    for i in 0..depth {
+        out.push_str(&format!("    CHANNEL s{i}.out -> s{}.inp;\n", i + 1));
+    }
+    out.push_str("}\n");
+    out.push_str(
+        "PROCESS s0 (In DPORT go, Out DPORT out) {\n\
+         \x20   int x;\n\
+         \x20   while (1) { READ_DATA(go, x, 1); WRITE_DATA(out, x, 1); }\n\
+         }\n",
+    );
+    for i in 1..=depth {
+        out.push_str(&format!(
+            "PROCESS s{i} (In DPORT inp, Out DPORT out) {{\n\
+             \x20   int x;\n\
+             \x20   while (1) {{ READ_DATA(inp, x, {k}); WRITE_DATA(out, x, 1); }}\n\
+             }}\n"
+        ));
+    }
+    out
+}
+
+/// A schedule request that holds its search slot for `deadline_ms`
+/// before timing out — the "slow" half of every ordering test.
+fn slow_schedule(deadline_ms: u64) -> Request {
+    let mut config = qss::PipelineConfig::default();
+    config.schedule.max_nodes = 500_000_000;
+    config.budget.deadline_ms = Some(deadline_ms);
+    Request {
+        version: None,
+        id: None,
+        kind: RequestKind::Schedule,
+        source: Some(pathological_source(8, 8)),
+        config: Some(config),
+        events: Vec::new(),
+        include_task: false,
+    }
+}
+
+fn check_request(source: &str) -> Request {
+    Request {
+        version: None,
+        id: None,
+        kind: RequestKind::Check,
+        source: Some(source.to_string()),
+        config: None,
+        events: Vec::new(),
+        include_task: false,
+    }
+}
+
+#[test]
+fn v2_pipelined_responses_arrive_out_of_order_matched_by_id() {
+    let server = small_server();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // One connection, four requests on the wire at once: a schedule that
+    // burns its whole 600 ms budget, then three instant checks. `send`
+    // speaks version 2, so the checks must not queue behind the slow
+    // search — head-of-line blocking was exactly the old bug.
+    let slow_id = client.send(&slow_schedule(600)).expect("send schedule");
+    let check_ids: Vec<u64> = (0..3)
+        .map(|_| client.send(&check_request(ECHO)).expect("send check"))
+        .collect();
+
+    let mut arrival = Vec::new();
+    for _ in 0..4 {
+        let (id, result) = client.recv().expect("pipelined response");
+        if id == slow_id {
+            let error = result.expect_err("the saturating search must time out");
+            assert_eq!(error.kind, ErrorKind::Timeout);
+        } else {
+            assert!(check_ids.contains(&id), "unexpected response id {id}");
+            let summary = result.expect("check must succeed");
+            assert_eq!(
+                summary.get("system").and_then(serde_json::Value::as_str),
+                Some("echo_system")
+            );
+        }
+        arrival.push(id);
+    }
+    assert_eq!(
+        arrival.last(),
+        Some(&slow_id),
+        "every fast check must overtake the slow schedule: {arrival:?}"
+    );
+    server.shutdown_and_join().unwrap();
+}
+
+#[test]
+fn v1_connections_keep_strict_request_order_even_when_it_blocks() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = small_server();
+    // Raw v1 pipelining: no `version` field, so the server must hold the
+    // fast checks' responses until the slow schedule ahead of them has
+    // answered — order over latency is the v1 contract.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut batch = String::new();
+    let mut slow = slow_schedule(400);
+    slow.id = Some(100);
+    batch.push_str(&serde_json::to_string(&slow.to_value()).unwrap());
+    batch.push('\n');
+    for id in 101..=103u64 {
+        let mut check = check_request(ECHO);
+        check.id = Some(id);
+        batch.push_str(&serde_json::to_string(&check.to_value()).unwrap());
+        batch.push('\n');
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut arrival = Vec::new();
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let (id, _) = qss::remote::parse_response(&line).expect("v1 response");
+        arrival.push(id.expect("ids are echoed"));
+    }
+    assert_eq!(
+        arrival,
+        vec![100, 101, 102, 103],
+        "v1 must deliver responses in request order"
+    );
+    drop(reader);
+    drop(stream);
     server.shutdown_and_join().unwrap();
 }
 

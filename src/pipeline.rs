@@ -133,10 +133,12 @@ impl Default for PipelineConfig {
     }
 }
 
-/// Hand-written so that configurations serialized before the `budget`
-/// field existed (archived artifacts, older clients of a `qssd` service)
-/// still deserialize: a missing `budget` means unlimited, which is
-/// exactly the pre-budget behavior.
+/// Hand-written with a fixed key order, so serializing a parsed config
+/// is *canonicalizing*: `{}`, a partial config and a fully spelled-out
+/// default all round-trip to the same bytes. A scheduling service that
+/// keys in-flight coalescing on the serialized config relies on this —
+/// two requests for the same net under configs that differ only in
+/// spelling must share one search.
 impl Serialize for PipelineConfig {
     fn to_value(&self) -> Value {
         Value::Object(vec![
@@ -157,23 +159,43 @@ impl Serialize for PipelineConfig {
     }
 }
 
+/// Hand-written and *lenient*: every missing top-level field takes its
+/// default, so `{}`, configurations serialized before a field existed
+/// (archived artifacts, older clients of a `qssd` service) and a fully
+/// spelled-out default all parse to the same value. A field that is
+/// present but malformed still errors — leniency covers absence, not
+/// invalid input.
 impl<'de> Deserialize<'de> for PipelineConfig {
     fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        if value.as_object().is_none() {
+            return Err(serde::Error::custom(format!(
+                "expected an object for `PipelineConfig`, found {}",
+                value.kind()
+            )));
+        }
+        let defaults = PipelineConfig::default();
+        fn opt<T: serde::DeserializeOwned>(
+            value: &Value,
+            name: &str,
+            default: T,
+        ) -> Result<T, serde::Error> {
+            match value.get(name) {
+                Some(_) => serde::derive::field(value, "PipelineConfig", name),
+                None => Ok(default),
+            }
+        }
         Ok(PipelineConfig {
-            schedule: serde::derive::field(value, "PipelineConfig", "schedule")?,
-            task: serde::derive::field(value, "PipelineConfig", "task")?,
-            profile: serde::derive::field(value, "PipelineConfig", "profile")?,
-            multitask_buffer_size: serde::derive::field(
+            schedule: opt(value, "schedule", defaults.schedule)?,
+            task: opt(value, "task", defaults.task)?,
+            profile: opt(value, "profile", defaults.profile)?,
+            multitask_buffer_size: opt(
                 value,
-                "PipelineConfig",
                 "multitask_buffer_size",
+                defaults.multitask_buffer_size,
             )?,
-            max_sim_steps: serde::derive::field(value, "PipelineConfig", "max_sim_steps")?,
-            parallel_schedule: serde::derive::field(value, "PipelineConfig", "parallel_schedule")?,
-            budget: match value.get("budget") {
-                Some(_) => serde::derive::field(value, "PipelineConfig", "budget")?,
-                None => BudgetConfig::default(),
-            },
+            max_sim_steps: opt(value, "max_sim_steps", defaults.max_sim_steps)?,
+            parallel_schedule: opt(value, "parallel_schedule", defaults.parallel_schedule)?,
+            budget: opt(value, "budget", defaults.budget)?,
         })
     }
 }

@@ -3,9 +3,13 @@
 //! `qssd` (the long-running scheduling service in `crates/server`) speaks
 //! a **newline-delimited JSON** protocol over TCP: every request is one
 //! JSON object on one line, every response is one JSON object on one
-//! line, and responses are written in request order per connection. The
-//! full format, with one worked example per request kind, is documented
-//! in `PROTOCOL.md` at the repository root.
+//! line. By default (protocol version 1) responses are written in
+//! request order per connection; a request carrying `"version": 2` opts
+//! its connection into **out-of-order delivery**, where every response
+//! is written the moment it completes and is correlated by the echoed
+//! `id` ([`Client::send_many`] drives this pipelined mode). The full
+//! format, with one worked example per request kind, is documented in
+//! `PROTOCOL.md` at the repository root.
 //!
 //! This module owns everything both endpoints share — the parsed
 //! [`Request`], the typed [`WireError`]/[`ErrorKind`], the bounded line
@@ -255,9 +259,18 @@ impl fmt::Display for RequestKind {
     }
 }
 
+/// Newest protocol version a `qssd` understands. Version 1 (the
+/// default) delivers responses in request order per connection; version
+/// 2 delivers each response as soon as it completes, correlated by `id`.
+pub const PROTOCOL_VERSION_MAX: u32 = 2;
+
 /// One parsed request line.
 #[derive(Debug, Clone)]
 pub struct Request {
+    /// Protocol version this request speaks: `None` or `Some(1)` keeps
+    /// the connection on in-order delivery, `Some(2)` switches it to
+    /// out-of-order delivery (sticky for the rest of the connection).
+    pub version: Option<u32>,
     /// Client-chosen correlation id, echoed verbatim in the response.
     pub id: Option<u64>,
     /// What to do.
@@ -303,11 +316,25 @@ impl Request {
         for (key, _) in object {
             if !matches!(
                 key.as_str(),
-                "id" | "kind" | "source" | "config" | "events" | "include_task"
+                "version" | "id" | "kind" | "source" | "config" | "events" | "include_task"
             ) {
                 return Err(WireError::protocol(format!("unknown field `{key}`")));
             }
         }
+        let version = match value.get("version") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                let version = v
+                    .as_u64()
+                    .ok_or_else(|| WireError::protocol("`version` must be an unsigned integer"))?;
+                if !(1..=u64::from(PROTOCOL_VERSION_MAX)).contains(&version) {
+                    return Err(WireError::protocol(format!(
+                        "unsupported protocol `version` {version} (this server speaks 1..={PROTOCOL_VERSION_MAX})"
+                    )));
+                }
+                Some(version as u32)
+            }
+        };
         let id = match value.get("id") {
             None | Some(Value::Null) => None,
             Some(v) => Some(
@@ -361,6 +388,7 @@ impl Request {
                 .ok_or_else(|| WireError::protocol("`include_task` must be a boolean"))?,
         };
         Ok(Request {
+            version,
             id,
             kind,
             source,
@@ -374,6 +402,9 @@ impl Request {
     /// [`Request::from_value`]).
     pub fn to_value(&self) -> Value {
         let mut pairs: Vec<(String, Value)> = Vec::new();
+        if let Some(version) = self.version {
+            pairs.push(("version".into(), Value::Number(u64::from(version).into())));
+        }
         if let Some(id) = self.id {
             pairs.push(("id".into(), Value::Number(id.into())));
         }
@@ -636,7 +667,12 @@ pub struct ServerStats {
     /// Schedule searches a leader gave up on because a deadline or
     /// budget cancelled them mid-search.
     pub cancelled: u64,
-    /// Worker threads.
+    /// Schedule searches actually spawned (coalesced followers share
+    /// their leader's search, so under duplicate-heavy load this stays
+    /// far below the schedule-bearing request count).
+    pub searches: u64,
+    /// Worker threads (also the bound on concurrently running schedule
+    /// searches).
     pub workers: u64,
     /// Bound of the job queue.
     pub queue_capacity: u64,
@@ -877,6 +913,7 @@ impl Client {
         include_task: bool,
     ) -> Result<Value, ClientError> {
         self.call(Request {
+            version: None,
             id: None,
             kind,
             source: Some(source.to_string()),
@@ -884,6 +921,107 @@ impl Client {
             events: events.to_vec(),
             include_task,
         })
+    }
+
+    /// Writes one request without waiting for its response, switching
+    /// the connection to protocol version 2 (out-of-order delivery). The
+    /// request's `id` is overwritten with a fresh connection-unique one
+    /// and returned — match it against [`Client::recv`].
+    ///
+    /// # Errors
+    /// Propagates transport errors.
+    pub fn send(&mut self, request: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            version: Some(2),
+            id: Some(id),
+            ..request.clone()
+        };
+        let line = serde_json::to_string(&request.to_value())
+            .expect("request serialization is infallible");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(id)
+    }
+
+    /// Reads the next response in *arrival* order — on a version-2
+    /// connection that is completion order, not request order. Returns
+    /// the echoed id and the typed result.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Protocol`]
+    /// when the line does not decode as a response or carries no id (a
+    /// pipelined connection cannot correlate an id-less response).
+    pub fn recv(&mut self) -> Result<(u64, Result<Value, WireError>), ClientError> {
+        let line = match read_line_bounded(&mut self.reader, CLIENT_MAX_LINE_BYTES)
+            .map_err(ClientError::from)?
+        {
+            LineRead::Line(line) => line,
+            LineRead::TooLarge => {
+                return Err(ClientError::Protocol(
+                    "response exceeded the client line limit".into(),
+                ))
+            }
+            LineRead::Eof => {
+                return Err(ClientError::Io("server closed the connection".into()));
+            }
+            LineRead::TimedOut => {
+                return Err(ClientError::Io("timed out waiting for a response".into()));
+            }
+        };
+        let (id, result) = parse_response(&line).map_err(ClientError::Protocol)?;
+        match id {
+            Some(id) => Ok((id, result)),
+            // An id-less response can still be a typed error for a
+            // request the server could not attribute; surface it.
+            None => match result {
+                Err(error) => Err(ClientError::Server(error)),
+                Ok(_) => Err(ClientError::Protocol(
+                    "pipelined response carries no id".into(),
+                )),
+            },
+        }
+    }
+
+    /// Pipelines `requests` on this connection (protocol version 2):
+    /// writes every line up front, then reads until each request has its
+    /// response, demultiplexing by echoed id. The results come back in
+    /// *request* order regardless of the order the server completed them
+    /// in — out-of-order completion is the entire point: a slow
+    /// `schedule` no longer blocks the `check`s queued behind it.
+    ///
+    /// # Errors
+    /// Fails on transport errors, on a response whose id matches no
+    /// outstanding request, and on duplicated response ids. Per-request
+    /// failures are returned in-band as `Err(WireError)` entries.
+    #[allow(clippy::type_complexity)]
+    pub fn send_many(
+        &mut self,
+        requests: &[Request],
+    ) -> Result<Vec<Result<Value, WireError>>, ClientError> {
+        let mut ids = Vec::with_capacity(requests.len());
+        for request in requests {
+            ids.push(self.send(request)?);
+        }
+        let mut results: Vec<Option<Result<Value, WireError>>> = vec![None; requests.len()];
+        for _ in 0..requests.len() {
+            let (id, result) = self.recv()?;
+            let slot = ids.iter().position(|&sent| sent == id).ok_or_else(|| {
+                ClientError::Protocol(format!("response id {id} matches no pipelined request"))
+            })?;
+            if results[slot].is_some() {
+                return Err(ClientError::Protocol(format!(
+                    "server answered request id {id} twice"
+                )));
+            }
+            results[slot] = Some(result);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every slot was filled by the read loop"))
+            .collect())
     }
 
     /// Parses and links `source` remotely; returns the summary.
@@ -993,6 +1131,7 @@ impl Client {
     /// [`ClientError::Server`] carries the typed wire error.
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         let result = self.call(Request {
+            version: None,
             id: None,
             kind: RequestKind::Stats,
             source: None,
@@ -1010,6 +1149,7 @@ impl Client {
     /// [`ClientError::Server`] carries the typed wire error.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.call(Request {
+            version: None,
             id: None,
             kind: RequestKind::Shutdown,
             source: None,
@@ -1190,6 +1330,7 @@ mod tests {
     #[test]
     fn request_round_trip() {
         let request = Request {
+            version: Some(2),
             id: Some(7),
             kind: RequestKind::Simulate,
             source: Some("PROCESS p () {}".into()),
@@ -1199,6 +1340,7 @@ mod tests {
         };
         let line = serde_json::to_string(&request.to_value()).unwrap();
         let back = Request::parse_line(&line).unwrap();
+        assert_eq!(back.version, Some(2));
         assert_eq!(back.id, Some(7));
         assert_eq!(back.kind, RequestKind::Simulate);
         assert_eq!(back.source, request.source);
@@ -1226,6 +1368,23 @@ mod tests {
         // Control requests need no source.
         assert!(Request::parse_line("{\"kind\": \"stats\"}").is_ok());
         assert!(Request::parse_line("{\"kind\": \"shutdown\"}").is_ok());
+    }
+
+    #[test]
+    fn version_field_is_validated() {
+        let parse = |line: &str| Request::parse_line(line);
+        let ok = parse("{\"version\": 1, \"kind\": \"stats\"}").unwrap();
+        assert_eq!(ok.version, Some(1));
+        let ok = parse("{\"version\": 2, \"kind\": \"stats\"}").unwrap();
+        assert_eq!(ok.version, Some(2));
+        assert_eq!(parse("{\"kind\": \"stats\"}").unwrap().version, None);
+        for bad in [
+            "{\"version\": 0, \"kind\": \"stats\"}",
+            "{\"version\": 3, \"kind\": \"stats\"}",
+            "{\"version\": \"two\", \"kind\": \"stats\"}",
+        ] {
+            assert_eq!(parse(bad).unwrap_err().kind, ErrorKind::Protocol, "{bad}");
+        }
     }
 
     #[test]

@@ -118,6 +118,32 @@ fn pipeline_config_round_trips() {
 }
 
 #[test]
+fn pipeline_config_parsing_is_lenient_and_canonicalizing() {
+    // `{}` is a valid config: every missing field takes its default.
+    let empty: PipelineConfig = serde_json::from_str("{}").unwrap();
+    assert_eq!(empty, PipelineConfig::default());
+    // A partial config defaults only what it omits.
+    let partial: PipelineConfig = serde_json::from_str("{\"multitask_buffer_size\": 17}").unwrap();
+    assert_eq!(partial.multitask_buffer_size, 17);
+    assert_eq!(
+        partial.max_sim_steps,
+        PipelineConfig::default().max_sim_steps
+    );
+    // Canonicalization: `{}` and the fully spelled-out default serialize
+    // to identical bytes — the property the server's coalescing key
+    // relies on.
+    let spelled_out = serde_json::to_string(&PipelineConfig::default()).unwrap();
+    let reparsed: PipelineConfig = serde_json::from_str(&spelled_out).unwrap();
+    assert_eq!(
+        serde_json::to_string(&empty).unwrap(),
+        serde_json::to_string(&reparsed).unwrap()
+    );
+    // Leniency covers absence, not invalid input.
+    assert!(serde_json::from_str::<PipelineConfig>("{\"profile\": 9}").is_err());
+    assert!(serde_json::from_str::<PipelineConfig>("5").is_err());
+}
+
+#[test]
 fn linked_artifact_round_trips() {
     let linked = Pipeline::from_source(SOURCE).unwrap().link().unwrap();
     let back = LinkedArtifact::from_json(&linked.to_json()).unwrap();
