@@ -23,11 +23,14 @@
 //! Run with `cargo run -p qss_bench --release --bin bench_json`.
 //! Set `QSS_BENCH_FAST=1` for a quick smoke run with fewer samples.
 
+use proptest::{Strategy, TestRng};
 use qss_bench::experiments::divider_net;
+use qss_bench::testgen::{build_random, hub_net_strategy, random_net_strategy, wide_net_strategy};
 use qss_core::{reference, ScheduleOptions, SearchBudget, SearchContext, TerminationKind};
 use qss_petri::{
     p_invariant_basis, p_invariant_basis_dense, structural_report, structural_report_dense,
-    t_invariant_basis, t_invariant_basis_dense, FxHashMap, Marking, MarkingStore, StructuralLimits,
+    t_invariant_basis, t_invariant_basis_dense, EcsInfo, FxHashMap, KernelScratch, Marking,
+    MarkingStore, NetKernels, StructuralLimits,
 };
 use qss_sim::{pfc_system, PfcParams};
 use std::fmt::Write as _;
@@ -39,6 +42,9 @@ use std::time::{Duration, Instant};
 /// One measured case: the incremental engine against the oracle.
 struct CaseResult {
     name: String,
+    /// For `kernel/*` cases, which enabledness engines the two columns
+    /// ran (layout and cell width of the chunked side); `None` elsewhere.
+    kernel: Option<String>,
     best_ms: f64,
     median_ms: f64,
     reference_best_ms: f64,
@@ -150,17 +156,25 @@ fn main() {
         (3, 25)
     };
     let mut cases: Vec<CaseResult> = Vec::new();
-    let mut push_case = |name: String, mut f: Box<dyn FnMut()>, mut reference: Box<dyn FnMut()>| {
-        let (best_ms, median_ms) = best_and_median_ms(warmup, samples, &mut f);
-        let (reference_best_ms, reference_median_ms) =
-            best_and_median_ms(warmup, samples, &mut reference);
-        cases.push(CaseResult {
-            name,
-            best_ms,
-            median_ms,
-            reference_best_ms,
-            reference_median_ms,
-        });
+    let mut push_case_annotated =
+        |name: String,
+         kernel: Option<String>,
+         mut f: Box<dyn FnMut()>,
+         mut reference: Box<dyn FnMut()>| {
+            let (best_ms, median_ms) = best_and_median_ms(warmup, samples, &mut f);
+            let (reference_best_ms, reference_median_ms) =
+                best_and_median_ms(warmup, samples, &mut reference);
+            cases.push(CaseResult {
+                name,
+                kernel,
+                best_ms,
+                median_ms,
+                reference_best_ms,
+                reference_median_ms,
+            });
+        };
+    let mut push_case = |name: String, f: Box<dyn FnMut()>, reference: Box<dyn FnMut()>| {
+        push_case_annotated(name, None, f, reference);
     };
 
     for k in [4u32, 8, 12] {
@@ -404,6 +418,72 @@ fn main() {
         );
     }
 
+    {
+        // The enabledness-kernel sweeps: the chunked need-row kernels
+        // (`NetKernels::enabled_set_at`, bit-packed whole-net enabledness
+        // in wide compares) against the scalar per-arc walk
+        // (`is_enabled_at` per transition) on the same deterministic nets
+        // and the same synthetic slab rows. One case per testgen profile:
+        // `dense` (tiny strides, dense u32 rows), `wide` (medium strides,
+        // still dense) and `hub` (hundreds of places — past the dense
+        // row cap, so the sparse CSR fallback). The iteration counts keep
+        // each sample in comfortably-timeable territory across profiles.
+        for (profile, strategy, iters) in [
+            ("dense", random_net_strategy(), 400usize),
+            ("wide", wide_net_strategy(), 100),
+            ("hub", hub_net_strategy(), 25),
+        ] {
+            let mut rng = TestRng::new(&format!("bench-kernel-{profile}"));
+            let desc = strategy.generate(&mut rng);
+            let (net, _source) = build_random(&desc);
+            let ecs = EcsInfo::compute(&net);
+            let kernels = NetKernels::compile(&net, &ecs, None);
+            let stride = net.num_places();
+            let kernel_note = format!(
+                "chunked {} {:?} vs scalar per-arc",
+                if kernels.is_dense() {
+                    "dense"
+                } else {
+                    "sparse"
+                },
+                kernels.cell(),
+            );
+            // 256 deterministic slab rows with small counts, the regime
+            // the search actually sweeps.
+            let rows: Vec<u32> = (0..256 * stride)
+                .map(|_| (rng.next_u64() % 4) as u32)
+                .collect();
+            let (scalar_net, scalar_rows) = (net.clone(), rows.clone());
+            let mut scratch = KernelScratch::default();
+            push_case_annotated(
+                format!("kernel/enabled_sweep_{profile}"),
+                Some(kernel_note),
+                Box::new(move || {
+                    let mut enabled = 0usize;
+                    for _ in 0..iters {
+                        for row in rows.chunks_exact(stride) {
+                            enabled += kernels.enabled_set_at(row, &mut scratch).count();
+                        }
+                    }
+                    black_box(enabled);
+                }),
+                Box::new(move || {
+                    let mut enabled = 0usize;
+                    for _ in 0..iters {
+                        for row in scalar_rows.chunks_exact(stride) {
+                            for t in scalar_net.transition_ids() {
+                                if scalar_net.is_enabled_at(t, row) {
+                                    enabled += 1;
+                                }
+                            }
+                        }
+                    }
+                    black_box(enabled);
+                }),
+            );
+        }
+    }
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"suite\": \"schedule_search\",\n");
@@ -413,10 +493,16 @@ fn main() {
     json.push_str("  \"cases\": [\n");
     for (i, case) in cases.iter().enumerate() {
         let speedup = case.reference_best_ms / case.best_ms;
+        let kernel = case
+            .kernel
+            .as_ref()
+            .map(|k| format!("\"kernel\": \"{k}\", "))
+            .unwrap_or_default();
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"best_ms\": {:.4}, \"median_ms\": {:.4}, \"reference_best_ms\": {:.4}, \"reference_median_ms\": {:.4}, \"speedup_vs_reference\": {:.2}}}",
+            "    {{\"name\": \"{}\", {}\"best_ms\": {:.4}, \"median_ms\": {:.4}, \"reference_best_ms\": {:.4}, \"reference_median_ms\": {:.4}, \"speedup_vs_reference\": {:.2}}}",
             case.name,
+            kernel,
             case.best_ms,
             case.median_ms,
             case.reference_best_ms,

@@ -39,6 +39,14 @@ pub enum NetProfile {
     /// that stress the fixed-width marking slab (long strides, few marked
     /// cells, many distinct rows per search).
     Wide,
+    /// Hundreds of places (96–256) with a few high-fan-in *hub* places
+    /// that a large share of the arcs route through, plus deliberate
+    /// preset duplication so choices nest into multi-member ECSs. Rows
+    /// this wide push the enabledness kernels past the dense need-row cap
+    /// into the sparse CSR fallback — the regime where chunked and scalar
+    /// engines diverge most in shape, so where their equivalence needs
+    /// the most pinning.
+    Hub,
 }
 
 /// Strategy generating [`RandomNet`]s of a given [`NetProfile`].
@@ -64,6 +72,10 @@ impl Strategy for RandomNetStrategy {
                 Strategy::generate(&(12usize..33), rng),
                 Strategy::generate(&(3usize..9), rng),
             ),
+            NetProfile::Hub => (
+                Strategy::generate(&(96usize..257), rng),
+                Strategy::generate(&(16usize..42), rng),
+            ),
         };
         let initial: Vec<u32> = (0..num_places)
             .map(|_| match self.profile {
@@ -76,18 +88,59 @@ impl Strategy for RandomNetStrategy {
                         0
                     }
                 }
+                // Very sparse: roughly one place in eight is marked.
+                NetProfile::Hub => {
+                    if Strategy::generate(&(0u32..8), rng) == 0 {
+                        1
+                    } else {
+                        0
+                    }
+                }
             })
             .collect();
-        let arcs: Vec<(usize, usize, u32, u32)> = (0..num_transitions)
-            .map(|_| {
-                (
-                    Strategy::generate(&(0..num_places), rng),
-                    Strategy::generate(&(0..num_places), rng),
-                    Strategy::generate(&(1u32..3), rng),
-                    Strategy::generate(&(1u32..3), rng),
-                )
-            })
-            .collect();
+        let arcs: Vec<(usize, usize, u32, u32)> = match self.profile {
+            NetProfile::Dense | NetProfile::Wide => (0..num_transitions)
+                .map(|_| {
+                    (
+                        Strategy::generate(&(0..num_places), rng),
+                        Strategy::generate(&(0..num_places), rng),
+                        Strategy::generate(&(1u32..3), rng),
+                        Strategy::generate(&(1u32..3), rng),
+                    )
+                })
+                .collect(),
+            NetProfile::Hub => {
+                // A few high-fan-in hub places attract ~40% of the arc
+                // endpoints, and a third of the transitions duplicate the
+                // previous preset exactly — identical presets land in one
+                // ECS, so the duplicates nest data-dependent choices.
+                let hubs: Vec<usize> = (0..Strategy::generate(&(2usize..7), rng))
+                    .map(|_| Strategy::generate(&(0..num_places), rng))
+                    .collect();
+                let pick_place = |rng: &mut TestRng| -> usize {
+                    if Strategy::generate(&(0u32..5), rng) < 2 {
+                        hubs[Strategy::generate(&(0..hubs.len()), rng)]
+                    } else {
+                        Strategy::generate(&(0..num_places), rng)
+                    }
+                };
+                let mut arcs: Vec<(usize, usize, u32, u32)> = Vec::with_capacity(num_transitions);
+                for _ in 0..num_transitions {
+                    let (from, consume) = match arcs.last() {
+                        Some(&(prev_from, _, prev_consume, _))
+                            if Strategy::generate(&(0u32..3), rng) == 0 =>
+                        {
+                            (prev_from, prev_consume)
+                        }
+                        _ => (pick_place(rng), Strategy::generate(&(1u32..3), rng)),
+                    };
+                    let to = pick_place(rng);
+                    let produce = Strategy::generate(&(1u32..3), rng);
+                    arcs.push((from, to, consume, produce));
+                }
+                arcs
+            }
+        };
         let source_weight = Strategy::generate(&(1u32..3), rng);
         RandomNet {
             initial,
@@ -149,6 +202,15 @@ pub fn wide_net_strategy() -> RandomNetStrategy {
     }
 }
 
+/// The hub-profile strategy (hundreds of places, high-fan-in hubs, nested
+/// choices) that pushes the enabledness kernels into their sparse CSR
+/// fallback.
+pub fn hub_net_strategy() -> RandomNetStrategy {
+    RandomNetStrategy {
+        profile: NetProfile::Hub,
+    }
+}
+
 /// Builds the Petri net described by `desc` and returns it together with
 /// its uncontrollable source transition.
 pub fn build_random(desc: &RandomNet) -> (PetriNet, TransitionId) {
@@ -177,7 +239,11 @@ mod tests {
 
     #[test]
     fn generated_nets_build_and_shrink_within_the_domain() {
-        for strategy in [random_net_strategy(), wide_net_strategy()] {
+        for strategy in [
+            random_net_strategy(),
+            wide_net_strategy(),
+            hub_net_strategy(),
+        ] {
             let mut rng = TestRng::new("testgen-domain");
             for _ in 0..64 {
                 let desc = strategy.generate(&mut rng);
@@ -209,6 +275,37 @@ mod tests {
         }
         // Sparse: on average well under a third of the places start marked.
         assert!(total_marked * 3 < total_places);
+    }
+
+    #[test]
+    fn hub_profile_has_hubs_and_nested_choices() {
+        use qss_petri::EcsInfo;
+        let strategy = hub_net_strategy();
+        let mut rng = TestRng::new("testgen-hub");
+        let mut nets_with_multi_ecs = 0usize;
+        let mut nets_with_hub = 0usize;
+        let samples = 32;
+        for _ in 0..samples {
+            let desc = strategy.generate(&mut rng);
+            assert!(desc.initial.len() >= 96, "hub nets have hundreds of places");
+            let (net, _) = build_random(&desc);
+            let ecs = EcsInfo::compute(&net);
+            // Preset duplication creates multi-member ECSs (nested choices).
+            if ecs.ecs_ids().any(|e| ecs.members(e).len() > 1) {
+                nets_with_multi_ecs += 1;
+            }
+            // Hub places concentrate fan-in/fan-out well above uniform.
+            let mut fan = vec![0usize; desc.initial.len()];
+            for &(from, to, _, _) in &desc.arcs {
+                fan[from] += 1;
+                fan[to] += 1;
+            }
+            if fan.iter().any(|&f| f >= 5) {
+                nets_with_hub += 1;
+            }
+        }
+        assert!(nets_with_multi_ecs * 2 > samples, "most nets nest choices");
+        assert!(nets_with_hub * 2 > samples, "most nets grow a hub");
     }
 
     #[test]

@@ -48,8 +48,8 @@ use crate::schedule::{NodeId, Schedule};
 use crate::termination::{PathTracker, TerminationKind};
 use qss_flowc::LinkedSystem;
 use qss_petri::{
-    EcsId, EcsInfo, Marking, MarkingId, MarkingStore, PetriNet, PlaceId, StructuralReport,
-    TransitionId, TransitionKind,
+    EcsId, EcsInfo, KernelKind, KernelScratch, Marking, MarkingId, MarkingStore, NetKernels,
+    PetriNet, PlaceId, StructuralReport, TransitionId, TransitionKind,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -198,6 +198,16 @@ pub struct SearchContext {
     /// `None` for contexts built with [`SearchContext::new`], which keeps
     /// the analysis-off search byte-identical to the pre-analyzer engine.
     structural: Option<StructuralGate>,
+    /// Which enabledness engine searches on this context use (scalar
+    /// per-arc walk or the chunked need-row kernels). Resolved once at
+    /// construction from the `QSS_KERNEL` override.
+    kernel: KernelKind,
+    /// The compiled need-row kernels ([`NetKernels`]): per-transition
+    /// lower-bound rows aligned to the slab stride (or a sparse CSR
+    /// fallback for very wide nets) plus ECS representatives, with cell
+    /// width narrowed to u8/u16 when a structural report proved that
+    /// every reachable count fits.
+    kernels: NetKernels,
 }
 
 /// The slice of a [`StructuralReport`] the search engine consumes.
@@ -215,16 +225,32 @@ struct StructuralGate {
 }
 
 impl SearchContext {
-    /// Computes the per-net analyses (ECS partition, T-invariant basis)
-    /// and seeds the per-net marking store.
+    /// Computes the per-net analyses (ECS partition, T-invariant basis,
+    /// enabledness kernels) and seeds the per-net marking store.
+    ///
+    /// The enabledness engine defaults to the chunked need-row kernels;
+    /// the `QSS_KERNEL` environment variable (`scalar` or `chunked`)
+    /// overrides it process-wide — the differential CI jobs force both
+    /// settings to pin the engines byte-identical.
     pub fn new(net: &PetriNet) -> Self {
+        SearchContext::with_kernel(net, KernelKind::resolved(KernelKind::Chunked))
+    }
+
+    /// Like [`SearchContext::new`] but with an explicit enabledness
+    /// engine, ignoring the `QSS_KERNEL` override — the in-process A/B
+    /// tests and benches use this to compare engines side by side.
+    pub fn with_kernel(net: &PetriNet, kernel: KernelKind) -> Self {
         let mut base_store = MarkingStore::with_stride(net.num_places());
         let _ = base_store.intern(net.initial_marking().as_slice());
+        let ecs = EcsInfo::compute(net);
+        let kernels = NetKernels::compile(net, &ecs, None);
         SearchContext {
-            ecs: EcsInfo::compute(net),
+            ecs,
             sorter: EcsSorter::new(net),
             base_store,
             structural: None,
+            kernel,
+            kernels,
         }
     }
 
@@ -255,7 +281,21 @@ impl SearchContext {
             dead,
             max_marking_bound: report.max_marking_bound,
         });
+        // Proven place bounds license narrow kernel cells: recompile the
+        // need rows so a fully-bounded net gets u8/u16 lanes.
+        context.kernels = NetKernels::compile(net, &context.ecs, report.max_marking_bound);
         context
+    }
+
+    /// The enabledness engine searches on this context use.
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// The compiled enabledness kernels of the net (shared, immutable;
+    /// callers bring their own [`KernelScratch`]).
+    pub fn kernels(&self) -> &NetKernels {
+        &self.kernels
     }
 
     /// The maximum proven structural place bound, if the adopted report
@@ -371,6 +411,10 @@ impl SearchContext {
                 budget_stop: None,
                 combo_buf: Vec::new(),
                 promising_buf: Vec::new(),
+                kernel: self.kernel,
+                kernels: &self.kernels,
+                kernel_scratch: KernelScratch::default(),
+                ecs_pool: Vec::new(),
             };
             search.run()
         };
@@ -629,6 +673,20 @@ struct Search<'a> {
     /// nodes so the heuristic allocates nothing on the hot path.
     combo_buf: Vec<u64>,
     promising_buf: Vec<u64>,
+    /// Which enabledness engine this search runs (from the context).
+    kernel: KernelKind,
+    /// The context's compiled need-row kernels.
+    kernels: &'a NetKernels,
+    /// Per-search kernel scratch (narrowed counts row, bit-set); the
+    /// context's kernels are shared across threads, so the mutable state
+    /// lives here.
+    kernel_scratch: KernelScratch,
+    /// Per-depth candidate-ECS buffers, recycled across the recursion so
+    /// the per-node ECS sweep allocates nothing once the pool has warmed
+    /// up. Indexed by node depth: the DFS has at most one live frame per
+    /// depth, so a frame can take its buffer and return it on every exit
+    /// path without clashing with siblings.
+    ecs_pool: Vec<Vec<EcsId>>,
 }
 
 impl<'a> Search<'a> {
@@ -694,24 +752,30 @@ impl<'a> Search<'a> {
 
     /// Enabled ECSs at the node currently carried by the tracker, filtered
     /// by the single-source constraint and ordered by the search
-    /// heuristics.
-    fn candidate_ecs(&mut self) -> Vec<EcsId> {
+    /// heuristics. Fills the caller's reused buffer — the whole sweep is
+    /// allocation-free once the scratch has warmed up.
+    ///
+    /// The scalar and chunked engines agree on every marking (the kernel
+    /// property suite pins this), and the filter-and-sort below is shared,
+    /// so the two engines explore byte-identical trees.
+    fn fill_candidate_ecs(&mut self, candidates: &mut Vec<EcsId>) {
         let marking = self.tracker.marking().as_slice();
-        let mut candidates: Vec<EcsId> = self
-            .ecs
-            .enabled_ecs_at(self.net, marking)
-            .into_iter()
-            .filter(|e| {
-                if !self.options.single_source {
-                    return true;
-                }
-                // Exclude other uncontrollable sources (Sec. 5.5.1).
+        match self.kernel {
+            KernelKind::Scalar => self.ecs.enabled_ecs_into(self.net, marking, candidates),
+            KernelKind::Chunked => {
+                self.kernels
+                    .enabled_ecs_into(marking, &mut self.kernel_scratch, candidates)
+            }
+        }
+        if self.options.single_source {
+            // Exclude other uncontrollable sources (Sec. 5.5.1).
+            candidates.retain(|e| {
                 self.ecs.members(*e).iter().all(|t| {
                     self.net.transition(*t).kind != TransitionKind::UncontrollableSource
                         || *t == self.source
                 })
-            })
-            .collect();
+            });
+        }
         let promising: Option<&[u64]> = if self.options.use_invariant_heuristic
             // Cumulative on-path firing counts: a slice read, not a walk;
             // the promising vector lands in a reused scratch buffer.
@@ -765,7 +829,6 @@ impl<'a> Search<'a> {
                 e.index(),
             )
         });
-        candidates
     }
 
     /// The EP function of Figure 9(a): finds an entering point of `v` that
@@ -813,22 +876,30 @@ impl<'a> Search<'a> {
 
     /// The candidate-ECS loop of EP, run while `v` is the top path entry.
     fn ep_candidates(&mut self, v: usize, target: usize) -> Option<usize> {
+        // Borrow this depth's candidate buffer from the pool (the DFS has
+        // one live frame per depth) and return it on every exit path.
+        let depth = self.nodes[v].depth;
+        if depth >= self.ecs_pool.len() {
+            self.ecs_pool.resize_with(depth + 1, Vec::new);
+        }
+        let mut candidates = std::mem::take(&mut self.ecs_pool[depth]);
+        self.fill_candidate_ecs(&mut candidates);
         let mut best: Option<usize> = None;
-        for e in self.candidate_ecs() {
+        let mut early: Option<Option<usize>> = None;
+        for &e in &candidates {
             let result = self.ep_ecs(e, v, target);
             if self.budget_exhausted {
-                return None;
+                early = Some(None);
+                break;
             }
             if let Some(u) = result {
-                if self.on_path_is_ancestor(u, target) {
-                    self.nodes[v].chosen_ecs = Some(e);
-                    return Some(u);
-                }
-                if self.options.greedy_entering_point {
-                    // Greedy mode: accept the first defined entering point
+                if self.on_path_is_ancestor(u, target) || self.options.greedy_entering_point {
+                    // An ancestor of the target is always good enough; in
+                    // greedy mode any defined entering point is accepted
                     // rather than searching all ECSs for the minimum.
                     self.nodes[v].chosen_ecs = Some(e);
-                    return Some(u);
+                    early = Some(Some(u));
+                    break;
                 }
                 let better = match best {
                     None => true,
@@ -840,7 +911,8 @@ impl<'a> Search<'a> {
                 }
             }
         }
-        best
+        self.ecs_pool[depth] = candidates;
+        early.unwrap_or(best)
     }
 
     /// The EP_ECS function of Figure 9(b): the entering point of ECS `e`
@@ -850,8 +922,11 @@ impl<'a> Search<'a> {
     fn ep_ecs(&mut self, e: EcsId, v: usize, target: usize) -> Option<usize> {
         let mut best: Option<usize> = None;
         let mut current_target = target;
-        let members: Vec<TransitionId> = self.ecs.members(e).to_vec();
-        for t in members {
+        // Iterate members by index: taking a slice would borrow `self.ecs`
+        // across the recursive `self.ep(..)` call, and cloning it into a
+        // Vec would allocate on the hot path.
+        for mi in 0..self.ecs.members(e).len() {
+            let t = self.ecs.members(e)[mi];
             if self.nodes.len() >= self.options.max_nodes {
                 self.budget_exhausted = true;
                 return None;

@@ -62,6 +62,7 @@ pub use ep::{
 };
 pub use error::{Result, ScheduleError};
 pub use independence::{are_independent, channel_bounds, is_independent_set};
+pub use qss_petri::{KernelKind, KernelScratch, NetKernels};
 pub use run::{execute_run, RunTrace};
 pub use schedule::{NodeId, Schedule, ScheduleNode};
 pub use termination::{PathTracker, Termination, TerminationKind};

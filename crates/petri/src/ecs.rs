@@ -130,14 +130,26 @@ impl EcsInfo {
     /// Slice counterpart of [`EcsInfo::enabled_ecs`] for callers working
     /// on raw counts (the schedule search's scratch marking, store rows).
     pub fn enabled_ecs_at(&self, net: &PetriNet, counts: &[u32]) -> Vec<EcsId> {
-        self.ecs_ids()
-            .filter(|e| {
-                self.members(*e)
-                    .first()
-                    .map(|t| net.is_enabled_at(*t, counts))
-                    .unwrap_or(false)
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.enabled_ecs_into(net, counts, &mut out);
+        out
+    }
+
+    /// Allocation-free counterpart of [`EcsInfo::enabled_ecs_at`]: clears
+    /// `out` and appends the enabled ECSs in ECS-id order. The schedule
+    /// search calls this once per tree node with a reused scratch buffer,
+    /// so it must not allocate beyond growing `out` on first use.
+    pub fn enabled_ecs_into(&self, net: &PetriNet, counts: &[u32], out: &mut Vec<EcsId>) {
+        out.clear();
+        for (i, members) in self.members.iter().enumerate() {
+            let enabled = members
+                .first()
+                .map(|t| net.is_enabled_at(*t, counts))
+                .unwrap_or(false);
+            if enabled {
+                out.push(EcsId(i as u32));
+            }
+        }
     }
 
     /// Classifies every place of the net.

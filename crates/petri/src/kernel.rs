@@ -1,0 +1,794 @@
+//! SIMD-shaped enabledness kernels over flat marking-slab rows.
+//!
+//! The EP schedule search asks one question at every tree node: *which
+//! transitions (and hence which ECSs) are enabled at this marking?* The
+//! scalar answer walks each transition's preset arc-by-arc
+//! ([`PetriNet::is_enabled_at`]) through nested `Vec`s — a pointer chase
+//! and a branch per arc. The marking slab of [`crate::store`] was laid
+//! out as fixed-stride `u32` rows precisely so this check could instead
+//! be a *wide compare*: a transition is enabled iff `counts[p] >=
+//! need[p]` for every place `p`, where `need` is the transition's dense
+//! lower-bound row (its preset scattered over the stride, zero
+//! elsewhere). Comparing whole rows in fixed-width chunks is
+//! branch-light and autovectorizer-friendly — no `unsafe`, no
+//! target-feature gates, just `u32`/`u16`/`u8` chunk loops the compiler
+//! turns into SIMD on its own.
+//!
+//! [`NetKernels::compile`] builds the per-net kernel state once (the
+//! search context caches it):
+//!
+//! * **Need rows** — one dense lower-bound row per transition, aligned
+//!   to the slab stride, stored contiguously in transition order so a
+//!   full-net sweep streams one flat array.
+//! * **Sparse fallback** — a dense row compare touches every cell in
+//!   the stride, so it only pays when the presets actually cover a
+//!   meaningful share of it. Rows wider than [`DENSE_ROW_BYTES_CAP`],
+//!   or nets whose presets are tiny relative to the stride (a few
+//!   single-arc presets over dozens of places), keep presets as flat
+//!   CSR `(offsets, places, weights)` arrays instead: still
+//!   branch-light (no early exit, no nested `Vec` pointer chases),
+//!   just gathered.
+//! * **Narrow cells** — when a structural pre-pass proved a bound on
+//!   every place ([`StructuralReport::max_marking_bound`]) and every
+//!   arc weight fits, need rows are stored as `u8` or `u16`, doubling
+//!   or quadrupling the number of lanes per compare. Counts are
+//!   narrowed with a *saturating* conversion, which preserves the
+//!   comparison exactly whenever the needs fit the cell: if a count
+//!   saturates at the cell maximum it is `>=` every representable
+//!   need, just like its un-narrowed value.
+//! * **ECS representatives** — per ECS, the first member transition;
+//!   by construction all members of an ECS share one preset, so the
+//!   enabled-ECS sweep evaluates one need row per ECS, not per member.
+//!
+//! Results are bit-packed: [`NetKernels::enabled_set_at`] fills an
+//! [`EnabledSet`] (one bit per transition) in a caller-owned
+//! [`KernelScratch`], and [`NetKernels::enabled_ecs_into`] appends
+//! enabled ECS ids to a reused buffer. Neither allocates after the
+//! scratch warms up, and both agree bit-for-bit with the scalar
+//! [`PetriNet::is_enabled_at`] on every transition and marking — the
+//! kernel property suite and the engine differential suite pin that
+//! equivalence, and [`KernelKind`] lets callers force either engine
+//! (env override `QSS_KERNEL=scalar|chunked`) for A/B runs.
+//!
+//! [`StructuralReport::max_marking_bound`]: crate::StructuralReport
+
+use crate::ecs::{EcsId, EcsInfo};
+use crate::ids::TransitionId;
+use crate::net::PetriNet;
+
+/// Which enabledness engine a search should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// The per-arc scalar walk ([`PetriNet::is_enabled_at`]).
+    Scalar,
+    /// The chunked need-row kernels of this module ([`NetKernels`]).
+    Chunked,
+}
+
+impl KernelKind {
+    /// The kernel requested via the `QSS_KERNEL` environment variable
+    /// (`scalar` or `chunked`, case-insensitive), if set and valid.
+    pub fn from_env() -> Option<KernelKind> {
+        match std::env::var("QSS_KERNEL")
+            .ok()?
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "scalar" => Some(KernelKind::Scalar),
+            "chunked" => Some(KernelKind::Chunked),
+            _ => None,
+        }
+    }
+
+    /// Resolves the kernel to use: the `QSS_KERNEL` override when set,
+    /// otherwise `default`.
+    pub fn resolved(default: KernelKind) -> KernelKind {
+        KernelKind::from_env().unwrap_or(default)
+    }
+}
+
+/// The cell width need rows are stored at (and counts are narrowed to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellWidth {
+    /// 8-bit cells: four times the lanes of `u32` per compare.
+    U8,
+    /// 16-bit cells: twice the lanes of `u32` per compare.
+    U16,
+    /// Full-width cells: the slab's native `u32`.
+    U32,
+}
+
+impl CellWidth {
+    /// Bytes per cell.
+    pub fn bytes(self) -> usize {
+        match self {
+            CellWidth::U8 => 1,
+            CellWidth::U16 => 2,
+            CellWidth::U32 => 4,
+        }
+    }
+
+    /// The largest token count or arc weight the cell represents.
+    pub fn max(self) -> u32 {
+        match self {
+            CellWidth::U8 => u8::MAX as u32,
+            CellWidth::U16 => u16::MAX as u32,
+            CellWidth::U32 => u32::MAX,
+        }
+    }
+}
+
+/// Dense need rows wider than this many bytes fall back to the sparse
+/// CSR representation: past it, a whole-row compare touches more
+/// provably-zero cells than the preset walk touches arcs.
+pub const DENSE_ROW_BYTES_CAP: usize = 256;
+
+/// Work advantage (in row bytes per preset entry) a vectorized dense
+/// compare must stay within to beat the sparse gather. A dense sweep
+/// reads `row_bytes` per transition but retires ~16 bytes per vector
+/// op; the CSR walk does one gathered compare per preset entry. Dense
+/// is selected only when `row_bytes * num_transitions` is within this
+/// factor of the total preset entry count — otherwise the rows are
+/// mostly provably-zero padding and CSR wins even under the byte cap.
+const DENSE_LANE_ADVANTAGE: usize = 16;
+
+/// Chunk width of the compare loops. Fixed-size inner loops over
+/// `chunks_exact` blocks are what the autovectorizer reliably turns
+/// into SIMD compares without `unsafe` or target-feature gates.
+const LANES: usize = 16;
+
+/// ECS-representative sentinel for an ECS with no members.
+const NO_REP: u32 = u32::MAX;
+
+/// A bit-packed set of enabled transitions (one bit per transition id).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EnabledSet {
+    words: Vec<u64>,
+    num: usize,
+}
+
+impl EnabledSet {
+    /// Clears the set and resizes it to `num` transitions, all disabled.
+    pub fn reset(&mut self, num: usize) {
+        self.num = num;
+        self.words.clear();
+        self.words.resize(num.div_ceil(64), 0);
+    }
+
+    /// Marks transition index `i` enabled.
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Returns `true` if `t` is in the set.
+    pub fn contains(&self, t: TransitionId) -> bool {
+        let i = t.index();
+        i < self.num && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of transitions the set covers (enabled or not).
+    pub fn len(&self) -> usize {
+        self.num
+    }
+
+    /// Returns `true` if the set covers no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Number of enabled transitions (population count).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The enabled transitions, in id order.
+    pub fn iter(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        (0..self.num)
+            .filter(|&i| self.words[i / 64] & (1u64 << (i % 64)) != 0)
+            .map(TransitionId::new)
+    }
+}
+
+/// Caller-owned scratch for the batch kernels: the narrowed counts row
+/// and the bit-packed result set. One per search (or per thread); the
+/// kernels never allocate once the scratch has warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct KernelScratch {
+    narrow8: Vec<u8>,
+    narrow16: Vec<u16>,
+    set: EnabledSet,
+}
+
+impl KernelScratch {
+    /// The enabled set filled by the last
+    /// [`NetKernels::enabled_set_at`] call.
+    pub fn set(&self) -> &EnabledSet {
+        &self.set
+    }
+}
+
+/// The need-row storage behind a compiled kernel.
+#[derive(Debug, Clone)]
+enum NeedRows {
+    /// Dense rows at `u8` cells, transition-major, `stride` cells each.
+    Dense8(Vec<u8>),
+    /// Dense rows at `u16` cells.
+    Dense16(Vec<u16>),
+    /// Dense rows at the native `u32`.
+    Dense32(Vec<u32>),
+    /// Flat CSR presets for nets whose dense rows would be too wide:
+    /// transition `t` consumes `weights[i]` from place `places[i]` for
+    /// `i` in `offsets[t]..offsets[t+1]`.
+    Sparse {
+        offsets: Vec<u32>,
+        places: Vec<u32>,
+        weights: Vec<u32>,
+    },
+}
+
+/// Compiled per-net enabledness kernels (see the module docs).
+///
+/// Build once per net with [`NetKernels::compile`] and share freely: all
+/// state is immutable, per-call scratch lives in [`KernelScratch`].
+#[derive(Debug, Clone)]
+pub struct NetKernels {
+    stride: usize,
+    num_transitions: usize,
+    cell: CellWidth,
+    rows: NeedRows,
+    /// Per ECS, the raw index of its representative (first) member.
+    reps: Vec<u32>,
+}
+
+impl NetKernels {
+    /// Compiles the kernels for `net` under the ECS partition `ecs`.
+    ///
+    /// `proven_bound` is the structural `max_marking_bound` of the net
+    /// when a pre-pass proved one (every reachable token count is below
+    /// it); it licenses narrow cells. Without it rows stay `u32` — the
+    /// narrowing is purely a lane-width optimization, never a semantic
+    /// change, but the policy is to narrow only on proof.
+    pub fn compile(net: &PetriNet, ecs: &EcsInfo, proven_bound: Option<u32>) -> Self {
+        let max_need = max_need(net);
+        let cell = match proven_bound {
+            Some(bound) => {
+                let reach = bound.max(max_need);
+                if reach <= CellWidth::U8.max() {
+                    CellWidth::U8
+                } else if reach <= CellWidth::U16.max() {
+                    CellWidth::U16
+                } else {
+                    CellWidth::U32
+                }
+            }
+            None => CellWidth::U32,
+        };
+        let dense = Self::dense_pays_off(net, cell);
+        Self::build(net, ecs, cell, dense)
+    }
+
+    /// Compiles with an explicit cell width and layout, bypassing the
+    /// automatic selection — the property tests and benches use this to
+    /// pin every `(width, layout)` combination against the scalar
+    /// engine, including saturating narrow cells on unbounded nets.
+    ///
+    /// # Panics
+    /// Panics if any arc weight does not fit `cell` (narrow needs are a
+    /// hard correctness requirement; narrow *counts* are not, thanks to
+    /// the saturating conversion).
+    pub fn compile_forced(net: &PetriNet, ecs: &EcsInfo, cell: CellWidth, dense: bool) -> Self {
+        assert!(
+            max_need(net) <= cell.max(),
+            "arc weights do not fit the forced {cell:?} cells"
+        );
+        Self::build(net, ecs, cell, dense)
+    }
+
+    /// The automatic dense/sparse layout choice: dense rows only when
+    /// they fit the byte cap *and* the presets are dense enough that a
+    /// vectorized full-row compare does no more work than the per-entry
+    /// CSR gather (see [`DENSE_LANE_ADVANTAGE`]). Sparsely connected
+    /// nets — a handful of single-arc presets over a long stride — stay
+    /// on CSR even when the rows would fit.
+    fn dense_pays_off(net: &PetriNet, cell: CellWidth) -> bool {
+        let row_bytes = net.num_places() * cell.bytes();
+        let preset_entries: usize = net.transition_ids().map(|t| net.preset(t).len()).sum();
+        row_bytes <= DENSE_ROW_BYTES_CAP
+            && row_bytes * net.num_transitions() <= DENSE_LANE_ADVANTAGE * preset_entries
+    }
+
+    fn build(net: &PetriNet, ecs: &EcsInfo, cell: CellWidth, dense: bool) -> Self {
+        let stride = net.num_places();
+        let num_transitions = net.num_transitions();
+        let rows = if dense {
+            match cell {
+                CellWidth::U8 => NeedRows::Dense8(dense_rows(net, |w| w as u8)),
+                CellWidth::U16 => NeedRows::Dense16(dense_rows(net, |w| w as u16)),
+                CellWidth::U32 => NeedRows::Dense32(dense_rows(net, |w| w)),
+            }
+        } else {
+            let mut offsets = Vec::with_capacity(num_transitions + 1);
+            let mut places = Vec::new();
+            let mut weights = Vec::new();
+            offsets.push(0u32);
+            for t in net.transition_ids() {
+                for &(p, w) in net.preset(t) {
+                    places.push(p.index() as u32);
+                    weights.push(w);
+                }
+                offsets.push(places.len() as u32);
+            }
+            NeedRows::Sparse {
+                offsets,
+                places,
+                weights,
+            }
+        };
+        let reps = (0..ecs.num_ecs())
+            .map(|i| {
+                ecs.members(EcsId(i as u32))
+                    .first()
+                    .map_or(NO_REP, |t| t.index() as u32)
+            })
+            .collect();
+        NetKernels {
+            stride,
+            num_transitions,
+            cell,
+            rows,
+            reps,
+        }
+    }
+
+    /// The cell width the need rows are stored at.
+    pub fn cell(&self) -> CellWidth {
+        self.cell
+    }
+
+    /// Returns `true` when the kernel uses dense need rows, `false` when
+    /// it fell back to the sparse CSR representation.
+    pub fn is_dense(&self) -> bool {
+        !matches!(self.rows, NeedRows::Sparse { .. })
+    }
+
+    /// Evaluates enabledness of **every** transition against the counts
+    /// row and bit-packs the result into `scratch`, returning the set.
+    ///
+    /// Equivalent to testing [`PetriNet::is_enabled_at`] per transition,
+    /// evaluated as chunked row compares over the flat need matrix.
+    ///
+    /// # Panics
+    /// Panics if `counts` is not exactly one slab row (`stride` wide).
+    pub fn enabled_set_at<'s>(
+        &self,
+        counts: &[u32],
+        scratch: &'s mut KernelScratch,
+    ) -> &'s EnabledSet {
+        assert_eq!(counts.len(), self.stride, "counts row width != slab stride");
+        scratch.set.reset(self.num_transitions);
+        match &self.rows {
+            NeedRows::Dense8(need) => {
+                narrow_counts(counts, &mut scratch.narrow8);
+                for t in 0..self.num_transitions {
+                    if row_all_ge(&scratch.narrow8, &need[t * self.stride..][..self.stride]) {
+                        scratch.set.insert(t);
+                    }
+                }
+            }
+            NeedRows::Dense16(need) => {
+                narrow_counts(counts, &mut scratch.narrow16);
+                for t in 0..self.num_transitions {
+                    if row_all_ge(&scratch.narrow16, &need[t * self.stride..][..self.stride]) {
+                        scratch.set.insert(t);
+                    }
+                }
+            }
+            NeedRows::Dense32(need) => {
+                for t in 0..self.num_transitions {
+                    if row_all_ge(counts, &need[t * self.stride..][..self.stride]) {
+                        scratch.set.insert(t);
+                    }
+                }
+            }
+            NeedRows::Sparse {
+                offsets,
+                places,
+                weights,
+            } => {
+                for t in 0..self.num_transitions {
+                    if sparse_enabled(offsets, places, weights, t, counts) {
+                        scratch.set.insert(t);
+                    }
+                }
+            }
+        }
+        &scratch.set
+    }
+
+    /// Appends the ECSs enabled at the counts row to `out`, in ECS-id
+    /// order — the chunked counterpart of
+    /// [`EcsInfo::enabled_ecs_into`], evaluating one representative
+    /// need row per ECS.
+    ///
+    /// # Panics
+    /// Panics if `counts` is not exactly one slab row (`stride` wide).
+    pub fn enabled_ecs_into(
+        &self,
+        counts: &[u32],
+        scratch: &mut KernelScratch,
+        out: &mut Vec<EcsId>,
+    ) {
+        assert_eq!(counts.len(), self.stride, "counts row width != slab stride");
+        out.clear();
+        match &self.rows {
+            NeedRows::Dense8(need) => {
+                narrow_counts(counts, &mut scratch.narrow8);
+                for (i, &rep) in self.reps.iter().enumerate() {
+                    if rep != NO_REP
+                        && row_all_ge(
+                            &scratch.narrow8,
+                            &need[rep as usize * self.stride..][..self.stride],
+                        )
+                    {
+                        out.push(EcsId(i as u32));
+                    }
+                }
+            }
+            NeedRows::Dense16(need) => {
+                narrow_counts(counts, &mut scratch.narrow16);
+                for (i, &rep) in self.reps.iter().enumerate() {
+                    if rep != NO_REP
+                        && row_all_ge(
+                            &scratch.narrow16,
+                            &need[rep as usize * self.stride..][..self.stride],
+                        )
+                    {
+                        out.push(EcsId(i as u32));
+                    }
+                }
+            }
+            NeedRows::Dense32(need) => {
+                for (i, &rep) in self.reps.iter().enumerate() {
+                    if rep != NO_REP
+                        && row_all_ge(counts, &need[rep as usize * self.stride..][..self.stride])
+                    {
+                        out.push(EcsId(i as u32));
+                    }
+                }
+            }
+            NeedRows::Sparse {
+                offsets,
+                places,
+                weights,
+            } => {
+                for (i, &rep) in self.reps.iter().enumerate() {
+                    if rep != NO_REP
+                        && sparse_enabled(offsets, places, weights, rep as usize, counts)
+                    {
+                        out.push(EcsId(i as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Single-transition enabledness against the kernel's need rows —
+    /// always compared in widened `u32` space, so no scratch (and no
+    /// per-call narrowing) is needed. Exactly
+    /// [`PetriNet::is_enabled_at`].
+    ///
+    /// # Panics
+    /// Panics if `counts` is not exactly one slab row (`stride` wide),
+    /// or if `t` does not belong to the compiled net.
+    pub fn is_enabled_at(&self, t: TransitionId, counts: &[u32]) -> bool {
+        assert_eq!(counts.len(), self.stride, "counts row width != slab stride");
+        let i = t.index();
+        match &self.rows {
+            NeedRows::Dense8(need) => {
+                row_all_ge_widened(counts, &need[i * self.stride..][..self.stride], |n| {
+                    n as u32
+                })
+            }
+            NeedRows::Dense16(need) => {
+                row_all_ge_widened(counts, &need[i * self.stride..][..self.stride], |n| {
+                    n as u32
+                })
+            }
+            NeedRows::Dense32(need) => {
+                row_all_ge_widened(counts, &need[i * self.stride..][..self.stride], |n| n)
+            }
+            NeedRows::Sparse {
+                offsets,
+                places,
+                weights,
+            } => sparse_enabled(offsets, places, weights, i, counts),
+        }
+    }
+}
+
+/// The largest pre-arc weight of the net (the largest value a need row
+/// must represent); 0 for a net without input arcs.
+fn max_need(net: &PetriNet) -> u32 {
+    net.transition_ids()
+        .flat_map(|t| net.preset(t).iter().map(|&(_, w)| w))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Builds the transition-major dense need matrix at an arbitrary cell
+/// type, scattering each preset over a zeroed stride-wide row.
+fn dense_rows<C: Copy + Default>(net: &PetriNet, cast: impl Fn(u32) -> C) -> Vec<C> {
+    let stride = net.num_places();
+    let mut rows = vec![C::default(); stride * net.num_transitions()];
+    for t in net.transition_ids() {
+        let row = &mut rows[t.index() * stride..][..stride];
+        for &(p, w) in net.preset(t) {
+            row[p.index()] = cast(w);
+        }
+    }
+    rows
+}
+
+/// Saturating `u32 → cell` conversion of a whole counts row. Saturation
+/// is exact for the `>=` comparison as long as every need fits the cell
+/// (a saturated count is `>=` every representable need, just like the
+/// original count was).
+fn narrow_counts<C: Copy + TryFrom<u32> + Bounded>(counts: &[u32], out: &mut Vec<C>) {
+    out.clear();
+    out.extend(
+        counts
+            .iter()
+            .map(|&c| C::try_from(c.min(C::MAX_U32)).unwrap_or_else(|_| unreachable!())),
+    );
+}
+
+/// The cell-maximum trait backing the saturating conversion.
+trait Bounded {
+    /// The cell maximum, widened to `u32`.
+    const MAX_U32: u32;
+}
+
+impl Bounded for u8 {
+    const MAX_U32: u32 = u8::MAX as u32;
+}
+
+impl Bounded for u16 {
+    const MAX_U32: u32 = u16::MAX as u32;
+}
+
+/// Chunked `counts[i] >= need[i]` over a whole row: fixed-width lane
+/// blocks folded with `&` (no early exit, no data-dependent branches),
+/// which the autovectorizer lowers to SIMD compares at any cell width.
+#[inline]
+fn row_all_ge<C: Copy + PartialOrd>(counts: &[C], need: &[C]) -> bool {
+    debug_assert_eq!(counts.len(), need.len());
+    let mut ok = true;
+    let mut c_chunks = counts.chunks_exact(LANES);
+    let mut n_chunks = need.chunks_exact(LANES);
+    for (c, n) in c_chunks.by_ref().zip(n_chunks.by_ref()) {
+        let mut lane_ok = true;
+        for i in 0..LANES {
+            lane_ok &= c[i] >= n[i];
+        }
+        ok &= lane_ok;
+    }
+    for (c, n) in c_chunks.remainder().iter().zip(n_chunks.remainder()) {
+        ok &= *c >= *n;
+    }
+    ok
+}
+
+/// Row compare with the need cells widened to `u32` per element — the
+/// single-transition path, where narrowing a whole counts row first
+/// would cost more than the one compare it feeds.
+#[inline]
+fn row_all_ge_widened<C: Copy>(counts: &[u32], need: &[C], widen: impl Fn(C) -> u32) -> bool {
+    counts.iter().zip(need).all(|(&c, &n)| c >= widen(n))
+}
+
+/// Branch-light CSR preset fold: no early exit, flat arrays.
+#[inline]
+fn sparse_enabled(
+    offsets: &[u32],
+    places: &[u32],
+    weights: &[u32],
+    t: usize,
+    counts: &[u32],
+) -> bool {
+    let lo = offsets[t] as usize;
+    let hi = offsets[t + 1] as usize;
+    let mut ok = true;
+    for (&p, &w) in places[lo..hi].iter().zip(&weights[lo..hi]) {
+        ok &= counts[p as usize] >= w;
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetBuilder, TransitionKind};
+
+    /// A small net with a weighted choice: p0 →(2) a | p0 →(2) b (one
+    /// ECS), p1 → c, and a source s.
+    fn choice_net() -> PetriNet {
+        let mut bl = NetBuilder::new("choice");
+        let p0 = bl.place("p0", 1);
+        let p1 = bl.place("p1", 0);
+        let s = bl.transition("s", TransitionKind::UncontrollableSource);
+        let a = bl.transition("a", TransitionKind::Internal);
+        let b = bl.transition("b", TransitionKind::Internal);
+        let c = bl.transition("c", TransitionKind::Internal);
+        bl.arc_t2p(s, p0, 1);
+        bl.arc_p2t(p0, a, 2);
+        bl.arc_p2t(p0, b, 2);
+        bl.arc_t2p(a, p1, 1);
+        bl.arc_t2p(b, p1, 1);
+        bl.arc_p2t(p1, c, 1);
+        bl.build().unwrap()
+    }
+
+    fn all_combos(net: &PetriNet, ecs: &EcsInfo) -> Vec<NetKernels> {
+        let mut kernels = vec![
+            NetKernels::compile(net, ecs, None),
+            NetKernels::compile(net, ecs, Some(3)),
+            NetKernels::compile(net, ecs, Some(1_000)),
+            NetKernels::compile(net, ecs, Some(100_000)),
+        ];
+        for cell in [CellWidth::U8, CellWidth::U16, CellWidth::U32] {
+            for dense in [true, false] {
+                kernels.push(NetKernels::compile_forced(net, ecs, cell, dense));
+            }
+        }
+        kernels
+    }
+
+    #[test]
+    fn kernels_match_scalar_on_hand_rows() {
+        let net = choice_net();
+        let ecs = EcsInfo::compute(&net);
+        let rows: Vec<Vec<u32>> = vec![
+            vec![0, 0],
+            vec![1, 0],
+            vec![2, 0],
+            vec![2, 1],
+            vec![0, 1],
+            vec![255, 255],
+            vec![256, 256],
+            vec![u32::MAX, u32::MAX],
+        ];
+        let mut scratch = KernelScratch::default();
+        for kernels in all_combos(&net, &ecs) {
+            for row in &rows {
+                let set = kernels.enabled_set_at(row, &mut scratch);
+                for t in net.transition_ids() {
+                    assert_eq!(
+                        set.contains(t),
+                        net.is_enabled_at(t, row),
+                        "set bit for {t} differs on {row:?} with {:?}/{}",
+                        kernels.cell(),
+                        kernels.is_dense(),
+                    );
+                    assert_eq!(kernels.is_enabled_at(t, row), net.is_enabled_at(t, row));
+                }
+                let mut out = Vec::new();
+                kernels.enabled_ecs_into(row, &mut scratch, &mut out);
+                assert_eq!(out, ecs.enabled_ecs_at(&net, row));
+            }
+        }
+    }
+
+    #[test]
+    fn cell_width_follows_the_proven_bound() {
+        let net = choice_net();
+        let ecs = EcsInfo::compute(&net);
+        assert_eq!(NetKernels::compile(&net, &ecs, None).cell(), CellWidth::U32);
+        assert_eq!(
+            NetKernels::compile(&net, &ecs, Some(200)).cell(),
+            CellWidth::U8
+        );
+        assert_eq!(
+            NetKernels::compile(&net, &ecs, Some(300)).cell(),
+            CellWidth::U16
+        );
+        assert_eq!(
+            NetKernels::compile(&net, &ecs, Some(70_000)).cell(),
+            CellWidth::U32
+        );
+    }
+
+    #[test]
+    fn weights_beyond_the_cell_keep_it_wide() {
+        // A proven bound of 200 fits u8, but a weight of 300 does not:
+        // the need cells must hold the weight, so the width steps up.
+        let mut bl = NetBuilder::new("wideweight");
+        let p = bl.place("p", 0);
+        let t = bl.transition("t", TransitionKind::Internal);
+        bl.arc_p2t(p, t, 300);
+        let net = bl.build().unwrap();
+        let ecs = EcsInfo::compute(&net);
+        assert_eq!(
+            NetKernels::compile(&net, &ecs, Some(200)).cell(),
+            CellWidth::U16
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arc weights do not fit")]
+    fn forcing_a_too_narrow_cell_panics() {
+        let mut bl = NetBuilder::new("wideweight");
+        let p = bl.place("p", 0);
+        let t = bl.transition("t", TransitionKind::Internal);
+        bl.arc_p2t(p, t, 300);
+        let net = bl.build().unwrap();
+        let ecs = EcsInfo::compute(&net);
+        let _ = NetKernels::compile_forced(&net, &ecs, CellWidth::U8, true);
+    }
+
+    #[test]
+    fn wide_nets_fall_back_to_sparse() {
+        // 65 u32 cells exceed the byte cap: CSR regardless of density.
+        let mut bl = NetBuilder::new("wide");
+        for i in 0..(DENSE_ROW_BYTES_CAP / 4 + 1) {
+            bl.place(format!("p{i}"), 0);
+        }
+        let t = bl.transition("t", TransitionKind::Internal);
+        bl.arc_p2t(crate::PlaceId::new(0), t, 1);
+        let net = bl.build().unwrap();
+        let ecs = EcsInfo::compute(&net);
+        assert!(!NetKernels::compile(&net, &ecs, None).is_dense());
+        // Narrow cells bring the row under the cap, but one single-arc
+        // preset over a 65-place stride is far too sparse for full-row
+        // compares to pay: the density criterion keeps CSR.
+        assert!(!NetKernels::compile(&net, &ecs, Some(1)).is_dense());
+    }
+
+    #[test]
+    fn sparse_presets_keep_csr_under_the_byte_cap() {
+        // 16 u32 cells fit the cap easily, but one single-arc preset
+        // would make the dense sweep compare 15 provably-zero cells per
+        // row — the density criterion picks CSR. The densely connected
+        // choice net (2-place stride, presets covering it) stays dense.
+        let mut bl = NetBuilder::new("sparse");
+        let places: Vec<_> = (0..16).map(|i| bl.place(format!("p{i}"), 0)).collect();
+        let t = bl.transition("t", TransitionKind::Internal);
+        bl.arc_p2t(places[7], t, 1);
+        let net = bl.build().unwrap();
+        let ecs = EcsInfo::compute(&net);
+        assert!(!NetKernels::compile(&net, &ecs, None).is_dense());
+
+        let dense_net = choice_net();
+        let dense_ecs = EcsInfo::compute(&dense_net);
+        assert!(NetKernels::compile(&dense_net, &dense_ecs, None).is_dense());
+        assert!(NetKernels::compile(&dense_net, &dense_ecs, Some(1)).is_dense());
+    }
+
+    #[test]
+    fn enabled_set_iterates_in_id_order() {
+        let net = choice_net();
+        let ecs = EcsInfo::compute(&net);
+        let kernels = NetKernels::compile(&net, &ecs, None);
+        let mut scratch = KernelScratch::default();
+        let set = kernels.enabled_set_at(&[2, 1], &mut scratch);
+        let enabled: Vec<TransitionId> = set.iter().collect();
+        let expected: Vec<TransitionId> = net
+            .transition_ids()
+            .filter(|&t| net.is_enabled_at(t, &[2, 1]))
+            .collect();
+        assert_eq!(enabled, expected);
+        assert_eq!(set.count(), expected.len());
+        assert_eq!(set.len(), net.num_transitions());
+    }
+
+    #[test]
+    fn zero_place_nets_enable_everything() {
+        let mut bl = NetBuilder::new("empty");
+        bl.transition("t", TransitionKind::Internal);
+        let net = bl.build().unwrap();
+        let ecs = EcsInfo::compute(&net);
+        let kernels = NetKernels::compile(&net, &ecs, None);
+        let mut scratch = KernelScratch::default();
+        let set = kernels.enabled_set_at(&[], &mut scratch);
+        assert_eq!(set.count(), 1);
+    }
+}
