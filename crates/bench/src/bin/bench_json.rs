@@ -27,6 +27,7 @@ use proptest::{Strategy, TestRng};
 use qss_bench::experiments::divider_net;
 use qss_bench::testgen::{build_random, hub_net_strategy, random_net_strategy, wide_net_strategy};
 use qss_core::{reference, ScheduleOptions, SearchBudget, SearchContext, TerminationKind};
+use qss_obs::{Observer, SpanId};
 use qss_petri::{
     p_invariant_basis, p_invariant_basis_dense, structural_report, structural_report_dense,
     t_invariant_basis, t_invariant_basis_dense, EcsInfo, FxHashMap, KernelScratch, Marking,
@@ -481,6 +482,89 @@ fn main() {
                     black_box(enabled);
                 }),
             );
+        }
+    }
+
+    {
+        // The observability tax, priced per request on three
+        // representative workloads: the divider search, the PFC search
+        // and the hub enabledness sweep. Each iteration wraps the
+        // workload in exactly the bookkeeping `qssd` pays per request —
+        // one clock read, one span begin/end pair and one histogram
+        // record — against the bare workload as the reference column.
+        // The `off` cases hold the disabled [`Observer`] (the promise is
+        // `speedup_vs_reference` ~1.00: no-op observability is free);
+        // the `on` cases arm the registry and a journal, pricing full
+        // recording.
+        let divider_work = || -> Box<dyn FnMut()> {
+            let (net, source) = divider_net(8);
+            let context = SearchContext::new(&net);
+            let options = ScheduleOptions::default();
+            Box::new(move || {
+                black_box(context.find_schedule(&net, source, &options).unwrap());
+            })
+        };
+        let pfc_work = || -> Box<dyn FnMut()> {
+            let system = pfc_system(&PfcParams::tiny()).expect("PFC links");
+            let source = system.uncontrollable_sources()[0];
+            let context = SearchContext::new(&system.net);
+            let options = ScheduleOptions::default();
+            Box::new(move || {
+                black_box(
+                    context
+                        .find_schedule(&system.net, source, &options)
+                        .unwrap(),
+                );
+            })
+        };
+        let hub_work = || -> Box<dyn FnMut()> {
+            let mut rng = TestRng::new("bench-obs-hub");
+            let desc = hub_net_strategy().generate(&mut rng);
+            let (net, _source) = build_random(&desc);
+            let ecs = EcsInfo::compute(&net);
+            let kernels = NetKernels::compile(&net, &ecs, None);
+            let stride = net.num_places();
+            let rows: Vec<u32> = (0..256 * stride)
+                .map(|_| (rng.next_u64() % 4) as u32)
+                .collect();
+            let mut scratch = KernelScratch::default();
+            Box::new(move || {
+                let mut enabled = 0usize;
+                for row in rows.chunks_exact(stride) {
+                    enabled += kernels.enabled_set_at(row, &mut scratch).count();
+                }
+                black_box(enabled);
+            })
+        };
+        let instrument = |observer: Observer, mut work: Box<dyn FnMut()>| -> Box<dyn FnMut()> {
+            Box::new(move || {
+                let started = observer.now_micros();
+                let span = observer.span_begin("request kind=schedule", SpanId::NONE, "bench");
+                work();
+                observer.span_end(span, "request kind=schedule", "bench");
+                let elapsed = observer.now_micros().saturating_sub(started);
+                observer.histogram("latency_us.schedule").record(elapsed);
+            })
+        };
+        type WorkFactory<'a> = &'a dyn Fn() -> Box<dyn FnMut()>;
+        let workloads: [(&str, WorkFactory); 3] = [
+            ("divider_irrelevance_8", &divider_work),
+            ("pfc_with_heuristics", &pfc_work),
+            ("hub_enabled_sweep", &hub_work),
+        ];
+        for (workload, factory) in workloads {
+            for mode in ["off", "on"] {
+                let observer = match mode {
+                    "off" => Observer::disabled(),
+                    _ => Observer::armed(4096),
+                };
+                push_case_annotated(
+                    format!("obs/overhead_{mode}/{workload}"),
+                    None,
+                    instrument(observer, factory()),
+                    factory(),
+                );
+            }
         }
     }
 

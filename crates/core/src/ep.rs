@@ -139,6 +139,95 @@ pub struct SearchStats {
     pub schedule_edges: usize,
 }
 
+/// A cost breakdown of one or more schedule searches.
+///
+/// Where [`SearchStats`] describes the *result* (tree and schedule
+/// sizes), the profile describes the *work*: how many nodes the search
+/// expanded, where it pruned, which enabledness engine swept candidates
+/// and how often, and how the wall clock split across the phases
+/// (context build / greedy pass / exhaustive retry). Profiles of
+/// separate searches aggregate with [`SearchProfile::absorb`]; the
+/// system-level entry points return one profile spanning every source.
+///
+/// Collecting the profile costs a handful of plain (non-atomic) integer
+/// increments on the search's own stack frame — it is always on, and the
+/// `obs/overhead` benchmark cases pin the cost at noise level. What is
+/// *opt-in* is shipping it: artifacts serialize the profile only when
+/// `PipelineConfig` asks for it, so default wire bytes are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchProfile {
+    /// Per-source searches aggregated into this profile.
+    pub searches: u64,
+    /// Tree nodes expanded (one cooperative-budget step each).
+    pub nodes_expanded: u64,
+    /// Candidate ECS explorations abandoned because a child had no
+    /// acceptable entering point.
+    pub backtracks: u64,
+    /// Equal-marking-ancestor hash probes.
+    pub equal_ancestor_probes: u64,
+    /// Probes that found an equal-marking ancestor (an entering point).
+    pub equal_ancestor_hits: u64,
+    /// Nodes cut by the termination criterion (irrelevance or place
+    /// bounds).
+    pub irrelevance_cuts: u64,
+    /// Candidate-ECS enabledness sweeps run by the scalar per-arc walk.
+    pub ecs_sweeps_scalar: u64,
+    /// Candidate-ECS enabledness sweeps run by the chunked need-row
+    /// kernels.
+    pub ecs_sweeps_chunked: u64,
+    /// Cooperative budget checks charged (0 under an unlimited budget).
+    pub budget_checks: u64,
+    /// Exhaustive retries after a failed greedy pass.
+    pub exhaustive_retries: u64,
+    /// Wall time spent building the [`SearchContext`] (0 when the
+    /// context was reused — cache hits skip the build).
+    pub context_build_micros: u64,
+    /// Wall time of greedy entering-point passes.
+    pub greedy_micros: u64,
+    /// Wall time of exhaustive (minimum-entering-point) passes.
+    pub exhaustive_micros: u64,
+}
+
+impl SearchProfile {
+    /// Adds `other`'s counts and times into `self` (field-wise sum).
+    pub fn absorb(&mut self, other: &SearchProfile) {
+        self.searches += other.searches;
+        self.nodes_expanded += other.nodes_expanded;
+        self.backtracks += other.backtracks;
+        self.equal_ancestor_probes += other.equal_ancestor_probes;
+        self.equal_ancestor_hits += other.equal_ancestor_hits;
+        self.irrelevance_cuts += other.irrelevance_cuts;
+        self.ecs_sweeps_scalar += other.ecs_sweeps_scalar;
+        self.ecs_sweeps_chunked += other.ecs_sweeps_chunked;
+        self.budget_checks += other.budget_checks;
+        self.exhaustive_retries += other.exhaustive_retries;
+        self.context_build_micros += other.context_build_micros;
+        self.greedy_micros += other.greedy_micros;
+        self.exhaustive_micros += other.exhaustive_micros;
+    }
+
+    /// The profile as `(label, value)` rows in a fixed order — the
+    /// vocabulary shared by `qssc build --search-profile` and the
+    /// `metrics` snapshot.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("searches", self.searches),
+            ("nodes_expanded", self.nodes_expanded),
+            ("backtracks", self.backtracks),
+            ("equal_ancestor_probes", self.equal_ancestor_probes),
+            ("equal_ancestor_hits", self.equal_ancestor_hits),
+            ("irrelevance_cuts", self.irrelevance_cuts),
+            ("ecs_sweeps_scalar", self.ecs_sweeps_scalar),
+            ("ecs_sweeps_chunked", self.ecs_sweeps_chunked),
+            ("budget_checks", self.budget_checks),
+            ("exhaustive_retries", self.exhaustive_retries),
+            ("context_build_micros", self.context_build_micros),
+            ("greedy_micros", self.greedy_micros),
+            ("exhaustive_micros", self.exhaustive_micros),
+        ]
+    }
+}
+
 /// Finds a single-source schedule for the uncontrollable source transition
 /// `source` of `net`.
 ///
@@ -208,6 +297,9 @@ pub struct SearchContext {
     /// width narrowed to u8/u16 when a structural report proved that
     /// every reachable count fits.
     kernels: NetKernels,
+    /// Wall time the per-net analyses took, reported as the
+    /// `context_build_micros` phase of a [`SearchProfile`].
+    build_micros: u64,
 }
 
 /// The slice of a [`StructuralReport`] the search engine consumes.
@@ -240,17 +332,20 @@ impl SearchContext {
     /// engine, ignoring the `QSS_KERNEL` override — the in-process A/B
     /// tests and benches use this to compare engines side by side.
     pub fn with_kernel(net: &PetriNet, kernel: KernelKind) -> Self {
+        let build_start = std::time::Instant::now();
         let mut base_store = MarkingStore::with_stride(net.num_places());
         let _ = base_store.intern(net.initial_marking().as_slice());
         let ecs = EcsInfo::compute(net);
         let kernels = NetKernels::compile(net, &ecs, None);
+        let sorter = EcsSorter::new(net);
         SearchContext {
             ecs,
-            sorter: EcsSorter::new(net),
+            sorter,
             base_store,
             structural: None,
             kernel,
             kernels,
+            build_micros: build_start.elapsed().as_micros() as u64,
         }
     }
 
@@ -271,6 +366,7 @@ impl SearchContext {
     ///
     /// `report` must come from the net this context is built for.
     pub fn with_structural(net: &PetriNet, report: &StructuralReport) -> Self {
+        let build_start = std::time::Instant::now();
         let mut context = SearchContext::new(net);
         let mut dead = vec![false; net.num_transitions()];
         for t in &report.dead_transitions {
@@ -284,7 +380,13 @@ impl SearchContext {
         // Proven place bounds license narrow kernel cells: recompile the
         // need rows so a fully-bounded net gets u8/u16 lanes.
         context.kernels = NetKernels::compile(net, &context.ecs, report.max_marking_bound);
+        context.build_micros = build_start.elapsed().as_micros() as u64;
         context
+    }
+
+    /// Wall time the per-net analyses behind this context took to build.
+    pub fn build_micros(&self) -> u64 {
+        self.build_micros
     }
 
     /// The enabledness engine searches on this context use.
@@ -376,6 +478,30 @@ impl SearchContext {
         options: &ScheduleOptions,
         budget: &SearchBudget,
     ) -> Result<(Schedule, SearchStats)> {
+        let mut profile = SearchProfile::default();
+        self.find_schedule_profiled(net, source, options, budget, &mut profile)
+    }
+
+    /// Like [`SearchContext::find_schedule_with_stats_budgeted`], but
+    /// additionally aggregates a [`SearchProfile`] of the work done into
+    /// `profile` (the profile is absorbed, not overwritten, so one
+    /// profile can span several calls). The search itself is identical —
+    /// profiling changes which numbers are *kept*, never which tree is
+    /// explored. `context_build_micros` is not charged here; system-level
+    /// callers attribute the (shared, possibly cached) context build
+    /// once via [`SearchContext::build_micros`].
+    ///
+    /// # Errors
+    /// Same contract as [`find_schedule_with_stats_budgeted`](Self::find_schedule_with_stats_budgeted).
+    pub fn find_schedule_profiled(
+        &self,
+        net: &PetriNet,
+        source: TransitionId,
+        options: &ScheduleOptions,
+        budget: &SearchBudget,
+        profile: &mut SearchProfile,
+    ) -> Result<(Schedule, SearchStats)> {
+        profile.searches += 1;
         if net.transition(source).kind != TransitionKind::UncontrollableSource {
             return Err(ScheduleError::NotUncontrollableSource(source));
         }
@@ -397,7 +523,10 @@ impl SearchContext {
         // One checker for the whole call: the greedy→exhaustive retry
         // below continues charging the same allowance.
         let mut checker = budget.checker();
-        let run_once = |opts: &ScheduleOptions, checker: &mut Option<BudgetChecker>| {
+        let run_once = |opts: &ScheduleOptions,
+                        checker: &mut Option<BudgetChecker>,
+                        profile: &mut SearchProfile| {
+            let phase_start = std::time::Instant::now();
             let mut search = Search {
                 net,
                 ecs: &self.ecs,
@@ -415,10 +544,19 @@ impl SearchContext {
                 kernels: &self.kernels,
                 kernel_scratch: KernelScratch::default(),
                 ecs_pool: Vec::new(),
+                profile: SearchProfile::default(),
             };
-            search.run()
+            let result = search.run();
+            profile.absorb(&search.profile);
+            let phase_micros = phase_start.elapsed().as_micros() as u64;
+            if opts.greedy_entering_point {
+                profile.greedy_micros += phase_micros;
+            } else {
+                profile.exhaustive_micros += phase_micros;
+            }
+            result
         };
-        match run_once(options, &mut checker) {
+        match run_once(options, &mut checker, profile) {
             Ok(result) => Ok(result),
             Err(first_error)
                 if options.greedy_entering_point
@@ -433,7 +571,8 @@ impl SearchContext {
                     greedy_entering_point: false,
                     ..options.clone()
                 };
-                run_once(&exhaustive, &mut checker).map_err(|retry_error| {
+                profile.exhaustive_retries += 1;
+                run_once(&exhaustive, &mut checker, profile).map_err(|retry_error| {
                     if matches!(retry_error, ScheduleError::BudgetExhausted { .. }) {
                         retry_error
                     } else {
@@ -517,16 +656,35 @@ pub fn schedule_system_with_context_budgeted(
     options: &ScheduleOptions,
     budget: &SearchBudget,
 ) -> Result<SystemSchedules> {
+    schedule_system_profiled(system, context, options, budget).map(|(schedules, _)| schedules)
+}
+
+/// Like [`schedule_system_with_context_budgeted`], but also returns the
+/// aggregated [`SearchProfile`] of every per-source search (including the
+/// context build time of `context`).
+///
+/// # Errors
+/// Same contract as [`schedule_system_with_context_budgeted`].
+pub fn schedule_system_profiled(
+    system: &LinkedSystem,
+    context: &SearchContext,
+    options: &ScheduleOptions,
+    budget: &SearchBudget,
+) -> Result<(SystemSchedules, SearchProfile)> {
+    let mut profile = SearchProfile {
+        context_build_micros: context.build_micros(),
+        ..SearchProfile::default()
+    };
     let sources = system.uncontrollable_sources();
     let mut schedules = Vec::new();
     let mut stats = Vec::new();
     for source in sources {
         let (s, st) =
-            context.find_schedule_with_stats_budgeted(&system.net, source, options, budget)?;
+            context.find_schedule_profiled(&system.net, source, options, budget, &mut profile)?;
         schedules.push(s);
         stats.push(st);
     }
-    seal_system_schedules(system, schedules, stats)
+    Ok((seal_system_schedules(system, schedules, stats)?, profile))
 }
 
 /// Computes one schedule per uncontrollable input like [`schedule_system`],
@@ -582,33 +740,62 @@ pub fn schedule_system_parallel_with_context_budgeted(
     options: &ScheduleOptions,
     budget: &SearchBudget,
 ) -> Result<SystemSchedules> {
+    schedule_system_parallel_profiled(system, context, options, budget)
+        .map(|(schedules, _)| schedules)
+}
+
+/// Like [`schedule_system_parallel_with_context_budgeted`], but also
+/// returns the aggregated [`SearchProfile`] across every per-source
+/// search thread (profiles are merged in source order, so the result is
+/// deterministic and identical to the sequential path's).
+///
+/// # Errors
+/// Same contract as [`schedule_system_parallel_with_context_budgeted`].
+pub fn schedule_system_parallel_profiled(
+    system: &LinkedSystem,
+    context: &SearchContext,
+    options: &ScheduleOptions,
+    budget: &SearchBudget,
+) -> Result<(SystemSchedules, SearchProfile)> {
     let sources = system.uncontrollable_sources();
     if sources.len() <= 1 {
-        return schedule_system_with_context_budgeted(system, context, options, budget);
+        return schedule_system_profiled(system, context, options, budget);
     }
     let net = &system.net;
-    let mut results: Vec<Option<Result<(Schedule, SearchStats)>>> = Vec::new();
+    type SourceOutcome = Result<(Schedule, SearchStats)>;
+    let mut results: Vec<Option<(SourceOutcome, SearchProfile)>> = Vec::new();
     results.resize_with(sources.len(), || None);
     std::thread::scope(|scope| {
         for (slot, &source) in results.iter_mut().zip(&sources) {
             std::thread::Builder::new()
                 .stack_size(SEARCH_THREAD_STACK_BYTES)
                 .spawn_scoped(scope, move || {
-                    *slot = Some(
-                        context.find_schedule_with_stats_budgeted(net, source, options, budget),
-                    );
+                    let mut profile = SearchProfile::default();
+                    let outcome =
+                        context.find_schedule_profiled(net, source, options, budget, &mut profile);
+                    *slot = Some((outcome, profile));
                 })
                 .expect("spawn a scheduling thread");
         }
     });
+    let mut profile = SearchProfile {
+        context_build_micros: context.build_micros(),
+        ..SearchProfile::default()
+    };
     let mut schedules = Vec::new();
     let mut stats = Vec::new();
     for result in results {
-        let (s, st) = result.expect("every scheduling thread fills its slot")?;
+        let (outcome, source_profile) = result.expect("every scheduling thread fills its slot");
+        // Absorb the work counters before propagating errors: the profile
+        // of the earliest failing source is still meaningful, but the
+        // error contract must match the sequential loop, which stops at
+        // the first failure.
+        profile.absorb(&source_profile);
+        let (s, st) = outcome?;
         schedules.push(s);
         stats.push(st);
     }
-    seal_system_schedules(system, schedules, stats)
+    Ok((seal_system_schedules(system, schedules, stats)?, profile))
 }
 
 /// Shared tail of the system schedulers: the independence check and the
@@ -687,6 +874,10 @@ struct Search<'a> {
     /// depth, so a frame can take its buffer and return it on every exit
     /// path without clashing with siblings.
     ecs_pool: Vec<Vec<EcsId>>,
+    /// Work counters for this pass, absorbed into the caller's
+    /// [`SearchProfile`] when the pass returns. Plain integers on the
+    /// search's own frame: bumping them costs no atomics, no branches.
+    profile: SearchProfile,
 }
 
 impl<'a> Search<'a> {
@@ -761,8 +952,12 @@ impl<'a> Search<'a> {
     fn fill_candidate_ecs(&mut self, candidates: &mut Vec<EcsId>) {
         let marking = self.tracker.marking().as_slice();
         match self.kernel {
-            KernelKind::Scalar => self.ecs.enabled_ecs_into(self.net, marking, candidates),
+            KernelKind::Scalar => {
+                self.profile.ecs_sweeps_scalar += 1;
+                self.ecs.enabled_ecs_into(self.net, marking, candidates)
+            }
             KernelKind::Chunked => {
+                self.profile.ecs_sweeps_chunked += 1;
                 self.kernels
                     .enabled_ecs_into(marking, &mut self.kernel_scratch, candidates)
             }
@@ -847,13 +1042,16 @@ impl<'a> Search<'a> {
         // ancestors because equal markings sit inside their own
         // irrelevance box but are not irrelevance witnesses.
         let (num_equal, first_equal) = self.tracker.equal_ancestors();
+        self.profile.equal_ancestor_probes += 1;
         if self.tracker.should_prune(num_equal) {
+            self.profile.irrelevance_cuts += 1;
             return None;
         }
         // Equal-marking ancestor: unique entering point. Record the merge
         // target now — build_schedule has no stored markings to re-derive
         // it from later.
         if let Some(depth) = first_equal {
+            self.profile.equal_ancestor_hits += 1;
             let u = self.tracker.node_at(depth);
             self.nodes[v].merge_with = Some(u);
             return Some(u);
@@ -934,6 +1132,7 @@ impl<'a> Search<'a> {
             // The cooperative budget charges one step per node expansion
             // (clock and cancellation flag amortized inside the checker).
             if let Some(checker) = self.budget.as_deref_mut() {
+                self.profile.budget_checks += 1;
                 if let Some(stop) = checker.step() {
                     self.budget_stop = Some(stop);
                     self.budget_exhausted = true;
@@ -941,6 +1140,7 @@ impl<'a> Search<'a> {
                 }
             }
             self.tracker.fire(self.net, t);
+            self.profile.nodes_expanded += 1;
             let w = self.nodes.len();
             let depth = self.nodes[v].depth + 1;
             self.nodes.push(TreeNode {
@@ -976,7 +1176,10 @@ impl<'a> Search<'a> {
                         current_target = v;
                     }
                 }
-                _ => return None,
+                _ => {
+                    self.profile.backtracks += 1;
+                    return None;
+                }
             }
         }
         best

@@ -1,0 +1,318 @@
+//! Mergeable fixed-bucket log-scale histograms with bounded relative
+//! error.
+//!
+//! The bucket layout is a small HDR-style grid: values below
+//! [`LINEAR_BUCKETS`] get one bucket each (exact), and every power-of-two
+//! octave above that is split into [`SUB_BUCKETS`] geometric sub-buckets.
+//! A bucket's width is therefore at most `1/SUB_BUCKETS` of its lower
+//! bound, which bounds every quantile estimate: for a recorded value `v`,
+//! the reported estimate `e` (the containing bucket's upper bound)
+//! satisfies `v <= e < v * (1 + 1/SUB_BUCKETS)` — with `SUB_BUCKETS = 8`,
+//! a relative error of at most **12.5%**, and exact below 16. The layout
+//! is value-independent, so histograms merge by bucket-wise addition:
+//! merging is associative, commutative, and loses nothing the individual
+//! histograms knew.
+//!
+//! Recording is lock-light: one relaxed `fetch_add` on the bucket plus
+//! relaxed updates of count/sum/min/max. Reads take a [`snapshot`] —
+//! a plain owned copy safe to merge, query, and serialize offline.
+//!
+//! [`snapshot`]: Histogram::snapshot
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this get one exact bucket each.
+pub const LINEAR_BUCKETS: u64 = 16;
+
+/// Geometric sub-buckets per power-of-two octave above the linear range.
+pub const SUB_BUCKETS: u64 = 8;
+
+/// Total number of buckets: the linear range plus `SUB_BUCKETS` per
+/// octave for the remaining 60 octaves of the `u64` range.
+pub const BUCKET_COUNT: usize = (LINEAR_BUCKETS + (64 - 4) * SUB_BUCKETS) as usize;
+
+/// The documented upper bound on quantile relative error:
+/// `1 / SUB_BUCKETS`.
+pub const RELATIVE_ERROR: f64 = 1.0 / SUB_BUCKETS as f64;
+
+/// Maps a value to its bucket index.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_BUCKETS {
+        return v as usize;
+    }
+    // The value has `msb + 1` significant bits, msb >= 4; the top three
+    // bits after the leading one select the sub-bucket.
+    let msb = 63 - v.leading_zeros() as u64;
+    let sub = (v >> (msb - 3)) & (SUB_BUCKETS - 1);
+    (LINEAR_BUCKETS + (msb - 4) * SUB_BUCKETS + sub) as usize
+}
+
+/// The largest value that falls into bucket `index` (the value a
+/// quantile estimate reports).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    let index = index as u64;
+    if index < LINEAR_BUCKETS {
+        return index;
+    }
+    let rest = index - LINEAR_BUCKETS;
+    let msb = rest / SUB_BUCKETS + 4;
+    let sub = rest % SUB_BUCKETS;
+    // The bucket covers [ (8+sub) << (msb-3), ((9+sub) << (msb-3)) - 1 ];
+    // the topmost octave saturates at u64::MAX.
+    let upper = ((SUB_BUCKETS + sub + 1) as u128) << (msb - 3);
+    (upper - 1).min(u64::MAX as u128) as u64
+}
+
+/// A concurrent fixed-bucket log-scale histogram of `u64` samples.
+///
+/// See the module docs for the layout and the error bound. All methods
+/// take `&self`; the histogram is shared freely across threads.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKET_COUNT]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the array through a Vec.
+        let buckets: Vec<AtomicU64> = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKET_COUNT]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vector has exactly BUCKET_COUNT elements"));
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Takes an owned, mergeable copy of the current state.
+    ///
+    /// Concurrent recording makes the copy a *consistent-enough* view:
+    /// each field is read atomically, but a racing `record` may be
+    /// half-visible (e.g. bucket incremented, count not yet). Quiesced
+    /// histograms snapshot exactly.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]: mergeable, queryable, serializable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (layout per [`bucket_index`]).
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample, `0` when empty.
+    pub min: u64,
+    /// Largest sample, `0` when empty.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity of [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// Merges `other` into `self` bucket-wise. Associative and
+    /// commutative: merging snapshots in any grouping or order yields
+    /// the same result as recording every sample into one histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        if other.count > 0 {
+            self.min = if self.count == 0 {
+                other.min
+            } else {
+                self.min.min(other.min)
+            };
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) of the recorded samples.
+    ///
+    /// Returns the upper bound of the bucket holding the rank-`⌈q·n⌉`
+    /// sample, clamped into `[min, max]` — so the estimate `e` of a true
+    /// quantile value `v` satisfies `v <= e <= v * (1 + RELATIVE_ERROR)`
+    /// (exact for values below [`LINEAR_BUCKETS`]). Empty snapshots
+    /// report `0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of the samples, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            100,
+            1000,
+            65535,
+            65536,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let index = bucket_index(v);
+            let upper = bucket_upper_bound(index);
+            assert!(v <= upper, "value {v} above its bucket upper {upper}");
+            assert!(
+                upper as f64 <= v as f64 * (1.0 + RELATIVE_ERROR) || v < LINEAR_BUCKETS,
+                "bucket upper {upper} exceeds error bound for {v}"
+            );
+            if index > 0 {
+                assert!(bucket_upper_bound(index - 1) < v);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut last = 0;
+        for v in 0..100_000u64 {
+            let index = bucket_index(v);
+            assert!(index >= last);
+            last = index;
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_stream() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        for (q, exact) in [(0.5, 500u64), (0.95, 950), (0.99, 990)] {
+            let est = snap.quantile(q);
+            assert!(est >= exact, "p{q}: {est} < exact {exact}");
+            assert!(
+                est as f64 <= exact as f64 * (1.0 + RELATIVE_ERROR),
+                "p{q}: {est} outside error bound of {exact}"
+            );
+        }
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 7);
+            whole.record(v * 7);
+        }
+        for v in 0..300u64 {
+            b.record(v * 13 + 1);
+            whole.record(v * 13 + 1);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity() {
+        let h = Histogram::new();
+        h.record(42);
+        let snap = h.snapshot();
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&snap);
+        assert_eq!(merged, snap);
+        let mut merged = snap.clone();
+        merged.merge(&HistogramSnapshot::empty());
+        assert_eq!(merged, snap);
+    }
+}

@@ -1,0 +1,366 @@
+//! A bounded ring-buffer span journal with a Chrome-trace exporter.
+//!
+//! Spans are **async-style** begin/end event pairs correlated by a
+//! journal-assigned span id: begin and end may happen on different
+//! threads (a request begins on the event loop and ends on whichever
+//! thread publishes its response), which is exactly what the Chrome
+//! trace-event format's `b`/`e` async phases model. Each event carries a
+//! monotonic microsecond timestamp, an optional parent span id, and a
+//! short thread *tag* (`"loop"`, `"worker"`, `"search"` …) the exporter
+//! maps to stable `tid`s.
+//!
+//! The journal is bounded: past `capacity` events the oldest are dropped
+//! (and counted), so a long-lived daemon's journal is a sliding window,
+//! never a leak. Timestamps come from a `Clock` — the real monotonic
+//! clock by default, or an injectable [`VirtualClock`] so tests and
+//! goldens get deterministic bytes.
+//!
+//! [`export_chrome_trace`](SpanJournal::export_chrome_trace) renders the
+//! window as Chrome trace-event JSON (`chrome://tracing` and Perfetto
+//! both load it) with a fixed key order, making the output a pure
+//! function of the recorded events.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A journal-assigned span identifier. `SpanId(0)` is the "no span"
+/// sentinel a disabled observer hands out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The sentinel id of a span that was never recorded.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is a real recorded span.
+    pub fn is_recorded(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// Whether an event opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// The span opened.
+    Begin,
+    /// The span closed.
+    End,
+}
+
+/// One recorded begin or end event.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Microseconds since the journal's clock origin.
+    pub ts_micros: u64,
+    /// The span this event belongs to.
+    pub id: SpanId,
+    /// The enclosing span, `SpanId::NONE` for roots (begin events only).
+    pub parent: SpanId,
+    /// Span name, e.g. `"request"` or `"search"`.
+    pub name: String,
+    /// Short tag of the recording thread, e.g. `"loop"`.
+    pub tag: &'static str,
+    /// Begin or end.
+    pub phase: SpanPhase,
+}
+
+/// The journal's time source.
+#[derive(Clone)]
+enum Clock {
+    /// Real monotonic time, anchored at journal creation.
+    Monotonic(Instant),
+    /// Test-injectable time advanced by hand.
+    Virtual(Arc<AtomicU64>),
+}
+
+impl Clock {
+    fn now_micros(&self) -> u64 {
+        match self {
+            Clock::Monotonic(origin) => origin.elapsed().as_micros() as u64,
+            Clock::Virtual(now) => now.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A hand-advanced clock for deterministic journal tests and goldens.
+#[derive(Clone, Default)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Advances the clock by `micros`.
+    pub fn advance(&self, micros: u64) {
+        self.now.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// The current reading in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+struct Ring {
+    events: VecDeque<SpanEvent>,
+}
+
+/// A bounded, thread-safe journal of span begin/end events.
+pub struct SpanJournal {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+    clock: Clock,
+}
+
+impl SpanJournal {
+    /// A journal holding at most `capacity` events, stamped by the real
+    /// monotonic clock.
+    pub fn new(capacity: usize) -> Self {
+        SpanJournal::with_clock(capacity, Clock::Monotonic(Instant::now()))
+    }
+
+    /// A journal stamped by `clock` — deterministic tests and goldens.
+    pub fn with_virtual_clock(capacity: usize, clock: &VirtualClock) -> Self {
+        SpanJournal::with_clock(capacity, Clock::Virtual(Arc::clone(&clock.now)))
+    }
+
+    fn with_clock(capacity: usize, clock: Clock) -> Self {
+        SpanJournal {
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+            }),
+            capacity: capacity.max(2),
+            next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            clock,
+        }
+    }
+
+    /// The journal's current clock reading in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.clock.now_micros()
+    }
+
+    /// Events dropped so far to keep the window bounded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Opens a span and returns its id.
+    pub fn begin(&self, name: impl Into<String>, parent: SpanId, tag: &'static str) -> SpanId {
+        let id = SpanId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.push(SpanEvent {
+            ts_micros: self.clock.now_micros(),
+            id,
+            parent,
+            name: name.into(),
+            tag,
+            phase: SpanPhase::Begin,
+        });
+        id
+    }
+
+    /// Closes a span opened by [`begin`](Self::begin). Closing
+    /// [`SpanId::NONE`] is a no-op.
+    pub fn end(&self, id: SpanId, name: impl Into<String>, tag: &'static str) {
+        if !id.is_recorded() {
+            return;
+        }
+        self.push(SpanEvent {
+            ts_micros: self.clock.now_micros(),
+            id,
+            parent: SpanId::NONE,
+            name: name.into(),
+            tag,
+            phase: SpanPhase::End,
+        });
+    }
+
+    fn push(&self, event: SpanEvent) {
+        let mut ring = self
+            .ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if ring.events.len() >= self.capacity {
+            ring.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.events.push_back(event);
+    }
+
+    /// A copy of the journal's current window, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.ring
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the window as Chrome trace-event JSON.
+    ///
+    /// The output is `{"displayTimeUnit": "ms", "traceEvents": [...]}`:
+    /// one `M`-phase `thread_name` metadata event per distinct thread
+    /// tag (tids assigned in first-appearance order), then the span
+    /// events as async `b`/`e` pairs correlated by id, each `b` carrying
+    /// its parent id in `args`. Key order is fixed, so under a virtual
+    /// clock the bytes are deterministic.
+    pub fn export_chrome_trace(&self) -> String {
+        export_chrome_trace(&self.events())
+    }
+}
+
+/// Renders a slice of span events as Chrome trace-event JSON (see
+/// [`SpanJournal::export_chrome_trace`]).
+pub fn export_chrome_trace(events: &[SpanEvent]) -> String {
+    let mut tags: Vec<&'static str> = Vec::new();
+    for event in events {
+        if !tags.contains(&event.tag) {
+            tags.push(event.tag);
+        }
+    }
+    let tid = |tag: &str| tags.iter().position(|t| *t == tag).unwrap_or(0) + 1;
+
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    for (index, tag) in tags.iter().enumerate() {
+        emit(&mut out);
+        let _ = write!(
+            out,
+            "{{\"args\":{{\"name\":{}}},\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{}}}",
+            json_string(tag),
+            index + 1
+        );
+    }
+    for event in events {
+        emit(&mut out);
+        match event.phase {
+            SpanPhase::Begin => {
+                let _ = write!(
+                    out,
+                    "{{\"args\":{{\"parent\":{}}},\"cat\":\"qss\",\"id\":{},\"name\":{},\"ph\":\"b\",\"pid\":1,\"tid\":{},\"ts\":{}}}",
+                    event.parent.0,
+                    event.id.0,
+                    json_string(&event.name),
+                    tid(event.tag),
+                    event.ts_micros
+                );
+            }
+            SpanPhase::End => {
+                let _ = write!(
+                    out,
+                    "{{\"cat\":\"qss\",\"id\":{},\"name\":{},\"ph\":\"e\",\"pid\":1,\"tid\":{},\"ts\":{}}}",
+                    event.id.0,
+                    json_string(&event.name),
+                    tid(event.tag),
+                    event.ts_micros
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_end_round_trip_under_virtual_clock() {
+        let clock = VirtualClock::new();
+        let journal = SpanJournal::with_virtual_clock(64, &clock);
+        let root = journal.begin("request", SpanId::NONE, "loop");
+        clock.advance(100);
+        let child = journal.begin("search", root, "search");
+        clock.advance(250);
+        journal.end(child, "search", "search");
+        clock.advance(5);
+        journal.end(root, "request", "loop");
+        let events = journal.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].ts_micros, 0);
+        assert_eq!(events[1].parent, root);
+        assert_eq!(events[2].ts_micros, 350);
+        assert_eq!(events[3].id, root);
+        assert_eq!(journal.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let journal = SpanJournal::new(4);
+        for i in 0..10 {
+            journal.begin(format!("s{i}"), SpanId::NONE, "t");
+        }
+        let events = journal.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(journal.dropped(), 6);
+        // The window keeps the newest events.
+        assert_eq!(events[3].name, "s9");
+    }
+
+    #[test]
+    fn ending_the_none_span_is_a_no_op() {
+        let journal = SpanJournal::new(8);
+        journal.end(SpanId::NONE, "ghost", "t");
+        assert!(journal.events().is_empty());
+    }
+
+    #[test]
+    fn export_is_deterministic_and_tags_get_stable_tids() {
+        let clock = VirtualClock::new();
+        let journal = SpanJournal::with_virtual_clock(64, &clock);
+        let a = journal.begin("request", SpanId::NONE, "loop");
+        clock.advance(10);
+        journal.end(a, "request", "worker");
+        let first = journal.export_chrome_trace();
+        let second = journal.export_chrome_trace();
+        assert_eq!(first, second);
+        assert!(first.contains("\"thread_name\""));
+        assert!(first.contains("\"ph\":\"b\""));
+        assert!(first.contains("\"ph\":\"e\""));
+        // Two distinct tags, two tids.
+        assert!(first.contains("{\"args\":{\"name\":\"loop\"}"));
+        assert!(first.contains("{\"args\":{\"name\":\"worker\"}"));
+    }
+}

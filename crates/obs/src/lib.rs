@@ -1,0 +1,373 @@
+//! `qss_obs` — observability primitives for the qss workspace.
+//!
+//! Three building blocks, std-only and dependency-free:
+//!
+//! * [`Counter`] — a cloneable handle to one relaxed atomic counter.
+//!   Cloning shares the cell, so the same counter can live in a hot
+//!   struct *and* in the [`Registry`] without double counting — the
+//!   registry is a second view, not a second copy.
+//! * [`Histogram`] — a concurrent fixed-bucket log-scale histogram with
+//!   p50/p95/p99 estimation at a documented ≤ 12.5% relative error and
+//!   lossless bucket-wise merging (see [`hist`]).
+//! * [`SpanJournal`] — a bounded ring buffer of begin/end span events
+//!   with monotonic (or injectable virtual) timestamps and a Chrome
+//!   trace-event exporter (see [`journal`]).
+//!
+//! Everything hangs off an [`Observer`] handle. `Observer::disabled()`
+//! is the no-op form: spans cost one branch, and nothing is retained —
+//! instrumented code carries exactly one code path whether or not
+//! anyone is watching.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod journal;
+
+pub use hist::{Histogram, HistogramSnapshot, BUCKET_COUNT, RELATIVE_ERROR};
+pub use journal::{export_chrome_trace, SpanEvent, SpanId, SpanJournal, SpanPhase, VirtualClock};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A cloneable handle to one atomic counter cell.
+///
+/// All increments are relaxed — counters are statistics, not
+/// synchronization. Clones share the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Whether two handles share one cell.
+    pub fn same_cell(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+/// A named collection of counters and histograms.
+///
+/// Handles are get-or-create by name; externally owned counters (a
+/// cache's hit counter, say) can be *adopted* so the registry reads the
+/// very cell the owner bumps.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Counter)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = lock(&self.counters);
+        if let Some((_, counter)) = counters.iter().find(|(n, _)| n == name) {
+            return counter.clone();
+        }
+        let counter = Counter::new();
+        counters.push((name.to_string(), counter.clone()));
+        counter
+    }
+
+    /// Adopts an externally owned counter under `name`, replacing any
+    /// previous cell of that name. Reading the registry then reads the
+    /// owner's cell — one source of truth, two views.
+    pub fn adopt_counter(&self, name: &str, counter: &Counter) {
+        let mut counters = lock(&self.counters);
+        if let Some((_, existing)) = counters.iter_mut().find(|(n, _)| n == name) {
+            *existing = counter.clone();
+            return;
+        }
+        counters.push((name.to_string(), counter.clone()));
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut histograms = lock(&self.histograms);
+        if let Some((_, histogram)) = histograms.iter().find(|(n, _)| n == name) {
+            return Arc::clone(histogram);
+        }
+        let histogram = Arc::new(Histogram::new());
+        histograms.push((name.to_string(), Arc::clone(&histogram)));
+        histogram
+    }
+
+    /// An owned snapshot of every counter and histogram, sorted by name
+    /// (deterministic output order regardless of registration order).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut counters: Vec<(String, u64)> = lock(&self.counters)
+            .iter()
+            .map(|(name, counter)| (name.clone(), counter.get()))
+            .collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<(String, HistogramSnapshot)> = lock(&self.histograms)
+            .iter()
+            .map(|(name, histogram)| (name.clone(), histogram.snapshot()))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        RegistrySnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// An owned, point-in-time copy of a [`Registry`], sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+struct ObserverInner {
+    registry: Registry,
+    journal: SpanJournal,
+}
+
+/// The one handle instrumented code holds: a registry plus a span
+/// journal, or — in its disabled form — nothing at all.
+///
+/// The handle clones cheaply (an `Option<Arc>`). Every operation on a
+/// disabled observer is a no-op behind a single branch; counter and
+/// histogram handles it returns are detached cells nobody ever reads,
+/// so call sites need no `if enabled` of their own.
+#[derive(Clone)]
+pub struct Observer {
+    inner: Option<Arc<ObserverInner>>,
+}
+
+impl Observer {
+    /// The no-op observer.
+    pub fn disabled() -> Self {
+        Observer { inner: None }
+    }
+
+    /// An armed observer whose journal keeps at most `journal_capacity`
+    /// span events, stamped by the real monotonic clock.
+    pub fn armed(journal_capacity: usize) -> Self {
+        Observer {
+            inner: Some(Arc::new(ObserverInner {
+                registry: Registry::new(),
+                journal: SpanJournal::new(journal_capacity),
+            })),
+        }
+    }
+
+    /// An armed observer stamped by a [`VirtualClock`] — deterministic
+    /// tests and goldens.
+    pub fn armed_with_virtual_clock(journal_capacity: usize, clock: &VirtualClock) -> Self {
+        Observer {
+            inner: Some(Arc::new(ObserverInner {
+                registry: Registry::new(),
+                journal: SpanJournal::with_virtual_clock(journal_capacity, clock),
+            })),
+        }
+    }
+
+    /// Whether this observer records anything.
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The counter named `name` — a detached throwaway cell when
+    /// disabled.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name),
+            None => Counter::new(),
+        }
+    }
+
+    /// Adopts an externally owned counter under `name` (no-op when
+    /// disabled); see [`Registry::adopt_counter`].
+    pub fn adopt_counter(&self, name: &str, counter: &Counter) {
+        if let Some(inner) = &self.inner {
+            inner.registry.adopt_counter(name, counter);
+        }
+    }
+
+    /// The histogram named `name` — a detached throwaway histogram when
+    /// disabled.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name),
+            None => Arc::new(Histogram::new()),
+        }
+    }
+
+    /// The journal clock's current reading, `0` when disabled.
+    #[inline]
+    pub fn now_micros(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.journal.now_micros(),
+            None => 0,
+        }
+    }
+
+    /// Opens a span; returns [`SpanId::NONE`] when disabled.
+    #[inline]
+    pub fn span_begin(&self, name: &str, parent: SpanId, tag: &'static str) -> SpanId {
+        match &self.inner {
+            Some(inner) => inner.journal.begin(name, parent, tag),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Closes a span; no-op when disabled or when `id` is
+    /// [`SpanId::NONE`].
+    #[inline]
+    pub fn span_end(&self, id: SpanId, name: &str, tag: &'static str) {
+        if let Some(inner) = &self.inner {
+            inner.journal.end(id, name, tag);
+        }
+    }
+
+    /// A snapshot of the registry (empty when disabled).
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => RegistrySnapshot::default(),
+        }
+    }
+
+    /// Span events dropped by the bounded journal, `0` when disabled.
+    pub fn journal_dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.journal.dropped(),
+            None => 0,
+        }
+    }
+
+    /// The journal as Chrome trace-event JSON, `None` when disabled.
+    pub fn export_chrome_trace(&self) -> Option<String> {
+        self.inner
+            .as_ref()
+            .map(|inner| inner.journal.export_chrome_trace())
+    }
+}
+
+/// Locks a mutex, surviving poisoning (observability must never take
+/// the instrumented program down).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_share_cells_across_clones_and_the_registry() {
+        let observer = Observer::armed(16);
+        let a = observer.counter("requests");
+        let b = observer.counter("requests");
+        assert!(a.same_cell(&b));
+        a.add(3);
+        b.inc();
+        let snapshot = observer.snapshot();
+        assert_eq!(snapshot.counters, vec![("requests".to_string(), 4)]);
+    }
+
+    #[test]
+    fn adopted_counters_are_views_not_copies() {
+        let observer = Observer::armed(16);
+        let owned = Counter::new();
+        observer.adopt_counter("cache.hits", &owned);
+        owned.add(7);
+        assert_eq!(observer.snapshot().counters[0].1, 7);
+        // Re-adoption replaces the cell.
+        let replacement = Counter::new();
+        replacement.add(1);
+        observer.adopt_counter("cache.hits", &replacement);
+        assert_eq!(observer.snapshot().counters[0].1, 1);
+    }
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let observer = Observer::disabled();
+        let counter = observer.counter("x");
+        counter.inc();
+        observer.histogram("h").record(9);
+        let span = observer.span_begin("request", SpanId::NONE, "t");
+        assert_eq!(span, SpanId::NONE);
+        observer.span_end(span, "request", "t");
+        assert!(observer.snapshot().counters.is_empty());
+        assert!(observer.export_chrome_trace().is_none());
+        assert_eq!(observer.now_micros(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let observer = Observer::armed(16);
+        observer.counter("zebra");
+        observer.counter("alpha");
+        observer.histogram("m");
+        observer.histogram("b");
+        let snapshot = observer.snapshot();
+        let names: Vec<&str> = snapshot.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "zebra"]);
+        let names: Vec<&str> = snapshot
+            .histograms
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(names, ["b", "m"]);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let observer = Observer::armed(64);
+        let counter = observer.counter("n");
+        let histogram = observer.histogram("h");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = counter.clone();
+                let histogram = Arc::clone(&histogram);
+                thread::spawn(move || {
+                    for v in 0..1000u64 {
+                        counter.inc();
+                        histogram.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(counter.get(), 8000);
+        assert_eq!(histogram.snapshot().count, 8000);
+    }
+}

@@ -1,0 +1,62 @@
+//! Golden test for the Chrome trace exporter: under the virtual clock
+//! the exported bytes are a pure function of the recorded spans, so they
+//! are pinned to a checked-in golden file and diffed in CI exactly like
+//! the qssc CLI goldens. Regenerate with
+//! `QSS_UPDATE_GOLDENS=1 cargo test -p qss_obs --test golden_trace`.
+
+use qss_obs::{Observer, SpanId, VirtualClock};
+
+/// Replays a fixed two-request lifecycle (one with a coalesced search,
+/// one plain) through an armed observer.
+fn recorded_observer() -> Observer {
+    let clock = VirtualClock::new();
+    let observer = Observer::armed_with_virtual_clock(256, &clock);
+
+    let request = observer.span_begin("request kind=schedule", SpanId::NONE, "loop");
+    clock.advance(15);
+    let queued = observer.span_begin("queued", request, "loop");
+    clock.advance(120);
+    observer.span_end(queued, "queued", "worker");
+    let search = observer.span_begin("search", request, "worker");
+    clock.advance(4800);
+    observer.span_end(search, "search", "search");
+    let respond = observer.span_begin("respond", request, "loop");
+    clock.advance(35);
+    observer.span_end(respond, "respond", "loop");
+    observer.span_end(request, "request kind=schedule", "loop");
+
+    clock.advance(1000);
+    let request = observer.span_begin("request kind=stats", SpanId::NONE, "loop");
+    clock.advance(9);
+    observer.span_end(request, "request kind=stats", "loop");
+
+    observer
+}
+
+#[test]
+fn chrome_trace_bytes_match_the_golden() {
+    let observer = recorded_observer();
+    let exported = observer
+        .export_chrome_trace()
+        .expect("armed observers export");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace.json");
+    if std::env::var_os("QSS_UPDATE_GOLDENS").is_some() {
+        std::fs::write(path, format!("{exported}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        exported,
+        golden.trim_end_matches('\n'),
+        "trace exporter bytes drifted from {path}; run with QSS_UPDATE_GOLDENS=1 to regenerate"
+    );
+}
+
+#[test]
+fn exported_trace_replays_identically() {
+    // Two independent replays produce the same bytes: the exporter has
+    // no hidden state (ids, tids and timestamps are all deterministic).
+    let first = recorded_observer().export_chrome_trace().unwrap();
+    let second = recorded_observer().export_chrome_trace().unwrap();
+    assert_eq!(first, second);
+}

@@ -1,0 +1,134 @@
+//! Property tests for the log-scale histogram: merge algebra, quantile
+//! error bounds against an exact-sort oracle, and monotonicity of the
+//! bucket layout under random insert streams.
+
+use proptest::prelude::*;
+use qss_obs::hist::{bucket_index, bucket_upper_bound, LINEAR_BUCKETS};
+use qss_obs::{Histogram, HistogramSnapshot, RELATIVE_ERROR};
+
+/// Records a stream into a fresh histogram and snapshots it.
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The exact `q`-quantile of `values` by sorting (the oracle).
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A sample stream mixing small exact-bucket values, mid-range values
+/// and large magnitudes, so every regime of the layout is exercised.
+fn stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        (0u64..3, 0u64..1_000_000).prop_map(|(regime, v)| match regime {
+            0 => v % 64,                  // exact + first octaves
+            1 => v,                       // mid-range
+            _ => v.wrapping_mul(1 << 40), // high octaves
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merging is commutative and associative: any grouping/order of
+    /// partial histograms equals recording everything into one.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in stream(),
+        b in stream(),
+        c in stream(),
+    ) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab;
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Both equal the one-histogram ground truth.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&ab_c, &snap(&all));
+    }
+
+    /// Quantile estimates stay within the documented relative error of
+    /// the exact-sort oracle: `exact <= estimate <= exact * 1.125`.
+    #[test]
+    fn quantiles_are_within_documented_error(values in stream()) {
+        let snapshot = snap(&values);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&values, q);
+            let estimate = snapshot.quantile(q);
+            prop_assert!(
+                estimate >= exact,
+                "p{}: estimate {} below exact {}",
+                q, estimate, exact
+            );
+            prop_assert!(
+                estimate as f64 <= exact as f64 * (1.0 + RELATIVE_ERROR),
+                "p{}: estimate {} outside {}% of exact {}",
+                q, estimate, RELATIVE_ERROR * 100.0, exact
+            );
+        }
+    }
+
+    /// The bucket layout is monotone (larger values never land in
+    /// earlier buckets) and bracketing (each value lies at or below its
+    /// bucket's upper bound, above the previous bucket's).
+    #[test]
+    fn bucket_layout_is_monotone_and_bracketing(values in stream()) {
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for pair in sorted.windows(2) {
+            prop_assert!(bucket_index(pair[0]) <= bucket_index(pair[1]));
+        }
+        for &v in &values {
+            let index = bucket_index(v);
+            prop_assert!(v <= bucket_upper_bound(index));
+            if index > 0 {
+                prop_assert!(bucket_upper_bound(index - 1) < v || v < LINEAR_BUCKETS);
+            }
+        }
+    }
+
+    /// Recording more samples never decreases any bucket count, and the
+    /// total always equals the stream length (no sample is lost or
+    /// double-counted anywhere in the layout).
+    #[test]
+    fn counts_grow_monotonically_under_inserts(values in stream()) {
+        let h = Histogram::new();
+        let mut previous = h.snapshot();
+        for (i, &v) in values.iter().enumerate() {
+            h.record(v);
+            let current = h.snapshot();
+            prop_assert_eq!(current.count, i as u64 + 1);
+            // Bucket totals must account for every sample.
+            prop_assert_eq!(current.buckets.iter().sum::<u64>(), current.count);
+            for (b, (now, before)) in
+                current.buckets.iter().zip(&previous.buckets).enumerate()
+            {
+                prop_assert!(now >= before, "bucket {} shrank", b);
+            }
+            previous = current;
+        }
+    }
+}

@@ -42,6 +42,9 @@ OPTIONS:
                         0 disables (default: 0)
     --max-connections N reject connections beyond N with a typed `busy`
                         line; 0 = unlimited (default: 0)
+    --trace-out PATH    on graceful drain, write the span journal as a
+                        Chrome trace-event JSON file (load it in
+                        Perfetto / chrome://tracing)
     --help              show this help
 
 Stop the daemon with a `{\"kind\": \"shutdown\"}` request (e.g.
@@ -142,6 +145,9 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, Exit> {
             "--write-timeout" => {
                 let value = next_value(args, &mut i, "--write-timeout")?;
                 config.write_timeout = parse_timeout("--write-timeout", &value)?;
+            }
+            "--trace-out" => {
+                config.trace_out = Some(next_value(args, &mut i, "--trace-out")?);
             }
             "--max-connections" => {
                 let value = next_value(args, &mut i, "--max-connections")?;

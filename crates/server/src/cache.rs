@@ -18,8 +18,8 @@
 use crate::util::lock;
 use qss::remote::CacheStats;
 use qss::SearchContext;
+use qss_obs::{Counter, Observer};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 struct Entry {
@@ -34,17 +34,19 @@ struct Inner {
 }
 
 /// An LRU-bounded map from net fingerprint to shared [`SearchContext`],
-/// with hit/miss/eviction/collision counters.
+/// with hit/miss/eviction/collision counters ([`qss_obs::Counter`]
+/// cells, adoptable into an [`Observer`] registry so `stats` and
+/// `metrics` read the same cells).
 ///
 /// All methods take `&self`; the cache is shared freely across the
 /// server's worker threads.
 pub struct ContextCache {
     capacity: usize,
     inner: Mutex<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    collisions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    collisions: Counter,
 }
 
 impl ContextCache {
@@ -58,11 +60,20 @@ impl ContextCache {
                 entries: HashMap::new(),
                 tick: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            collisions: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            collisions: Counter::new(),
         }
+    }
+
+    /// Registers the cache's counter cells with the observer's registry
+    /// (no-op for a disabled observer).
+    pub fn adopt_into(&self, observer: &Observer) {
+        observer.adopt_counter("context_cache.hits", &self.hits);
+        observer.adopt_counter("context_cache.misses", &self.misses);
+        observer.adopt_counter("context_cache.evictions", &self.evictions);
+        observer.adopt_counter("context_cache.collisions", &self.collisions);
     }
 
     /// Returns the cached context for `(fingerprint, digest)` or builds,
@@ -83,7 +94,7 @@ impl ContextCache {
         if let Some(context) = self.probe(fingerprint, digest) {
             return (context, true);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let context = Arc::new(build());
         (self.adopt_or_insert(fingerprint, digest, context), false)
     }
@@ -96,13 +107,13 @@ impl ContextCache {
         match inner.entries.get_mut(&fingerprint) {
             Some(entry) if entry.digest == digest => {
                 entry.last_used = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(Arc::clone(&entry.context))
             }
             Some(_) => {
                 // Same content-multiset, different id order: the cached
                 // id-indexed analyses do NOT apply. Count and miss.
-                self.collisions.fetch_add(1, Ordering::Relaxed);
+                self.collisions.inc();
                 None
             }
             None => None,
@@ -142,7 +153,7 @@ impl ContextCache {
                 .map(|(k, _)| k)
             {
                 inner.entries.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         inner.entries.insert(
@@ -160,10 +171,10 @@ impl ContextCache {
     pub fn stats(&self) -> CacheStats {
         let entries = lock(&self.inner).entries.len() as u64;
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            collisions: self.collisions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            collisions: self.collisions.get(),
             entries,
             capacity: self.capacity as u64,
         }

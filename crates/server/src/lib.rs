@@ -66,10 +66,11 @@ pub use qss::remote::{
 
 use crate::poll::PollFd;
 use crate::pool::{JobQueue, SubmitError};
-use crate::service::{Counters, Engine, Reply};
+use crate::service::{Engine, Reply};
 use crate::util::lock;
 use qss::remote::{response_error, response_ok, DEFAULT_MAX_LINE_BYTES};
-use serde_json::Value;
+use qss_obs::{Observer, SpanId};
+use serde_json::{Number, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -115,6 +116,10 @@ pub struct ServerConfig {
     /// answered with one typed `busy` error line and closed. `0` =
     /// unlimited.
     pub max_connections: usize,
+    /// Path the span journal is exported to (Chrome trace-event JSON,
+    /// loadable in Perfetto / `chrome://tracing`) when the server drains
+    /// after a graceful shutdown. `None` = no trace file.
+    pub trace_out: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -132,9 +137,14 @@ impl Default for ServerConfig {
             idle_timeout: None,
             write_timeout: None,
             max_connections: 0,
+            trace_out: None,
         }
     }
 }
+
+/// Bound on retained span events: at ~10 events per request this keeps
+/// the trace of the last few thousand requests, in well under 2 MiB.
+const JOURNAL_CAPACITY: usize = 32 * 1024;
 
 /// One queued unit of work: a parsed request, the connection and
 /// per-connection sequence number its response must be posted back to,
@@ -144,6 +154,10 @@ struct Job {
     conn: u64,
     seq: u64,
     deadline: Option<Instant>,
+    /// The request's span (ends when its response is posted).
+    span: SpanId,
+    /// The `queued` child span (ends when a worker picks the job up).
+    queued: SpanId,
 }
 
 /// One finished response traveling from a worker / search thread back to
@@ -195,7 +209,11 @@ impl Server {
         let addr = listener.local_addr()?;
         let (wake_rx, wake_tx) = UnixStream::pair()?;
         let state = Arc::new(ServerState {
-            engine: Arc::new(Engine::new(config.cache_capacity, config.workers.max(1))),
+            engine: Arc::new(Engine::new(
+                config.cache_capacity,
+                config.workers.max(1),
+                Observer::armed(JOURNAL_CAPACITY),
+            )),
             queue: JobQueue::new(config.queue_capacity),
             completions: Mutex::new(Vec::new()),
             wake: wake_tx,
@@ -264,6 +282,16 @@ impl Server {
             let _ = worker.join();
         }
         state.engine.join_searches();
+        // Every span has ended by now (all requests answered, all search
+        // threads joined), so the exported trace is complete.
+        if let Some(path) = &state.config.trace_out {
+            if let Some(mut trace) = state.engine.observer.export_chrome_trace() {
+                trace.push('\n');
+                if let Err(e) = std::fs::write(path, trace) {
+                    eprintln!("qssd: could not write trace to {path}: {e}");
+                }
+            }
+        }
         result
     }
 
@@ -323,7 +351,11 @@ fn worker_loop(state: &Arc<ServerState>) {
             conn,
             seq,
             deadline,
+            span,
+            queued,
         } = job;
+        // The queue wait ends the moment a worker owns the job.
+        state.engine.observer.span_end(queued, "queued", "worker");
         // A job whose deadline passed while it sat in the queue is
         // answered without running: the worker slot goes to live work.
         if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -340,7 +372,11 @@ fn worker_loop(state: &Arc<ServerState>) {
         let reply_state = Arc::clone(state);
         let reply: Reply = Box::new(move |result| reply_state.post(conn, seq, result));
         let engine = Arc::clone(&state.engine);
-        if catch_unwind(AssertUnwindSafe(|| engine.handle(request, deadline, reply))).is_err() {
+        if catch_unwind(AssertUnwindSafe(|| {
+            engine.handle(request, deadline, span, reply)
+        }))
+        .is_err()
+        {
             // The reply callback may or may not have fired before the
             // panic; a second post for an answered sequence is dropped.
             state.post(
@@ -355,10 +391,36 @@ fn worker_loop(state: &Arc<ServerState>) {
     }
 }
 
+/// Response metadata carried from admission to the response choke point:
+/// what the latency histogram, the per-kind counters and the request
+/// span need when the response is finally posted.
+#[derive(Clone, Copy)]
+struct RespMeta {
+    /// Request kind name; `"_error"` for lines that never parsed into a
+    /// kind, so per-kind histogram counts still sum to total responses.
+    kind: &'static str,
+    /// Journal-clock reading when the request line was parsed.
+    started_micros: u64,
+    /// The request's span ([`SpanId::NONE`] when the observer is
+    /// disabled or the line never parsed).
+    span: SpanId,
+}
+
+impl RespMeta {
+    fn error(state: &ServerState) -> RespMeta {
+        RespMeta {
+            kind: "_error",
+            started_micros: state.engine.observer.now_micros(),
+            span: SpanId::NONE,
+        }
+    }
+}
+
 /// A request admitted to the queue, awaiting its completion.
 struct PendingRequest {
     id: Option<u64>,
     deadline: Option<Instant>,
+    meta: RespMeta,
 }
 
 /// A completed response a v1 connection is holding until every earlier
@@ -505,7 +567,10 @@ impl EventLoop {
                     continue;
                 }
                 match token {
-                    Token::Wake => drain_wake(&self.wake_rx),
+                    Token::Wake => {
+                        self.state.engine.counters.wakeups.inc();
+                        drain_wake(&self.wake_rx);
+                    }
                     Token::Listener => self.accept_all(),
                     Token::Conn(id) => self.service_conn(*id, *fd),
                 }
@@ -524,7 +589,14 @@ impl EventLoop {
         for completion in batch {
             if let Some(conn) = self.conns.get_mut(&completion.conn) {
                 if let Some(pending) = conn.pending.remove(&completion.seq) {
-                    complete(&state, conn, completion.seq, pending.id, completion.result);
+                    complete(
+                        &state,
+                        conn,
+                        completion.seq,
+                        pending.id,
+                        pending.meta,
+                        completion.result,
+                    );
                 }
             }
         }
@@ -598,8 +670,8 @@ impl EventLoop {
                     let max = self.state.config.max_connections;
                     if max > 0 && self.conns.len() >= max {
                         let counters = &self.state.engine.counters;
-                        Counters::bump(&counters.requests);
-                        Counters::bump(&counters.busy_rejections);
+                        counters.requests.inc();
+                        counters.busy_rejections.inc();
                         let error = WireError::new(
                             ErrorKind::Busy,
                             format!("connection limit reached ({max}); retry later"),
@@ -648,7 +720,7 @@ impl EventLoop {
             dead = !alive;
             begin_drain = drain;
         }
-        if !dead && conn.has_unwritten() && flush_conn(conn).is_err() {
+        if !dead && conn.has_unwritten() && flush_conn(&state, conn).is_err() {
             dead = true;
         }
         if !dead && conn.should_close() {
@@ -672,26 +744,28 @@ impl EventLoop {
         let now = Instant::now();
         let mut dead: Vec<u64> = Vec::new();
         for (&id, conn) in self.conns.iter_mut() {
-            let expired: Vec<(u64, Option<u64>)> = conn
+            let expired: Vec<u64> = conn
                 .pending
                 .iter()
                 .filter(|(_, p)| p.deadline.is_some_and(|d| now >= d))
-                .map(|(&seq, p)| (seq, p.id))
+                .map(|(&seq, _)| seq)
                 .collect();
-            for (seq, request_id) in expired {
-                conn.pending.remove(&seq);
-                complete(
-                    &state,
-                    conn,
-                    seq,
-                    request_id,
-                    Err(WireError::new(
-                        ErrorKind::Timeout,
-                        "request deadline expired",
-                    )),
-                );
+            for seq in expired {
+                if let Some(pending) = conn.pending.remove(&seq) {
+                    complete(
+                        &state,
+                        conn,
+                        seq,
+                        pending.id,
+                        pending.meta,
+                        Err(WireError::new(
+                            ErrorKind::Timeout,
+                            "request deadline expired",
+                        )),
+                    );
+                }
             }
-            if conn.has_unwritten() && flush_conn(conn).is_err() {
+            if conn.has_unwritten() && flush_conn(&state, conn).is_err() {
                 dead.push(id);
                 continue;
             }
@@ -760,7 +834,12 @@ fn read_conn(state: &ServerState, conn: &mut Conn, draining: bool) -> (bool, boo
                 conn.read_buf.extend_from_slice(&scratch[..n]);
                 begin_drain |= process_buffer(state, conn, draining);
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if conn.line_in_progress() {
+                    state.engine.counters.partial_reads.inc();
+                }
+                break;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => return (false, begin_drain),
         }
@@ -777,7 +856,7 @@ fn process_buffer(state: &ServerState, conn: &mut Conn, draining: bool) -> bool 
         let oversized = std::mem::take(&mut conn.oversized)
             || line.len().saturating_sub(1) > state.config.max_line_bytes;
         if oversized {
-            Counters::bump(&state.engine.counters.requests);
+            state.engine.counters.requests.inc();
             let seq = conn.next_seq;
             conn.next_seq += 1;
             let error = WireError::new(
@@ -787,7 +866,7 @@ fn process_buffer(state: &ServerState, conn: &mut Conn, draining: bool) -> bool 
                     state.config.max_line_bytes
                 ),
             );
-            complete(state, conn, seq, None, Err(error));
+            complete(state, conn, seq, None, RespMeta::error(state), Err(error));
         } else {
             begin_drain |= handle_line(state, conn, &line[..line.len() - 1], draining);
         }
@@ -815,13 +894,13 @@ fn handle_line(state: &ServerState, conn: &mut Conn, raw: &[u8], draining: bool)
     if line.is_empty() {
         return false;
     }
-    Counters::bump(&state.engine.counters.requests);
+    state.engine.counters.requests.inc();
     let seq = conn.next_seq;
     conn.next_seq += 1;
     let request = match Request::parse_line(line) {
         Ok(request) => request,
         Err(error) => {
-            complete(state, conn, seq, None, Err(error));
+            complete(state, conn, seq, None, RespMeta::error(state), Err(error));
             return false;
         }
     };
@@ -830,40 +909,60 @@ fn handle_line(state: &ServerState, conn: &mut Conn, raw: &[u8], draining: bool)
     }
     let mut begin_drain = false;
     let id = request.id;
+    let observer = &state.engine.observer;
+    let kind_name = request.kind.name();
+    let span = if observer.is_armed() {
+        observer.span_begin(&format!("request kind={kind_name}"), SpanId::NONE, "loop")
+    } else {
+        SpanId::NONE
+    };
+    let meta = RespMeta {
+        kind: kind_name,
+        started_micros: observer.now_micros(),
+        span,
+    };
     match request.kind {
         // Control requests bypass the queue: they must answer promptly
         // even when the workers are saturated.
         RequestKind::Stats => {
-            complete(state, conn, seq, id, Ok(stats_value(state)));
+            complete(state, conn, seq, id, meta, Ok(stats_value(state)));
+        }
+        RequestKind::Metrics => {
+            complete(state, conn, seq, id, meta, Ok(metrics_value(state)));
         }
         RequestKind::Shutdown => {
             // Acknowledge, then drain: the ack is queued (held for v1
             // ordering if needed) and the drain guarantees it — like
             // every outstanding response — still reaches the wire.
             let ack = Value::Object(vec![("stopping".to_string(), Value::Bool(true))]);
-            complete(state, conn, seq, id, Ok(ack));
+            complete(state, conn, seq, id, meta, Ok(ack));
             begin_drain = true;
         }
         _ if draining => {
             let error = WireError::new(ErrorKind::ShuttingDown, "server is draining for shutdown");
-            complete(state, conn, seq, id, Err(error));
+            complete(state, conn, seq, id, meta, Err(error));
         }
         _ => {
             // The deadline clock starts when the request is accepted, so
             // it covers queue wait as well as the search itself.
             let deadline = state.config.request_timeout.map(|t| Instant::now() + t);
-            conn.pending.insert(seq, PendingRequest { id, deadline });
+            conn.pending
+                .insert(seq, PendingRequest { id, deadline, meta });
+            let queued = observer.span_begin("queued", span, "loop");
             let submitted = state.queue.submit(Job {
                 request,
                 conn: conn.id,
                 seq,
                 deadline,
+                span,
+                queued,
             });
             match submitted {
                 Ok(()) => {}
                 Err(SubmitError::Full) => {
                     conn.pending.remove(&seq);
-                    Counters::bump(&state.engine.counters.busy_rejections);
+                    observer.span_end(queued, "queued", "loop");
+                    state.engine.counters.busy_rejections.inc();
                     let error = WireError::new(
                         ErrorKind::Busy,
                         format!(
@@ -871,13 +970,14 @@ fn handle_line(state: &ServerState, conn: &mut Conn, raw: &[u8], draining: bool)
                             state.config.queue_capacity
                         ),
                     );
-                    complete(state, conn, seq, id, Err(error));
+                    complete(state, conn, seq, id, meta, Err(error));
                 }
                 Err(SubmitError::Closed) => {
                     conn.pending.remove(&seq);
+                    observer.span_end(queued, "queued", "loop");
                     let error =
                         WireError::new(ErrorKind::ShuttingDown, "server is draining for shutdown");
-                    complete(state, conn, seq, id, Err(error));
+                    complete(state, conn, seq, id, meta, Err(error));
                 }
             }
         }
@@ -902,20 +1002,37 @@ fn complete(
     conn: &mut Conn,
     seq: u64,
     id: Option<u64>,
+    meta: RespMeta,
     result: Result<Value, WireError>,
 ) {
+    let observer = &state.engine.observer;
+    state.engine.counters.responses.inc();
+    if observer.is_armed() {
+        let elapsed = observer.now_micros().saturating_sub(meta.started_micros);
+        observer
+            .histogram(&format!("latency_us.{}", meta.kind))
+            .record(elapsed);
+    }
+    let respond = observer.span_begin("respond", meta.span, "loop");
     let text = match result {
         Ok(value) => response_ok(id, value),
         Err(error) => respond_error(state, id, error),
     };
     if conn.version >= 2 {
         push_response(conn, &text);
-        return;
+    } else {
+        if seq != conn.next_release {
+            state.engine.counters.held_responses.inc();
+        }
+        conn.held.insert(seq, HeldResponse { text });
+        while let Some(held) = conn.held.remove(&conn.next_release) {
+            push_response(conn, &held.text);
+            conn.next_release += 1;
+        }
     }
-    conn.held.insert(seq, HeldResponse { text });
-    while let Some(held) = conn.held.remove(&conn.next_release) {
-        push_response(conn, &held.text);
-        conn.next_release += 1;
+    observer.span_end(respond, "respond", "loop");
+    if meta.span.is_recorded() {
+        observer.span_end(meta.span, &format!("request kind={}", meta.kind), "loop");
     }
 }
 
@@ -934,7 +1051,7 @@ fn push_response(conn: &mut Conn, text: &str) {
 ///
 /// # Errors
 /// A transport error (the caller drops the connection).
-fn flush_conn(conn: &mut Conn) -> io::Result<()> {
+fn flush_conn(state: &ServerState, conn: &mut Conn) -> io::Result<()> {
     while conn.has_unwritten() {
         match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
             Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
@@ -944,7 +1061,12 @@ fn flush_conn(conn: &mut Conn) -> io::Result<()> {
                 conn.last_write_progress = now;
                 conn.last_activity = now;
             }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if conn.has_unwritten() {
+                    state.engine.counters.partial_writes.inc();
+                }
+                break;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
@@ -959,9 +1081,9 @@ fn flush_conn(conn: &mut Conn) -> io::Result<()> {
 /// Serializes an error response, counting it (and `timeout` responses in
 /// their own counter, whatever path produced them).
 fn respond_error(state: &ServerState, id: Option<u64>, error: WireError) -> String {
-    Counters::bump(&state.engine.counters.errors);
+    state.engine.counters.errors.inc();
     if error.kind == ErrorKind::Timeout {
-        Counters::bump(&state.engine.counters.timeouts);
+        state.engine.counters.timeouts.inc();
     }
     response_error(id, &error)
 }
@@ -970,16 +1092,64 @@ fn respond_error(state: &ServerState, id: Option<u64>, error: WireError) -> Stri
 fn stats_value(state: &ServerState) -> Value {
     let counters = &state.engine.counters;
     let stats = ServerStats {
-        requests: Counters::read(&counters.requests),
-        errors: Counters::read(&counters.errors),
-        busy_rejections: Counters::read(&counters.busy_rejections),
-        coalesced: Counters::read(&counters.coalesced),
-        timeouts: Counters::read(&counters.timeouts),
-        cancelled: Counters::read(&counters.cancelled),
-        searches: Counters::read(&counters.searches),
+        requests: counters.requests.get(),
+        errors: counters.errors.get(),
+        busy_rejections: counters.busy_rejections.get(),
+        coalesced: counters.coalesced.get(),
+        timeouts: counters.timeouts.get(),
+        cancelled: counters.cancelled.get(),
+        searches: counters.searches.get(),
         workers: state.config.workers.max(1) as u64,
         queue_capacity: state.config.queue_capacity as u64,
         cache: state.engine.cache.stats(),
     };
     serde_json::to_value(&stats).expect("stats serialization is infallible")
+}
+
+/// The `metrics` payload: a full snapshot of the observability registry —
+/// every counter the server maintains plus quantile summaries of every
+/// latency histogram — serialized deterministically (names sorted).
+fn metrics_value(state: &ServerState) -> Value {
+    let snapshot = state.engine.observer.snapshot();
+    let counters = snapshot
+        .counters
+        .into_iter()
+        .map(|(name, value)| (name, Value::Number(Number::UInt(value))))
+        .collect();
+    let histograms = snapshot
+        .histograms
+        .into_iter()
+        .map(|(name, hist)| {
+            let summary = Value::Object(vec![
+                ("count".to_string(), Value::Number(Number::UInt(hist.count))),
+                ("min".to_string(), Value::Number(Number::UInt(hist.min))),
+                ("max".to_string(), Value::Number(Number::UInt(hist.max))),
+                (
+                    "mean".to_string(),
+                    Value::Number(Number::Float(hist.mean())),
+                ),
+                (
+                    "p50".to_string(),
+                    Value::Number(Number::UInt(hist.quantile(0.50))),
+                ),
+                (
+                    "p95".to_string(),
+                    Value::Number(Number::UInt(hist.quantile(0.95))),
+                ),
+                (
+                    "p99".to_string(),
+                    Value::Number(Number::UInt(hist.quantile(0.99))),
+                ),
+            ]);
+            (name, summary)
+        })
+        .collect();
+    Value::Object(vec![
+        ("counters".to_string(), Value::Object(counters)),
+        ("histograms".to_string(), Value::Object(histograms)),
+        (
+            "journal_dropped".to_string(),
+            Value::Number(Number::UInt(state.engine.observer.journal_dropped())),
+        ),
+    ])
 }

@@ -17,10 +17,11 @@ use crate::coalesce::{InFlightTable, SearchKey, SearchOutcome, SharedSearch, Tic
 use crate::util::lock;
 use qss::remote::{fingerprint_hex, CheckSummary, ErrorKind, Request, RequestKind, WireError};
 use qss::{LinkedArtifact, Pipeline, QssError, SearchContext, SystemSchedules};
+use qss_obs::{Counter, Observer, SpanId};
 use serde_json::Value;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Instant;
@@ -30,28 +31,50 @@ use std::time::Instant;
 /// coalesced followers) the leader's search thread.
 pub(crate) type Reply = Box<dyn FnOnce(Result<Value, WireError>) + Send>;
 
-/// The protocol-visible counters (cache counters live in the cache).
+/// The protocol-visible counters (cache counters live in the caches).
+///
+/// Every field is a [`qss_obs::Counter`] — a shareable cell the armed
+/// [`Observer`] registry *adopts* (see [`Counters::adopt_into`]), so the
+/// `stats` payload and the `metrics` registry read the very same cells:
+/// one source of truth, two views.
 #[derive(Default)]
 pub(crate) struct Counters {
-    pub requests: AtomicU64,
-    pub errors: AtomicU64,
-    pub busy_rejections: AtomicU64,
-    pub coalesced: AtomicU64,
-    pub timeouts: AtomicU64,
-    pub cancelled: AtomicU64,
+    pub requests: Counter,
+    pub responses: Counter,
+    pub errors: Counter,
+    pub busy_rejections: Counter,
+    pub coalesced: Counter,
+    pub timeouts: Counter,
+    pub cancelled: Counter,
     /// Schedule searches actually spawned; coalesced followers share
     /// their leader's search, so this lags `requests` under duplicate
     /// load — the service's whole point.
-    pub searches: AtomicU64,
+    pub searches: Counter,
+    /// Event-loop wake-ups via the self-pipe.
+    pub wakeups: Counter,
+    /// Reads that left a partial request line in the buffer.
+    pub partial_reads: Counter,
+    /// Flushes that left unwritten response bytes behind (socket full).
+    pub partial_writes: Counter,
+    /// Responses held back for v1 in-order delivery.
+    pub held_responses: Counter,
 }
 
 impl Counters {
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn read(counter: &AtomicU64) -> u64 {
-        counter.load(Ordering::Relaxed)
+    /// Registers every counter cell with the observer's registry.
+    pub fn adopt_into(&self, observer: &Observer) {
+        observer.adopt_counter("requests", &self.requests);
+        observer.adopt_counter("responses", &self.responses);
+        observer.adopt_counter("errors", &self.errors);
+        observer.adopt_counter("busy_rejections", &self.busy_rejections);
+        observer.adopt_counter("coalesced", &self.coalesced);
+        observer.adopt_counter("timeouts", &self.timeouts);
+        observer.adopt_counter("cancelled", &self.cancelled);
+        observer.adopt_counter("searches", &self.searches);
+        observer.adopt_counter("loop.wakeups", &self.wakeups);
+        observer.adopt_counter("loop.partial_reads", &self.partial_reads);
+        observer.adopt_counter("loop.partial_writes", &self.partial_writes);
+        observer.adopt_counter("loop.held_responses", &self.held_responses);
     }
 }
 
@@ -70,6 +93,9 @@ impl Counters {
 pub(crate) struct ReportCache {
     state: Mutex<ReportCacheState>,
     capacity: usize,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 struct ReportCacheState {
@@ -85,15 +111,29 @@ impl ReportCache {
                 tick: 0,
             }),
             capacity: capacity.max(1),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
         }
+    }
+
+    /// Registers the cache's counter cells with the observer's registry.
+    fn adopt_into(&self, observer: &Observer) {
+        observer.adopt_counter("report_cache.hits", &self.hits);
+        observer.adopt_counter("report_cache.misses", &self.misses);
+        observer.adopt_counter("report_cache.evictions", &self.evictions);
     }
 
     fn get(&self, fingerprint: u64, digest: u64) -> Option<Value> {
         let mut state = lock(&self.state);
         state.tick += 1;
         let tick = state.tick;
-        let (report, stamp) = state.entries.get_mut(&(fingerprint, digest))?;
+        let Some((report, stamp)) = state.entries.get_mut(&(fingerprint, digest)) else {
+            self.misses.inc();
+            return None;
+        };
         *stamp = tick;
+        self.hits.inc();
         Some(report.clone())
     }
 
@@ -112,6 +152,7 @@ impl ReportCache {
                 .map(|(key, _)| *key);
             if let Some(key) = oldest {
                 state.entries.remove(&key);
+                self.evictions.inc();
             }
         }
         state.entries.insert((fingerprint, digest), (report, tick));
@@ -172,6 +213,10 @@ pub(crate) struct Engine {
     pub reports: ReportCache,
     pub inflight: Arc<InFlightTable>,
     pub counters: Counters,
+    /// The one observability handle: counters, latency histograms and
+    /// the span journal all hang off it. A disabled observer turns every
+    /// recording site into a single-branch no-op.
+    pub observer: Observer,
     slots: Arc<SearchSlots>,
     /// Live search threads, pruned opportunistically and joined at
     /// shutdown so a drain never abandons a running search.
@@ -179,15 +224,23 @@ pub(crate) struct Engine {
 }
 
 impl Engine {
-    pub fn new(cache_capacity: usize, workers: usize) -> Self {
-        Engine {
+    pub fn new(cache_capacity: usize, workers: usize, observer: Observer) -> Self {
+        let engine = Engine {
             cache: ContextCache::new(cache_capacity),
             reports: ReportCache::new(cache_capacity),
             inflight: Arc::new(InFlightTable::new()),
             counters: Counters::default(),
+            observer,
             slots: SearchSlots::new(workers.max(1)),
             search_threads: Mutex::new(Vec::new()),
-        }
+        };
+        // Adopt every counter cell into the registry: `stats` (which
+        // reads the structs) and `metrics` (which reads the registry)
+        // are two views of the same cells.
+        engine.counters.adopt_into(&engine.observer);
+        engine.cache.adopt_into(&engine.observer);
+        engine.reports.adopt_into(&engine.observer);
+        engine
     }
 
     /// Executes one pipeline request (`check` / `analyze` / `link` /
@@ -197,7 +250,13 @@ impl Engine {
     /// from a search thread for the schedule-bearing ones. Control
     /// requests (`stats`, `shutdown`) never reach the engine — the
     /// connection layer answers them without queueing.
-    pub fn handle(self: &Arc<Self>, request: Request, deadline: Option<Instant>, reply: Reply) {
+    pub fn handle(
+        self: &Arc<Self>,
+        request: Request,
+        deadline: Option<Instant>,
+        span: SpanId,
+        reply: Reply,
+    ) {
         let source = match request.source.as_deref() {
             Some(source) => source,
             None => {
@@ -208,10 +267,12 @@ impl Engine {
             }
         };
         let config = request.config.clone().unwrap_or_default();
-        let linked = match Pipeline::from_source(source)
+        let admit = self.observer.span_begin("admit", span, "worker");
+        let linked = Pipeline::from_source(source)
             .map_err(WireError::from)
-            .and_then(|p| p.with_config(config).link().map_err(WireError::from))
-        {
+            .and_then(|p| p.with_config(config).link().map_err(WireError::from));
+        self.observer.span_end(admit, "admit", "worker");
+        let linked = match linked {
             Ok(linked) => linked,
             Err(error) => return reply(Err(error)),
         };
@@ -244,12 +305,14 @@ impl Engine {
                 reply(Ok(artifact_result(fingerprint, None, to_value(&linked))));
             }
             RequestKind::Schedule | RequestKind::Generate | RequestKind::Simulate => {
-                self.scheduled(linked, request, deadline, reply);
+                self.scheduled(linked, request, deadline, span, reply);
             }
-            RequestKind::Stats | RequestKind::Shutdown => reply(Err(WireError::new(
-                ErrorKind::Internal,
-                "control requests must not reach the worker pool",
-            ))),
+            RequestKind::Stats | RequestKind::Metrics | RequestKind::Shutdown => {
+                reply(Err(WireError::new(
+                    ErrorKind::Internal,
+                    "control requests must not reach the worker pool",
+                )))
+            }
         }
     }
 
@@ -263,6 +326,7 @@ impl Engine {
         linked: LinkedArtifact,
         request: Request,
         deadline: Option<Instant>,
+        span: SpanId,
         reply: Reply,
     ) {
         let fingerprint = linked.fingerprint();
@@ -275,8 +339,11 @@ impl Engine {
                 // A leader is already searching: park the continuation on
                 // its flight. No thread, no worker slot, no search slot —
                 // the whole wait lives in this closure.
-                Counters::bump(&self.counters.coalesced);
+                self.counters.coalesced.inc();
+                let observer = self.observer.clone();
+                let wait = observer.span_begin("coalesced_wait", span, "worker");
                 flight.subscribe(Box::new(move |outcome| {
+                    observer.span_end(wait, "coalesced_wait", "search");
                     reply(finish(linked, &request, outcome.clone()));
                 }));
             }
@@ -285,7 +352,7 @@ impl Engine {
                     // Every search slot is taken by a *different* search
                     // (duplicates would have coalesced above): shed load
                     // with the same typed `busy` the full queue uses.
-                    Counters::bump(&self.counters.busy_rejections);
+                    self.counters.busy_rejections.inc();
                     let busy = WireError::new(
                         ErrorKind::Busy,
                         format!(
@@ -296,8 +363,8 @@ impl Engine {
                     guard.complete(Err(busy.clone()));
                     return reply(Err(busy));
                 };
-                Counters::bump(&self.counters.searches);
-                self.spawn_search(guard, permit, linked, request, deadline, reply);
+                self.counters.searches.inc();
+                self.spawn_search(guard, permit, linked, request, deadline, span, reply);
             }
         }
     }
@@ -307,6 +374,7 @@ impl Engine {
     /// searching), and the recursive EP search needs a search-sized
     /// stack. Publishes to the flight, then assembles the leader's own
     /// response.
+    #[allow(clippy::too_many_arguments)]
     fn spawn_search(
         self: &Arc<Self>,
         guard: crate::coalesce::LeaderGuard,
@@ -314,9 +382,11 @@ impl Engine {
         linked: LinkedArtifact,
         request: Request,
         deadline: Option<Instant>,
+        span: SpanId,
         reply: Reply,
     ) {
         let engine = Arc::clone(self);
+        let search_span = self.observer.span_begin("search", span, "worker");
         // Keep one handle on the reply so a failed thread spawn can still
         // answer the request instead of stranding the connection.
         let shared_reply = Arc::new(Mutex::new(Some(reply)));
@@ -345,8 +415,9 @@ impl Engine {
                         // The search itself was cancelled mid-flight (as
                         // opposed to a response merely classified
                         // `timeout`).
-                        Counters::bump(&engine.counters.cancelled);
+                        engine.counters.cancelled.inc();
                     }
+                    engine.observer.span_end(search_span, "search", "search");
                     guard.complete(outcome.clone());
                     // The slot frees the moment the search is decided:
                     // assembling the response (the generate/simulate

@@ -701,6 +701,195 @@ fn a_thousand_idle_connections_are_held_capped_and_reaped_without_fd_leaks() {
     daemon.assert_clean_exit();
 }
 
+/// The observability acceptance test: under concurrent pipelined load,
+/// the `metrics` snapshot must be internally consistent — per-kind
+/// latency histogram counts sum to the `responses` counter, quantiles
+/// are ordered within each histogram, and the unified registry carries
+/// the same cache counters `stats` reports — and, after a graceful
+/// drain, `--trace-out` must hold a valid Chrome trace whose spans cover
+/// the queued → search → respond lifecycle with intact parent links.
+#[test]
+fn metrics_are_internally_consistent_and_the_trace_covers_the_lifecycle() {
+    const CLIENTS: usize = 6;
+    let trace_path = std::env::temp_dir().join(format!(
+        "qssd_e2e_trace_{}_{:x}.json",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let daemon = Daemon::spawn(&[
+        "--workers",
+        "2",
+        "--queue",
+        "64",
+        "--cache",
+        "8",
+        "--trace-out",
+        trace_path.to_str().expect("utf-8 temp path"),
+    ]);
+    let addr = daemon.addr.clone();
+
+    // Concurrent pipelined load: every client walks two nets through
+    // schedule + link + analyze, so several request kinds populate the
+    // latency histograms and the cache counters move.
+    let sources: Vec<String> = (0..2u32).map(|i| net_source(2 + i)).collect();
+    let mut workers = Vec::new();
+    for _ in 0..CLIENTS {
+        let addr = addr.clone();
+        let sources = sources.clone();
+        workers.push(thread::spawn(move || {
+            let mut client = Client::connect(&*addr).expect("connect");
+            for source in &sources {
+                loop {
+                    match client.schedule(source, None) {
+                        Ok(_) => break,
+                        Err(qss::remote::ClientError::Server(e))
+                            if e.kind == qss::remote::ErrorKind::Busy =>
+                        {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(other) => panic!("schedule failed: {other}"),
+                    }
+                }
+                client.link(source, None).expect("link");
+                client.analyze(source).expect("analyze");
+            }
+        }));
+    }
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    let mut client = Client::connect(&*addr).expect("connect");
+    let stats = client.stats().expect("stats");
+    let metrics = client.metrics().expect("metrics");
+    let counter = |name: &str| -> u64 {
+        metrics
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("metrics counter `{name}` missing: {metrics:?}"))
+    };
+
+    // Histogram bookkeeping happens at the same choke point as the
+    // responses counter, so across every request kind (including the
+    // `_error` pseudo-kind) the counts must tie out exactly.
+    let histograms = metrics
+        .get("histograms")
+        .and_then(|h| h.as_object())
+        .expect("metrics carries a histograms object");
+    let mut latency_total = 0u64;
+    for (name, summary) in histograms {
+        assert!(
+            name.starts_with("latency_us."),
+            "unexpected histogram `{name}`"
+        );
+        let field = |f: &str| {
+            summary
+                .get(f)
+                .and_then(|v| v.as_u64())
+                .unwrap_or_else(|| panic!("histogram `{name}` lacks `{f}`: {summary:?}"))
+        };
+        let (count, min, max) = (field("count"), field("min"), field("max"));
+        let (p50, p95, p99) = (field("p50"), field("p95"), field("p99"));
+        assert!(count > 0, "empty histogram `{name}` was registered");
+        assert!(
+            min <= p50 && p50 <= p95 && p95 <= p99,
+            "quantiles of `{name}` are not monotone: {summary:?}"
+        );
+        assert!(max >= min, "bounds of `{name}` are inverted: {summary:?}");
+        latency_total += count;
+    }
+    assert_eq!(
+        latency_total,
+        counter("responses"),
+        "per-kind latency counts must sum to the responses counter: {metrics:?}"
+    );
+    for kind in ["schedule", "link", "analyze"] {
+        let count = histograms
+            .iter()
+            .find(|(name, _)| name == &format!("latency_us.{kind}"))
+            .and_then(|(_, s)| s.get("count"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        assert!(
+            count >= (CLIENTS * sources.len()) as u64,
+            "every `{kind}` request must land in its histogram: {metrics:?}"
+        );
+    }
+
+    // "stats" and "metrics" are two views of one registry: the ad-hoc
+    // counters and the cache counters must agree between them. The
+    // `metrics` request itself is the one request admitted between the
+    // two snapshots (same sequential connection), hence the +1.
+    assert_eq!(counter("requests"), stats.requests + 1);
+    assert_eq!(counter("searches"), stats.searches);
+    assert_eq!(counter("coalesced"), stats.coalesced);
+    assert_eq!(counter("busy_rejections"), stats.busy_rejections);
+    assert_eq!(counter("context_cache.hits"), stats.cache.hits);
+    assert_eq!(counter("context_cache.misses"), stats.cache.misses);
+    assert!(
+        counter("loop.wakeups") > 0,
+        "completions must wake the loop"
+    );
+
+    client.shutdown().expect("shutdown");
+    daemon.assert_clean_exit();
+
+    // The drained daemon must have written a loadable Chrome trace:
+    // one JSON object whose `traceEvents` hold matched b/e async pairs
+    // for the whole request lifecycle, every parent link resolving to a
+    // recorded span.
+    let trace_text = std::fs::read_to_string(&trace_path).expect("read --trace-out file");
+    let trace: serde_json::Value =
+        serde_json::from_str(&trace_text).expect("--trace-out is valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("trace carries traceEvents");
+    let phase_names = |phase: &str| -> Vec<&str> {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(phase))
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect()
+    };
+    let begins = phase_names("b");
+    let ends = phase_names("e");
+    for stage in ["queued", "search", "respond", "request kind=schedule"] {
+        assert!(
+            begins.contains(&stage) && ends.contains(&stage),
+            "trace must hold a matched b/e pair for `{stage}`"
+        );
+    }
+    let ids: std::collections::HashSet<u64> = events
+        .iter()
+        .filter_map(|e| e.get("id").and_then(|i| i.as_u64()))
+        .collect();
+    let mut parents_checked = 0usize;
+    for event in events {
+        if let Some(parent) = event.get("args").and_then(|a| a.get("parent")) {
+            let parent = parent.as_u64().expect("parent ids are integers");
+            // Parent 0 is the root (SpanId::NONE); anything else must be
+            // a span recorded in this journal — nesting stays intact.
+            if parent != 0 {
+                assert!(
+                    ids.contains(&parent),
+                    "span parent {parent} is not recorded in the journal"
+                );
+                parents_checked += 1;
+            }
+        }
+    }
+    assert!(
+        parents_checked > 0,
+        "the trace must contain nested (parented) spans"
+    );
+    std::fs::remove_file(&trace_path).ok();
+}
+
 #[test]
 fn qssd_rejects_bad_flags_with_usage_exit_code() {
     let output = Command::new(env!("CARGO_BIN_EXE_qssd"))

@@ -60,6 +60,10 @@ BUILD OPTIONS:
                           irrelevant-marking criterion
     --no-heuristics       disable the search-ordering heuristics
     --parallel            schedule the uncontrollable inputs on threads
+    --search-profile      print the search work profile (nodes expanded,
+                          backtracks, pruning cuts, per-phase times) to
+                          stderr after the build, and include it in the
+                          serialized artifacts (local builds only)
 
 REMOTE COMMANDS (driving a warm `qssd`, see PROTOCOL.md):
     remote <ADDR> build <FILE> [BUILD OPTIONS]
@@ -70,6 +74,9 @@ REMOTE COMMANDS (driving a warm `qssd`, see PROTOCOL.md):
                           structural analysis on the server (cached by net
                           fingerprint); output byte-identical to `qssc analyze`
     remote <ADDR> stats            print the server's counters
+    remote <ADDR> metrics          print the server's full observability
+                          snapshot: every counter plus p50/p95/p99 request
+                          latency per request kind (see PROTOCOL.md)
     remote <ADDR> shutdown         drain the server and stop it
 ";
 
@@ -148,6 +155,7 @@ struct BuildArgs {
     report: Option<String>,
     events: Vec<(String, String, Vec<i64>)>,
     config: PipelineConfig,
+    search_profile: bool,
 }
 
 fn parse_build_args(args: &[String]) -> Result<BuildArgs, Exit> {
@@ -195,6 +203,7 @@ fn parse_build_args(args: &[String]) -> Result<BuildArgs, Exit> {
             }
             "--no-heuristics" => config.schedule = config.schedule.without_heuristics(),
             "--parallel" => config.parallel_schedule = true,
+            "--search-profile" => config.emit_search_profile = true,
             // A bare `-` is the stdin pseudo-path, not a flag.
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(Exit::Usage(format!("unknown option `{flag}`")))
@@ -205,6 +214,7 @@ fn parse_build_args(args: &[String]) -> Result<BuildArgs, Exit> {
         i += 1;
     }
     let input = input.ok_or_else(|| Exit::Usage("missing input file".into()))?;
+    let search_profile = config.emit_search_profile;
     let mut build = BuildArgs {
         input,
         emit_c: false,
@@ -214,6 +224,7 @@ fn parse_build_args(args: &[String]) -> Result<BuildArgs, Exit> {
         report,
         events,
         config,
+        search_profile,
     };
     for kind in emit.split(',').filter(|k| !k.is_empty()) {
         match kind.trim() {
@@ -291,14 +302,41 @@ fn build(args: &[String]) -> Result<(), Exit> {
     let source = read_source(&args.input)?;
 
     let pipeline = Pipeline::from_source(&source)?.with_config(args.config.clone());
-    let task = pipeline.link()?.schedule()?.generate()?;
+    let scheduled = pipeline.link()?.schedule()?;
+    let profile = args
+        .search_profile
+        .then(|| scheduled.search_profile().cloned())
+        .flatten();
+    let task = scheduled.generate()?;
     let events = collect_events(&args);
     let sim = if events.is_empty() {
         None
     } else {
         Some(task.simulate(&events)?)
     };
-    emit_outputs(&args, &task, sim.as_ref())
+    emit_outputs(&args, &task, sim.as_ref())?;
+    if let Some(profile) = profile {
+        eprint!("{}", render_search_profile(&profile));
+    }
+    Ok(())
+}
+
+/// Renders the aggregated [`qss::SearchProfile`] as an aligned label/value
+/// table (the `qssc build --search-profile` output, on stderr so stdout
+/// stays reserved for reports and artifacts).
+fn render_search_profile(profile: &qss::SearchProfile) -> String {
+    let rows = profile.rows();
+    let label_width = rows.iter().map(|(label, _)| label.len()).max().unwrap_or(0);
+    let value_width = rows
+        .iter()
+        .map(|(_, value)| value.to_string().len())
+        .max()
+        .unwrap_or(0);
+    let mut out = String::from("qssc: search profile\n");
+    for (label, value) in rows {
+        out.push_str(&format!("  {label:<label_width$}  {value:>value_width$}\n"));
+    }
+    out
 }
 
 /// Writes every requested artifact of a finished pipeline run. The
@@ -378,6 +416,7 @@ fn remote(args: &[String]) -> Result<(), Exit> {
         Some("check") => remote_check(addr, &rest[1..]),
         Some("analyze") => remote_analyze(addr, &rest[1..]),
         Some("stats") => remote_stats(addr),
+        Some("metrics") => remote_metrics(addr),
         Some("shutdown") => remote_shutdown(addr),
         Some(other) => Err(Exit::Usage(format!("unknown remote command `{other}`"))),
         None => Err(Exit::Usage("missing remote command".into())),
@@ -394,6 +433,15 @@ fn connect(addr: &str) -> Result<Client, Exit> {
 /// [`emit_outputs`] as `qssc build`.
 fn remote_build(addr: &str, args: &[String]) -> Result<(), Exit> {
     let args = parse_build_args(args)?;
+    if args.search_profile {
+        // The wire TaskArtifact does not carry a profile; the server's
+        // aggregate search work is visible via `remote ADDR metrics`.
+        return Err(Exit::Usage(
+            "`--search-profile` is only available on local builds \
+             (use `qssc remote ADDR metrics` for server-side search counters)"
+                .into(),
+        ));
+    }
     let source = read_source(&args.input)?;
     let mut client = connect(addr)?;
 
@@ -474,6 +522,13 @@ fn remote_analyze(addr: &str, args: &[String]) -> Result<(), Exit> {
 fn remote_stats(addr: &str) -> Result<(), Exit> {
     let stats = connect(addr)?.stats()?;
     let text = serde_json::to_string_pretty(&stats).expect("stats serialization is infallible");
+    println!("{text}");
+    Ok(())
+}
+
+fn remote_metrics(addr: &str) -> Result<(), Exit> {
+    let metrics = connect(addr)?.metrics()?;
+    let text = serde_json::to_string_pretty(&metrics).expect("metrics serialization is infallible");
     println!("{text}");
     Ok(())
 }

@@ -63,7 +63,7 @@ pub use pipeline::{
 pub use qss_codegen::{generate_task, GeneratedTask, TaskOptions, TaskStats};
 pub use qss_core::{
     find_schedule, schedule_system, schedule_system_parallel, BudgetConfig, BudgetStop, Schedule,
-    ScheduleError, ScheduleOptions, SearchBudget, SearchContext, SystemSchedules,
+    ScheduleError, ScheduleOptions, SearchBudget, SearchContext, SearchProfile, SystemSchedules,
 };
 pub use qss_flowc::{
     link, parse_process, parse_system, FlowCError, LinkedSystem, PortClass, SystemSpec,

@@ -26,8 +26,8 @@ use crate::diagnostics::AnalysisReport;
 use crate::error::QssError;
 use qss_codegen::{generate_task, CodeCostModel, GeneratedTask};
 use qss_core::{
-    schedule_system_parallel_with_context_budgeted, schedule_system_with_context_budgeted,
-    BudgetConfig, SearchBudget, SearchContext, SystemSchedules,
+    schedule_system_parallel_profiled, schedule_system_profiled, BudgetConfig, SearchBudget,
+    SearchContext, SearchProfile, SystemSchedules,
 };
 use qss_flowc::{parse_system, LinkedSystem, SystemSpec};
 use qss_petri::{NetAnalysis, StructuralLimits};
@@ -117,6 +117,12 @@ pub struct PipelineConfig {
     /// Cooperative budget for the schedule search (step cap and/or
     /// wall-clock deadline; empty = unlimited, today's behavior).
     pub budget: BudgetConfig,
+    /// Serialize the scheduler's [`SearchProfile`] into the
+    /// [`ScheduleArtifact`] JSON (as a `search_profile` key). Off by
+    /// default so default artifacts stay byte-identical; profiling
+    /// counters are collected either way — only the wire format is
+    /// opt-in.
+    pub emit_search_profile: bool,
 }
 
 impl Default for PipelineConfig {
@@ -129,6 +135,7 @@ impl Default for PipelineConfig {
             max_sim_steps: 200_000_000,
             parallel_schedule: false,
             budget: BudgetConfig::default(),
+            emit_search_profile: false,
         }
     }
 }
@@ -141,7 +148,7 @@ impl Default for PipelineConfig {
 /// spelling must share one search.
 impl Serialize for PipelineConfig {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("schedule".into(), self.schedule.to_value()),
             ("task".into(), self.task.to_value()),
             ("profile".into(), self.profile.to_value()),
@@ -155,7 +162,18 @@ impl Serialize for PipelineConfig {
                 self.parallel_schedule.to_value(),
             ),
             ("budget".into(), self.budget.to_value()),
-        ])
+        ];
+        // Skip-if-default: configs written before this field existed and
+        // configs that never touch it serialize byte-identically, which
+        // both the archived-artifact suites and `qssd`'s coalescing key
+        // rely on.
+        if self.emit_search_profile {
+            fields.push((
+                "emit_search_profile".into(),
+                self.emit_search_profile.to_value(),
+            ));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -196,6 +214,7 @@ impl<'de> Deserialize<'de> for PipelineConfig {
             max_sim_steps: opt(value, "max_sim_steps", defaults.max_sim_steps)?,
             parallel_schedule: opt(value, "parallel_schedule", defaults.parallel_schedule)?,
             budget: opt(value, "budget", defaults.budget)?,
+            emit_search_profile: opt(value, "emit_search_profile", defaults.emit_search_profile)?,
         })
     }
 }
@@ -431,22 +450,19 @@ impl LinkedArtifact {
         context: Arc<SearchContext>,
         budget: &SearchBudget,
     ) -> Result<ScheduleArtifact, QssError> {
-        let schedules = if self.config.parallel_schedule {
-            schedule_system_parallel_with_context_budgeted(
+        let (schedules, profile) = if self.config.parallel_schedule {
+            schedule_system_parallel_profiled(
                 &self.system,
                 &context,
                 &self.config.schedule,
                 budget,
             )?
         } else {
-            schedule_system_with_context_budgeted(
-                &self.system,
-                &context,
-                &self.config.schedule,
-                budget,
-            )?
+            schedule_system_profiled(&self.system, &context, &self.config.schedule, budget)?
         };
-        Ok(self.attach_schedules(schedules, context))
+        Ok(self
+            .attach_schedules(schedules, context)
+            .with_search_profile(profile))
     }
 
     /// Builds the stage-2 artifact from schedules computed elsewhere —
@@ -470,6 +486,7 @@ impl LinkedArtifact {
             config: self.config,
             schedules,
             context,
+            profile: None,
         }
     }
 }
@@ -503,12 +520,30 @@ pub struct ScheduleArtifact {
     /// [`Arc`] so a service can share one context between its cache and
     /// any number of artifacts without cloning the analyses.
     context: Arc<SearchContext>,
+    /// Aggregated work profile of the search that produced `schedules`
+    /// (`None` for artifacts assembled from externally computed schedules
+    /// or deserialized without one).
+    profile: Option<SearchProfile>,
 }
 
 impl ScheduleArtifact {
     /// The reusable per-net search context.
     pub fn context(&self) -> &SearchContext {
         &self.context
+    }
+
+    /// The aggregated search profile, when the artifact's schedules were
+    /// computed (not attached) and the profile survived serialization.
+    pub fn search_profile(&self) -> Option<&SearchProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Attaches (or clears) the search profile — the complement of
+    /// [`LinkedArtifact::attach_schedules`] for services that ran the
+    /// search themselves and kept its profile.
+    pub fn with_search_profile(mut self, profile: SearchProfile) -> Self {
+        self.profile = Some(profile);
+        self
     }
 
     /// The search context as a shareable handle (what a scheduling
@@ -585,12 +620,22 @@ impl ScheduleArtifact {
 /// [`SearchContext`]; deserialization recomputes it from the net.
 impl Serialize for ScheduleArtifact {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             ("spec".into(), self.spec.to_value()),
             ("system".into(), self.system.to_value()),
             ("config".into(), self.config.to_value()),
             ("schedules".into(), self.schedules.to_value()),
-        ])
+        ];
+        // The profile key is doubly gated: the search must have produced
+        // one *and* the config must ask for it on the wire. Artifacts
+        // under a default config stay byte-identical to pre-profiling
+        // builds.
+        if self.config.emit_search_profile {
+            if let Some(profile) = &self.profile {
+                fields.push(("search_profile".into(), profile.to_value()));
+            }
+        }
+        Value::Object(fields)
     }
 }
 
@@ -598,12 +643,21 @@ impl<'de> Deserialize<'de> for ScheduleArtifact {
     fn from_value(value: &Value) -> Result<Self, serde::Error> {
         let system: LinkedSystem = serde::derive::field(value, "ScheduleArtifact", "system")?;
         let context = Arc::new(SearchContext::new(&system.net));
+        let profile = match value.get("search_profile") {
+            Some(_) => Some(serde::derive::field(
+                value,
+                "ScheduleArtifact",
+                "search_profile",
+            )?),
+            None => None,
+        };
         Ok(ScheduleArtifact {
             spec: serde::derive::field(value, "ScheduleArtifact", "spec")?,
             config: serde::derive::field(value, "ScheduleArtifact", "config")?,
             schedules: serde::derive::field(value, "ScheduleArtifact", "schedules")?,
             system,
             context,
+            profile,
         })
     }
 }

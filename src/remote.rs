@@ -212,6 +212,9 @@ pub enum RequestKind {
     Simulate,
     /// Report server/cache/coalescing counters (handled out-of-queue).
     Stats,
+    /// Report the full metrics registry — every counter plus per-kind
+    /// latency histogram quantiles (handled out-of-queue).
+    Metrics,
     /// Graceful shutdown: drain in-flight work, then exit
     /// (handled out-of-queue).
     Shutdown,
@@ -228,6 +231,7 @@ impl RequestKind {
             RequestKind::Generate => "generate",
             RequestKind::Simulate => "simulate",
             RequestKind::Stats => "stats",
+            RequestKind::Metrics => "metrics",
             RequestKind::Shutdown => "shutdown",
         }
     }
@@ -242,6 +246,7 @@ impl RequestKind {
             "generate" => RequestKind::Generate,
             "simulate" => RequestKind::Simulate,
             "stats" => RequestKind::Stats,
+            "metrics" => RequestKind::Metrics,
             "shutdown" => RequestKind::Shutdown,
             _ => return None,
         })
@@ -249,7 +254,10 @@ impl RequestKind {
 
     /// Whether requests of this kind must carry FlowC `source` text.
     pub fn needs_source(self) -> bool {
-        !matches!(self, RequestKind::Stats | RequestKind::Shutdown)
+        !matches!(
+            self,
+            RequestKind::Stats | RequestKind::Metrics | RequestKind::Shutdown
+        )
     }
 }
 
@@ -1141,6 +1149,24 @@ impl Client {
         })?;
         serde_json::from_value(result)
             .map_err(|e| ClientError::Protocol(format!("malformed stats: {e}")))
+    }
+
+    /// Fetches the server's full metrics registry — every counter plus
+    /// the per-kind latency histograms — as the raw JSON snapshot the
+    /// `metrics` protocol kind returns (see `PROTOCOL.md`).
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] carries the typed wire error.
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.call(Request {
+            version: None,
+            id: None,
+            kind: RequestKind::Metrics,
+            source: None,
+            config: None,
+            events: Vec::new(),
+            include_task: false,
+        })
     }
 
     /// Asks the server to drain in-flight work and exit.
